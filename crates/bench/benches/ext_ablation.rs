@@ -1,0 +1,48 @@
+//! Bench target for the ablations: prints the three ablation tables, then
+//! runs the candidate-set head-to-head — the treap the paper names vs the
+//! staircase vs the naive oracle — under identical sliding-window churn.
+
+use criterion::{black_box, criterion_group, Criterion};
+use dds_hash::splitmix::SplitMix64;
+use dds_sim::{Element, Slot};
+use dds_treap::{CandidateSet, NaiveCandidateSet, StaircaseSet, Treap};
+
+fn churn<T: CandidateSet>(t: &mut T, n: u64) -> usize {
+    let mut rng = SplitMix64::new(11);
+    for i in 0..n {
+        let e = rng.next_below(512);
+        t.insert_or_refresh(
+            Element(e),
+            e.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1,
+            Slot(i + 64),
+        );
+        if i % 4 == 0 {
+            t.expire(Slot(i));
+        }
+    }
+    t.len()
+}
+
+fn candidate_sets(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ext_ablation/candidate_sets");
+    g.sample_size(10);
+    g.bench_function("treap", |b| {
+        b.iter(|| black_box(churn(&mut Treap::default(), 20_000)));
+    });
+    g.bench_function("staircase", |b| {
+        b.iter(|| black_box(churn(&mut StaircaseSet::new(), 20_000)));
+    });
+    g.bench_function("naive", |b| {
+        // The oracle is quadratic; keep its input small.
+        b.iter(|| black_box(churn(&mut NaiveCandidateSet::new(), 2_000)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, candidate_sets);
+
+fn main() {
+    dds_bench::bench_support::print_experiment("ext_ablation");
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,36 @@
+//! Bench target for the theory check: prints measured-vs-bound series,
+//! then times the adversarial (flooding, all-distinct) workload.
+
+use criterion::{black_box, criterion_group, Criterion};
+use dds_bench::{InfiniteProtocol, InfiniteRun};
+use dds_data::{Routing, TraceProfile};
+
+fn adversarial(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ext_bounds/adversarial");
+    g.sample_size(10);
+    let profile = TraceProfile { name: "adv", total: 5_000, distinct: 5_000 };
+    g.bench_function("flooding_k5", |b| {
+        b.iter(|| {
+            let spec = InfiniteRun {
+                k: 5,
+                s: 10,
+                routing: Routing::Flooding,
+                profile,
+                stream_seed: 1,
+                hash_seed: 2,
+                route_seed: 3,
+                snapshots: 0,
+            };
+            black_box(dds_bench::driver::run_infinite(InfiniteProtocol::Lazy, &spec).total_messages)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, adversarial);
+
+fn main() {
+    dds_bench::bench_support::print_experiment("ext_bounds");
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

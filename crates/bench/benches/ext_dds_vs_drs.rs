@@ -1,0 +1,38 @@
+//! Bench target for the DDS-vs-DRS comparison: prints the k-scaling
+//! series, then times both protocols at k = 50 under flooding.
+
+use criterion::{black_box, criterion_group, Criterion};
+use dds_bench::{InfiniteProtocol, InfiniteRun};
+use dds_data::{Routing, TraceProfile};
+
+fn protocols(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ext_dds_vs_drs/flooding_k50");
+    g.sample_size(10);
+    let profile = TraceProfile { name: "adv", total: 3_000, distinct: 3_000 };
+    for p in [InfiniteProtocol::Lazy, InfiniteProtocol::DrsHalving] {
+        g.bench_function(p.label(), |b| {
+            b.iter(|| {
+                let spec = InfiniteRun {
+                    k: 50,
+                    s: 10,
+                    routing: Routing::Flooding,
+                    profile,
+                    stream_seed: 1,
+                    hash_seed: 2,
+                    route_seed: 3,
+                    snapshots: 0,
+                };
+                black_box(dds_bench::driver::run_infinite(p, &spec).total_messages)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, protocols);
+
+fn main() {
+    dds_bench::bench_support::print_experiment("ext_dds_vs_drs");
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

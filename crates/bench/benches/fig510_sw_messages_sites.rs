@@ -1,0 +1,35 @@
+//! Bench target for Figure 5.10 (sliding windows: messages vs number of
+//! sites): prints the figure (fig59's experiment emits 5.9 and 5.10),
+//! then times the wake-chain expiry path specifically — many sites
+//! falling back in the same slot.
+
+use criterion::{black_box, criterion_group, Criterion};
+use dds_core::sliding::SlidingConfig;
+use dds_sim::{Element, SiteId};
+
+fn expiry_storm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig510/expiry_storm");
+    g.sample_size(10);
+    g.bench_function("k50_w20", |b| {
+        b.iter(|| {
+            let config = SlidingConfig::with_seed(20, 9);
+            let mut cluster = config.cluster(50);
+            for i in 0..5_000u64 {
+                cluster.observe(SiteId((i % 50) as usize), Element(i % 400));
+                if i % 10 == 9 {
+                    cluster.advance_slot();
+                }
+            }
+            black_box(cluster.counters().total_messages())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, expiry_storm);
+
+fn main() {
+    dds_bench::bench_support::print_experiment("fig510");
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

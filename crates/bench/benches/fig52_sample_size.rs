@@ -1,0 +1,34 @@
+//! Bench target for Figure 5.2 (messages vs sample size): prints the
+//! figure, then times the coordinator's bottom-s maintenance across s.
+
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
+use dds_core::centralized::BottomS;
+use dds_hash::splitmix::SplitMix64;
+use dds_hash::UnitValue;
+use dds_sim::Element;
+
+fn bottom_s_offer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig52/bottom_s_offer");
+    g.sample_size(10);
+    for s in [1usize, 10, 100] {
+        g.bench_with_input(BenchmarkId::from_parameter(s), &s, |b, &s| {
+            b.iter(|| {
+                let mut bottom = BottomS::new(s);
+                let mut rng = SplitMix64::new(7);
+                for i in 0..100_000u64 {
+                    bottom.offer(Element(i), UnitValue(rng.next_u64()));
+                }
+                black_box(bottom.threshold())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bottom_s_offer);
+
+fn main() {
+    dds_bench::bench_support::print_experiment("fig52");
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,38 @@
+//! Bench target for Figure 5.3 (messages vs number of sites): prints the
+//! figure, then times a full run as k grows (simulator scalability).
+
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
+use dds_bench::{InfiniteProtocol, InfiniteRun};
+use dds_data::{Routing, ENRON};
+
+fn scaling_in_k(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig53/run_by_k");
+    g.sample_size(10);
+    let profile = ENRON.scaled_down(1_000);
+    for k in [1usize, 10, 50] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let spec = InfiniteRun {
+                    k,
+                    s: 10,
+                    routing: Routing::Random,
+                    profile,
+                    stream_seed: 1,
+                    hash_seed: 2,
+                    route_seed: 3,
+                    snapshots: 0,
+                };
+                black_box(dds_bench::driver::run_infinite(InfiniteProtocol::Lazy, &spec).total_messages)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, scaling_in_k);
+
+fn main() {
+    dds_bench::bench_support::print_experiment("fig53");
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

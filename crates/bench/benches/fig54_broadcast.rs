@@ -1,0 +1,38 @@
+//! Bench target for Figure 5.4 (Broadcast vs proposed over the stream):
+//! prints the figure, then times both protocols end-to-end at k = 100.
+
+use criterion::{black_box, criterion_group, Criterion};
+use dds_bench::{InfiniteProtocol, InfiniteRun};
+use dds_data::{Routing, ENRON};
+
+fn protocols(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig54/protocols_k100");
+    g.sample_size(10);
+    let profile = ENRON.scaled_down(1_000);
+    for p in [InfiniteProtocol::Lazy, InfiniteProtocol::Broadcast] {
+        g.bench_function(p.label(), |b| {
+            b.iter(|| {
+                let spec = InfiniteRun {
+                    k: 100,
+                    s: 20,
+                    routing: Routing::Random,
+                    profile,
+                    stream_seed: 1,
+                    hash_seed: 2,
+                    route_seed: 3,
+                    snapshots: 0,
+                };
+                black_box(dds_bench::driver::run_infinite(p, &spec).total_messages)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, protocols);
+
+fn main() {
+    dds_bench::bench_support::print_experiment("fig54");
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

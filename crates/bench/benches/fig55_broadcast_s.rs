@@ -1,0 +1,38 @@
+//! Bench target for Figure 5.5 (Broadcast vs proposed across sample
+//! sizes): prints the figure, then times the lazy protocol as s grows.
+
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
+use dds_bench::{InfiniteProtocol, InfiniteRun};
+use dds_data::{Routing, ENRON};
+
+fn lazy_by_s(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig55/lazy_by_s");
+    g.sample_size(10);
+    let profile = ENRON.scaled_down(1_000);
+    for s in [1usize, 20, 50] {
+        g.bench_with_input(BenchmarkId::from_parameter(s), &s, |b, &s| {
+            b.iter(|| {
+                let spec = InfiniteRun {
+                    k: 100,
+                    s,
+                    routing: Routing::Random,
+                    profile,
+                    stream_seed: 1,
+                    hash_seed: 2,
+                    route_seed: 3,
+                    snapshots: 0,
+                };
+                black_box(dds_bench::driver::run_infinite(InfiniteProtocol::Lazy, &spec).total_messages)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, lazy_by_s);
+
+fn main() {
+    dds_bench::bench_support::print_experiment("fig55");
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

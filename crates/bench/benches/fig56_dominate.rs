@@ -1,0 +1,33 @@
+//! Bench target for Figure 5.6 (dominate rate): prints the figure, then
+//! times the router's skewed assignment (the only α-dependent hot path).
+
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
+use dds_data::{Router, Routing};
+
+fn dominate_routing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig56/route");
+    g.sample_size(20);
+    for alpha in [1.0f64, 100.0, 1000.0] {
+        g.bench_with_input(BenchmarkId::from_parameter(alpha), &alpha, |b, &alpha| {
+            b.iter(|| {
+                let mut r = Router::new(Routing::Dominate { alpha }, 100, 7);
+                let mut acc = 0usize;
+                for _ in 0..100_000 {
+                    if let dds_data::RouteTarget::One(site) = r.route() {
+                        acc ^= site.0;
+                    }
+                }
+                black_box(acc)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, dominate_routing);
+
+fn main() {
+    dds_bench::bench_support::print_experiment("fig56");
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

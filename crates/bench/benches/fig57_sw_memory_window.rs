@@ -1,0 +1,42 @@
+//! Bench target for Figure 5.7 (sliding windows: per-site memory vs
+//! window size): prints the figure (which also covers Figure 5.8's data),
+//! then times the treap candidate set under window churn.
+
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
+use dds_hash::splitmix::SplitMix64;
+use dds_sim::{Element, Slot};
+use dds_treap::{CandidateSet, Treap};
+
+fn treap_churn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig57/treap_churn");
+    g.sample_size(10);
+    for window in [100u64, 1000] {
+        g.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, &w| {
+            b.iter(|| {
+                let mut t = Treap::default();
+                let mut rng = SplitMix64::new(3);
+                for i in 0..50_000u64 {
+                    let e = rng.next_below(1 << 20);
+                    t.insert_or_refresh(
+                        Element(e),
+                        e.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1,
+                        Slot(i + w),
+                    );
+                    if i % 8 == 0 {
+                        t.expire(Slot(i));
+                    }
+                }
+                black_box(t.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, treap_churn);
+
+fn main() {
+    dds_bench::bench_support::print_experiment("fig57");
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,39 @@
+//! Bench target for Figure 5.8 (sliding windows: messages vs window
+//! size): prints the figure (fig57's experiment emits both 5.7 and 5.8),
+//! then times a full sliding run across window sizes.
+
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
+use dds_bench::SlidingRun;
+use dds_data::ENRON;
+
+fn sliding_run_by_window(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig58/sliding_run");
+    g.sample_size(10);
+    let profile = ENRON.scaled_down(1_000);
+    for window in [10u64, 100, 1000] {
+        g.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, &w| {
+            b.iter(|| {
+                let out = dds_bench::driver::run_sliding(&SlidingRun {
+                    k: 10,
+                    window: w,
+                    per_slot: 5,
+                    profile,
+                    stream_seed: 1,
+                    hash_seed: 2,
+                    route_seed: 3,
+                    no_feedback: false,
+                });
+                black_box(out.total_messages)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, sliding_run_by_window);
+
+fn main() {
+    dds_bench::bench_support::print_experiment("fig58");
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,39 @@
+//! Bench target for Figure 5.9 (sliding windows: per-site memory vs
+//! number of sites): prints the figure (also covers 5.10's data), then
+//! times sliding runs as k grows.
+
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
+use dds_bench::SlidingRun;
+use dds_data::ENRON;
+
+fn sliding_by_k(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig59/sliding_by_k");
+    g.sample_size(10);
+    let profile = ENRON.scaled_down(1_000);
+    for k in [2usize, 10, 50] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let out = dds_bench::driver::run_sliding(&SlidingRun {
+                    k,
+                    window: 100,
+                    per_slot: 5,
+                    profile,
+                    stream_seed: 1,
+                    hash_seed: 2,
+                    route_seed: 3,
+                    no_feedback: false,
+                });
+                black_box(out.mean_site_memory)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, sliding_by_k);
+
+fn main() {
+    dds_bench::bench_support::print_experiment("fig59");
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,33 @@
+//! Bench target for Table 5.1: prints the dataset calibration table, then
+//! times the synthetic trace generators (elements/second matters because
+//! full-scale reproduction streams 42M elements per run).
+
+use criterion::{black_box, criterion_group, Criterion};
+use dds_data::{TraceLikeStream, ENRON, OC48};
+
+fn generators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table51/generators");
+    g.sample_size(10);
+    for (name, profile) in [("oc48", OC48), ("enron", ENRON)] {
+        let p = profile.scaled_down(2_000);
+        g.throughput(criterion::Throughput::Elements(p.total));
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for e in TraceLikeStream::new(p, 1) {
+                    acc ^= e.0;
+                }
+                black_box(acc)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, generators);
+
+fn main() {
+    dds_bench::bench_support::print_experiment("table51");
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

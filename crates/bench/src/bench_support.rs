@@ -1,0 +1,39 @@
+//! Shared plumbing for the criterion bench targets.
+//!
+//! Every bench target does two things: (1) regenerate its figure's series
+//! at quick scale and print the paper-style table (so `cargo bench`
+//! reproduces the evaluation's *shapes*), then (2) run a criterion timing
+//! group on the relevant hot path (so regressions in protocol or data-
+//! structure performance are caught).
+
+use crate::experiments::select;
+use crate::output::{default_output_dir, write_csv};
+use crate::Scale;
+
+/// Regenerate one experiment at quick scale, print its tables, and
+/// persist CSVs. Called at the top of each bench target's `main`.
+pub fn print_experiment(id: &str) {
+    let scale = Scale::quick();
+    let dir = default_output_dir();
+    for exp in select(&[id.to_string()]) {
+        println!("=== {} — {} [{}] ===\n", exp.id, exp.title, scale.label);
+        for set in (exp.run)(&scale) {
+            println!("{}", set.to_table());
+            match write_csv(&dir, &set) {
+                Ok(path) => println!("   (csv: {})\n", path.display()),
+                Err(e) => eprintln!("warning: csv write failed: {e}"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn print_experiment_smoke_table51() {
+        // The cheapest experiment; exercises the full print path.
+        print_experiment("table51");
+    }
+}

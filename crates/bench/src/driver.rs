@@ -1,0 +1,349 @@
+//! Protocol drivers: run a configured protocol over a routed stream,
+//! recording message counts (and memory, for sliding windows) along the
+//! way.
+
+use dds_core::broadcast::BroadcastConfig;
+use dds_core::drs::{DrsConfig, HalvingConfig};
+use dds_core::infinite::InfiniteConfig;
+use dds_core::sliding::SlidingConfig;
+use dds_core::sliding_nofeedback::NfConfig;
+use dds_core::with_replacement::WrConfig;
+use dds_data::{RouteTarget, Router, Routing, SlottedInput, TraceLikeStream, TraceProfile};
+use dds_sim::{Cluster, CoordinatorNode, SiteNode, WireMessage};
+
+/// Which infinite-window protocol to drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InfiniteProtocol {
+    /// Algorithms 1 & 2 (the paper's protocol).
+    Lazy,
+    /// The reply-only-on-change ablation of Algorithm 2.
+    LazyReplyOnChange,
+    /// Algorithm Broadcast (§5.2 baseline).
+    Broadcast,
+    /// `s` parallel single-element copies (sampling with replacement).
+    WithReplacement,
+    /// Lazy-threshold distributed random (non-distinct) sampling.
+    DrsLazy,
+    /// Halving-broadcast distributed random sampling.
+    DrsHalving,
+}
+
+impl InfiniteProtocol {
+    /// Label used in figure legends.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            InfiniteProtocol::Lazy => "proposed",
+            InfiniteProtocol::LazyReplyOnChange => "reply-on-change",
+            InfiniteProtocol::Broadcast => "broadcast",
+            InfiniteProtocol::WithReplacement => "with-replacement",
+            InfiniteProtocol::DrsLazy => "drs-lazy",
+            InfiniteProtocol::DrsHalving => "drs-halving",
+        }
+    }
+}
+
+/// One infinite-window run specification.
+#[derive(Debug, Clone, Copy)]
+pub struct InfiniteRun {
+    /// Number of sites.
+    pub k: usize,
+    /// Sample size.
+    pub s: usize,
+    /// Data-distribution method.
+    pub routing: Routing,
+    /// Dataset profile (already scaled).
+    pub profile: TraceProfile,
+    /// Seed for the synthetic stream.
+    pub stream_seed: u64,
+    /// Seed for the protocol hash family / priorities.
+    pub hash_seed: u64,
+    /// Seed for the router.
+    pub route_seed: u64,
+    /// Number of (elements, messages) snapshots along the stream
+    /// (0 = totals only).
+    pub snapshots: usize,
+}
+
+/// What a run produced.
+#[derive(Debug, Clone, Default)]
+pub struct RunOutcome {
+    /// `(elements observed, total messages)` snapshots.
+    pub series: Vec<(f64, f64)>,
+    /// Final total messages (up + down).
+    pub total_messages: u64,
+    /// Final site→coordinator messages.
+    pub up_messages: u64,
+    /// Final coordinator→site messages.
+    pub down_messages: u64,
+    /// Final encoded bytes.
+    pub total_bytes: u64,
+    /// Final sample size.
+    pub sample_len: usize,
+}
+
+/// Drive one protocol over one routed stream.
+#[must_use]
+pub fn run_infinite(protocol: InfiniteProtocol, spec: &InfiniteRun) -> RunOutcome {
+    match protocol {
+        InfiniteProtocol::Lazy => {
+            let mut cluster = InfiniteConfig::with_seed(spec.s, spec.hash_seed).cluster(spec.k);
+            drive(&mut cluster, spec)
+        }
+        InfiniteProtocol::LazyReplyOnChange => {
+            let mut cluster = InfiniteConfig::with_seed(spec.s, spec.hash_seed)
+                .cluster_reply_on_change(spec.k);
+            drive(&mut cluster, spec)
+        }
+        InfiniteProtocol::Broadcast => {
+            let mut cluster = BroadcastConfig::with_seed(spec.s, spec.hash_seed).cluster(spec.k);
+            drive(&mut cluster, spec)
+        }
+        InfiniteProtocol::WithReplacement => {
+            let mut cluster = WrConfig::with_seed(spec.s, spec.hash_seed).cluster(spec.k);
+            drive(&mut cluster, spec)
+        }
+        InfiniteProtocol::DrsLazy => {
+            let mut cluster = DrsConfig::new(spec.s, spec.hash_seed).cluster(spec.k);
+            drive(&mut cluster, spec)
+        }
+        InfiniteProtocol::DrsHalving => {
+            let mut cluster = HalvingConfig::new(spec.s, spec.hash_seed).cluster(spec.k);
+            drive(&mut cluster, spec)
+        }
+    }
+}
+
+fn drive<S, C>(cluster: &mut Cluster<S, C>, spec: &InfiniteRun) -> RunOutcome
+where
+    S: SiteNode,
+    C: CoordinatorNode<Up = S::Up, Down = S::Down>,
+    S::Up: WireMessage + Clone,
+    S::Down: WireMessage + Clone,
+{
+    let stream = TraceLikeStream::new(spec.profile, spec.stream_seed);
+    let mut router = Router::new(spec.routing, spec.k, spec.route_seed);
+    let total = spec.profile.total;
+    let every = if spec.snapshots == 0 {
+        u64::MAX
+    } else {
+        total.div_ceil(spec.snapshots as u64).max(1)
+    };
+    let mut outcome = RunOutcome::default();
+    for (i, e) in stream.enumerate() {
+        match router.route() {
+            RouteTarget::One(site) => cluster.observe(site, e),
+            RouteTarget::All => cluster.observe_at_all(e),
+        }
+        let pos = i as u64 + 1;
+        if (pos % every == 0 && pos != total) || pos == total {
+            outcome
+                .series
+                .push((pos as f64, cluster.counters().total_messages() as f64));
+        }
+    }
+    let c = cluster.counters();
+    outcome.total_messages = c.total_messages();
+    outcome.up_messages = c.up_messages();
+    outcome.down_messages = c.down_messages();
+    outcome.total_bytes = c.total_bytes();
+    outcome.sample_len = cluster.sample().len();
+    outcome
+}
+
+/// One sliding-window run specification (§5.3 schedule: `per_slot`
+/// elements to random sites each timestep).
+#[derive(Debug, Clone, Copy)]
+pub struct SlidingRun {
+    /// Number of sites.
+    pub k: usize,
+    /// Window size in slots.
+    pub window: u64,
+    /// Elements per timestep (paper: 5).
+    pub per_slot: usize,
+    /// Dataset profile (already scaled).
+    pub profile: TraceProfile,
+    /// Stream seed.
+    pub stream_seed: u64,
+    /// Hash-family seed.
+    pub hash_seed: u64,
+    /// Slot-assignment seed.
+    pub route_seed: u64,
+    /// Use the feedback-free (§4.1 Intuition) protocol instead of
+    /// Algorithms 3 & 4.
+    pub no_feedback: bool,
+}
+
+/// Sliding-window run results.
+#[derive(Debug, Clone, Default)]
+pub struct SlidingOutcome {
+    /// Total messages over the whole run.
+    pub total_messages: u64,
+    /// Per-site memory (tuples), averaged over sites and slots.
+    pub mean_site_memory: f64,
+    /// Largest per-site memory observed at any slot.
+    pub peak_site_memory: usize,
+    /// Number of timesteps driven.
+    pub slots: u64,
+    /// Final encoded bytes.
+    pub total_bytes: u64,
+}
+
+/// Drive a sliding-window protocol over the §5.3 slotted schedule.
+#[must_use]
+pub fn run_sliding(spec: &SlidingRun) -> SlidingOutcome {
+    if spec.no_feedback {
+        let config = NfConfig::with_seed(1, spec.window, spec.hash_seed);
+        let mut cluster = config.cluster(spec.k);
+        drive_sliding(&mut cluster, spec)
+    } else {
+        let config = SlidingConfig::with_seed(spec.window, spec.hash_seed);
+        let mut cluster = config.cluster(spec.k);
+        drive_sliding(&mut cluster, spec)
+    }
+}
+
+fn drive_sliding<S, C>(cluster: &mut Cluster<S, C>, spec: &SlidingRun) -> SlidingOutcome
+where
+    S: SiteNode,
+    C: CoordinatorNode<Up = S::Up, Down = S::Down>,
+    S::Up: WireMessage + Clone,
+    S::Down: WireMessage + Clone,
+{
+    let stream = TraceLikeStream::new(spec.profile, spec.stream_seed);
+    let input = SlottedInput::new(stream, spec.k, spec.per_slot, spec.route_seed);
+    let mut mem_sum = 0.0f64;
+    let mut mem_samples = 0u64;
+    let mut peak = 0usize;
+    let mut slots = 0u64;
+    for (slot, batch) in input {
+        while cluster.now() < slot {
+            cluster.advance_slot();
+        }
+        for (site, e) in batch {
+            cluster.observe(site, e);
+        }
+        slots += 1;
+        let mems = cluster.site_memory_tuples();
+        let slot_mean = mems.iter().sum::<usize>() as f64 / mems.len() as f64;
+        mem_sum += slot_mean;
+        mem_samples += 1;
+        peak = peak.max(mems.iter().copied().max().unwrap_or(0));
+    }
+    let c = cluster.counters();
+    SlidingOutcome {
+        total_messages: c.total_messages(),
+        mean_site_memory: if mem_samples == 0 {
+            0.0
+        } else {
+            mem_sum / mem_samples as f64
+        },
+        peak_site_memory: peak,
+        slots,
+        total_bytes: c.total_bytes(),
+    }
+}
+
+/// Average a scalar metric over `runs` independent repetitions.
+/// Each repetition perturbs every seed deterministically.
+#[must_use]
+pub fn average_runs(runs: u32, mut f: impl FnMut(u64) -> f64) -> f64 {
+    assert!(runs > 0);
+    let mut sum = 0.0;
+    for r in 0..runs {
+        sum += f(u64::from(r));
+    }
+    sum / f64::from(runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dds_data::ENRON;
+
+    fn tiny_spec() -> InfiniteRun {
+        InfiniteRun {
+            k: 4,
+            s: 8,
+            routing: Routing::Random,
+            profile: ENRON.scaled_down(2_000),
+            stream_seed: 1,
+            hash_seed: 2,
+            route_seed: 3,
+            snapshots: 10,
+        }
+    }
+
+    #[test]
+    fn all_infinite_protocols_run_and_count() {
+        for p in [
+            InfiniteProtocol::Lazy,
+            InfiniteProtocol::LazyReplyOnChange,
+            InfiniteProtocol::Broadcast,
+            InfiniteProtocol::WithReplacement,
+            InfiniteProtocol::DrsLazy,
+            InfiniteProtocol::DrsHalving,
+        ] {
+            let out = run_infinite(p, &tiny_spec());
+            assert!(out.total_messages > 0, "{p:?} sent nothing");
+            assert_eq!(out.total_messages, out.up_messages + out.down_messages);
+            assert!(out.sample_len > 0);
+            assert!(
+                (9..=10).contains(&out.series.len()),
+                "{p:?} snapshot count {}",
+                out.series.len()
+            );
+            // Message counts are non-decreasing along the stream.
+            for w in out.series.windows(2) {
+                assert!(w[0].1 <= w[1].1);
+            }
+        }
+    }
+
+    #[test]
+    fn reply_on_change_reduces_downstream() {
+        let spec = tiny_spec();
+        let lazy = run_infinite(InfiniteProtocol::Lazy, &spec);
+        let roc = run_infinite(InfiniteProtocol::LazyReplyOnChange, &spec);
+        assert!(roc.down_messages < lazy.down_messages);
+    }
+
+    #[test]
+    fn sliding_driver_reports_memory() {
+        let spec = SlidingRun {
+            k: 5,
+            window: 30,
+            per_slot: 5,
+            profile: ENRON.scaled_down(2_000),
+            stream_seed: 1,
+            hash_seed: 2,
+            route_seed: 3,
+            no_feedback: false,
+        };
+        let out = run_sliding(&spec);
+        assert!(out.total_messages > 0);
+        assert!(out.mean_site_memory > 0.0);
+        assert!(out.peak_site_memory >= out.mean_site_memory as usize);
+        assert!(out.slots > 0);
+        let nf = run_sliding(&SlidingRun {
+            no_feedback: true,
+            ..spec
+        });
+        assert!(nf.total_messages > 0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let spec = tiny_spec();
+        let a = run_infinite(InfiniteProtocol::Lazy, &spec);
+        let b = run_infinite(InfiniteProtocol::Lazy, &spec);
+        assert_eq!(a.total_messages, b.total_messages);
+        assert_eq!(a.series, b.series);
+    }
+
+    #[test]
+    fn average_runs_averages() {
+        let avg = average_runs(4, |r| r as f64);
+        assert!((avg - 1.5).abs() < 1e-12);
+    }
+}

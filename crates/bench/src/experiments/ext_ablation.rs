@@ -1,0 +1,177 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. **Reply policy** (infinite window): Algorithm 2 replies to every
+//!    site message; the ablation replies only when `u` changed. Fewer
+//!    downstream messages, staler sites — which effect wins?
+//! 2. **Sliding feedback**: Algorithms 3–4's lazy feedback vs. the §4.1
+//!    "Intuition" no-feedback protocol.
+//! 3. **With vs. without replacement** (§3): `s` parallel single-element
+//!    copies vs. one bottom-`s` instance, across `s`.
+
+use dds_data::{Routing, TraceProfile};
+use dds_sim::metrics::{Series, SeriesSet};
+
+use crate::driver::{
+    average_runs, run_infinite, run_sliding, InfiniteProtocol, InfiniteRun, SlidingRun,
+};
+use crate::Scale;
+
+/// Sample sizes swept in ablations 1 and 3.
+pub const S_SWEEP: [usize; 5] = [1, 2, 5, 10, 20];
+/// Windows swept in ablation 2.
+pub const W_SWEEP: [u64; 5] = [10, 20, 50, 100, 200];
+
+fn reply_policy(scale: &Scale, profile: TraceProfile) -> SeriesSet {
+    let mut set = SeriesSet::new(
+        format!("Ablation: reply policy [{}]: k=20, random", scale.label),
+        "sample size s",
+        "total messages",
+    );
+    for protocol in [
+        InfiniteProtocol::Lazy,
+        InfiniteProtocol::LazyReplyOnChange,
+        InfiniteProtocol::Broadcast,
+    ] {
+        let mut series = Series::new(protocol.label());
+        for &s in &S_SWEEP {
+            let avg = average_runs(scale.runs, |run| {
+                let spec = InfiniteRun {
+                    k: 20,
+                    s,
+                    routing: Routing::Random,
+                    profile,
+                    stream_seed: 1_100 + run,
+                    hash_seed: 12_100 + run * 13,
+                    route_seed: 7 + run,
+                    snapshots: 0,
+                };
+                run_infinite(protocol, &spec).total_messages as f64
+            });
+            series.push(s as f64, avg);
+        }
+        set.push(series);
+    }
+    set
+}
+
+fn sliding_feedback(scale: &Scale, profile: TraceProfile) -> SeriesSet {
+    let runs = scale.sliding_runs();
+    let mut set = SeriesSet::new(
+        format!("Ablation: sliding feedback [{}]: k=10, s=1", scale.label),
+        "window size w",
+        "total messages",
+    );
+    for (label, no_feedback) in [("lazy feedback (Alg 3/4)", false), ("no feedback (§4.1)", true)]
+    {
+        let mut series = Series::new(label);
+        for &w in &W_SWEEP {
+            let avg = average_runs(runs, |run| {
+                run_sliding(&SlidingRun {
+                    k: 10,
+                    window: w,
+                    per_slot: 5,
+                    profile,
+                    stream_seed: 1_200 + run,
+                    hash_seed: 13_200 + run * 13,
+                    route_seed: 9 + run,
+                    no_feedback,
+                })
+                .total_messages as f64
+            });
+            series.push(w as f64, avg);
+        }
+        set.push(series);
+    }
+    set
+}
+
+fn replacement(scale: &Scale, profile: TraceProfile) -> SeriesSet {
+    let mut set = SeriesSet::new(
+        format!(
+            "Ablation: with vs without replacement [{}]: k=10, random",
+            scale.label
+        ),
+        "sample size s",
+        "total messages",
+    );
+    for protocol in [InfiniteProtocol::Lazy, InfiniteProtocol::WithReplacement] {
+        let mut series = Series::new(match protocol {
+            InfiniteProtocol::Lazy => "bottom-s (without repl.)",
+            _ => "s copies (with repl.)",
+        });
+        for &s in &S_SWEEP {
+            let avg = average_runs(scale.runs, |run| {
+                let spec = InfiniteRun {
+                    k: 10,
+                    s,
+                    routing: Routing::Random,
+                    profile,
+                    stream_seed: 1_300 + run,
+                    hash_seed: 14_300 + run * 13,
+                    route_seed: 11 + run,
+                    snapshots: 0,
+                };
+                run_infinite(protocol, &spec).total_messages as f64
+            });
+            series.push(s as f64, avg);
+        }
+        set.push(series);
+    }
+    set
+}
+
+/// Run all three ablations (on the Enron-like workload).
+#[must_use]
+pub fn run(scale: &Scale) -> Vec<SeriesSet> {
+    let profile = scale.apply(dds_data::ENRON);
+    vec![
+        reply_policy(scale, profile),
+        sliding_feedback(scale, profile),
+        replacement(scale, profile),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_relationships_hold() {
+        let scale = Scale {
+            divisor: 1_000,
+            runs: 2,
+            label: "test",
+        };
+        let profile = scale.apply(dds_data::ENRON);
+
+        // 1. Reply-on-change strictly cheaper than reply-always, both far
+        //    below broadcast at k=20.
+        let rp = reply_policy(&scale, profile);
+        let lazy = rp.get("proposed").unwrap();
+        let roc = rp.get("reply-on-change").unwrap();
+        let bc = rp.get("broadcast").unwrap();
+        assert!(roc.last_y() <= lazy.last_y());
+        assert!(bc.last_y() > lazy.last_y());
+
+        // 3. With-replacement costs more than bottom-s at equal s > 1.
+        let rep = replacement(&scale, profile);
+        let wor = rep.get("bottom-s (without repl.)").unwrap();
+        let wr = rep.get("s copies (with repl.)").unwrap();
+        assert!(wr.last_y() > wor.last_y());
+    }
+
+    #[test]
+    fn sliding_feedback_ablation_runs() {
+        let scale = Scale {
+            divisor: 1_000,
+            runs: 2,
+            label: "test",
+        };
+        let profile = scale.apply(dds_data::ENRON);
+        let sf = sliding_feedback(&scale, profile);
+        assert_eq!(sf.series.len(), 2);
+        for s in &sf.series {
+            assert!(s.points.iter().all(|p| p.1 > 0.0));
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Extension — the introduction's DDS-vs-DRS comparison, measured.
+//!
+//! Distinct sampling inherently costs `Θ(ks·ln(de/s))` messages (product
+//! of `k` and `s`), while distributed *random* sampling gets away with
+//! `Θ(max{k, s}·log(n/s))` (a sum-like dependence). The contrast only
+//! binds worst-case inputs, so the sweep uses the adversarial regime:
+//! an all-distinct stream flooded to every site. Curves:
+//!
+//! * lazy DDS (Algorithms 1–2) — grows ~linearly in `k` here;
+//! * halving-broadcast DRS — the `(k + s)·log` shape;
+//! * the Θ-shape `drs_theta` from the cited results, scaled to match the
+//!   halving measurement at the smallest `k` (constants are not
+//!   published; shapes are what's comparable).
+
+use dds_core::bounds::drs_theta;
+use dds_sim::metrics::{Series, SeriesSet};
+
+use crate::driver::{average_runs, run_infinite, InfiniteProtocol, InfiniteRun};
+use crate::Scale;
+
+const S: usize = 10;
+/// Site counts swept.
+pub const K_SWEEP: [usize; 5] = [5, 10, 20, 50, 100];
+
+/// Regenerate the DDS-vs-DRS scaling comparison.
+#[must_use]
+pub fn run(scale: &Scale) -> Vec<SeriesSet> {
+    let d = (scale.apply(dds_data::ENRON).distinct).max(2_000);
+    let profile = dds_data::TraceProfile {
+        name: "alldistinct",
+        total: d,
+        distinct: d,
+    };
+    let mut set = SeriesSet::new(
+        format!(
+            "DDS vs DRS (flooding, d = n = {d}) [{}]: s={S}",
+            scale.label
+        ),
+        "number of sites k",
+        "total messages",
+    );
+    let mut dds = Series::new("lazy DDS (product shape)");
+    let mut drs = Series::new("halving DRS (sum shape)");
+    let mut theta = Series::new("theta(DRS) scaled");
+
+    let mut theta_scale: Option<f64> = None;
+    for &k in &K_SWEEP {
+        let dds_avg = average_runs(scale.runs, |run| {
+            let spec = InfiniteRun {
+                k,
+                s: S,
+                routing: dds_data::Routing::Flooding,
+                profile,
+                stream_seed: 1_000 + run,
+                hash_seed: 11_000 + run * 13,
+                route_seed: 5 + run,
+                snapshots: 0,
+            };
+            run_infinite(InfiniteProtocol::Lazy, &spec).total_messages as f64
+        });
+        let drs_avg = average_runs(scale.runs, |run| {
+            let spec = InfiniteRun {
+                k,
+                s: S,
+                routing: dds_data::Routing::Flooding,
+                profile,
+                stream_seed: 1_000 + run,
+                hash_seed: 11_000 + run * 13,
+                route_seed: 5 + run,
+                snapshots: 0,
+            };
+            run_infinite(InfiniteProtocol::DrsHalving, &spec).total_messages as f64
+        });
+        // Under flooding each of the n elements is observed k times.
+        let n_occurrences = d * k as u64;
+        let shape = drs_theta(k, S, n_occurrences);
+        let factor = *theta_scale.get_or_insert(drs_avg / shape);
+        dds.push(k as f64, dds_avg);
+        drs.push(k as f64, drs_avg);
+        theta.push(k as f64, shape * factor);
+    }
+
+    set.push(dds);
+    set.push(drs);
+    set.push(theta);
+    vec![set]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dds_grows_much_faster_in_k_than_drs() {
+        let scale = Scale {
+            divisor: 1_000,
+            runs: 2,
+            label: "test",
+        };
+        let sets = run(&scale);
+        let set = &sets[0];
+        let dds = set.get("lazy DDS (product shape)").unwrap();
+        let drs = set.get("halving DRS (sum shape)").unwrap();
+        let dds_growth = dds.last_y() / dds.points[0].1;
+        let drs_growth = drs.last_y() / drs.points[0].1;
+        // k grows 20×: DDS grows ~k-linearly (s× the broadcast term);
+        // the halving DRS also has a k·log broadcast term, so its growth
+        // is not flat — but it must be visibly slower, and the absolute
+        // gap at k = 100 must be wide.
+        assert!(
+            dds_growth > 1.3 * drs_growth,
+            "DDS growth {dds_growth:.1}× vs DRS {drs_growth:.1}×"
+        );
+        assert!(
+            dds.last_y() > 2.0 * drs.last_y(),
+            "at k=100: DDS {} vs DRS {}",
+            dds.last_y(),
+            drs.last_y()
+        );
+    }
+}

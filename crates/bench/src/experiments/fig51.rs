@@ -1,0 +1,89 @@
+//! Figure 5.1 — messages vs. elements observed under the three data
+//! distributions ("flooding", "random", "round-robin"); k = 5, s = 10.
+//!
+//! Expected shape (§5.1): all curves rise fast early (the sample changes
+//! often) then flatten (new elements rarely beat `u`); flooding sits far
+//! above random ≈ round-robin (Observation 1: its per-site distinct
+//! counts `dᵢ = d` instead of `≈ d/k`), while the random and round-robin
+//! curves are nearly indistinguishable.
+
+use dds_data::{Routing, TraceProfile, ENRON, OC48};
+use dds_sim::metrics::{Series, SeriesSet};
+
+use crate::driver::{run_infinite, InfiniteProtocol, InfiniteRun};
+use crate::Scale;
+
+const K: usize = 5;
+const S: usize = 10;
+const SNAPSHOTS: usize = 20;
+
+fn one_dataset(scale: &Scale, name: &str, base: TraceProfile) -> SeriesSet {
+    let profile = scale.apply(base);
+    let mut set = SeriesSet::new(
+        format!(
+            "Figure 5.1 ({name}) [{}]: k={K}, s={S}",
+            scale.label
+        ),
+        "elements observed",
+        "total messages",
+    );
+    for routing in [Routing::Flooding, Routing::Random, Routing::RoundRobin] {
+        let mut avg = Series::new(routing.label());
+        for run in 0..scale.runs {
+            let spec = InfiniteRun {
+                k: K,
+                s: S,
+                routing,
+                profile,
+                stream_seed: 100 + u64::from(run),
+                hash_seed: 9_000 + u64::from(run),
+                route_seed: 77 + u64::from(run),
+                snapshots: SNAPSHOTS,
+            };
+            let out = run_infinite(InfiniteProtocol::Lazy, &spec);
+            let mut s = Series::new(routing.label());
+            s.points = out.series;
+            avg.accumulate(&s);
+        }
+        avg.scale_y(1.0 / f64::from(scale.runs));
+        set.push(avg);
+    }
+    set
+}
+
+/// Regenerate Figure 5.1 (both datasets).
+#[must_use]
+pub fn run(scale: &Scale) -> Vec<SeriesSet> {
+    vec![
+        one_dataset(scale, "OC48", OC48),
+        one_dataset(scale, "Enron", ENRON),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_flooding_above_random_and_flattening() {
+        let scale = Scale {
+            divisor: 1_000,
+            runs: 2,
+            label: "test",
+        };
+        for set in run(&scale) {
+            let flood = set.get("flooding").unwrap();
+            let random = set.get("random").unwrap();
+            let rr = set.get("round-robin").unwrap();
+            // Flooding well above random at the end.
+            assert!(flood.last_y() > 2.0 * random.last_y(), "{}", set.title);
+            // Random ≈ round-robin (within 25%).
+            let rel = (random.last_y() - rr.last_y()).abs() / random.last_y();
+            assert!(rel < 0.25, "random vs round-robin differ by {rel}");
+            // Flattening: the first half of the stream accounts for well
+            // over half of the final message count.
+            let mid = random.points[random.points.len() / 2 - 1].1;
+            assert!(mid > 0.6 * random.last_y(), "curve not flattening");
+        }
+    }
+}

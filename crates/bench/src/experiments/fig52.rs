@@ -1,0 +1,93 @@
+//! Figure 5.2 — total messages as a function of the sample size `s`;
+//! k = 5, curves per data-distribution method.
+//!
+//! Expected shape: near-linear growth in `s` for every method (the bound
+//! is `2ks(1 + ln(d/s))`), with flooding's slope ≈ k× the others'.
+
+use dds_data::{Routing, TraceProfile, ENRON, OC48};
+use dds_sim::metrics::{Series, SeriesSet};
+
+use crate::driver::{average_runs, run_infinite, InfiniteProtocol, InfiniteRun};
+use crate::Scale;
+
+const K: usize = 5;
+/// The sample sizes swept.
+pub const S_SWEEP: [usize; 7] = [1, 2, 5, 10, 20, 50, 100];
+
+fn one_dataset(scale: &Scale, name: &str, base: TraceProfile) -> SeriesSet {
+    let profile = scale.apply(base);
+    let mut set = SeriesSet::new(
+        format!("Figure 5.2 ({name}) [{}]: k={K}", scale.label),
+        "sample size s",
+        "total messages",
+    );
+    for routing in [Routing::Flooding, Routing::Random, Routing::RoundRobin] {
+        let mut series = Series::new(routing.label());
+        for &s in &S_SWEEP {
+            let avg = average_runs(scale.runs, |run| {
+                let spec = InfiniteRun {
+                    k: K,
+                    s,
+                    routing,
+                    profile,
+                    stream_seed: 200 + run,
+                    hash_seed: 8_100 + run * 13,
+                    route_seed: 55 + run,
+                    snapshots: 0,
+                };
+                run_infinite(InfiniteProtocol::Lazy, &spec).total_messages as f64
+            });
+            series.push(s as f64, avg);
+        }
+        set.push(series);
+    }
+    set
+}
+
+/// Regenerate Figure 5.2 (both datasets).
+#[must_use]
+pub fn run(scale: &Scale) -> Vec<SeriesSet> {
+    vec![
+        one_dataset(scale, "OC48", OC48),
+        one_dataset(scale, "Enron", ENRON),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_increase_with_s_roughly_linearly() {
+        let scale = Scale {
+            divisor: 1_000,
+            runs: 2,
+            label: "test",
+        };
+        let sets = run(&scale);
+        for set in &sets {
+            for series in &set.series {
+                // Monotone in s.
+                for w in series.points.windows(2) {
+                    assert!(
+                        w[1].1 > w[0].1,
+                        "{}/{} not increasing in s",
+                        set.title,
+                        series.label
+                    );
+                }
+                // Roughly linear: y(s=100)/y(s=10) within [4, 14]
+                // (exactly 10 would be pure linearity; the ln(d/s) factor
+                // bends it down a little).
+                let y10 = series.points[3].1;
+                let y100 = series.points[6].1;
+                let ratio = y100 / y10;
+                assert!(
+                    (3.0..=14.0).contains(&ratio),
+                    "{}: ratio {ratio}",
+                    series.label
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Figure 5.3 — total messages as a function of the number of sites `k`;
+//! s = 10.
+//!
+//! Expected shape (§5.1): linear growth in `k` under flooding; under
+//! random distribution the count is *almost independent of k* — each
+//! element is seen once somewhere, and the sites' thresholds track the
+//! coordinator closely enough that splitting the stream k ways barely
+//! changes the total.
+
+use dds_data::{Routing, TraceProfile, ENRON, OC48};
+use dds_sim::metrics::{Series, SeriesSet};
+
+use crate::driver::{average_runs, run_infinite, InfiniteProtocol, InfiniteRun};
+use crate::Scale;
+
+const S: usize = 10;
+/// The site counts swept.
+pub const K_SWEEP: [usize; 6] = [1, 2, 5, 10, 20, 50];
+
+fn one_dataset(scale: &Scale, name: &str, base: TraceProfile) -> SeriesSet {
+    let profile = scale.apply(base);
+    let mut set = SeriesSet::new(
+        format!("Figure 5.3 ({name}) [{}]: s={S}", scale.label),
+        "number of sites k",
+        "total messages",
+    );
+    for routing in [Routing::Flooding, Routing::Random] {
+        let mut series = Series::new(routing.label());
+        for &k in &K_SWEEP {
+            let avg = average_runs(scale.runs, |run| {
+                let spec = InfiniteRun {
+                    k,
+                    s: S,
+                    routing,
+                    profile,
+                    stream_seed: 300 + run,
+                    hash_seed: 4_200 + run * 13,
+                    route_seed: 31 + run,
+                    snapshots: 0,
+                };
+                run_infinite(InfiniteProtocol::Lazy, &spec).total_messages as f64
+            });
+            series.push(k as f64, avg);
+        }
+        set.push(series);
+    }
+    set
+}
+
+/// Regenerate Figure 5.3 (both datasets).
+#[must_use]
+pub fn run(scale: &Scale) -> Vec<SeriesSet> {
+    vec![
+        one_dataset(scale, "OC48", OC48),
+        one_dataset(scale, "Enron", ENRON),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flooding_linear_random_flat() {
+        let scale = Scale {
+            divisor: 1_000,
+            runs: 2,
+            label: "test",
+        };
+        for set in run(&scale) {
+            let flood = set.get("flooding").unwrap();
+            let random = set.get("random").unwrap();
+            // Flooding grows ~linearly: y(k=50)/y(k=1) in [20, 60].
+            let fr = flood.last_y() / flood.points[0].1;
+            assert!((15.0..=60.0).contains(&fr), "flooding ratio {fr}");
+            // Random nearly flat: y(k=50)/y(k=1) below 4.
+            let rr = random.last_y() / random.points[0].1;
+            assert!(rr < 4.0, "random should be near-flat in k, ratio {rr}");
+        }
+    }
+}

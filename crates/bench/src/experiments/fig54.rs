@@ -1,0 +1,82 @@
+//! Figure 5.4 — Algorithm Broadcast vs. the proposed method, messages vs.
+//! elements observed; k = 100, s = 20, random distribution.
+//!
+//! Expected shape (§5.2): Broadcast needs significantly more messages —
+//! every sample change costs a k-wide broadcast, and with k = 100 that
+//! dominates; the lazy protocol's per-site refresh traffic stays far
+//! below it.
+
+use dds_data::{Routing, TraceProfile, ENRON, OC48};
+use dds_sim::metrics::{Series, SeriesSet};
+
+use crate::driver::{run_infinite, InfiniteProtocol, InfiniteRun};
+use crate::Scale;
+
+const K: usize = 100;
+const S: usize = 20;
+const SNAPSHOTS: usize = 20;
+
+fn one_dataset(scale: &Scale, name: &str, base: TraceProfile) -> SeriesSet {
+    let profile = scale.apply(base);
+    let mut set = SeriesSet::new(
+        format!("Figure 5.4 ({name}) [{}]: k={K}, s={S}, random", scale.label),
+        "elements observed",
+        "total messages",
+    );
+    for protocol in [InfiniteProtocol::Lazy, InfiniteProtocol::Broadcast] {
+        let mut avg = Series::new(protocol.label());
+        for run in 0..scale.runs {
+            let spec = InfiniteRun {
+                k: K,
+                s: S,
+                routing: Routing::Random,
+                profile,
+                stream_seed: 400 + u64::from(run),
+                hash_seed: 6_400 + u64::from(run) * 13,
+                route_seed: 19 + u64::from(run),
+                snapshots: SNAPSHOTS,
+            };
+            let out = run_infinite(protocol, &spec);
+            let mut s = Series::new(protocol.label());
+            s.points = out.series;
+            avg.accumulate(&s);
+        }
+        avg.scale_y(1.0 / f64::from(scale.runs));
+        set.push(avg);
+    }
+    set
+}
+
+/// Regenerate Figure 5.4 (both datasets).
+#[must_use]
+pub fn run(scale: &Scale) -> Vec<SeriesSet> {
+    vec![
+        one_dataset(scale, "OC48", OC48),
+        one_dataset(scale, "Enron", ENRON),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_well_above_proposed() {
+        let scale = Scale {
+            divisor: 1_000,
+            runs: 2,
+            label: "test",
+        };
+        for set in run(&scale) {
+            let lazy = set.get("proposed").unwrap();
+            let bc = set.get("broadcast").unwrap();
+            assert!(
+                bc.last_y() > 2.0 * lazy.last_y(),
+                "{}: broadcast {} vs proposed {}",
+                set.title,
+                bc.last_y(),
+                lazy.last_y()
+            );
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Figure 5.5 — Algorithm Broadcast vs. the proposed method as the sample
+//! size `s` varies; k = 100, random distribution.
+//!
+//! Expected shape (§5.2): both grow roughly linearly in `s`, but the
+//! Broadcast slope is considerably higher (each additional sample slot
+//! adds ~`ln(d/s)` broadcasts of k messages each).
+
+use dds_data::{Routing, TraceProfile, ENRON, OC48};
+use dds_sim::metrics::{Series, SeriesSet};
+
+use crate::driver::{average_runs, run_infinite, InfiniteProtocol, InfiniteRun};
+use crate::Scale;
+
+const K: usize = 100;
+/// Sample sizes swept.
+pub const S_SWEEP: [usize; 6] = [1, 2, 5, 10, 20, 50];
+
+fn one_dataset(scale: &Scale, name: &str, base: TraceProfile) -> SeriesSet {
+    let profile = scale.apply(base);
+    let mut set = SeriesSet::new(
+        format!("Figure 5.5 ({name}) [{}]: k={K}, random", scale.label),
+        "sample size s",
+        "total messages",
+    );
+    for protocol in [InfiniteProtocol::Lazy, InfiniteProtocol::Broadcast] {
+        let mut series = Series::new(protocol.label());
+        for &s in &S_SWEEP {
+            let avg = average_runs(scale.runs, |run| {
+                let spec = InfiniteRun {
+                    k: K,
+                    s,
+                    routing: Routing::Random,
+                    profile,
+                    stream_seed: 500 + run,
+                    hash_seed: 2_750 + run * 13,
+                    route_seed: 23 + run,
+                    snapshots: 0,
+                };
+                run_infinite(protocol, &spec).total_messages as f64
+            });
+            series.push(s as f64, avg);
+        }
+        set.push(series);
+    }
+    set
+}
+
+/// Regenerate Figure 5.5 (both datasets).
+#[must_use]
+pub fn run(scale: &Scale) -> Vec<SeriesSet> {
+    vec![
+        one_dataset(scale, "OC48", OC48),
+        one_dataset(scale, "Enron", ENRON),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_slope_is_steeper() {
+        let scale = Scale {
+            divisor: 1_000,
+            runs: 2,
+            label: "test",
+        };
+        for set in run(&scale) {
+            let lazy = set.get("proposed").unwrap();
+            let bc = set.get("broadcast").unwrap();
+            let lazy_slope = lazy.slope().unwrap();
+            let bc_slope = bc.slope().unwrap();
+            assert!(
+                bc_slope > 2.0 * lazy_slope,
+                "{}: slopes broadcast {bc_slope:.1} vs proposed {lazy_slope:.1}",
+                set.title
+            );
+        }
+    }
+}

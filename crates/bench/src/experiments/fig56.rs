@@ -1,0 +1,112 @@
+//! Figure 5.6 — Algorithm Broadcast vs. the proposed method for different
+//! dominate rates α; k = 100, s = 20.
+//!
+//! Expected shape (§5.2): "the number of messages transmitted reduces as
+//! the dominate rate increases", with the proposed method below Broadcast
+//! throughout. Our measurement refines that: the **proposed** curve falls
+//! steeply (the dominant site's threshold stays hot, and the idle sites
+//! stop paying the staleness tax), while the **Broadcast** curve is flat
+//! in α *by construction* — its up-traffic (arrivals beating the global
+//! `u`) and its broadcast count (changes of `u`) both depend only on the
+//! global distinct arrival order, which routing does not alter. The
+//! paper's plot shows Broadcast drifting down slightly; under the §5.2
+//! protocol description that can only be run-averaging noise or an
+//! implementation that also acknowledged senders.
+
+use dds_data::{Routing, TraceProfile, ENRON, OC48};
+use dds_sim::metrics::{Series, SeriesSet};
+
+use crate::driver::{average_runs, run_infinite, InfiniteProtocol, InfiniteRun};
+use crate::Scale;
+
+const K: usize = 100;
+const S: usize = 20;
+/// Dominate rates swept.
+pub const ALPHA_SWEEP: [f64; 8] = [1.0, 2.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0];
+
+fn one_dataset(scale: &Scale, name: &str, base: TraceProfile) -> SeriesSet {
+    let profile = scale.apply(base);
+    let mut set = SeriesSet::new(
+        format!("Figure 5.6 ({name}) [{}]: k={K}, s={S}", scale.label),
+        "dominate rate alpha",
+        "total messages",
+    );
+    for protocol in [InfiniteProtocol::Lazy, InfiniteProtocol::Broadcast] {
+        let mut series = Series::new(protocol.label());
+        for &alpha in &ALPHA_SWEEP {
+            let avg = average_runs(scale.runs, |run| {
+                let spec = InfiniteRun {
+                    k: K,
+                    s: S,
+                    routing: Routing::Dominate { alpha },
+                    profile,
+                    stream_seed: 600 + run,
+                    hash_seed: 3_600 + run * 13,
+                    route_seed: 29 + run,
+                    snapshots: 0,
+                };
+                run_infinite(protocol, &spec).total_messages as f64
+            });
+            series.push(alpha, avg);
+        }
+        set.push(series);
+    }
+    set
+}
+
+/// Regenerate Figure 5.6 (both datasets).
+#[must_use]
+pub fn run(scale: &Scale) -> Vec<SeriesSet> {
+    vec![
+        one_dataset(scale, "OC48", OC48),
+        one_dataset(scale, "Enron", ENRON),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_decrease_with_alpha_and_proposed_wins() {
+        let scale = Scale {
+            divisor: 400,
+            runs: 2,
+            label: "test",
+        };
+        for set in run(&scale) {
+            let lazy = set.get("proposed").unwrap();
+            let bc = set.get("broadcast").unwrap();
+            // Proposed decreases with alpha (mildly at test scale:
+            // ~10-20% from alpha=1 to alpha=1000).
+            assert!(
+                lazy.last_y() < 0.95 * lazy.points[0].1,
+                "{}: proposed should fall with alpha ({} -> {})",
+                set.title,
+                lazy.points[0].1,
+                lazy.last_y()
+            );
+            // Broadcast is alpha-invariant (see module docs): flat within
+            // a noise band.
+            let bc_rel = (bc.last_y() - bc.points[0].1).abs() / bc.points[0].1;
+            assert!(
+                bc_rel < 0.15,
+                "{}: broadcast should be ~flat in alpha, moved {bc_rel:.2}",
+                set.title
+            );
+            // Proposed below broadcast for alpha ≥ 10. (At alpha ≈ 1 and
+            // heavily shrunk datasets the lazy protocol's fill-up
+            // constant ~2ks can make the curves touch; the paper-scale d
+            // separates them everywhere.)
+            for (l, b) in lazy.points.iter().zip(&bc.points) {
+                if l.0 >= 10.0 {
+                    assert!(
+                        l.1 <= b.1 * 1.1,
+                        "proposed above broadcast at alpha {}",
+                        l.0
+                    );
+                }
+            }
+        }
+    }
+}

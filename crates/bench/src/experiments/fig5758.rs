@@ -1,0 +1,105 @@
+//! Figures 5.7 & 5.8 — sliding windows: per-site memory (5.7) and total
+//! messages (5.8) as the window size varies; k = 10, five elements per
+//! timestep to random sites.
+//!
+//! Expected shapes (§5.3): memory grows *logarithmically* with the window
+//! (Lemma 10: `E[|Tᵢ|] ≤ H_M`); messages *decrease* as the window grows
+//! (a larger window holds more distinct elements, so both sample changes
+//! and expirations get rarer).
+
+use dds_data::{TraceProfile, ENRON, OC48};
+use dds_sim::metrics::{Series, SeriesSet};
+
+use crate::driver::{run_sliding, SlidingRun};
+use crate::Scale;
+
+const K: usize = 10;
+const PER_SLOT: usize = 5;
+/// Window sizes swept.
+pub const W_SWEEP: [u64; 7] = [10, 20, 50, 100, 200, 500, 1000];
+
+fn one_dataset(scale: &Scale, name: &str, base: TraceProfile) -> (SeriesSet, SeriesSet) {
+    let profile = scale.apply(base);
+    let runs = scale.sliding_runs();
+    let mut mem_set = SeriesSet::new(
+        format!("Figure 5.7 ({name}) [{}]: k={K}", scale.label),
+        "window size w",
+        "per-site memory (tuples)",
+    );
+    let mut msg_set = SeriesSet::new(
+        format!("Figure 5.8 ({name}) [{}]: k={K}", scale.label),
+        "window size w",
+        "total messages",
+    );
+    let mut mem_mean = Series::new("mean |Ti|");
+    let mut mem_peak = Series::new("peak |Ti|");
+    let mut msgs = Series::new("messages");
+    for &w in &W_SWEEP {
+        let (mut mem_sum, mut peak_sum, mut msg_sum) = (0.0f64, 0.0f64, 0.0f64);
+        for run in 0..u64::from(runs) {
+            let out = run_sliding(&SlidingRun {
+                k: K,
+                window: w,
+                per_slot: PER_SLOT,
+                profile,
+                stream_seed: 700 + run,
+                hash_seed: 5_700 + run * 13,
+                route_seed: 41 + run,
+                no_feedback: false,
+            });
+            mem_sum += out.mean_site_memory;
+            peak_sum += out.peak_site_memory as f64;
+            msg_sum += out.total_messages as f64;
+        }
+        let n = f64::from(runs);
+        mem_mean.push(w as f64, mem_sum / n);
+        mem_peak.push(w as f64, peak_sum / n);
+        msgs.push(w as f64, msg_sum / n);
+    }
+    mem_set.push(mem_mean);
+    mem_set.push(mem_peak);
+    msg_set.push(msgs);
+    (mem_set, msg_set)
+}
+
+/// Regenerate Figures 5.7 and 5.8 (both datasets; four sets total).
+#[must_use]
+pub fn run(scale: &Scale) -> Vec<SeriesSet> {
+    let (m1, s1) = one_dataset(scale, "OC48", OC48);
+    let (m2, s2) = one_dataset(scale, "Enron", ENRON);
+    vec![m1, s1, m2, s2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_log_growth_and_messages_decreasing() {
+        let scale = Scale {
+            divisor: 400,
+            runs: 2,
+            label: "test",
+        };
+        let sets = run(&scale);
+        for pair in sets.chunks(2) {
+            let mem = pair[0].get("mean |Ti|").unwrap();
+            let msgs = &pair[1].series[0];
+            // Memory increases with w but strongly sublinearly:
+            // w grows 100×, memory should grow < 10×.
+            let m_first = mem.points[0].1.max(1.0);
+            let m_last = mem.last_y();
+            assert!(m_last > m_first, "memory should grow with w");
+            assert!(
+                m_last / m_first < 10.0,
+                "memory growth {m_first} → {m_last} is not logarithmic"
+            );
+            // Messages decrease from the smallest to the largest window.
+            assert!(
+                msgs.last_y() < msgs.points[0].1,
+                "messages should fall with w: {:?}",
+                msgs.points
+            );
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Figures 5.9 & 5.10 — sliding windows: per-site memory (5.9) and total
+//! messages (5.10) as the number of sites varies; window fixed at 100.
+//!
+//! Expected shapes (§5.3): more sites ⇒ fewer elements per site ⇒ *less*
+//! memory per site; communication grows with `k` (more local minima to
+//! keep reconciled, more fallback announcements at each expiry).
+
+use dds_data::{TraceProfile, ENRON, OC48};
+use dds_sim::metrics::{Series, SeriesSet};
+
+use crate::driver::{run_sliding, SlidingRun};
+use crate::Scale;
+
+const W: u64 = 100;
+const PER_SLOT: usize = 5;
+/// Site counts swept.
+pub const K_SWEEP: [usize; 5] = [2, 5, 10, 20, 50];
+
+fn one_dataset(scale: &Scale, name: &str, base: TraceProfile) -> (SeriesSet, SeriesSet) {
+    let profile = scale.apply(base);
+    let runs = scale.sliding_runs();
+    let mut mem_set = SeriesSet::new(
+        format!("Figure 5.9 ({name}) [{}]: w={W}", scale.label),
+        "number of sites k",
+        "per-site memory (tuples)",
+    );
+    let mut msg_set = SeriesSet::new(
+        format!("Figure 5.10 ({name}) [{}]: w={W}", scale.label),
+        "number of sites k",
+        "total messages",
+    );
+    let mut mem_mean = Series::new("mean |Ti|");
+    let mut mem_peak = Series::new("peak |Ti|");
+    let mut msgs = Series::new("messages");
+    for &k in &K_SWEEP {
+        let (mut mem_sum, mut peak_sum, mut msg_sum) = (0.0f64, 0.0f64, 0.0f64);
+        for run in 0..u64::from(runs) {
+            let out = run_sliding(&SlidingRun {
+                k,
+                window: W,
+                per_slot: PER_SLOT,
+                profile,
+                stream_seed: 800 + run,
+                hash_seed: 6_800 + run * 13,
+                route_seed: 47 + run,
+                no_feedback: false,
+            });
+            mem_sum += out.mean_site_memory;
+            peak_sum += out.peak_site_memory as f64;
+            msg_sum += out.total_messages as f64;
+        }
+        let n = f64::from(runs);
+        mem_mean.push(k as f64, mem_sum / n);
+        mem_peak.push(k as f64, peak_sum / n);
+        msgs.push(k as f64, msg_sum / n);
+    }
+    mem_set.push(mem_mean);
+    mem_set.push(mem_peak);
+    msg_set.push(msgs);
+    (mem_set, msg_set)
+}
+
+/// Regenerate Figures 5.9 and 5.10 (both datasets; four sets total).
+#[must_use]
+pub fn run(scale: &Scale) -> Vec<SeriesSet> {
+    let (m1, s1) = one_dataset(scale, "OC48", OC48);
+    let (m2, s2) = one_dataset(scale, "Enron", ENRON);
+    vec![m1, s1, m2, s2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_falls_and_messages_rise_with_k() {
+        let scale = Scale {
+            divisor: 400,
+            runs: 2,
+            label: "test",
+        };
+        let sets = run(&scale);
+        for pair in sets.chunks(2) {
+            let mem = pair[0].get("mean |Ti|").unwrap();
+            let msgs = &pair[1].series[0];
+            assert!(
+                mem.last_y() < mem.points[0].1,
+                "{}: per-site memory should fall with k: {:?}",
+                pair[0].title,
+                mem.points
+            );
+            assert!(
+                msgs.last_y() > msgs.points[0].1,
+                "{}: messages should rise with k: {:?}",
+                pair[1].title,
+                msgs.points
+            );
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! One module per table / figure of the paper, plus extensions.
+//!
+//! Every experiment is `fn run(&Scale) -> Vec<SeriesSet>`; the returned
+//! sets carry paper-style titles so the binary and the bench targets can
+//! print and persist them uniformly.
+
+pub mod ext_ablation;
+pub mod ext_bounds;
+pub mod ext_dds_vs_drs;
+pub mod fig51;
+pub mod fig52;
+pub mod fig53;
+pub mod fig54;
+pub mod fig55;
+pub mod fig56;
+pub mod fig5758;
+pub mod fig59510;
+pub mod table51;
+
+use dds_sim::metrics::SeriesSet;
+
+use crate::Scale;
+
+/// A named, runnable experiment.
+pub struct Experiment {
+    /// Short id used on the CLI (`fig51`, `table51`, `ext_bounds`, …).
+    pub id: &'static str,
+    /// What the paper shows there.
+    pub title: &'static str,
+    /// Produce the figure series at a given scale.
+    pub run: fn(&Scale) -> Vec<SeriesSet>,
+}
+
+/// The full experiment registry, in paper order.
+#[must_use]
+pub fn all() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "table51",
+            title: "Table 5.1: dataset element/distinct counts",
+            run: table51::run,
+        },
+        Experiment {
+            id: "fig51",
+            title: "Figure 5.1: messages vs elements under flooding/random/round-robin",
+            run: fig51::run,
+        },
+        Experiment {
+            id: "fig52",
+            title: "Figure 5.2: messages vs sample size s",
+            run: fig52::run,
+        },
+        Experiment {
+            id: "fig53",
+            title: "Figure 5.3: messages vs number of sites k",
+            run: fig53::run,
+        },
+        Experiment {
+            id: "fig54",
+            title: "Figure 5.4: Broadcast vs proposed, messages vs elements",
+            run: fig54::run,
+        },
+        Experiment {
+            id: "fig55",
+            title: "Figure 5.5: Broadcast vs proposed, messages vs sample size",
+            run: fig55::run,
+        },
+        Experiment {
+            id: "fig56",
+            title: "Figure 5.6: Broadcast vs proposed vs dominate rate",
+            run: fig56::run,
+        },
+        Experiment {
+            id: "fig57",
+            title: "Figures 5.7 & 5.8: sliding windows vs window size",
+            run: fig5758::run,
+        },
+        Experiment {
+            id: "fig59",
+            title: "Figures 5.9 & 5.10: sliding windows vs number of sites",
+            run: fig59510::run,
+        },
+        Experiment {
+            id: "ext_bounds",
+            title: "Extension: measured messages vs Lemma 4 / Lemma 9 bounds",
+            run: ext_bounds::run,
+        },
+        Experiment {
+            id: "ext_dds_vs_drs",
+            title: "Extension: DDS vs DRS message scaling in k",
+            run: ext_dds_vs_drs::run,
+        },
+        Experiment {
+            id: "ext_ablation",
+            title: "Ablations: reply policy; sliding feedback; WR vs WOR",
+            run: ext_ablation::run,
+        },
+    ]
+}
+
+/// Look up experiments by CLI selector (`all` or an id list).
+#[must_use]
+pub fn select(ids: &[String]) -> Vec<Experiment> {
+    let registry = all();
+    if ids.is_empty() || ids.iter().any(|s| s == "all") {
+        return registry;
+    }
+    registry
+        .into_iter()
+        .filter(|e| {
+            ids.iter()
+                .any(|want| e.id == want || (want == "fig58" && e.id == "fig57") || (want == "fig510" && e.id == "fig59"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_table_and_figure() {
+        let ids: Vec<&str> = all().iter().map(|e| e.id).collect();
+        for required in [
+            "table51", "fig51", "fig52", "fig53", "fig54", "fig55", "fig56", "fig57", "fig59",
+            "ext_bounds", "ext_dds_vs_drs", "ext_ablation",
+        ] {
+            assert!(ids.contains(&required), "missing experiment {required}");
+        }
+    }
+
+    #[test]
+    fn select_filters_and_aliases() {
+        assert_eq!(select(&[]).len(), all().len());
+        assert_eq!(select(&["all".into()]).len(), all().len());
+        let one = select(&["fig54".into()]);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].id, "fig54");
+        let alias = select(&["fig58".into()]);
+        assert_eq!(alias.len(), 1);
+        assert_eq!(alias[0].id, "fig57");
+    }
+}

@@ -1,0 +1,31 @@
+//! # dds-bench — the experiment harness
+//!
+//! Regenerates **every table and figure** of the paper's evaluation
+//! (Chapter 5) plus the extension/ablation studies listed in DESIGN.md.
+//! Each experiment is a pure function from a [`Scale`] to one or more
+//! [`dds_sim::metrics::SeriesSet`]s, so the same code backs:
+//!
+//! * the `experiments` binary (`cargo run -p dds-bench --bin experiments
+//!   --release -- all`), which prints paper-style tables and writes CSVs;
+//! * the criterion bench targets (one per figure), which print the same
+//!   series at quick scale and then time the protocol hot paths.
+//!
+//! Experiment defaults follow the paper exactly — `k = 5, s = 10` for the
+//! distribution study, `k = 100, s = 20` for the Broadcast comparison,
+//! `k = 10` sites / 5 elements per slot for sliding windows — with the
+//! datasets replaced by the calibrated synthetics of `dds-data` (see
+//! DESIGN.md for why that preserves every plotted quantity). The
+//! [`Scale`] knob shrinks the streams and the run-averaging count for
+//! laptop-speed iteration; `--full` reproduces the paper's sizes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench_support;
+pub mod driver;
+pub mod experiments;
+pub mod output;
+pub mod scale;
+
+pub use driver::{InfiniteProtocol, InfiniteRun, RunOutcome, SlidingOutcome, SlidingRun};
+pub use scale::Scale;

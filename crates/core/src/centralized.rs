@@ -1,0 +1,384 @@
+//! Centralized bottom-`s` distinct sampling — the paper's "basic sampling
+//! strategy" (Chapter 3) and the correctness oracle for every distributed
+//! protocol in this crate.
+//!
+//! The distinct sample at time `t` is the set of elements attaining the
+//! `s` smallest values of `h(S(t))`. For any size-`s` subset `T` of the
+//! distinct elements, `P[T is the sample] = 1/C(d, s)` — a uniform random
+//! sample without replacement, independent of element frequencies.
+//!
+//! [`BottomS`] is the frequency-oblivious bottom-`s` structure (also known
+//! as a KMV sketch); [`CentralizedSampler`] binds it to a hash function;
+//! [`SlidingOracle`] answers exact sliding-window queries by brute force
+//! for differential tests.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use dds_hash::{SeededHash, UnitHash, UnitValue};
+use dds_sim::{Element, Slot};
+
+/// The `s` smallest `(hash, element)` pairs seen so far, with the
+/// threshold `u` = largest retained hash once full (else 1).
+///
+/// Inserting the same element twice is a no-op (distinctness is what the
+/// structure is *for*), making every protocol built on it idempotent
+/// against duplicate message delivery.
+#[derive(Debug, Clone)]
+pub struct BottomS {
+    s: usize,
+    set: BTreeSet<(UnitValue, Element)>,
+    members: HashMap<Element, UnitValue>,
+}
+
+impl BottomS {
+    /// An empty bottom-`s` structure.
+    ///
+    /// # Panics
+    /// Panics if `s == 0`.
+    #[must_use]
+    pub fn new(s: usize) -> Self {
+        assert!(s > 0, "sample size must be at least 1");
+        Self {
+            s,
+            set: BTreeSet::new(),
+            members: HashMap::new(),
+        }
+    }
+
+    /// Capacity `s`.
+    #[must_use]
+    pub fn s(&self) -> usize {
+        self.s
+    }
+
+    /// Current sample size, `min(s, d)`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// True if no elements have been offered yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Offer an element with its hash. Returns `true` iff the sample
+    /// changed (the element was admitted).
+    pub fn offer(&mut self, element: Element, hash: UnitValue) -> bool {
+        if self.members.contains_key(&element) {
+            return false;
+        }
+        if self.set.len() < self.s {
+            self.set.insert((hash, element));
+            self.members.insert(element, hash);
+            return true;
+        }
+        let max = *self.set.iter().next_back().expect("non-empty when full");
+        if (hash, element) < max {
+            self.set.remove(&max);
+            self.members.remove(&max.1);
+            self.set.insert((hash, element));
+            self.members.insert(element, hash);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The threshold `u(t)`: the `s`-th smallest hash seen so far, or 1
+    /// while fewer than `s` distinct elements have been seen.
+    #[must_use]
+    pub fn threshold(&self) -> UnitValue {
+        if self.set.len() < self.s {
+            UnitValue::ONE
+        } else {
+            self.set.iter().next_back().map(|&(h, _)| h).expect("full")
+        }
+    }
+
+    /// Whether `element` is currently in the sample.
+    #[must_use]
+    pub fn contains(&self, element: Element) -> bool {
+        self.members.contains_key(&element)
+    }
+
+    /// The sampled elements in ascending hash order.
+    #[must_use]
+    pub fn elements(&self) -> Vec<Element> {
+        self.set.iter().map(|&(_, e)| e).collect()
+    }
+
+    /// The sample as `(element, hash)` pairs in ascending hash order.
+    #[must_use]
+    pub fn entries(&self) -> Vec<(Element, UnitValue)> {
+        self.set.iter().map(|&(h, e)| (e, h)).collect()
+    }
+}
+
+/// A single-node distinct sampler: [`BottomS`] + a concrete hash function.
+///
+/// This is what one would run if the whole stream were visible at one
+/// processor; the distributed protocols must agree with it exactly (same
+/// hash function ⇒ same sample), which is the crate's central test.
+#[derive(Debug, Clone)]
+pub struct CentralizedSampler {
+    bottom: BottomS,
+    hasher: SeededHash,
+    distinct_seen: u64,
+    total_seen: u64,
+    seen: std::collections::HashSet<Element>,
+}
+
+impl CentralizedSampler {
+    /// A sampler of size `s` using `hasher`.
+    #[must_use]
+    pub fn new(s: usize, hasher: SeededHash) -> Self {
+        Self {
+            bottom: BottomS::new(s),
+            hasher,
+            distinct_seen: 0,
+            total_seen: 0,
+            seen: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Observe one element.
+    pub fn observe(&mut self, e: Element) {
+        self.total_seen += 1;
+        if self.seen.insert(e) {
+            self.distinct_seen += 1;
+        }
+        self.bottom.offer(e, self.hasher.unit(e.0));
+    }
+
+    /// The current sample, ascending by hash.
+    #[must_use]
+    pub fn sample(&self) -> Vec<Element> {
+        self.bottom.elements()
+    }
+
+    /// The current threshold `u(t)`.
+    #[must_use]
+    pub fn threshold(&self) -> UnitValue {
+        self.bottom.threshold()
+    }
+
+    /// Exact number of distinct elements observed (oracle bookkeeping; a
+    /// real deployment would not pay this memory).
+    #[must_use]
+    pub fn distinct_seen(&self) -> u64 {
+        self.distinct_seen
+    }
+
+    /// Total elements observed.
+    #[must_use]
+    pub fn total_seen(&self) -> u64 {
+        self.total_seen
+    }
+
+    /// Access the underlying bottom-`s` structure.
+    #[must_use]
+    pub fn bottom(&self) -> &BottomS {
+        &self.bottom
+    }
+}
+
+/// Exact sliding-window distinct state, by brute force.
+///
+/// Tracks the latest observation slot of every element; queries scan all
+/// live elements. Memory is `O(d_w)` and queries are `O(d_w log d_w)` —
+/// the thing the real protocols exist to avoid — which is precisely what
+/// makes it a trustworthy oracle.
+#[derive(Debug, Clone)]
+pub struct SlidingOracle {
+    window: u64,
+    hasher: SeededHash,
+    /// element → expiry slot (last observation + window).
+    live: BTreeMap<Element, Slot>,
+}
+
+impl SlidingOracle {
+    /// An oracle for window size `window ≥ 1`.
+    ///
+    /// # Panics
+    /// Panics if `window == 0`.
+    #[must_use]
+    pub fn new(window: u64, hasher: SeededHash) -> Self {
+        assert!(window >= 1, "window must be at least one slot");
+        Self {
+            window,
+            hasher,
+            live: BTreeMap::new(),
+        }
+    }
+
+    /// Observe `e` at slot `now`.
+    pub fn observe(&mut self, e: Element, now: Slot) {
+        let expiry = Slot(now.0 + self.window);
+        let entry = self.live.entry(e).or_insert(expiry);
+        *entry = (*entry).max(expiry);
+    }
+
+    /// Drop expired elements (also done lazily by queries).
+    pub fn expire(&mut self, now: Slot) {
+        self.live.retain(|_, &mut expiry| expiry > now);
+    }
+
+    /// Number of distinct elements in the window at `now`.
+    #[must_use]
+    pub fn distinct_in_window(&self, now: Slot) -> usize {
+        self.live.values().filter(|&&t| t > now).count()
+    }
+
+    /// The true minimum-hash element of the window at `now`, with its hash
+    /// and expiry.
+    #[must_use]
+    pub fn min_in_window(&self, now: Slot) -> Option<(Element, UnitValue, Slot)> {
+        self.live
+            .iter()
+            .filter(|&(_, &t)| t > now)
+            .map(|(&e, &t)| (self.hasher.unit(e.0), e, t))
+            .min()
+            .map(|(h, e, t)| (e, h, t))
+    }
+
+    /// The true bottom-`s` elements of the window at `now`, ascending by
+    /// hash.
+    #[must_use]
+    pub fn bottom_s_in_window(&self, now: Slot, s: usize) -> Vec<Element> {
+        let mut v: Vec<(UnitValue, Element)> = self
+            .live
+            .iter()
+            .filter(|&(_, &t)| t > now)
+            .map(|(&e, _)| (self.hasher.unit(e.0), e))
+            .collect();
+        v.sort();
+        v.truncate(s);
+        v.into_iter().map(|(_, e)| e).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dds_hash::family::HashFamily;
+
+    fn hasher() -> SeededHash {
+        HashFamily::default().primary()
+    }
+
+    #[test]
+    fn bottom_s_keeps_smallest() {
+        let mut b = BottomS::new(2);
+        assert!(b.offer(Element(1), UnitValue(100)));
+        assert!(b.offer(Element(2), UnitValue(50)));
+        assert_eq!(b.threshold(), UnitValue(100));
+        assert!(b.offer(Element(3), UnitValue(75))); // evicts 100
+        assert_eq!(b.elements(), vec![Element(2), Element(3)]);
+        assert!(!b.offer(Element(4), UnitValue(80))); // above threshold
+        assert_eq!(b.threshold(), UnitValue(75));
+    }
+
+    #[test]
+    fn bottom_s_duplicate_offers_are_noops() {
+        let mut b = BottomS::new(2);
+        assert!(b.offer(Element(1), UnitValue(10)));
+        assert!(!b.offer(Element(1), UnitValue(10)));
+        assert_eq!(b.len(), 1);
+        // Idempotent even when full.
+        b.offer(Element(2), UnitValue(20));
+        assert!(!b.offer(Element(2), UnitValue(20)));
+        assert_eq!(b.elements(), vec![Element(1), Element(2)]);
+    }
+
+    #[test]
+    fn threshold_is_one_until_full() {
+        let mut b = BottomS::new(3);
+        assert_eq!(b.threshold(), UnitValue::ONE);
+        b.offer(Element(1), UnitValue(10));
+        b.offer(Element(2), UnitValue(20));
+        assert_eq!(b.threshold(), UnitValue::ONE, "not full yet");
+        b.offer(Element(3), UnitValue(30));
+        assert_eq!(b.threshold(), UnitValue(30));
+    }
+
+    #[test]
+    fn centralized_sample_is_true_bottom_s() {
+        let h = hasher();
+        let mut c = CentralizedSampler::new(5, h);
+        let elems: Vec<Element> = (0..1000).map(Element).collect();
+        for &e in &elems {
+            c.observe(e);
+            c.observe(e); // repeats must not matter
+        }
+        let mut expected: Vec<(UnitValue, Element)> =
+            elems.iter().map(|&e| (h.unit(e.0), e)).collect();
+        expected.sort();
+        let expected: Vec<Element> = expected[..5].iter().map(|&(_, e)| e).collect();
+        assert_eq!(c.sample(), expected);
+        assert_eq!(c.distinct_seen(), 1000);
+        assert_eq!(c.total_seen(), 2000);
+    }
+
+    #[test]
+    fn sample_smaller_than_s_when_d_small() {
+        let mut c = CentralizedSampler::new(10, hasher());
+        for e in 0..4 {
+            c.observe(Element(e));
+        }
+        assert_eq!(c.sample().len(), 4);
+        assert_eq!(c.threshold(), UnitValue::ONE);
+    }
+
+    #[test]
+    fn sliding_oracle_window_semantics() {
+        let h = hasher();
+        let mut o = SlidingOracle::new(3, h);
+        o.observe(Element(1), Slot(0)); // live 0..=2
+        o.observe(Element(2), Slot(1)); // live 1..=3
+        assert_eq!(o.distinct_in_window(Slot(1)), 2);
+        assert_eq!(o.distinct_in_window(Slot(2)), 2);
+        assert_eq!(o.distinct_in_window(Slot(3)), 1);
+        assert_eq!(o.distinct_in_window(Slot(4)), 0);
+        // Re-observation extends.
+        o.observe(Element(1), Slot(2)); // live through 4
+        assert_eq!(o.distinct_in_window(Slot(3)), 2);
+        let (e, _, expiry) = o.min_in_window(Slot(4)).unwrap();
+        assert_eq!(e, Element(1));
+        assert_eq!(expiry, Slot(5));
+    }
+
+    #[test]
+    fn sliding_oracle_bottom_s_sorted_by_hash() {
+        let h = hasher();
+        let mut o = SlidingOracle::new(10, h);
+        for e in 0..50 {
+            o.observe(Element(e), Slot(0));
+        }
+        let bs = o.bottom_s_in_window(Slot(5), 7);
+        assert_eq!(bs.len(), 7);
+        let hashes: Vec<UnitValue> = bs.iter().map(|&e| h.unit(e.0)).collect();
+        for w in hashes.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(o.bottom_s_in_window(Slot(10), 7).is_empty());
+    }
+
+    #[test]
+    fn expire_frees_oracle_memory() {
+        let mut o = SlidingOracle::new(2, hasher());
+        for e in 0..100 {
+            o.observe(Element(e), Slot(0));
+        }
+        o.expire(Slot(2));
+        assert_eq!(o.distinct_in_window(Slot(2)), 0);
+        assert_eq!(o.live.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample size must be at least 1")]
+    fn zero_s_rejected() {
+        let _ = BottomS::new(0);
+    }
+}

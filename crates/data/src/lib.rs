@@ -1,0 +1,52 @@
+//! # dds-data — workloads for distributed distinct-sampling experiments
+//!
+//! The paper evaluates on two real traces (Table 5.1):
+//!
+//! | dataset | elements   | distinct  | element definition            |
+//! |---------|-----------:|----------:|-------------------------------|
+//! | OC48    | 42,268,510 | 4,337,768 | src IP ++ dst IP of a packet  |
+//! | Enron   |  1,557,491 |   374,330 | sender ++ recipient of a mail |
+//!
+//! Neither corpus can be redistributed here (CAIDA's OC48 traces are
+//! access-gated; the Enron dump is bulky and external), so this crate
+//! generates **calibrated synthetic equivalents**. That substitution is
+//! sound because the sampling protocols are oblivious to element identity:
+//! their message cost is driven entirely by (a) *when new distinct elements
+//! appear* in the stream (the harmonic `s/j` process of Lemma 2), (b) *how
+//! arrivals are routed to sites*, and (c) the repeat pattern (repeats are
+//! nearly free — see `dds-core`'s analysis note). The generators reproduce
+//! (a) exactly in expectation — matching each trace's element/distinct
+//! counts — give heavy-tailed repeat structure for (c), and module
+//! [`routing`] provides (b) verbatim from §5.1 (flooding, random,
+//! round-robin, dominate-rate).
+//!
+//! Modules:
+//! * [`zipf`] — Zipf(α) sampler via rejection inversion (Hörmann &
+//!   Derflinger), O(1) per draw, no tables.
+//! * [`synthetic`] — calibrated trace-like streams ([`synthetic::TraceLikeStream`]),
+//!   structured src×dst pair streams ([`synthetic::PairStream`]), plus
+//!   all-distinct and adversarial lower-bound inputs.
+//! * [`routing`] — §5.1's data-distribution methods.
+//! * [`timeline`] — §5.3's slotted input schedule (five elements to random
+//!   sites per timestep) for sliding-window experiments.
+//! * [`trace`] — plain-text trace loading/saving so user-supplied real
+//!   traces drop in where the synthetics are used.
+//!
+//! Everything is deterministic under an explicit `u64` seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod routing;
+pub mod synthetic;
+pub mod timeline;
+pub mod trace;
+pub mod zipf;
+
+pub use routing::{RouteTarget, Router, Routing};
+pub use synthetic::{
+    AdversarialLowerBound, DistinctOnlyStream, PairStream, TraceLikeStream, TraceProfile, ENRON,
+    OC48,
+};
+pub use timeline::SlottedInput;
+pub use zipf::Zipf;

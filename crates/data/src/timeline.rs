@@ -1,0 +1,140 @@
+//! Slotted input schedules for sliding-window experiments (§5.3).
+//!
+//! The paper derives sliding-window inputs as: "In each timestep, we assign
+//! 5 elements to 5 sites chosen randomly; hence, it is possible that
+//! multiple elements are observed by the same site in the same timestep."
+//! [`SlottedInput`] reproduces that schedule for any batch size, yielding
+//! one slot's worth of `(site, element)` assignments at a time.
+
+use dds_hash::splitmix::SplitMix64;
+use dds_sim::{Element, SiteId, Slot};
+
+/// Batches an element stream into per-slot site assignments.
+#[derive(Debug, Clone)]
+pub struct SlottedInput<I> {
+    elements: I,
+    k: usize,
+    per_slot: usize,
+    rng: SplitMix64,
+    next_slot: Slot,
+}
+
+impl<I: Iterator<Item = Element>> SlottedInput<I> {
+    /// Schedule `per_slot` elements per timestep over `k` sites (each
+    /// element to an independently random site, exactly as in §5.3).
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `per_slot == 0`.
+    #[must_use]
+    pub fn new(elements: I, k: usize, per_slot: usize, seed: u64) -> Self {
+        assert!(k >= 1, "need at least one site");
+        assert!(per_slot >= 1, "need at least one element per slot");
+        Self {
+            elements,
+            k,
+            per_slot,
+            rng: SplitMix64::new(seed),
+            next_slot: Slot(0),
+        }
+    }
+
+    /// The paper's schedule: five elements per slot.
+    #[must_use]
+    pub fn paper_default(elements: I, k: usize, seed: u64) -> Self {
+        Self::new(elements, k, 5, seed)
+    }
+}
+
+impl<I: Iterator<Item = Element>> Iterator for SlottedInput<I> {
+    type Item = (Slot, Vec<(SiteId, Element)>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let mut batch = Vec::with_capacity(self.per_slot);
+        for _ in 0..self.per_slot {
+            match self.elements.next() {
+                Some(e) => {
+                    let site = SiteId(self.rng.next_below(self.k as u64) as usize);
+                    batch.push((site, e));
+                }
+                None => break,
+            }
+        }
+        if batch.is_empty() {
+            return None;
+        }
+        let slot = self.next_slot;
+        self.next_slot = slot.next();
+        Some((slot, batch))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::DistinctOnlyStream;
+
+    #[test]
+    fn batches_have_requested_size_and_consecutive_slots() {
+        let input = SlottedInput::new(DistinctOnlyStream::new(17, 0), 4, 5, 1);
+        let batches: Vec<_> = input.collect();
+        assert_eq!(batches.len(), 4); // 5+5+5+2
+        for (i, (slot, batch)) in batches.iter().enumerate() {
+            assert_eq!(*slot, Slot(i as u64));
+            if i < 3 {
+                assert_eq!(batch.len(), 5);
+            } else {
+                assert_eq!(batch.len(), 2);
+            }
+            for (site, _) in batch {
+                assert!(site.0 < 4);
+            }
+        }
+    }
+
+    #[test]
+    fn sites_are_roughly_uniform() {
+        let input = SlottedInput::new(DistinctOnlyStream::new(50_000, 3), 5, 5, 7);
+        let mut counts = [0u64; 5];
+        for (_, batch) in input {
+            for (site, _) in batch {
+                counts[site.0] += 1;
+            }
+        }
+        for c in counts {
+            assert!((9_000..=11_000).contains(&c), "count {c}");
+        }
+    }
+
+    #[test]
+    fn same_site_can_receive_multiple_elements_per_slot() {
+        // With 5 elements over 5 sites, collisions are frequent (birthday).
+        let input = SlottedInput::paper_default(DistinctOnlyStream::new(5_000, 5), 5, 9);
+        let mut saw_collision = false;
+        for (_, batch) in input {
+            let mut seen = std::collections::HashSet::new();
+            if batch.iter().any(|(site, _)| !seen.insert(*site)) {
+                saw_collision = true;
+                break;
+            }
+        }
+        assert!(saw_collision, "expected same-slot site collisions");
+    }
+
+    #[test]
+    fn empty_stream_yields_nothing() {
+        let mut input = SlottedInput::new(DistinctOnlyStream::new(0, 0), 3, 5, 0);
+        assert!(input.next().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one site")]
+    fn zero_sites_rejected() {
+        let _ = SlottedInput::new(DistinctOnlyStream::new(1, 0), 0, 5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one element per slot")]
+    fn zero_batch_rejected() {
+        let _ = SlottedInput::new(DistinctOnlyStream::new(1, 0), 1, 0, 0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Zipf(α) sampling by rejection inversion (Hörmann & Derflinger,
+//! "Rejection-inversion to generate variates from monotone discrete
+//! distributions", ACM TOMACS 1996).
+//!
+//! Draws `X ∈ {1..n}` with `P[X = x] ∝ x^{-α}` in O(1) expected time and
+//! O(1) memory — no precomputed tables, so a generator over a 2³⁰-element
+//! universe costs the same as one over 100. Used for the heavy-tailed
+//! source/destination popularity in [`crate::synthetic::PairStream`] and
+//! the repeat-bias of [`crate::synthetic::TraceLikeStream`].
+
+use dds_hash::splitmix::SplitMix64;
+
+/// A Zipf(α) sampler over `{1, …, n}`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    alpha: f64,
+    /// `H(1.5) - 1`
+    h_x1: f64,
+    /// `H(n + 0.5)`
+    h_n: f64,
+    s: f64,
+}
+
+impl Zipf {
+    /// A sampler with universe size `n ≥ 1` and exponent `alpha > 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `alpha` is not finite and positive.
+    #[must_use]
+    pub fn new(n: u64, alpha: f64) -> Self {
+        assert!(n >= 1, "universe must be non-empty");
+        assert!(
+            alpha.is_finite() && alpha > 0.0,
+            "exponent must be positive and finite"
+        );
+        let h = |x: f64| h_integral(x, alpha);
+        let h_x1 = h(1.5) - 1.0;
+        let h_n = h(n as f64 + 0.5);
+        let s = 2.0 - h_integral_inverse(h(2.5) - 2f64.powf(-alpha), alpha);
+        Self {
+            n,
+            alpha,
+            h_x1,
+            h_n,
+            s,
+        }
+    }
+
+    /// Universe size.
+    #[must_use]
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Exponent α.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Draw one rank in `{1..n}` using `rng`.
+    pub fn sample(&self, rng: &mut SplitMix64) -> u64 {
+        if self.n == 1 {
+            return 1;
+        }
+        loop {
+            // u uniform in (h_n, h_x1]; the map below is the inversion.
+            let u = self.h_n + rng.next_f64() * (self.h_x1 - self.h_n);
+            let x = h_integral_inverse(u, self.alpha);
+            // Clamp guards floating error at the boundaries.
+            let k = x.round().clamp(1.0, self.n as f64);
+            let k_int = k as u64;
+            // Accept: either x is close enough to k (the hat touches the
+            // bar), or the standard rejection test passes.
+            if k - x <= self.s
+                || u >= h_integral(k + 0.5, self.alpha) - k.powf(-self.alpha)
+            {
+                return k_int;
+            }
+        }
+    }
+
+    /// Exact probability mass `P[X = x]` (for tests and diagnostics).
+    ///
+    /// Computed as `x^{-α} / H_{n,α}` with the generalised harmonic number
+    /// evaluated directly — `O(n)`, so intended for small `n` only.
+    #[must_use]
+    pub fn pmf(&self, x: u64) -> f64 {
+        assert!((1..=self.n).contains(&x));
+        let norm: f64 = (1..=self.n).map(|i| (i as f64).powf(-self.alpha)).sum();
+        (x as f64).powf(-self.alpha) / norm
+    }
+}
+
+/// `H(x) = ∫₁ˣ t^{-α} dt = (x^{1-α} − 1)/(1 − α)`, with the α = 1 limit
+/// `ln x`; evaluated in log space for stability near α = 1.
+fn h_integral(x: f64, alpha: f64) -> f64 {
+    let log_x = x.ln();
+    helper2((1.0 - alpha) * log_x) * log_x
+}
+
+/// Inverse of [`h_integral`].
+fn h_integral_inverse(x: f64, alpha: f64) -> f64 {
+    let mut t = x * (1.0 - alpha);
+    if t < -1.0 {
+        // Numerical guard from the reference implementation.
+        t = -1.0;
+    }
+    (helper1(t) * x).exp()
+}
+
+/// `helper1(x) = ln(1+x)/x`, stable near 0.
+fn helper1(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.ln_1p() / x
+    } else {
+        1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x))
+    }
+}
+
+/// `helper2(x) = (eˣ − 1)/x`, stable near 0.
+fn helper2(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.exp_m1() / x
+    } else {
+        1.0 + x * 0.5 * (1.0 + x / 3.0 * (1.0 + 0.25 * x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chi_square_fit(n: u64, alpha: f64, draws: usize, seed: u64) -> f64 {
+        let z = Zipf::new(n, alpha);
+        let mut rng = SplitMix64::new(seed);
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..draws {
+            let x = z.sample(&mut rng);
+            counts[(x - 1) as usize] += 1;
+        }
+        let mut chi = 0.0;
+        for x in 1..=n {
+            let expected = z.pmf(x) * draws as f64;
+            let got = counts[(x - 1) as usize] as f64;
+            chi += (got - expected) * (got - expected) / expected;
+        }
+        chi
+    }
+
+    #[test]
+    fn frequencies_match_pmf_alpha_08() {
+        // 19 degrees of freedom; chi² 99.9th percentile ≈ 43.8.
+        let chi = chi_square_fit(20, 0.8, 200_000, 11);
+        assert!(chi < 45.0, "chi² = {chi}");
+    }
+
+    #[test]
+    fn frequencies_match_pmf_alpha_1() {
+        let chi = chi_square_fit(20, 1.0, 200_000, 13);
+        assert!(chi < 45.0, "chi² = {chi}");
+    }
+
+    #[test]
+    fn frequencies_match_pmf_alpha_2() {
+        let chi = chi_square_fit(20, 2.0, 200_000, 17);
+        assert!(chi < 45.0, "chi² = {chi}");
+    }
+
+    #[test]
+    fn samples_stay_in_range_large_universe() {
+        let z = Zipf::new(1 << 40, 1.1);
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..50_000 {
+            let x = z.sample(&mut rng);
+            assert!((1..=(1 << 40)).contains(&x));
+        }
+    }
+
+    #[test]
+    fn rank_one_dominates() {
+        let z = Zipf::new(1000, 1.2);
+        let mut rng = SplitMix64::new(5);
+        let ones = (0..100_000).filter(|_| z.sample(&mut rng) == 1).count();
+        let expected = z.pmf(1) * 100_000.0;
+        let rel = (ones as f64 - expected).abs() / expected;
+        assert!(rel < 0.05, "rank-1 freq off by {rel}");
+    }
+
+    #[test]
+    fn n_equals_one_always_one() {
+        let z = Zipf::new(1, 1.5);
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let z = Zipf::new(100, 1.01);
+        let a: Vec<u64> = {
+            let mut rng = SplitMix64::new(9);
+            (0..50).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = SplitMix64::new(9);
+            (0..50).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "universe must be non-empty")]
+    fn zero_universe_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent must be positive")]
+    fn bad_alpha_rejected() {
+        let _ = Zipf::new(10, 0.0);
+    }
+}

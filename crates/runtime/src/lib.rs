@@ -1,0 +1,447 @@
+//! # dds-runtime — threaded deployment of the sampling protocols
+//!
+//! The simulator in `dds-sim` executes the paper's model *synchronously*.
+//! This crate runs the same site/coordinator state machines as real
+//! threads over crossbeam channels — no shared clock, no round barrier,
+//! messages in flight — and demonstrates the property that makes the
+//! infinite-window protocol deployable: **site threshold staleness costs
+//! messages, never correctness.**
+//!
+//! Why that holds even asynchronously:
+//!
+//! * the coordinator's threshold `u` is non-increasing, and each
+//!   coordinator→site channel is FIFO, so a site's `uᵢ` only ever moves
+//!   down and always equals *some* past value of `u`, hence `uᵢ ≥ u`;
+//! * the site filter forwards exactly the elements with `h(e) < uᵢ`, a
+//!   superset of those with `h(e) < u`, so nothing that belongs in the
+//!   bottom-`s` is ever withheld;
+//! * the coordinator's bottom-`s` merge is idempotent and order-
+//!   independent (a pure min-merge), so duplicated or reordered arrivals
+//!   cannot corrupt the sample.
+//!
+//! [`ThreadedCluster::sample`] takes a consistent snapshot with a flush
+//! barrier: every site is told to emit a generation token, the tokens
+//! travel FIFO behind all previously emitted messages, and the
+//! coordinator answers the query only after it has seen all `k` tokens of
+//! that generation.
+//!
+//! Sliding windows are *not* offered here: their correctness depends on
+//! the synchronized slot clock the model assumes (Chapter 2), which real
+//! threads do not have. That boundary is itself worth stating — the
+//! infinite-window protocol is asynchrony-tolerant, the sliding-window
+//! one is not.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use dds_sim::{
+    CoordinatorNode, Destination, Direction, Element, MessageCounters, SiteId, SiteNode, Slot,
+    WireMessage,
+};
+
+/// Commands accepted by a site thread.
+enum SiteCmd {
+    /// Observe an element.
+    Observe(Element),
+    /// Emit a flush token for snapshot generation `gen`.
+    Flush(u64),
+    /// Stop the thread.
+    Shutdown,
+}
+
+/// Everything a coordinator thread can receive.
+enum CoordMsg<U> {
+    /// A protocol message from a site.
+    Up(SiteId, U),
+    /// A site finished flushing generation `gen`.
+    FlushToken(u64),
+    /// Answer with the sample once `k` tokens of `gen` have arrived.
+    Query {
+        /// Snapshot generation this query waits for.
+        gen: u64,
+        /// Where to send the answer.
+        reply: Sender<Vec<Element>>,
+    },
+    /// Stop the thread.
+    Shutdown,
+}
+
+/// A running threaded deployment: `k` site threads + 1 coordinator thread.
+pub struct ThreadedCluster<S: SiteNode, C: CoordinatorNode> {
+    site_txs: Vec<Sender<SiteCmd>>,
+    coord_tx: Sender<CoordMsg<S::Up>>,
+    counters: Arc<Mutex<MessageCounters>>,
+    site_handles: Vec<JoinHandle<S>>,
+    coord_handle: JoinHandle<C>,
+    next_gen: u64,
+}
+
+impl<S, C> ThreadedCluster<S, C>
+where
+    S: SiteNode + Send + 'static,
+    C: CoordinatorNode<Up = S::Up, Down = S::Down> + Send + 'static,
+    S::Up: WireMessage + Send + 'static,
+    S::Down: WireMessage + Clone + Send + 'static,
+{
+    /// Spawn the deployment from per-site state machines and a
+    /// coordinator. Channels are unbounded (protocol traffic is tiny and
+    /// this rules out send/receive deadlocks by construction).
+    #[must_use]
+    pub fn spawn(sites: Vec<S>, coordinator: C) -> Self {
+        let k = sites.len();
+        let counters = Arc::new(Mutex::new(MessageCounters::new(k)));
+        let (coord_tx, coord_rx) = unbounded::<CoordMsg<S::Up>>();
+
+        let mut down_txs = Vec::with_capacity(k);
+        let mut down_rxs = Vec::with_capacity(k);
+        for _ in 0..k {
+            let (tx, rx) = unbounded::<S::Down>();
+            down_txs.push(tx);
+            down_rxs.push(rx);
+        }
+
+        let mut site_txs = Vec::with_capacity(k);
+        let mut site_handles = Vec::with_capacity(k);
+        for (i, mut site) in sites.into_iter().enumerate() {
+            let (cmd_tx, cmd_rx) = unbounded::<SiteCmd>();
+            let down_rx: Receiver<S::Down> = down_rxs[i].clone();
+            let to_coord = coord_tx.clone();
+            let counters = Arc::clone(&counters);
+            let id = SiteId(i);
+            site_handles.push(std::thread::spawn(move || {
+                site_loop(&mut site, id, &cmd_rx, &down_rx, &to_coord, &counters);
+                site
+            }));
+            site_txs.push(cmd_tx);
+        }
+
+        let coord_handle = {
+            let counters = Arc::clone(&counters);
+            let mut coordinator = coordinator;
+            std::thread::spawn(move || {
+                coordinator_loop(&mut coordinator, k, &coord_rx, &down_txs, &counters);
+                coordinator
+            })
+        };
+
+        Self {
+            site_txs,
+            coord_tx,
+            counters,
+            site_handles,
+            coord_handle,
+            next_gen: 0,
+        }
+    }
+
+    /// Number of sites.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.site_txs.len()
+    }
+
+    /// Deliver an observation to a site (asynchronous; returns
+    /// immediately).
+    pub fn observe(&self, site: SiteId, e: Element) {
+        self.site_txs[site.0]
+            .send(SiteCmd::Observe(e))
+            .expect("site thread alive");
+    }
+
+    /// Take a consistent snapshot of the coordinator's sample: flushes
+    /// every site, waits for all previously sent site→coordinator traffic
+    /// to drain, then queries.
+    pub fn sample(&mut self) -> Vec<Element> {
+        self.next_gen += 1;
+        let gen = self.next_gen;
+        for tx in &self.site_txs {
+            tx.send(SiteCmd::Flush(gen)).expect("site thread alive");
+        }
+        let (reply_tx, reply_rx) = unbounded();
+        self.coord_tx
+            .send(CoordMsg::Query {
+                gen,
+                reply: reply_tx,
+            })
+            .expect("coordinator thread alive");
+        reply_rx.recv().expect("coordinator answers")
+    }
+
+    /// Message accounting so far (exact right after a
+    /// [`ThreadedCluster::sample`] barrier; may lag in-flight traffic
+    /// otherwise).
+    #[must_use]
+    pub fn counters(&self) -> MessageCounters {
+        self.counters.lock().clone()
+    }
+
+    /// Stop all threads, returning the final coordinator and site states
+    /// plus the message counters.
+    pub fn shutdown(self) -> (C, Vec<S>, MessageCounters) {
+        for tx in &self.site_txs {
+            let _ = tx.send(SiteCmd::Shutdown);
+        }
+        let sites: Vec<S> = self
+            .site_handles
+            .into_iter()
+            .map(|h| h.join().expect("site thread exits cleanly"))
+            .collect();
+        let _ = self.coord_tx.send(CoordMsg::Shutdown);
+        let coordinator = self.coord_handle.join().expect("coordinator exits cleanly");
+        let counters = self.counters.lock().clone();
+        (coordinator, sites, counters)
+    }
+}
+
+fn site_loop<S>(
+    site: &mut S,
+    id: SiteId,
+    cmd_rx: &Receiver<SiteCmd>,
+    down_rx: &Receiver<S::Down>,
+    to_coord: &Sender<CoordMsg<S::Up>>,
+    counters: &Mutex<MessageCounters>,
+) where
+    S: SiteNode,
+    S::Up: WireMessage,
+    S::Down: WireMessage,
+{
+    let mut ups = Vec::new();
+    loop {
+        crossbeam::channel::select! {
+            recv(cmd_rx) -> cmd => match cmd {
+                Ok(SiteCmd::Observe(e)) => {
+                    site.observe(e, Slot(0), &mut ups);
+                    drain_ups(id, &mut ups, to_coord, counters);
+                }
+                Ok(SiteCmd::Flush(gen)) => {
+                    to_coord
+                        .send(CoordMsg::FlushToken(gen))
+                        .expect("coordinator alive");
+                }
+                Ok(SiteCmd::Shutdown) | Err(_) => return,
+            },
+            recv(down_rx) -> msg => match msg {
+                Ok(m) => {
+                    site.handle(m, Slot(0), &mut ups);
+                    drain_ups(id, &mut ups, to_coord, counters);
+                }
+                Err(_) => return,
+            },
+        }
+    }
+}
+
+fn drain_ups<U: WireMessage>(
+    id: SiteId,
+    ups: &mut Vec<U>,
+    to_coord: &Sender<CoordMsg<U>>,
+    counters: &Mutex<MessageCounters>,
+) {
+    for up in ups.drain(..) {
+        counters.lock().record(Direction::Up, id, up.wire_bytes());
+        to_coord
+            .send(CoordMsg::Up(id, up))
+            .expect("coordinator alive");
+    }
+}
+
+fn coordinator_loop<C>(
+    coordinator: &mut C,
+    k: usize,
+    rx: &Receiver<CoordMsg<C::Up>>,
+    down_txs: &[Sender<C::Down>],
+    counters: &Mutex<MessageCounters>,
+) where
+    C: CoordinatorNode,
+    C::Down: WireMessage + Clone,
+{
+    let mut outs = Vec::new();
+    // Token counts per generation; entries are kept until their query is
+    // answered, so a query arriving after the k-th token still completes.
+    let mut tokens: HashMap<u64, usize> = HashMap::new();
+    let mut pending: HashMap<u64, Vec<Sender<Vec<Element>>>> = HashMap::new();
+    loop {
+        let Ok(msg) = rx.recv() else { return };
+        match msg {
+            CoordMsg::Up(from, up) => {
+                coordinator.handle(from, up, Slot(0), &mut outs);
+                for (dest, down) in outs.drain(..) {
+                    match dest {
+                        Destination::Site(to) => {
+                            counters.lock().record(Direction::Down, to, down.wire_bytes());
+                            let _ = down_txs[to.0].send(down);
+                        }
+                        Destination::Broadcast => {
+                            for (i, tx) in down_txs.iter().enumerate() {
+                                counters
+                                    .lock()
+                                    .record(Direction::Down, SiteId(i), down.wire_bytes());
+                                let _ = tx.send(down.clone());
+                            }
+                        }
+                    }
+                }
+            }
+            CoordMsg::FlushToken(gen) => {
+                let seen = tokens.entry(gen).or_insert(0);
+                *seen += 1;
+                if *seen >= k {
+                    if let Some(replies) = pending.remove(&gen) {
+                        for reply in replies {
+                            let _ = reply.send(coordinator.sample());
+                        }
+                        tokens.remove(&gen);
+                    }
+                }
+            }
+            CoordMsg::Query { gen, reply } => {
+                if tokens.get(&gen).copied().unwrap_or(0) >= k {
+                    let _ = reply.send(coordinator.sample());
+                    tokens.remove(&gen);
+                } else {
+                    pending.entry(gen).or_default().push(reply);
+                }
+            }
+            CoordMsg::Shutdown => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dds_core::centralized::CentralizedSampler;
+    use dds_core::infinite::InfiniteConfig;
+    use dds_data::{RouteTarget, Router, Routing, TraceLikeStream, TraceProfile};
+
+    #[test]
+    fn threaded_matches_oracle_exactly() {
+        let k = 4;
+        let s = 16;
+        let config = InfiniteConfig::with_seed(s, 404);
+        let mut cluster = ThreadedCluster::spawn(config.sites(k), config.coordinator());
+        let mut oracle = CentralizedSampler::new(s, config.hasher());
+        let profile = TraceProfile {
+            name: "t",
+            total: 50_000,
+            distinct: 12_000,
+        };
+        let mut router = Router::new(Routing::Random, k, 11);
+        for e in TraceLikeStream::new(profile, 21) {
+            oracle.observe(e);
+            match router.route() {
+                RouteTarget::One(site) => cluster.observe(site, e),
+                RouteTarget::All => {
+                    for i in 0..k {
+                        cluster.observe(SiteId(i), e);
+                    }
+                }
+            }
+        }
+        let sample = cluster.sample();
+        assert_eq!(sample, oracle.sample());
+        let (_, _, counters) = cluster.shutdown();
+        assert!(counters.total_messages() > 0);
+    }
+
+    #[test]
+    fn intermediate_snapshots_are_exact_too() {
+        let k = 3;
+        let s = 8;
+        let config = InfiniteConfig::with_seed(s, 7);
+        let mut cluster = ThreadedCluster::spawn(config.sites(k), config.coordinator());
+        let mut oracle = CentralizedSampler::new(s, config.hasher());
+        for (i, e) in dds_data::DistinctOnlyStream::new(10_000, 5).enumerate() {
+            oracle.observe(e);
+            cluster.observe(SiteId(i % k), e);
+            if i % 2_500 == 2_499 {
+                assert_eq!(cluster.sample(), oracle.sample(), "snapshot at {i}");
+            }
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn broadcast_protocol_runs_threaded() {
+        use dds_core::broadcast::{BroadcastConfig, BroadcastCoordinator, BroadcastSite};
+        let k = 5;
+        let config = BroadcastConfig::with_seed(4, 99);
+        let sites = (0..k).map(|_| BroadcastSite::new(config.hasher())).collect();
+        let coordinator = BroadcastCoordinator::new(4, config.hasher());
+        let mut cluster = ThreadedCluster::spawn(sites, coordinator);
+        let mut oracle = CentralizedSampler::new(4, config.hasher());
+        for (i, e) in dds_data::DistinctOnlyStream::new(5_000, 3).enumerate() {
+            oracle.observe(e);
+            cluster.observe(SiteId(i % k), e);
+        }
+        assert_eq!(cluster.sample(), oracle.sample());
+        let (_, _, counters) = cluster.shutdown();
+        assert_eq!(
+            counters.down_messages() % k as u64,
+            0,
+            "broadcast traffic comes in multiples of k"
+        );
+    }
+
+    #[test]
+    fn shutdown_returns_final_states() {
+        let config = InfiniteConfig::with_seed(3, 1);
+        let mut cluster = ThreadedCluster::spawn(config.sites(2), config.coordinator());
+        for e in 0..100u64 {
+            cluster.observe(SiteId((e % 2) as usize), Element(e));
+        }
+        let sample = cluster.sample();
+        let (coordinator, sites, _) = cluster.shutdown();
+        assert_eq!(CoordinatorNode::sample(&coordinator), sample);
+        assert_eq!(sites.len(), 2);
+        for site in &sites {
+            assert!(site.threshold() >= coordinator.threshold());
+        }
+    }
+
+    #[test]
+    fn heavy_concurrency_stress() {
+        let k = 16;
+        let s = 32;
+        let config = InfiniteConfig::with_seed(s, 3131);
+        let mut cluster = ThreadedCluster::spawn(config.sites(k), config.coordinator());
+        let mut oracle = CentralizedSampler::new(s, config.hasher());
+        let profile = TraceProfile {
+            name: "t",
+            total: 40_000,
+            distinct: 15_000,
+        };
+        let mut router = Router::new(Routing::Random, k, 5);
+        for (i, e) in TraceLikeStream::new(profile, 17).enumerate() {
+            oracle.observe(e);
+            match router.route() {
+                RouteTarget::One(site) => cluster.observe(site, e),
+                RouteTarget::All => unreachable!(),
+            }
+            if i % 10_000 == 9_999 {
+                assert_eq!(cluster.sample(), oracle.sample());
+            }
+        }
+        assert_eq!(cluster.sample(), oracle.sample());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn repeated_snapshots_do_not_leak_generations() {
+        let config = InfiniteConfig::with_seed(2, 5);
+        let mut cluster = ThreadedCluster::spawn(config.sites(2), config.coordinator());
+        for round in 0..50u64 {
+            cluster.observe(SiteId(0), Element(round));
+            let s = cluster.sample();
+            assert!(!s.is_empty());
+        }
+        cluster.shutdown();
+    }
+}

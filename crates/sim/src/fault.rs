@@ -1,0 +1,158 @@
+//! Delivery-fault injection.
+//!
+//! The paper assumes reliable, in-order, zero-delay links. Real deployments
+//! retry, and retries duplicate. A robust implementation of these protocols
+//! should treat message handling idempotently — bottom-`s` merging is
+//! naturally idempotent — and the test suite verifies that with the fault
+//! plans here. (Message *loss* is deliberately not offered as a silent
+//! option: losing an up message can remove an element from the sample, so
+//! the protocols are not loss-tolerant, and a fault plan that hides that
+//! would only manufacture green tests.)
+
+use crate::model::SiteId;
+
+/// Decides, per message, how many copies get delivered and in what order
+/// batches are processed.
+pub trait DeliveryFault {
+    /// Number of copies of an up message from `from` to deliver (≥ 1).
+    fn up_copies(&mut self, from: SiteId) -> usize {
+        let _ = from;
+        1
+    }
+
+    /// Number of copies of a down message to `to` to deliver (≥ 1).
+    fn down_copies(&mut self, to: SiteId) -> usize {
+        let _ = to;
+        1
+    }
+
+    /// If true, the runner processes the current pending batch in reverse
+    /// order (a coarse but effective reordering probe).
+    fn reverse_batch(&mut self) -> bool {
+        false
+    }
+}
+
+/// The default: perfectly reliable links.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFault;
+
+impl DeliveryFault for NoFault {}
+
+/// Duplicates messages independently with probability `num/denom`, and
+/// reverses batch processing order with the same probability. Deterministic
+/// given the seed.
+#[derive(Debug, Clone)]
+pub struct DuplicateAndReorder {
+    num: u64,
+    denom: u64,
+    state: u64,
+}
+
+impl DuplicateAndReorder {
+    /// Fault plan duplicating with probability `num / denom`.
+    ///
+    /// # Panics
+    /// Panics if `denom == 0` or `num > denom`.
+    #[must_use]
+    pub fn new(num: u64, denom: u64, seed: u64) -> Self {
+        assert!(denom > 0 && num <= denom, "probability must be in [0,1]");
+        Self {
+            num,
+            denom,
+            // Avoid the all-zero state of the xorshift-style mixer.
+            state: seed | 1,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64 step, inlined to keep this crate dependency-free.
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn flip(&mut self) -> bool {
+        // Unbiased enough for fault injection: compare against a scaled
+        // threshold in the full 64-bit range.
+        let threshold = (u128::from(u64::MAX) * u128::from(self.num) / u128::from(self.denom)) as u64;
+        self.next_u64() < threshold
+    }
+}
+
+impl DeliveryFault for DuplicateAndReorder {
+    fn up_copies(&mut self, _from: SiteId) -> usize {
+        if self.flip() {
+            2
+        } else {
+            1
+        }
+    }
+
+    fn down_copies(&mut self, _to: SiteId) -> usize {
+        if self.flip() {
+            2
+        } else {
+            1
+        }
+    }
+
+    fn reverse_batch(&mut self) -> bool {
+        self.flip()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_fault_is_identity() {
+        let mut f = NoFault;
+        assert_eq!(f.up_copies(SiteId(0)), 1);
+        assert_eq!(f.down_copies(SiteId(0)), 1);
+        assert!(!f.reverse_batch());
+    }
+
+    #[test]
+    fn zero_probability_never_duplicates() {
+        let mut f = DuplicateAndReorder::new(0, 1, 42);
+        for _ in 0..1000 {
+            assert_eq!(f.up_copies(SiteId(0)), 1);
+        }
+    }
+
+    #[test]
+    fn full_probability_always_duplicates() {
+        let mut f = DuplicateAndReorder::new(1, 1, 42);
+        for _ in 0..1000 {
+            assert_eq!(f.up_copies(SiteId(0)), 2);
+        }
+    }
+
+    #[test]
+    fn half_probability_duplicates_roughly_half() {
+        let mut f = DuplicateAndReorder::new(1, 2, 42);
+        let dups = (0..10_000)
+            .filter(|_| f.up_copies(SiteId(0)) == 2)
+            .count();
+        assert!((4_500..=5_500).contains(&dups), "dups = {dups}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = DuplicateAndReorder::new(1, 3, 7);
+        let mut b = DuplicateAndReorder::new(1, 3, 7);
+        for _ in 0..100 {
+            assert_eq!(a.up_copies(SiteId(1)), b.up_copies(SiteId(1)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must be in [0,1]")]
+    fn rejects_bad_probability() {
+        DuplicateAndReorder::new(2, 1, 0);
+    }
+}

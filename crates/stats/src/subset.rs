@@ -1,0 +1,131 @@
+//! Predicate queries over a distinct sample — the introduction's
+//! motivating use-cases.
+//!
+//! A bottom-`s` distinct sample is a uniform random subset of the distinct
+//! population, so for any predicate `P` supplied *at query time*:
+//!
+//! * the fraction of sampled elements satisfying `P` estimates the
+//!   fraction of **distinct** elements satisfying `P`;
+//! * multiplied by a distinct-count estimate `d̂` it estimates the number
+//!   of distinct elements satisfying `P` ("how many distinct visitors from
+//!   country X?");
+//! * the mean of `f(e)` over sampled elements satisfying `P` estimates the
+//!   mean of `f` over the distinct sub-population ("average age of the
+//!   distinct users").
+//!
+//! Frequencies never bias these estimates — the whole point of *distinct*
+//! sampling.
+
+/// Estimated fraction of the distinct population satisfying a predicate,
+/// with a normal-approximation standard error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FractionEstimate {
+    /// Point estimate of the fraction.
+    pub fraction: f64,
+    /// Standard error `√(p(1−p)/s)`.
+    pub std_error: f64,
+    /// Number of sampled elements examined.
+    pub sample_size: usize,
+}
+
+/// Estimate the fraction of distinct elements satisfying `predicate`.
+///
+/// Returns `None` on an empty sample.
+pub fn distinct_fraction<E, P: FnMut(&E) -> bool>(
+    sample: &[E],
+    mut predicate: P,
+) -> Option<FractionEstimate> {
+    if sample.is_empty() {
+        return None;
+    }
+    let s = sample.len();
+    let hits = sample.iter().filter(|e| predicate(e)).count();
+    let p = hits as f64 / s as f64;
+    Some(FractionEstimate {
+        fraction: p,
+        std_error: (p * (1.0 - p) / s as f64).sqrt(),
+        sample_size: s,
+    })
+}
+
+/// Estimate the *number* of distinct elements satisfying `predicate`,
+/// given a distinct-count estimate `d_hat` for the whole population.
+///
+/// Returns `None` on an empty sample.
+pub fn distinct_count_where<E, P: FnMut(&E) -> bool>(
+    sample: &[E],
+    predicate: P,
+    d_hat: f64,
+) -> Option<f64> {
+    distinct_fraction(sample, predicate).map(|f| f.fraction * d_hat)
+}
+
+/// Estimate the mean of `f` over the distinct elements satisfying
+/// `predicate`. Returns `None` if no sampled element satisfies it.
+pub fn distinct_mean_where<E, P: FnMut(&E) -> bool, F: FnMut(&E) -> f64>(
+    sample: &[E],
+    mut predicate: P,
+    mut f: F,
+) -> Option<f64> {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for e in sample {
+        if predicate(e) {
+            sum += f(e);
+            count += 1;
+        }
+    }
+    if count == 0 {
+        None
+    } else {
+        Some(sum / count as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_on_known_sample() {
+        let sample: Vec<u64> = (0..100).collect();
+        let est = distinct_fraction(&sample, |&x| x < 25).unwrap();
+        assert!((est.fraction - 0.25).abs() < 1e-12);
+        assert!(est.std_error > 0.0 && est.std_error < 0.06);
+        assert_eq!(est.sample_size, 100);
+    }
+
+    #[test]
+    fn empty_sample_yields_none() {
+        let sample: Vec<u64> = Vec::new();
+        assert!(distinct_fraction(&sample, |_| true).is_none());
+        assert!(distinct_count_where(&sample, |_| true, 100.0).is_none());
+        assert!(distinct_mean_where(&sample, |_| true, |&x| x as f64).is_none());
+    }
+
+    #[test]
+    fn count_scales_fraction_by_d() {
+        let sample: Vec<u64> = (0..50).collect();
+        let cnt = distinct_count_where(&sample, |&x| x % 2 == 0, 10_000.0).unwrap();
+        assert!((cnt - 5_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_ignores_non_matching() {
+        let sample: Vec<u64> = vec![1, 2, 3, 100];
+        let m = distinct_mean_where(&sample, |&x| x < 10, |&x| x as f64).unwrap();
+        assert!((m - 2.0).abs() < 1e-12);
+        assert!(distinct_mean_where(&sample, |&x| x > 1000, |&x| x as f64).is_none());
+    }
+
+    #[test]
+    fn degenerate_fractions_have_zero_error() {
+        let sample: Vec<u64> = (0..10).collect();
+        let all = distinct_fraction(&sample, |_| true).unwrap();
+        assert_eq!(all.fraction, 1.0);
+        assert_eq!(all.std_error, 0.0);
+        let none = distinct_fraction(&sample, |_| false).unwrap();
+        assert_eq!(none.fraction, 0.0);
+        assert_eq!(none.std_error, 0.0);
+    }
+}

@@ -1,0 +1,251 @@
+//! Hypothesis tests used to validate sample uniformity.
+//!
+//! The correctness claim behind the whole paper — "this constitutes a
+//! random sample chosen without replacement from D(t)" (Lemma 1) — is a
+//! *distributional* statement, so the integration suite doesn't just check
+//! set equality against an oracle; it re-runs the protocols under many
+//! hash seeds and tests that every distinct element is included with equal
+//! probability. The machinery lives here: a chi-square goodness-of-fit
+//! test (p-values via the regularised incomplete gamma function,
+//! implemented from scratch) and a Kolmogorov–Smirnov uniformity test.
+
+/// Result of a goodness-of-fit test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestResult {
+    /// The test statistic.
+    pub statistic: f64,
+    /// Approximate p-value (probability of a statistic at least this
+    /// extreme under the null hypothesis).
+    pub p_value: f64,
+}
+
+/// Pearson chi-square goodness-of-fit against expected counts.
+///
+/// # Panics
+/// Panics if the slices differ in length, are empty, or any expected
+/// count is non-positive.
+#[must_use]
+pub fn chi_square(observed: &[f64], expected: &[f64]) -> TestResult {
+    assert_eq!(observed.len(), expected.len(), "length mismatch");
+    assert!(!observed.is_empty(), "need at least one category");
+    let mut stat = 0.0;
+    for (&o, &e) in observed.iter().zip(expected) {
+        assert!(e > 0.0, "expected counts must be positive");
+        stat += (o - e) * (o - e) / e;
+    }
+    let dof = (observed.len() - 1) as f64;
+    TestResult {
+        statistic: stat,
+        p_value: chi_square_sf(stat, dof),
+    }
+}
+
+/// Chi-square test for *uniform* expected counts.
+#[must_use]
+pub fn chi_square_uniform(observed: &[f64]) -> TestResult {
+    let total: f64 = observed.iter().sum();
+    let expected = vec![total / observed.len() as f64; observed.len()];
+    chi_square(observed, &expected)
+}
+
+/// Survival function of the chi-square distribution:
+/// `P[X ≥ x]` with `k` degrees of freedom = `Q(k/2, x/2)` (regularised
+/// upper incomplete gamma).
+#[must_use]
+pub fn chi_square_sf(x: f64, dof: f64) -> f64 {
+    if x <= 0.0 {
+        return 1.0;
+    }
+    1.0 - lower_regularized_gamma(dof / 2.0, x / 2.0)
+}
+
+/// Regularised lower incomplete gamma `P(a, x) = γ(a,x)/Γ(a)`.
+///
+/// Series expansion for `x < a + 1`, continued fraction otherwise
+/// (Numerical Recipes 6.2 structure, written from scratch).
+#[must_use]
+pub fn lower_regularized_gamma(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0, "invalid incomplete-gamma arguments");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        // Series: P(a,x) = e^{-x} x^a / Γ(a) · Σ x^n / (a·(a+1)···(a+n)).
+        let mut term = 1.0 / a;
+        let mut sum = term;
+        let mut ap = a;
+        for _ in 0..500 {
+            ap += 1.0;
+            term *= x / ap;
+            sum += term;
+            if term.abs() < sum.abs() * 1e-15 {
+                break;
+            }
+        }
+        (sum * (-x + a * x.ln() - ln_gamma(a)).exp()).clamp(0.0, 1.0)
+    } else {
+        // Continued fraction for Q(a,x), then P = 1 − Q.
+        let mut b = x + 1.0 - a;
+        let mut c = 1.0 / 1e-300;
+        let mut d = 1.0 / b;
+        let mut h = d;
+        for i in 1..500 {
+            let an = -(i as f64) * (i as f64 - a);
+            b += 2.0;
+            d = an * d + b;
+            if d.abs() < 1e-300 {
+                d = 1e-300;
+            }
+            c = b + an / c;
+            if c.abs() < 1e-300 {
+                c = 1e-300;
+            }
+            d = 1.0 / d;
+            let delta = d * c;
+            h *= delta;
+            if (delta - 1.0).abs() < 1e-15 {
+                break;
+            }
+        }
+        let q = ((-x + a * x.ln() - ln_gamma(a)).exp() * h).clamp(0.0, 1.0);
+        1.0 - q
+    }
+}
+
+/// `ln Γ(z)` via the Lanczos approximation (g = 7, n = 9 coefficients).
+#[must_use]
+pub fn ln_gamma(z: f64) -> f64 {
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if z < 0.5 {
+        // Reflection: Γ(z)Γ(1−z) = π / sin(πz).
+        let pi = std::f64::consts::PI;
+        pi.ln() - (pi * z).sin().ln() - ln_gamma(1.0 - z)
+    } else {
+        let z = z - 1.0;
+        let mut x = COEF[0];
+        for (i, &c) in COEF.iter().enumerate().skip(1) {
+            x += c / (z + i as f64);
+        }
+        let t = z + G + 0.5;
+        0.5 * (2.0 * std::f64::consts::PI).ln() + (z + 0.5) * t.ln() - t + x.ln()
+    }
+}
+
+/// One-sample Kolmogorov–Smirnov test against the uniform [0,1)
+/// distribution. The p-value uses the asymptotic Kolmogorov distribution
+/// (accurate for n ≳ 35).
+///
+/// # Panics
+/// Panics on an empty sample or values outside `[0, 1]`.
+#[must_use]
+pub fn ks_uniform(values: &[f64]) -> TestResult {
+    assert!(!values.is_empty(), "need at least one value");
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    let n = v.len() as f64;
+    let mut d_max: f64 = 0.0;
+    for (i, &x) in v.iter().enumerate() {
+        assert!((0.0..=1.0).contains(&x), "value {x} outside [0,1]");
+        let cdf_hi = (i as f64 + 1.0) / n;
+        let cdf_lo = i as f64 / n;
+        d_max = d_max.max((cdf_hi - x).abs()).max((x - cdf_lo).abs());
+    }
+    let lambda = (n.sqrt() + 0.12 + 0.11 / n.sqrt()) * d_max;
+    // Kolmogorov survival: 2 Σ (−1)^{j−1} e^{−2 j² λ²}.
+    let mut p = 0.0;
+    let mut sign = 1.0;
+    for j in 1..=100 {
+        let t = 2.0 * sign * (-2.0 * (j as f64) * (j as f64) * lambda * lambda).exp();
+        p += t;
+        sign = -sign;
+        if t.abs() < 1e-12 {
+            break;
+        }
+    }
+    TestResult {
+        statistic: d_max,
+        p_value: p.clamp(0.0, 1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = Γ(2) = 1; Γ(5) = 24; Γ(1/2) = √π.
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn incomplete_gamma_boundaries() {
+        assert_eq!(lower_regularized_gamma(1.0, 0.0), 0.0);
+        // P(1, x) = 1 − e^{−x} (exponential CDF).
+        for x in [0.1, 1.0, 3.0, 10.0] {
+            let want = 1.0 - (-x as f64).exp();
+            assert!(
+                (lower_regularized_gamma(1.0, x) - want).abs() < 1e-10,
+                "P(1,{x})"
+            );
+        }
+    }
+
+    #[test]
+    fn chi_square_sf_known_quantiles() {
+        // Classical table values: P[X² ≥ 3.841 | dof=1] = 0.05;
+        // P[X² ≥ 18.307 | dof=10] = 0.05; P[X² ≥ 23.209 | dof=10] = 0.01.
+        assert!((chi_square_sf(3.841, 1.0) - 0.05).abs() < 2e-3);
+        assert!((chi_square_sf(18.307, 10.0) - 0.05).abs() < 2e-3);
+        assert!((chi_square_sf(23.209, 10.0) - 0.01).abs() < 1e-3);
+    }
+
+    #[test]
+    fn chi_square_accepts_uniform_counts() {
+        let observed = vec![100.0, 98.0, 105.0, 97.0, 100.0];
+        let r = chi_square_uniform(&observed);
+        assert!(r.p_value > 0.5, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn chi_square_rejects_skewed_counts() {
+        let observed = vec![200.0, 50.0, 50.0, 100.0, 100.0];
+        let r = chi_square_uniform(&observed);
+        assert!(r.p_value < 1e-6, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn ks_accepts_uniform_grid() {
+        // A perfectly spaced grid is the least extreme sample possible.
+        let v: Vec<f64> = (0..1000).map(|i| (i as f64 + 0.5) / 1000.0).collect();
+        let r = ks_uniform(&v);
+        assert!(r.p_value > 0.99, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn ks_rejects_clumped_values() {
+        let v: Vec<f64> = (0..1000).map(|i| 0.4 + 0.2 * (i as f64) / 1000.0).collect();
+        let r = ks_uniform(&v);
+        assert!(r.p_value < 1e-10, "p = {}", r.p_value);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn chi_square_length_mismatch() {
+        let _ = chi_square(&[1.0], &[1.0, 2.0]);
+    }
+}

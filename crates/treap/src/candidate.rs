@@ -1,0 +1,280 @@
+//! The candidate-set abstraction shared by all `Tᵢ` implementations.
+//!
+//! A candidate set holds `(element, hash, expiry)` tuples and maintains the
+//! paper's dominance invariant: a tuple is discarded as soon as another
+//! tuple with an expiry at least as late and a strictly smaller hash
+//! exists (see the crate docs for why non-strict expiry is safe). The
+//! surviving tuples form a *staircase*: sorted by expiry, hashes strictly
+//! increase — so the earliest-expiring survivor is also the current
+//! minimum-hash element of the window.
+
+use dds_sim::{Element, Slot};
+
+/// One stored tuple: an element, its (raw 64-bit) hash, and the first slot
+/// at which it is no longer in the window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CandidateEntry {
+    /// The element.
+    pub element: Element,
+    /// `h(element)` as the raw 64-bit order (see `dds_hash::UnitValue`).
+    pub hash: u64,
+    /// First slot at which the element has left the window.
+    pub expiry: Slot,
+}
+
+impl CandidateEntry {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(element: Element, hash: u64, expiry: Slot) -> Self {
+        Self {
+            element,
+            hash,
+            expiry,
+        }
+    }
+
+    /// The paper's dominance relation (non-strict in time; see crate docs):
+    /// `self` dominates `other` iff `self` expires no earlier and hashes
+    /// strictly smaller.
+    #[must_use]
+    pub fn dominates(&self, other: &CandidateEntry) -> bool {
+        self.expiry >= other.expiry && self.hash < other.hash
+    }
+}
+
+/// Behaviour contract for `Tᵢ` implementations.
+///
+/// All operations must preserve:
+/// 1. **No zombies** — no stored entry has `expiry <= now` after
+///    [`CandidateSet::expire`]`(now)`.
+/// 2. **Anti-chain** — no stored entry dominates another.
+/// 3. **Refresh keeps the max expiry** — re-inserting an element already
+///    present with a later-or-equal expiry is a no-op; with an earlier
+///    expiry, the entry moves to the new, later expiry (re-observation
+///    extends an element's life; a stale coordinator echo must not shorten
+///    it).
+/// 4. **Completeness** — an element that was inserted, not yet expired,
+///    and not dominated at any point since, must be present. (This is what
+///    makes the window minimum recoverable at all times.)
+pub trait CandidateSet {
+    /// Insert `e` (or refresh its expiry if already present). `hash` must
+    /// equal the protocol's `h(e)` — the same element must always be
+    /// presented with the same hash.
+    fn insert_or_refresh(&mut self, e: Element, hash: u64, expiry: Slot);
+
+    /// Drop every entry with `expiry <= now`.
+    fn expire(&mut self, now: Slot);
+
+    /// The entry with the smallest hash among live entries, if any.
+    fn min_entry(&self) -> Option<CandidateEntry>;
+
+    /// Number of stored tuples (the per-site memory measure of Figures
+    /// 5.7 and 5.9).
+    fn len(&self) -> usize;
+
+    /// True if no tuples are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `e` is currently stored.
+    fn contains(&self, e: Element) -> bool;
+
+    /// All entries sorted by `(expiry, element)` — the differential-test
+    /// observation point.
+    fn entries_sorted(&self) -> Vec<CandidateEntry>;
+}
+
+#[cfg(test)]
+pub(crate) mod conformance {
+    //! A reusable behaviour suite run against every implementation.
+
+    use super::*;
+
+    /// Deterministic pseudo-hash for test elements (not a real hash — just
+    /// a fixed assignment so scenarios are readable).
+    pub fn h(e: u64) -> u64 {
+        // Spread values but keep them predictable in tests via the map
+        // below for small ids.
+        match e {
+            1 => 100,
+            2 => 200,
+            3 => 300,
+            4 => 50,
+            5 => 250,
+            6 => 10,
+            _ => e.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1,
+        }
+    }
+
+    pub fn run_all<S: CandidateSet + Default>() {
+        empty_behaviour::<S>();
+        single_insert_and_expiry::<S>();
+        dominance_on_insert_removes_older_larger::<S>();
+        dominated_insert_is_dropped::<S>();
+        refresh_extends_life::<S>();
+        stale_refresh_is_noop::<S>();
+        equal_expiry_keeps_only_min_hash::<S>();
+        staircase_invariant_random_ops::<S>();
+        min_tracks_expiry_chain::<S>();
+    }
+
+    fn empty_behaviour<S: CandidateSet + Default>() {
+        let mut s = S::default();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.min_entry(), None);
+        assert!(!s.contains(Element(1)));
+        s.expire(Slot(100)); // must not panic
+        assert!(s.entries_sorted().is_empty());
+    }
+
+    fn single_insert_and_expiry<S: CandidateSet + Default>() {
+        let mut s = S::default();
+        s.insert_or_refresh(Element(1), h(1), Slot(10));
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(Element(1)));
+        let m = s.min_entry().unwrap();
+        assert_eq!(m.element, Element(1));
+        assert_eq!(m.hash, h(1));
+        assert_eq!(m.expiry, Slot(10));
+        s.expire(Slot(9));
+        assert_eq!(s.len(), 1, "not expired yet");
+        s.expire(Slot(10));
+        assert!(s.is_empty(), "expiry <= now must drop");
+        assert!(!s.contains(Element(1)));
+    }
+
+    fn dominance_on_insert_removes_older_larger<S: CandidateSet + Default>() {
+        let mut s = S::default();
+        // Hashes: e2=200, e3=300, e1=100. Insert increasing expiry.
+        s.insert_or_refresh(Element(2), h(2), Slot(5));
+        s.insert_or_refresh(Element(3), h(3), Slot(6));
+        assert_eq!(s.len(), 2, "3 has larger hash but later expiry: kept");
+        // e1 (hash 100) with latest expiry dominates both.
+        s.insert_or_refresh(Element(1), h(1), Slot(7));
+        assert_eq!(s.len(), 1);
+        let m = s.min_entry().unwrap();
+        assert_eq!(m.element, Element(1));
+    }
+
+    fn dominated_insert_is_dropped<S: CandidateSet + Default>() {
+        let mut s = S::default();
+        s.insert_or_refresh(Element(4), h(4), Slot(10)); // hash 50, late expiry
+        s.insert_or_refresh(Element(2), h(2), Slot(5)); // hash 200, earlier
+        assert_eq!(s.len(), 1, "dominated arrival must be dropped");
+        assert!(!s.contains(Element(2)));
+        assert!(s.contains(Element(4)));
+    }
+
+    fn refresh_extends_life<S: CandidateSet + Default>() {
+        let mut s = S::default();
+        s.insert_or_refresh(Element(1), h(1), Slot(10));
+        s.insert_or_refresh(Element(1), h(1), Slot(20));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.min_entry().unwrap().expiry, Slot(20));
+        s.expire(Slot(15));
+        assert!(s.contains(Element(1)), "refresh must extend life");
+    }
+
+    fn stale_refresh_is_noop<S: CandidateSet + Default>() {
+        let mut s = S::default();
+        s.insert_or_refresh(Element(1), h(1), Slot(20));
+        s.insert_or_refresh(Element(1), h(1), Slot(10)); // stale echo
+        assert_eq!(s.min_entry().unwrap().expiry, Slot(20));
+        assert_eq!(s.len(), 1);
+    }
+
+    fn equal_expiry_keeps_only_min_hash<S: CandidateSet + Default>() {
+        let mut s = S::default();
+        s.insert_or_refresh(Element(2), h(2), Slot(9)); // hash 200
+        s.insert_or_refresh(Element(1), h(1), Slot(9)); // hash 100 dominates
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.min_entry().unwrap().element, Element(1));
+        // And in the other arrival order:
+        let mut s = S::default();
+        s.insert_or_refresh(Element(1), h(1), Slot(9));
+        s.insert_or_refresh(Element(2), h(2), Slot(9));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.min_entry().unwrap().element, Element(1));
+    }
+
+    /// After any op sequence: entries sorted by expiry must have strictly
+    /// increasing hashes (anti-chain/staircase), and `min_entry` must agree
+    /// with a full scan.
+    fn staircase_invariant_random_ops<S: CandidateSet + Default>() {
+        let mut s = S::default();
+        let mut x: u64 = 0x243f_6a88_85a3_08d3;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut now = 0u64;
+        for step in 0..2_000 {
+            let r = next();
+            match r % 10 {
+                0 => {
+                    now += 1;
+                    s.expire(Slot(now));
+                }
+                _ => {
+                    let e = (r >> 8) % 64; // small universe: refreshes happen
+                    let expiry = now + 1 + (r >> 40) % 50;
+                    s.insert_or_refresh(Element(e), h(e), Slot(expiry));
+                }
+            }
+            if step % 97 == 0 {
+                check_staircase(&s, Slot(now));
+            }
+        }
+        check_staircase(&s, Slot(now));
+    }
+
+    pub fn check_staircase<S: CandidateSet>(s: &S, now: Slot) {
+        let entries = s.entries_sorted();
+        assert_eq!(entries.len(), s.len());
+        for w in entries.windows(2) {
+            assert!(
+                w[0].expiry <= w[1].expiry,
+                "entries_sorted not sorted by expiry"
+            );
+            assert!(
+                w[0].hash < w[1].hash,
+                "staircase violated: {:?} then {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        for e in &entries {
+            assert!(e.expiry > now, "zombie entry {e:?} at now={now}");
+        }
+        let scan_min = entries.iter().min_by_key(|e| (e.hash, e.element)).copied();
+        let m = s.min_entry();
+        assert_eq!(m, scan_min, "min_entry disagrees with scan");
+        if let Some(m) = m {
+            assert_eq!(
+                Some(&m),
+                entries.first(),
+                "staircase front must be the minimum"
+            );
+        }
+    }
+
+    fn min_tracks_expiry_chain<S: CandidateSet + Default>() {
+        let mut s = S::default();
+        // Build a staircase 6(h=10,exp=3) < 1(h=100,exp=6) < 2(h=200,exp=9).
+        s.insert_or_refresh(Element(2), h(2), Slot(9));
+        s.insert_or_refresh(Element(1), h(1), Slot(6));
+        s.insert_or_refresh(Element(6), h(6), Slot(3));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.min_entry().unwrap().element, Element(6));
+        s.expire(Slot(3));
+        assert_eq!(s.min_entry().unwrap().element, Element(1));
+        s.expire(Slot(6));
+        assert_eq!(s.min_entry().unwrap().element, Element(2));
+        s.expire(Slot(9));
+        assert_eq!(s.min_entry(), None);
+    }
+}

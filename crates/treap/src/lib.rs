@@ -1,0 +1,58 @@
+//! # dds-treap — candidate-set structures for sliding-window sampling
+//!
+//! The sliding-window algorithm (paper, Chapter 4) requires each site to
+//! track, inside its current window, every element that "could potentially
+//! be included within the random sample of distinct elements either now, or
+//! in the future" — the set `Tᵢ` of Algorithm 3. A tuple `(e', t')` is
+//! useless once some `(e, t)` **dominates** it: `e` both outlives `e'`
+//! *and* has a smaller hash, so `e'` can never again be the minimum.
+//!
+//! The paper suggests a treap (Seidel–Aragon) for `Tᵢ`, following the
+//! priority-sampling-over-sliding-windows idea of Babcock, Datar & Motwani
+//! (SODA '02), which also gives the expected size `E[|Tᵢ|] ≤ H_{|Dᵢ|}`
+//! (Lemma 10 — logarithmic in the number of distinct in-window elements).
+//!
+//! This crate provides four interchangeable implementations plus shared
+//! semantics:
+//!
+//! * [`treap`] — an arena-based randomized treap keyed by
+//!   `(expiry, element)` and augmented with subtree min/max hash, giving
+//!   `O(log n)` insert, refresh, expiry sweep, dominance sweep and
+//!   min-hash query. This is the structure the paper names.
+//! * [`staircase`] — a `BTreeMap`-based monotonic "staircase" exploiting
+//!   the anti-chain invariant (hash strictly increases with expiry among
+//!   surviving tuples); simpler, and used for differential testing.
+//! * [`naive`] — an O(n²) straight-from-the-definition implementation:
+//!   the oracle for property-based tests.
+//! * [`skyband`] — the s-**skyband** generalisation (keep a tuple unless
+//!   ≥ s tuples dominate it), which upgrades the sliding-window protocol
+//!   from a single sample to bottom-`s` *without replacement* — the
+//!   "straightforward extension to larger sample sizes" of §4.1,
+//!   made concrete.
+//!
+//! ## Dominance convention
+//!
+//! The paper defines `(e, t)` dominates `(e', t')` iff `t > t'` and
+//! `h(e) < h(e')`. We use **non-strict time**: `t ≥ t'` and
+//! `h(e) < h(e')` (for distinct elements). A tuple discarded under the
+//! non-strict rule but kept under the strict one expires at the same
+//! instant as its dominator yet always hashes larger, so it can never be a
+//! window minimum while alive — discarding it changes no query answer and
+//! only shrinks memory. The equal-expiry case actually occurs whenever a
+//! site observes several elements in one slot (as in the paper's §5.3
+//! experiments, which deal five elements per timestep).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod candidate;
+pub mod naive;
+pub mod skyband;
+pub mod staircase;
+pub mod treap;
+
+pub use candidate::{CandidateEntry, CandidateSet};
+pub use naive::NaiveCandidateSet;
+pub use skyband::SkybandSet;
+pub use staircase::StaircaseSet;
+pub use treap::Treap;

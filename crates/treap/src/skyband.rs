@@ -1,0 +1,320 @@
+//! The s-skyband candidate set — bottom-`s` sliding-window sampling
+//! *without replacement*.
+//!
+//! The paper presents the sliding-window algorithm for sample size `s = 1`
+//! and notes the extension to larger `s` is straightforward (§4.1). This
+//! module is that extension's site-side structure: keep a tuple unless at
+//! least `s` stored tuples dominate it (expiry ≥ its, hash < its).
+//!
+//! **Why that is exactly right.** If `s` tuples dominate `X`, each outlives
+//! `X` with a smaller hash, so for `X`'s whole remaining life the window
+//! holds ≥ `s` smaller hashes: `X` can never enter the bottom-`s` distinct
+//! sample, now or in the future — discarding it cannot change any answer.
+//! Conversely every element of the true bottom-`s` has, by definition,
+//! fewer than `s` smaller live hashes, hence fewer than `s` dominators, and
+//! is retained. The stored set is therefore a *superset* of the window's
+//! true bottom-`s`, and its own `s` smallest are exactly that bottom-`s`.
+//!
+//! Dominators are counted even if they themselves get discarded: a
+//! discarded tuple is still a *live element of the window* (discarding
+//! only means it can never be sampled), so it legitimately blocks the
+//! tuples it dominates.
+//!
+//! The expected stored size is `O(s·(1 + log(M/s)))` for `M` distinct
+//! in-window elements — the `s`-generalisation of Lemma 10 — which the
+//! property tests check empirically. Maintenance here is a full
+//! right-to-left rescan per mutation (`O(n log n)` with tiny `n`); fast
+//! enough for every experiment in the paper, and trivially correct.
+
+use std::collections::HashMap;
+
+use dds_sim::{Element, Slot};
+
+use crate::candidate::CandidateEntry;
+
+/// Candidate set retaining the s-skyband of `(expiry, hash)` tuples.
+#[derive(Debug, Clone)]
+pub struct SkybandSet {
+    s: usize,
+    /// Sorted by `(expiry, element)`.
+    entries: Vec<CandidateEntry>,
+    /// `element → hash` for refresh validation and membership.
+    index: HashMap<Element, u64>,
+}
+
+impl SkybandSet {
+    /// A skyband retaining tuples with fewer than `s` dominators.
+    ///
+    /// # Panics
+    /// Panics if `s == 0`.
+    #[must_use]
+    pub fn new(s: usize) -> Self {
+        assert!(s > 0, "sample size must be at least 1");
+        Self {
+            s,
+            entries: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// The configured sample size `s`.
+    #[must_use]
+    pub fn s(&self) -> usize {
+        self.s
+    }
+
+    /// Insert `e` or extend its expiry (never shortens), then restore the
+    /// skyband invariant.
+    pub fn insert_or_refresh(&mut self, e: Element, hash: u64, expiry: Slot) {
+        if let Some(&old_hash) = self.index.get(&e) {
+            debug_assert_eq!(old_hash, hash, "element {e} with two hashes");
+            let pos = self
+                .entries
+                .iter()
+                .position(|c| c.element == e)
+                .expect("index/entry desync");
+            if self.entries[pos].expiry >= expiry {
+                return;
+            }
+            self.entries.remove(pos);
+        }
+        // Insert in (expiry, element) order.
+        let at = self
+            .entries
+            .partition_point(|c| (c.expiry, c.element) < (expiry, e));
+        self.entries.insert(at, CandidateEntry::new(e, hash, expiry));
+        self.index.insert(e, hash);
+        self.rebuild();
+    }
+
+    /// Drop entries with `expiry <= now`.
+    pub fn expire(&mut self, now: Slot) {
+        let cut = self.entries.partition_point(|c| c.expiry <= now);
+        for c in self.entries.drain(..cut) {
+            self.index.remove(&c.element);
+        }
+    }
+
+    /// The up-to-`s` smallest-hash stored entries — exactly the window's
+    /// bottom-`s` distinct sample (see module docs).
+    #[must_use]
+    pub fn bottom_s(&self) -> Vec<CandidateEntry> {
+        let mut v = self.entries.clone();
+        v.sort_by_key(|c| (c.hash, c.element));
+        v.truncate(self.s);
+        v
+    }
+
+    /// Smallest-hash entry (equals `bottom_s().first()`).
+    #[must_use]
+    pub fn min_entry(&self) -> Option<CandidateEntry> {
+        self.entries.iter().min_by_key(|c| (c.hash, c.element)).copied()
+    }
+
+    /// Stored tuple count (the memory measure).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `e` is stored.
+    #[must_use]
+    pub fn contains(&self, e: Element) -> bool {
+        self.index.contains_key(&e)
+    }
+
+    /// Entries sorted by `(expiry, element)`.
+    #[must_use]
+    pub fn entries_sorted(&self) -> Vec<CandidateEntry> {
+        self.entries.clone()
+    }
+
+    /// Sweep by strictly descending expiry: an entry's dominators are the
+    /// tuples with expiry ≥ its and strictly smaller hash. Equal-expiry
+    /// entries dominate each other under the non-strict convention, so a
+    /// whole equal-expiry *group* is folded into the seen-hash list before
+    /// any group member's dominator rank is evaluated. Evicted tuples still
+    /// count as dominators for earlier entries (module docs explain why
+    /// that is sound).
+    fn rebuild(&mut self) {
+        let n = self.entries.len();
+        let mut seen_hashes: Vec<u64> = Vec::with_capacity(n);
+        let mut keep = vec![true; n];
+        let mut i = n;
+        while i > 0 {
+            // Identify the equal-expiry group [j, i).
+            let expiry = self.entries[i - 1].expiry;
+            let mut j = i;
+            while j > 0 && self.entries[j - 1].expiry == expiry {
+                j -= 1;
+            }
+            for idx in j..i {
+                let h = self.entries[idx].hash;
+                let rank = seen_hashes.partition_point(|&x| x < h);
+                seen_hashes.insert(rank, h);
+            }
+            for idx in j..i {
+                let h = self.entries[idx].hash;
+                // Rank against everything with expiry >= ours, own hash
+                // excluded by strictness.
+                let rank = seen_hashes.partition_point(|&x| x < h);
+                if rank >= self.s {
+                    keep[idx] = false;
+                    self.index.remove(&self.entries[idx].element);
+                }
+            }
+            i = j;
+        }
+        let mut it = keep.iter();
+        self.entries.retain(|_| *it.next().expect("keep mask sized"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry_elems(v: &[CandidateEntry]) -> Vec<u64> {
+        v.iter().map(|c| c.element.0).collect()
+    }
+
+    #[test]
+    fn s1_matches_single_dominance() {
+        // With s = 1 the skyband is the plain staircase.
+        let mut sky = SkybandSet::new(1);
+        sky.insert_or_refresh(Element(1), 100, Slot(5));
+        sky.insert_or_refresh(Element(2), 50, Slot(9)); // dominates e1
+        assert_eq!(sky.len(), 1);
+        assert!(sky.contains(Element(2)));
+        assert_eq!(sky.min_entry().unwrap().element, Element(2));
+    }
+
+    #[test]
+    fn s2_keeps_single_dominated_tuples() {
+        let mut sky = SkybandSet::new(2);
+        sky.insert_or_refresh(Element(1), 100, Slot(5));
+        sky.insert_or_refresh(Element(2), 50, Slot(9)); // 1 dominator of e1
+        assert_eq!(sky.len(), 2, "one dominator is not enough to evict");
+        sky.insert_or_refresh(Element(3), 20, Slot(12)); // 2nd dominator of e1
+        assert_eq!(sky.len(), 2, "two dominators evict e1");
+        assert!(!sky.contains(Element(1)));
+        assert_eq!(entry_elems(&sky.bottom_s()), vec![3, 2]);
+    }
+
+    #[test]
+    fn bottom_s_is_sorted_by_hash_and_truncated() {
+        let mut sky = SkybandSet::new(3);
+        for (e, h, t) in [(1, 400, 10), (2, 300, 11), (3, 200, 12), (4, 100, 13)] {
+            sky.insert_or_refresh(Element(e), h, Slot(t));
+        }
+        let bs = sky.bottom_s();
+        assert_eq!(entry_elems(&bs), vec![4, 3, 2]);
+    }
+
+    #[test]
+    fn expire_unblocks_nothing_but_frees_memory() {
+        let mut sky = SkybandSet::new(1);
+        sky.insert_or_refresh(Element(1), 10, Slot(5));
+        sky.insert_or_refresh(Element(2), 20, Slot(9));
+        assert_eq!(sky.len(), 2, "staircase: both kept");
+        sky.expire(Slot(5));
+        assert_eq!(sky.len(), 1);
+        assert_eq!(sky.min_entry().unwrap().element, Element(2));
+        sky.expire(Slot(9));
+        assert!(sky.is_empty());
+    }
+
+    #[test]
+    fn refresh_extends_and_reorders() {
+        let mut sky = SkybandSet::new(1);
+        sky.insert_or_refresh(Element(1), 100, Slot(5));
+        sky.insert_or_refresh(Element(2), 50, Slot(4));
+        // e2 smaller hash but earlier expiry: both kept (no dominance).
+        assert_eq!(sky.len(), 2);
+        // Refresh e2 past e1: now e2 dominates e1.
+        sky.insert_or_refresh(Element(2), 50, Slot(9));
+        assert_eq!(sky.len(), 1);
+        assert!(sky.contains(Element(2)));
+        // Stale refresh is a no-op.
+        sky.insert_or_refresh(Element(2), 50, Slot(3));
+        assert_eq!(sky.min_entry().unwrap().expiry, Slot(9));
+    }
+
+    /// Oracle check: bottom_s() must equal the true bottom-s of *all*
+    /// live elements ever inserted (tracked exactly, without skyband
+    /// pruning), across random churn.
+    #[test]
+    fn matches_full_recall_oracle() {
+        for s in [1usize, 2, 3, 5] {
+            let mut sky = SkybandSet::new(s);
+            let mut all: Vec<CandidateEntry> = Vec::new(); // full recall
+            let mut x: u64 = 0xfeed_beef ^ (s as u64) << 32;
+            let mut next = move || {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            };
+            let mut now = 0u64;
+            for _ in 0..3_000 {
+                let r = next();
+                if r % 7 == 0 {
+                    now += 1;
+                    sky.expire(Slot(now));
+                    all.retain(|c| c.expiry > Slot(now));
+                } else {
+                    let e = (r >> 8) % 96;
+                    let h = (e + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+                    let expiry = Slot(now + 1 + (r >> 48) % 40);
+                    sky.insert_or_refresh(Element(e), h, expiry);
+                    match all.iter_mut().find(|c| c.element == Element(e)) {
+                        Some(c) => c.expiry = c.expiry.max(expiry),
+                        None => all.push(CandidateEntry::new(Element(e), h, expiry)),
+                    }
+                }
+                // Compare bottom-s.
+                let mut truth = all.clone();
+                truth.sort_by_key(|c| (c.hash, c.element));
+                truth.truncate(s);
+                let got = sky.bottom_s();
+                assert_eq!(
+                    entry_elems(&got),
+                    entry_elems(&truth),
+                    "bottom-{s} mismatch at now={now}"
+                );
+            }
+        }
+    }
+
+    /// Expected size bound: O(s (1 + ln(M/s))) for M distinct elements in
+    /// one accumulating window.
+    #[test]
+    fn size_is_s_log_m() {
+        let m = 2_000u64;
+        for s in [1usize, 4, 16] {
+            let mut sky = SkybandSet::new(s);
+            let mut rng = dds_hash::splitmix::SplitMix64::new(77 + s as u64);
+            for j in 0..m {
+                sky.insert_or_refresh(Element(j), rng.next_u64(), Slot(j + 1));
+            }
+            let bound = s as f64 * (1.0 + (m as f64 / s as f64).ln());
+            assert!(
+                (sky.len() as f64) < 4.0 * bound,
+                "skyband size {} vs expected ~{bound:.1} (s={s})",
+                sky.len()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sample size must be at least 1")]
+    fn zero_s_rejected() {
+        SkybandSet::new(0);
+    }
+}

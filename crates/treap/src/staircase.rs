@@ -1,0 +1,193 @@
+//! `BTreeMap`-backed "staircase" candidate set.
+//!
+//! Exploits the anti-chain invariant directly: surviving tuples, ordered by
+//! `(expiry, element)`, have strictly increasing hashes. Consequences:
+//!
+//! * the **front** entry is simultaneously the earliest-expiring and the
+//!   minimum-hash element — `min_entry` is the first key;
+//! * a new tuple is dominated iff the *first* entry at-or-after its expiry
+//!   has a smaller hash (one probe, no augmentation needed);
+//! * the entries a new tuple dominates form a **contiguous run** ending
+//!   just before its position — pop backwards while `hash > h`.
+//!
+//! Same semantics as [`crate::treap::Treap`] (the two are differentially
+//! tested against each other and against [`crate::naive`]), different
+//! constant factors; `dds-bench`'s ablation bench times them head-to-head.
+
+use std::collections::{BTreeMap, HashMap};
+
+use dds_sim::{Element, Slot};
+
+use crate::candidate::{CandidateEntry, CandidateSet};
+
+/// The staircase-backed candidate set.
+#[derive(Debug, Clone, Default)]
+pub struct StaircaseSet {
+    /// `(expiry, element) → hash`, sorted; the staircase.
+    stairs: BTreeMap<(Slot, Element), u64>,
+    /// `element → (expiry, hash)` for O(1) membership and refresh.
+    index: HashMap<Element, (Slot, u64)>,
+}
+
+impl StaircaseSet {
+    /// An empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Test/debug helper: check the staircase invariant and index sync.
+    pub fn validate(&self) {
+        let mut prev: Option<u64> = None;
+        for (&(_, elem), &hash) in &self.stairs {
+            if let Some(p) = prev {
+                assert!(p < hash, "staircase hashes must strictly increase");
+            }
+            prev = Some(hash);
+            assert!(self.index.contains_key(&elem), "index missing {elem}");
+        }
+        assert_eq!(self.stairs.len(), self.index.len(), "index out of sync");
+    }
+}
+
+impl CandidateSet for StaircaseSet {
+    fn insert_or_refresh(&mut self, e: Element, hash: u64, expiry: Slot) {
+        if let Some(&(old_expiry, old_hash)) = self.index.get(&e) {
+            debug_assert_eq!(
+                old_hash, hash,
+                "element {e} presented with two different hashes"
+            );
+            if old_expiry >= expiry {
+                return;
+            }
+            self.stairs.remove(&(old_expiry, e));
+            self.index.remove(&e);
+        }
+
+        // Dominated? The minimum hash among entries with expiry >= `expiry`
+        // is the first such entry (staircase ⇒ hashes ascend).
+        if let Some((_, &h_after)) = self.stairs.range((expiry, Element(0))..).next() {
+            if h_after < hash {
+                return;
+            }
+        }
+
+        // Remove the contiguous run of dominated entries: expiry <= ours
+        // and hash > ours, i.e. walk backwards from our position while the
+        // hash exceeds ours.
+        loop {
+            let doomed = match self.stairs.range(..(expiry, Element(0))).next_back() {
+                Some((&key, &h_before)) if h_before > hash => Some(key),
+                _ => None,
+            };
+            // Same-expiry entries are keyed >= (expiry, Element(0)) when
+            // their element id sorts after Element(0)'s position — handle
+            // them via an explicit equal-expiry probe below.
+            match doomed {
+                Some(key) => {
+                    self.stairs.remove(&key);
+                    self.index.remove(&key.1);
+                }
+                None => break,
+            }
+        }
+        // Equal-expiry, larger-hash entries (non-strict dominance): these
+        // sit at-or-after (expiry, Element(0)) but before (expiry+1, _).
+        let bound = (Slot(expiry.0.saturating_add(1)), Element(0));
+        let equal_doomed: Vec<(Slot, Element)> = self
+            .stairs
+            .range((expiry, Element(0))..bound)
+            .filter(|&(_, &h)| h > hash)
+            .map(|(&k, _)| k)
+            .collect();
+        for key in equal_doomed {
+            self.stairs.remove(&key);
+            self.index.remove(&key.1);
+        }
+
+        self.stairs.insert((expiry, e), hash);
+        self.index.insert(e, (expiry, hash));
+    }
+
+    fn expire(&mut self, now: Slot) {
+        let bound = (Slot(now.0.saturating_add(1)), Element(0));
+        // split_off keeps >= bound in the returned map; swap to retain it.
+        let live = self.stairs.split_off(&bound);
+        for (_, elem) in std::mem::replace(&mut self.stairs, live).into_keys() {
+            self.index.remove(&elem);
+        }
+    }
+
+    fn min_entry(&self) -> Option<CandidateEntry> {
+        self.stairs
+            .iter()
+            .next()
+            .map(|(&(expiry, elem), &hash)| CandidateEntry::new(elem, hash, expiry))
+    }
+
+    fn len(&self) -> usize {
+        self.stairs.len()
+    }
+
+    fn contains(&self, e: Element) -> bool {
+        self.index.contains_key(&e)
+    }
+
+    fn entries_sorted(&self) -> Vec<CandidateEntry> {
+        self.stairs
+            .iter()
+            .map(|(&(expiry, elem), &hash)| CandidateEntry::new(elem, hash, expiry))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidate::conformance;
+
+    #[test]
+    fn conformance_suite() {
+        conformance::run_all::<StaircaseSet>();
+    }
+
+    #[test]
+    fn validate_after_churn() {
+        let mut s = StaircaseSet::new();
+        let mut x: u64 = 42;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut now = 0u64;
+        for step in 0..5_000 {
+            let r = next();
+            if r % 11 == 0 {
+                now += 1;
+                s.expire(Slot(now));
+            } else {
+                let e = (r >> 8) % 128;
+                let expiry = now + 1 + (r >> 48) % 64;
+                s.insert_or_refresh(Element(e), conformance::h(e), Slot(expiry));
+            }
+            if step % 199 == 0 {
+                s.validate();
+            }
+        }
+        s.validate();
+    }
+
+    #[test]
+    fn front_is_min() {
+        let mut s = StaircaseSet::new();
+        s.insert_or_refresh(Element(10), 500, Slot(30));
+        s.insert_or_refresh(Element(11), 400, Slot(20));
+        s.insert_or_refresh(Element(12), 300, Slot(10));
+        assert_eq!(s.len(), 3);
+        let m = s.min_entry().unwrap();
+        assert_eq!(m.element, Element(12));
+        assert_eq!(m.hash, 300);
+    }
+}

@@ -1,0 +1,499 @@
+//! Arena-based randomized treap keyed by `(expiry, element)`, augmented
+//! with subtree min/max hash — the data structure the paper names for the
+//! per-site candidate set `Tᵢ` (Seidel & Aragon, Algorithmica '96).
+//!
+//! The augmentation is what makes the dominance maintenance cheap:
+//!
+//! * `min_hash` over the key range `expiry ≥ t` answers "is a new tuple
+//!   dominated?" in `O(log n)`;
+//! * `max_hash` over `expiry ≤ t` drives the sweep that deletes every tuple
+//!   the new arrival dominates, in `O((removed + 1)·log n)` — and since a
+//!   tuple is deleted at most once, the sweeps are amortised `O(log n)`
+//!   per insertion.
+//!
+//! Node storage is an index arena (`Vec<Node>` + free list): no `Box`
+//! per node, no `unsafe`, cache-friendly, and recycled allocations across
+//! the sliding window's churn.
+
+use std::collections::HashMap;
+
+use dds_hash::splitmix::SplitMix64;
+use dds_sim::{Element, Slot};
+
+use crate::candidate::{CandidateEntry, CandidateSet};
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    elem: Element,
+    expiry: Slot,
+    hash: u64,
+    priority: u64,
+    left: u32,
+    right: u32,
+    /// Minimum hash in this node's subtree (including itself).
+    min_hash: u64,
+    /// Maximum hash in this node's subtree (including itself).
+    max_hash: u64,
+}
+
+/// The treap-backed candidate set.
+///
+/// See [`CandidateSet`] for the semantics contract and the crate docs for
+/// the dominance convention.
+#[derive(Debug, Clone)]
+pub struct Treap {
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    root: u32,
+    /// `element → (expiry, hash)` for O(1) membership and refresh lookup.
+    index: HashMap<Element, (Slot, u64)>,
+    rng: SplitMix64,
+}
+
+impl Default for Treap {
+    fn default() -> Self {
+        Self::new(0xd15c_7a11_5eed_b00c)
+    }
+}
+
+impl Treap {
+    /// An empty treap whose (random) priorities are drawn from `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: NIL,
+            index: HashMap::new(),
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// Remove all entries, keeping allocations.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.free.clear();
+        self.root = NIL;
+        self.index.clear();
+    }
+
+    #[inline]
+    fn key(&self, i: u32) -> (Slot, Element) {
+        let n = &self.nodes[i as usize];
+        (n.expiry, n.elem)
+    }
+
+    fn alloc(&mut self, elem: Element, expiry: Slot, hash: u64) -> u32 {
+        let priority = self.rng.next_u64();
+        let node = Node {
+            elem,
+            expiry,
+            hash,
+            priority,
+            left: NIL,
+            right: NIL,
+            min_hash: hash,
+            max_hash: hash,
+        };
+        if let Some(i) = self.free.pop() {
+            self.nodes[i as usize] = node;
+            i
+        } else {
+            self.nodes.push(node);
+            u32::try_from(self.nodes.len() - 1).expect("treap exceeds u32 capacity")
+        }
+    }
+
+    #[inline]
+    fn update(&mut self, i: u32) {
+        let (l, r, h) = {
+            let n = &self.nodes[i as usize];
+            (n.left, n.right, n.hash)
+        };
+        let mut min = h;
+        let mut max = h;
+        if l != NIL {
+            min = min.min(self.nodes[l as usize].min_hash);
+            max = max.max(self.nodes[l as usize].max_hash);
+        }
+        if r != NIL {
+            min = min.min(self.nodes[r as usize].min_hash);
+            max = max.max(self.nodes[r as usize].max_hash);
+        }
+        let n = &mut self.nodes[i as usize];
+        n.min_hash = min;
+        n.max_hash = max;
+    }
+
+    /// Merge two treaps where every key in `a` precedes every key in `b`.
+    fn merge(&mut self, a: u32, b: u32) -> u32 {
+        if a == NIL {
+            return b;
+        }
+        if b == NIL {
+            return a;
+        }
+        if self.nodes[a as usize].priority >= self.nodes[b as usize].priority {
+            let ar = self.nodes[a as usize].right;
+            let m = self.merge(ar, b);
+            self.nodes[a as usize].right = m;
+            self.update(a);
+            a
+        } else {
+            let bl = self.nodes[b as usize].left;
+            let m = self.merge(a, bl);
+            self.nodes[b as usize].left = m;
+            self.update(b);
+            b
+        }
+    }
+
+    /// Split into `(keys < at, keys >= at)`.
+    fn split_lt(&mut self, t: u32, at: (Slot, Element)) -> (u32, u32) {
+        if t == NIL {
+            return (NIL, NIL);
+        }
+        if self.key(t) < at {
+            let tr = self.nodes[t as usize].right;
+            let (l, r) = self.split_lt(tr, at);
+            self.nodes[t as usize].right = l;
+            self.update(t);
+            (t, r)
+        } else {
+            let tl = self.nodes[t as usize].left;
+            let (l, r) = self.split_lt(tl, at);
+            self.nodes[t as usize].left = r;
+            self.update(t);
+            (l, t)
+        }
+    }
+
+    /// Insert a node known not to collide on key.
+    fn insert_node(&mut self, elem: Element, expiry: Slot, hash: u64) {
+        let node = self.alloc(elem, expiry, hash);
+        let key = (expiry, elem);
+        let root = self.root;
+        let (l, r) = self.split_lt(root, key);
+        let lm = self.merge(l, node);
+        self.root = self.merge(lm, r);
+    }
+
+    /// Remove the node with exactly this key; returns true if found.
+    fn remove_key(&mut self, expiry: Slot, elem: Element) -> bool {
+        let root = self.root;
+        let (l, rest) = self.split_lt(root, (expiry, elem));
+        // `rest` holds keys >= (expiry, elem); its leftmost node is the
+        // match if present. Split again just past the key.
+        let (mid, r) = self.split_next(rest, (expiry, elem));
+        let found = mid != NIL;
+        if found {
+            debug_assert_eq!(self.key(mid), (expiry, elem));
+            debug_assert_eq!(self.nodes[mid as usize].left, NIL);
+            debug_assert_eq!(self.nodes[mid as usize].right, NIL);
+            self.free.push(mid);
+        }
+        let merged = self.merge(l, r);
+        self.root = merged;
+        found
+    }
+
+    /// Split `(keys <= at, keys > at)` — helper for exact-key extraction.
+    fn split_next(&mut self, t: u32, at: (Slot, Element)) -> (u32, u32) {
+        if t == NIL {
+            return (NIL, NIL);
+        }
+        if self.key(t) <= at {
+            let tr = self.nodes[t as usize].right;
+            let (l, r) = self.split_next(tr, at);
+            self.nodes[t as usize].right = l;
+            self.update(t);
+            (t, r)
+        } else {
+            let tl = self.nodes[t as usize].left;
+            let (l, r) = self.split_next(tl, at);
+            self.nodes[t as usize].left = r;
+            self.update(t);
+            (l, t)
+        }
+    }
+
+    /// Does any stored entry have `expiry >= t` and `hash < h`?
+    fn dominated_exists(&mut self, t: Slot, h: u64) -> bool {
+        let root = self.root;
+        let (l, r) = self.split_lt(root, (t, Element(0)));
+        let ans = r != NIL && self.nodes[r as usize].min_hash < h;
+        self.root = self.merge(l, r);
+        ans
+    }
+
+    /// Delete every entry with `expiry <= t` and `hash > h`, removing them
+    /// from the element index too.
+    fn remove_dominated(&mut self, t: Slot, h: u64) {
+        let root = self.root;
+        // All keys (expiry <= t, any element) are < (t+1, Element(0)).
+        let bound = (Slot(t.0.saturating_add(1)), Element(0));
+        let (l, r) = self.split_lt(root, bound);
+        let mut removed = Vec::new();
+        let l = self.filter_hash_le(l, h, &mut removed);
+        self.root = self.merge(l, r);
+        for i in removed {
+            let elem = self.nodes[i as usize].elem;
+            self.index.remove(&elem);
+            self.free.push(i);
+        }
+    }
+
+    /// Keep only nodes with `hash <= h` in the subtree; prune via
+    /// `max_hash`. Returns the new subtree root; doomed node ids are pushed
+    /// to `removed` (caller recycles and un-indexes them).
+    fn filter_hash_le(&mut self, t: u32, h: u64, removed: &mut Vec<u32>) -> u32 {
+        if t == NIL || self.nodes[t as usize].max_hash <= h {
+            return t;
+        }
+        let (tl, tr, th) = {
+            let n = &self.nodes[t as usize];
+            (n.left, n.right, n.hash)
+        };
+        let l = self.filter_hash_le(tl, h, removed);
+        let r = self.filter_hash_le(tr, h, removed);
+        if th > h {
+            removed.push(t);
+            self.merge(l, r)
+        } else {
+            self.nodes[t as usize].left = l;
+            self.nodes[t as usize].right = r;
+            self.update(t);
+            t
+        }
+    }
+
+    fn in_order(&self, t: u32, out: &mut Vec<CandidateEntry>) {
+        if t == NIL {
+            return;
+        }
+        let n = &self.nodes[t as usize];
+        self.in_order(n.left, out);
+        out.push(CandidateEntry::new(n.elem, n.hash, n.expiry));
+        self.in_order(n.right, out);
+    }
+
+    /// Test/debug helper: verify BST order on keys, heap order on
+    /// priorities, augmentation values, and index consistency.
+    pub fn validate(&self) {
+        fn walk(
+            t: &Treap,
+            i: u32,
+            lo: Option<(Slot, Element)>,
+            hi: Option<(Slot, Element)>,
+        ) -> (u64, u64, usize) {
+            if i == NIL {
+                return (u64::MAX, u64::MIN, 0);
+            }
+            let n = &t.nodes[i as usize];
+            let key = (n.expiry, n.elem);
+            if let Some(lo) = lo {
+                assert!(key > lo, "BST order violated");
+            }
+            if let Some(hi) = hi {
+                assert!(key < hi, "BST order violated");
+            }
+            for c in [n.left, n.right] {
+                if c != NIL {
+                    assert!(
+                        t.nodes[c as usize].priority <= n.priority,
+                        "heap order violated"
+                    );
+                }
+            }
+            let (lmin, lmax, lc) = walk(t, n.left, lo, Some(key));
+            let (rmin, rmax, rc) = walk(t, n.right, Some(key), hi);
+            let min = n.hash.min(lmin).min(rmin);
+            let max = n.hash.max(lmax).max(rmax);
+            assert_eq!(n.min_hash, min, "min_hash augmentation stale");
+            assert_eq!(n.max_hash, max, "max_hash augmentation stale");
+            (min, max, lc + rc + 1)
+        }
+        let (_, _, count) = walk(self, self.root, None, None);
+        assert_eq!(count, self.index.len(), "index out of sync with tree");
+        let mut entries = Vec::new();
+        self.in_order(self.root, &mut entries);
+        for e in entries {
+            assert_eq!(
+                self.index.get(&e.element),
+                Some(&(e.expiry, e.hash)),
+                "index entry mismatch"
+            );
+        }
+    }
+}
+
+impl CandidateSet for Treap {
+    fn insert_or_refresh(&mut self, e: Element, hash: u64, expiry: Slot) {
+        if let Some(&(old_expiry, old_hash)) = self.index.get(&e) {
+            debug_assert_eq!(
+                old_hash, hash,
+                "element {e} presented with two different hashes"
+            );
+            if old_expiry >= expiry {
+                return; // stale echo: never shorten a life
+            }
+            let removed = self.remove_key(old_expiry, e);
+            debug_assert!(removed);
+            self.index.remove(&e);
+        }
+        if self.dominated_exists(expiry, hash) {
+            return;
+        }
+        self.remove_dominated(expiry, hash);
+        self.insert_node(e, expiry, hash);
+        self.index.insert(e, (expiry, hash));
+    }
+
+    fn expire(&mut self, now: Slot) {
+        // All keys with expiry <= now are < (now+1, Element(0)).
+        let root = self.root;
+        let bound = (Slot(now.0.saturating_add(1)), Element(0));
+        let (dead, live) = self.split_lt(root, bound);
+        self.root = live;
+        // Recycle the dead subtree.
+        let mut stack = vec![dead];
+        while let Some(i) = stack.pop() {
+            if i == NIL {
+                continue;
+            }
+            let n = self.nodes[i as usize];
+            self.index.remove(&n.elem);
+            self.free.push(i);
+            stack.push(n.left);
+            stack.push(n.right);
+        }
+    }
+
+    fn min_entry(&self) -> Option<CandidateEntry> {
+        if self.root == NIL {
+            return None;
+        }
+        let target = self.nodes[self.root as usize].min_hash;
+        let mut i = self.root;
+        loop {
+            let n = &self.nodes[i as usize];
+            if n.left != NIL && self.nodes[n.left as usize].min_hash == target {
+                i = n.left;
+            } else if n.hash == target {
+                return Some(CandidateEntry::new(n.elem, n.hash, n.expiry));
+            } else {
+                debug_assert!(
+                    n.right != NIL && self.nodes[n.right as usize].min_hash == target,
+                    "augmentation inconsistent"
+                );
+                i = n.right;
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    fn contains(&self, e: Element) -> bool {
+        self.index.contains_key(&e)
+    }
+
+    fn entries_sorted(&self) -> Vec<CandidateEntry> {
+        let mut out = Vec::with_capacity(self.len());
+        self.in_order(self.root, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidate::conformance;
+
+    #[test]
+    fn conformance_suite() {
+        conformance::run_all::<Treap>();
+    }
+
+    #[test]
+    fn validate_after_heavy_churn() {
+        let mut t = Treap::new(7);
+        let mut x: u64 = 0x1234_5678_9abc_def0;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut now = 0u64;
+        for step in 0..5_000 {
+            let r = next();
+            if r % 13 == 0 {
+                now += 1;
+                t.expire(Slot(now));
+            } else {
+                let e = (r >> 8) % 256;
+                let expiry = now + 1 + (r >> 48) % 100;
+                t.insert_or_refresh(Element(e), conformance::h(e), Slot(expiry));
+            }
+            if step % 251 == 0 {
+                t.validate();
+                conformance::check_staircase(&t, Slot(now));
+            }
+        }
+        t.validate();
+    }
+
+    #[test]
+    fn arena_recycles_nodes() {
+        let mut t = Treap::new(1);
+        for round in 0..10u64 {
+            for e in 0..100u64 {
+                // Distinct hashes avoid dominance so all 100 coexist:
+                // ascending expiry with ascending hash.
+                t.insert_or_refresh(Element(e), 1000 + e, Slot(round * 100 + e + 1));
+            }
+            t.expire(Slot((round + 1) * 100));
+            assert!(t.is_empty());
+        }
+        // 100 live nodes max at any instant; arena must not have grown to
+        // anything near 1000.
+        assert!(t.nodes.len() <= 100, "arena grew to {}", t.nodes.len());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = Treap::default();
+        t.insert_or_refresh(Element(1), 5, Slot(10));
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.min_entry(), None);
+        t.insert_or_refresh(Element(2), 6, Slot(10));
+        assert_eq!(t.len(), 1);
+        t.validate();
+    }
+
+    #[test]
+    fn expected_size_is_logarithmic() {
+        // Lemma 10: E[|Tᵢ|] ≤ H_M. Feed M distinct elements with random
+        // hashes in arrival order (all same expiry direction: ascending),
+        // measure the surviving staircase size. With M = 1024,
+        // H_M ≈ 7.5; allow generous slack for variance over one run.
+        let mut t = Treap::new(99);
+        let mut rng = dds_hash::splitmix::SplitMix64::new(5);
+        let m = 1024u64;
+        for j in 0..m {
+            t.insert_or_refresh(Element(j), rng.next_u64(), Slot(j + 1));
+        }
+        let h_m: f64 = (1..=m).map(|i| 1.0 / i as f64).sum();
+        assert!(
+            (t.len() as f64) < 4.0 * h_m,
+            "treap size {} far exceeds H_M = {h_m:.1}",
+            t.len()
+        );
+        t.validate();
+    }
+}

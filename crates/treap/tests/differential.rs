@@ -1,0 +1,125 @@
+//! Property-based differential tests: Treap ≡ Staircase ≡ Naive oracle
+//! under arbitrary operation sequences, plus skyband(s=1) ≡ staircase.
+//!
+//! Hashes are derived injectively from elements (as in the real protocol,
+//! where `h` is a function of the element), so dominance is untied and the
+//! three implementations must agree *exactly*.
+
+use dds_sim::{Element, Slot};
+use dds_treap::{CandidateSet, NaiveCandidateSet, SkybandSet, StaircaseSet, Treap};
+use proptest::prelude::*;
+
+/// Injective pseudo-hash: odd-constant multiply (a bijection on u64).
+fn h(e: u64) -> u64 {
+    e.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(0x1234_5678)
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Observe element (id) living for (life) slots past now.
+    Insert { elem: u64, life: u64 },
+    /// Advance time by one slot and expire.
+    Tick,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u64..48, 1u64..40).prop_map(|(elem, life)| Op::Insert { elem, life }),
+        1 => Just(Op::Tick),
+    ]
+}
+
+fn apply<S: CandidateSet>(s: &mut S, ops: &[Op]) -> Vec<String> {
+    let mut now = 0u64;
+    let mut trace = Vec::new();
+    for op in ops {
+        match op {
+            Op::Insert { elem, life } => {
+                s.insert_or_refresh(Element(*elem), h(*elem), Slot(now + life));
+            }
+            Op::Tick => {
+                now += 1;
+                s.expire(Slot(now));
+            }
+        }
+        trace.push(format!(
+            "len={} min={:?}",
+            s.len(),
+            s.min_entry().map(|m| (m.element.0, m.hash, m.expiry.0))
+        ));
+    }
+    trace
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn treap_equals_naive(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let mut treap = Treap::default();
+        let mut naive = NaiveCandidateSet::new();
+        let t1 = apply(&mut treap, &ops);
+        let t2 = apply(&mut naive, &ops);
+        prop_assert_eq!(t1, t2);
+        prop_assert_eq!(treap.entries_sorted(), naive.entries_sorted());
+        treap.validate();
+    }
+
+    #[test]
+    fn staircase_equals_naive(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let mut stair = StaircaseSet::new();
+        let mut naive = NaiveCandidateSet::new();
+        let t1 = apply(&mut stair, &ops);
+        let t2 = apply(&mut naive, &ops);
+        prop_assert_eq!(t1, t2);
+        prop_assert_eq!(stair.entries_sorted(), naive.entries_sorted());
+        stair.validate();
+    }
+
+    #[test]
+    fn treap_equals_staircase_long_runs(ops in prop::collection::vec(op_strategy(), 1..600)) {
+        let mut treap = Treap::default();
+        let mut stair = StaircaseSet::new();
+        let t1 = apply(&mut treap, &ops);
+        let t2 = apply(&mut stair, &ops);
+        prop_assert_eq!(t1, t2);
+        prop_assert_eq!(treap.entries_sorted(), stair.entries_sorted());
+    }
+
+    #[test]
+    fn skyband_s1_equals_staircase(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let mut sky = SkybandSet::new(1);
+        let mut stair = StaircaseSet::new();
+        let mut now = 0u64;
+        for op in &ops {
+            match op {
+                Op::Insert { elem, life } => {
+                    sky.insert_or_refresh(Element(*elem), h(*elem), Slot(now + life));
+                    stair.insert_or_refresh(Element(*elem), h(*elem), Slot(now + life));
+                }
+                Op::Tick => {
+                    now += 1;
+                    sky.expire(Slot(now));
+                    stair.expire(Slot(now));
+                }
+            }
+            prop_assert_eq!(sky.min_entry(), stair.min_entry());
+            prop_assert_eq!(sky.len(), stair.len());
+            prop_assert_eq!(sky.entries_sorted(), stair.entries_sorted());
+        }
+    }
+
+    /// Memory invariant across all implementations: after any op sequence,
+    /// the candidate set is never larger than the number of live distinct
+    /// elements (trivially) and the staircase property holds.
+    #[test]
+    fn staircase_property_always(ops in prop::collection::vec(op_strategy(), 1..300)) {
+        let mut treap = Treap::default();
+        apply(&mut treap, &ops);
+        let entries = treap.entries_sorted();
+        for w in entries.windows(2) {
+            prop_assert!(w[0].expiry <= w[1].expiry);
+            prop_assert!(w[0].hash < w[1].hash, "staircase violated");
+        }
+    }
+}

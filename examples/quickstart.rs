@@ -1,0 +1,83 @@
+//! Quickstart — a 60-second tour of distributed distinct sampling.
+//!
+//! Four sites observe a skewed stream (some elements repeat thousands of
+//! times); the coordinator continuously holds a uniform sample of the
+//! *distinct* elements, and we watch what that costs in messages.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use distinct_stream_sampling::prelude::*;
+
+fn main() {
+    let k = 4; // sites
+    let s = 16; // sample size
+
+    // Every node shares the hash function via the family seed — this is
+    // Algorithm 1's "receive hash function h from the coordinator" step.
+    let config = InfiniteConfig::new(s);
+    let mut cluster = config.cluster(k);
+
+    // A heavily skewed workload: 100k observations of only 5k distinct
+    // values (some values appear thousands of times).
+    let profile = TraceProfile {
+        name: "quickstart",
+        total: 100_000,
+        distinct: 5_000,
+    };
+    let mut router = Router::new(Routing::Random, k, 7);
+    for e in TraceLikeStream::new(profile, 42) {
+        match router.route() {
+            RouteTarget::One(site) => cluster.observe(site, e),
+            RouteTarget::All => cluster.observe_at_all(e),
+        }
+    }
+
+    // The coordinator answers instantly, at any time, no extra messages.
+    let sample = cluster.sample();
+    println!("distinct sample ({} elements):", sample.len());
+    for e in &sample {
+        println!("  {e}");
+    }
+
+    // A distinct sample estimates the distinct count from its threshold.
+    let est = KmvEstimate::from_threshold_u64(s, cluster.coordinator().threshold().0);
+    println!(
+        "\nestimated distinct count: {:.0}  (true: {}, sample-size-{s} error ≈ ±{:.0}%)",
+        est.estimate,
+        profile.distinct,
+        100.0 * est.relative_std_error
+    );
+
+    // And the punchline — communication. 100k observations cost only:
+    let c = cluster.counters();
+    println!(
+        "\nmessages: {} total ({} up, {} down) = {:.4} per observation",
+        c.total_messages(),
+        c.up_messages(),
+        c.down_messages(),
+        c.total_messages() as f64 / profile.total as f64
+    );
+    println!(
+        "bytes on the wire: {} ({:.1} per message)",
+        c.total_bytes(),
+        c.mean_message_bytes()
+    );
+
+    // Compare with the theory. A reproduction finding worth seeing live:
+    // the paper's Lemma 4 bound counts only *distinct* arrivals, assuming
+    // repeats never communicate — but repeats of currently-sampled
+    // elements do (h(e) < uᵢ holds for them), costing ≈ 2(s−1)·(n/d)·(H_d − H_s)
+    // extra messages. On this 20×-repeat stream that correction DOMINATES
+    // the bound; on the paper's own datasets it is ~1% and invisible.
+    let bound = dds_core::bounds::lemma4_upper(k, s, profile.distinct);
+    let repeat_tax =
+        dds_core::bounds::repeat_overhead(s, profile.total, profile.distinct);
+    println!("\nLemma 4 bound (distinct arrivals only): {bound:>8.0} messages");
+    println!("+ in-sample repeat tax (see dds-core docs): {repeat_tax:>8.0}");
+    println!(
+        "= predicted ≈ {:>8.0}   vs measured {} ({:+.1}%)",
+        bound + repeat_tax,
+        c.total_messages(),
+        100.0 * (c.total_messages() as f64 - bound - repeat_tax) / (bound + repeat_tax)
+    );
+}

@@ -1,0 +1,67 @@
+//! Real threads, real channels — the protocol outside the simulator.
+//!
+//! Spawns the infinite-window protocol as one coordinator thread plus
+//! `k` site threads over crossbeam channels, feeds the sites from the
+//! main thread without any synchronisation barrier, and verifies the
+//! snapshot against a centralized oracle. Threshold staleness under
+//! asynchrony costs extra messages but never correctness — compare the
+//! message count with the synchronous simulator on the same input.
+//!
+//! Run with: `cargo run --release --example threaded_deployment`
+
+use distinct_stream_sampling::prelude::*;
+
+fn main() {
+    let k = 8;
+    let s = 64;
+    let config = InfiniteConfig::new(s);
+
+    let profile = TraceProfile {
+        name: "threaded",
+        total: 200_000,
+        distinct: 40_000,
+    };
+
+    // --- threaded deployment ---
+    let mut threaded = ThreadedCluster::spawn(config.sites(k), config.coordinator());
+    let mut router = Router::new(Routing::Random, k, 17);
+    let mut oracle = CentralizedSampler::new(s, config.hasher());
+    for e in TraceLikeStream::new(profile, 23) {
+        oracle.observe(e);
+        match router.route() {
+            RouteTarget::One(site) => threaded.observe(site, e),
+            RouteTarget::All => unreachable!("random routing"),
+        }
+    }
+    let threaded_sample = threaded.sample(); // flush barrier + query
+    let (_, _, threaded_counters) = threaded.shutdown();
+
+    // --- same input through the synchronous simulator ---
+    let mut sim = config.cluster(k);
+    let mut router = Router::new(Routing::Random, k, 17);
+    for e in TraceLikeStream::new(profile, 23) {
+        match router.route() {
+            RouteTarget::One(site) => sim.observe(site, e),
+            RouteTarget::All => unreachable!(),
+        }
+    }
+
+    assert_eq!(
+        threaded_sample,
+        oracle.sample(),
+        "threaded deployment must produce the exact bottom-s sample"
+    );
+    assert_eq!(sim.sample(), oracle.sample());
+
+    println!("sample agreed across: centralized oracle, simulator, threads ✓");
+    println!("sample size: {}", threaded_sample.len());
+    println!(
+        "messages — synchronous simulator: {:>7}",
+        sim.counters().total_messages()
+    );
+    println!(
+        "messages — threaded (async)     : {:>7}   (staleness tax: {:+})",
+        threaded_counters.total_messages(),
+        threaded_counters.total_messages() as i64 - sim.counters().total_messages() as i64
+    );
+}

@@ -1,0 +1,150 @@
+//! Estimators wired to the live protocols — the paper's motivating
+//! queries, answered end-to-end from the coordinator's state.
+
+use distinct_stream_sampling::prelude::*;
+use distinct_stream_sampling::stats::subset;
+
+/// Build a cluster over a pair stream, returning (cluster, true pair set).
+fn sampled_pairs(
+    s: usize,
+    seed: u64,
+) -> (
+    Cluster<LazySite, LazyCoordinator>,
+    std::collections::HashSet<Element>,
+) {
+    let k = 6;
+    let config = InfiniteConfig::with_seed(s, seed);
+    let mut cluster = config.cluster(k);
+    let mut router = Router::new(Routing::Random, k, seed ^ 1);
+    let mut truth = std::collections::HashSet::new();
+    for e in PairStream::enron_flavour(120_000, seed ^ 2) {
+        truth.insert(e);
+        match router.route() {
+            RouteTarget::One(site) => cluster.observe(site, e),
+            RouteTarget::All => cluster.observe_at_all(e),
+        }
+    }
+    (cluster, truth)
+}
+
+#[test]
+fn kmv_estimates_distinct_count_from_live_protocol() {
+    let s = 256;
+    let mut errors = Vec::new();
+    for seed in [11u64, 22, 33] {
+        let (cluster, truth) = sampled_pairs(s, seed);
+        let est = KmvEstimate::from_threshold_u64(s, cluster.coordinator().threshold().0);
+        let rel = (est.estimate - truth.len() as f64).abs() / truth.len() as f64;
+        errors.push(rel);
+    }
+    let mean_err = errors.iter().sum::<f64>() / errors.len() as f64;
+    // Theory: rse ≈ 1/√254 ≈ 6.3%; allow 3×.
+    assert!(mean_err < 0.19, "mean relative error {mean_err:.3}");
+}
+
+#[test]
+fn predicate_count_estimation_from_live_protocol() {
+    let s = 400;
+    let (cluster, truth) = sampled_pairs(s, 77);
+    let sample = cluster.sample();
+    assert_eq!(sample.len(), s);
+    let est = KmvEstimate::from_threshold_u64(s, cluster.coordinator().threshold().0);
+
+    // Predicate known only at query time: "sender id is even".
+    let pred = |e: &Element| PairStream::src(*e) % 2 == 0;
+    let estimated = subset::distinct_count_where(&sample, pred, est.estimate).unwrap();
+    let true_count = truth.iter().filter(|e| pred(e)).count() as f64;
+    let rel = (estimated - true_count).abs() / true_count;
+    assert!(
+        rel < 0.25,
+        "predicate count: estimated {estimated:.0} vs true {true_count} ({rel:.3})"
+    );
+}
+
+#[test]
+fn distinct_sample_is_frequency_unbiased_but_occurrence_sample_is_not() {
+    // The defining contrast, end to end: element 0 makes up half the
+    // occurrences but is one of 1001 distinct values.
+    let k = 4;
+    let s = 50;
+    let runs: u64 = 40;
+    let mut dds_hits = 0u32;
+    let mut drs_hits = 0u32;
+    for seed in 0..runs {
+        let mut dds = InfiniteConfig::with_seed(s, 40_000 + seed).cluster(k);
+        let mut drs = dds_core::drs::DrsConfig::new(s, 50_000 + seed).cluster(k);
+        let mut rng = distinct_stream_sampling::hash::splitmix::SplitMix64::new(seed);
+        for i in 0..8_000u64 {
+            let e = if rng.next_below(2) == 0 {
+                Element(0)
+            } else {
+                Element(1 + (i % 1_000))
+            };
+            let site = SiteId(rng.next_below(k as u64) as usize);
+            dds.observe(site, e);
+            drs.observe(site, e);
+        }
+        dds_hits += u32::from(dds.sample().contains(&Element(0)));
+        drs_hits += u32::from(drs.sample().contains(&Element(0)));
+    }
+    // DDS: P[0 in sample] = s/d = 50/1001 ≈ 5% → a few hits in 40 runs.
+    // DRS: P ≈ 1 (half the stream, s=50 slots) → nearly every run.
+    assert!(
+        u64::from(dds_hits) <= runs / 3,
+        "distinct sampler over-included the heavy hitter: {dds_hits}/{runs}"
+    );
+    assert!(
+        u64::from(drs_hits) >= runs * 9 / 10,
+        "occurrence sampler should almost always hold the heavy hitter: {drs_hits}/{runs}"
+    );
+}
+
+#[test]
+fn sliding_window_distinct_count_via_nofeedback_bottom_s() {
+    // Bottom-s over the window supports windowed KMV estimation too.
+    let s = 128;
+    let window = 300;
+    let k = 5;
+    let config = NfConfig::with_seed(s, window, 9);
+    let mut cluster = config.cluster(k);
+    let mut oracle = SlidingOracle::new(window, config.hasher());
+    let input = SlottedInput::paper_default(
+        TraceLikeStream::new(
+            TraceProfile {
+                name: "wkmv",
+                total: 30_000,
+                distinct: 9_000,
+            },
+            4,
+        ),
+        k,
+        8,
+    );
+    let mut checked = 0;
+    for (slot, batch) in input {
+        while cluster.now() < slot {
+            cluster.advance_slot();
+            oracle.expire(cluster.now());
+        }
+        for (site, e) in batch {
+            oracle.observe(e, slot);
+            cluster.observe(site, e);
+        }
+        if slot.0 > 2 * window && slot.0 % 500 == 0 {
+            let entries = cluster.coordinator().bottom_entries();
+            if entries.len() == s {
+                let u = entries.last().unwrap().hash;
+                let est = KmvEstimate::from_threshold_u64(s, u);
+                let truth = oracle.distinct_in_window(slot) as f64;
+                let rel = (est.estimate - truth).abs() / truth;
+                assert!(
+                    rel < 0.35,
+                    "windowed estimate {:.0} vs true {truth} at slot {slot}",
+                    est.estimate
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked > 0, "no full-sample probe points reached");
+}

@@ -1,0 +1,149 @@
+//! Property-based integration tests: arbitrary streams, routings, and
+//! schedules against the oracles.
+
+use distinct_stream_sampling::prelude::*;
+use proptest::prelude::*;
+
+/// An arbitrary observation plan: which site sees which element, with
+/// occasional slot advances.
+#[derive(Debug, Clone)]
+enum Step {
+    Observe { site: usize, elem: u64 },
+    Flood { elem: u64 },
+    Tick,
+}
+
+fn step_strategy(k: usize) -> impl Strategy<Value = Step> {
+    prop_oneof![
+        8 => (0..k, 0u64..200).prop_map(|(site, elem)| Step::Observe { site, elem }),
+        1 => (0u64..200).prop_map(|elem| Step::Flood { elem }),
+        2 => Just(Step::Tick),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Infinite window: the distributed sample equals the centralized
+    /// bottom-s after every single step, for arbitrary interleavings.
+    #[test]
+    fn infinite_always_matches_oracle(
+        steps in prop::collection::vec(step_strategy(4), 1..400),
+        s in 1usize..12,
+        hash_seed in 0u64..1_000,
+    ) {
+        let config = InfiniteConfig::with_seed(s, hash_seed);
+        let mut cluster = config.cluster(4);
+        let mut oracle = CentralizedSampler::new(s, config.hasher());
+        for step in &steps {
+            match *step {
+                Step::Observe { site, elem } => {
+                    oracle.observe(Element(elem));
+                    cluster.observe(SiteId(site), Element(elem));
+                }
+                Step::Flood { elem } => {
+                    oracle.observe(Element(elem));
+                    cluster.observe_at_all(Element(elem));
+                }
+                Step::Tick => cluster.advance_slot(),
+            }
+            prop_assert_eq!(cluster.sample(), oracle.sample());
+        }
+        // Threshold invariant at the end.
+        let u = cluster.coordinator().threshold();
+        for i in 0..4 {
+            prop_assert!(cluster.site(SiteId(i)).threshold() >= u);
+        }
+    }
+
+    /// Sliding window (registry coordinator): matches the brute-force
+    /// window oracle at every step, for arbitrary schedules.
+    #[test]
+    fn sliding_always_matches_oracle(
+        steps in prop::collection::vec(step_strategy(3), 1..300),
+        window in 1u64..40,
+        hash_seed in 0u64..1_000,
+    ) {
+        let config = SlidingConfig::with_seed(window, hash_seed);
+        let mut cluster = config.cluster(3);
+        let mut oracle = SlidingOracle::new(window, config.hasher());
+        for step in &steps {
+            match *step {
+                Step::Observe { site, elem } => {
+                    oracle.observe(Element(elem), cluster.now());
+                    cluster.observe(SiteId(site), Element(elem));
+                }
+                Step::Flood { elem } => {
+                    oracle.observe(Element(elem), cluster.now());
+                    cluster.observe_at_all(Element(elem));
+                }
+                Step::Tick => {
+                    cluster.advance_slot();
+                    oracle.expire(cluster.now());
+                }
+            }
+            let want: Vec<Element> = oracle
+                .min_in_window(cluster.now())
+                .map(|(e, _, _)| e)
+                .into_iter()
+                .collect();
+            prop_assert_eq!(cluster.sample(), want);
+        }
+    }
+
+    /// The no-feedback bottom-s sliding sampler matches the oracle's
+    /// bottom-s for arbitrary schedules and s.
+    #[test]
+    fn nofeedback_bottom_s_always_matches_oracle(
+        steps in prop::collection::vec(step_strategy(3), 1..250),
+        window in 1u64..30,
+        s in 1usize..6,
+        hash_seed in 0u64..500,
+    ) {
+        let config = NfConfig::with_seed(s, window, hash_seed);
+        let mut cluster = config.cluster(3);
+        let mut oracle = SlidingOracle::new(window, config.hasher());
+        for step in &steps {
+            match *step {
+                Step::Observe { site, elem } => {
+                    oracle.observe(Element(elem), cluster.now());
+                    cluster.observe(SiteId(site), Element(elem));
+                }
+                Step::Flood { elem } => {
+                    oracle.observe(Element(elem), cluster.now());
+                    cluster.observe_at_all(Element(elem));
+                }
+                Step::Tick => {
+                    cluster.advance_slot();
+                    oracle.expire(cluster.now());
+                }
+            }
+            prop_assert_eq!(
+                cluster.sample(),
+                oracle.bottom_s_in_window(cluster.now(), s)
+            );
+        }
+    }
+
+    /// Message monotonicity + byte proportionality hold on any input.
+    #[test]
+    fn accounting_invariants(
+        steps in prop::collection::vec(step_strategy(5), 1..200),
+        hash_seed in 0u64..100,
+    ) {
+        let config = InfiniteConfig::with_seed(5, hash_seed);
+        let mut cluster = config.cluster(5);
+        let mut last_total = 0u64;
+        for step in &steps {
+            match *step {
+                Step::Observe { site, elem } => cluster.observe(SiteId(site), Element(elem)),
+                Step::Flood { elem } => cluster.observe_at_all(Element(elem)),
+                Step::Tick => cluster.advance_slot(),
+            }
+            let t = cluster.counters().total_messages();
+            prop_assert!(t >= last_total);
+            last_total = t;
+        }
+        prop_assert_eq!(cluster.counters().total_bytes(), 8 * last_total);
+    }
+}
