@@ -8,7 +8,11 @@ use dds_data::{Routing, TraceProfile};
 fn adversarial(c: &mut Criterion) {
     let mut g = c.benchmark_group("ext_bounds/adversarial");
     g.sample_size(10);
-    let profile = TraceProfile { name: "adv", total: 5_000, distinct: 5_000 };
+    let profile = TraceProfile {
+        name: "adv",
+        total: 5_000,
+        distinct: 5_000,
+    };
     g.bench_function("flooding_k5", |b| {
         b.iter(|| {
             let spec = InfiniteRun {

@@ -8,7 +8,11 @@ use dds_data::{Routing, TraceProfile};
 fn protocols(c: &mut Criterion) {
     let mut g = c.benchmark_group("ext_dds_vs_drs/flooding_k50");
     g.sample_size(10);
-    let profile = TraceProfile { name: "adv", total: 3_000, distinct: 3_000 };
+    let profile = TraceProfile {
+        name: "adv",
+        total: 3_000,
+        distinct: 3_000,
+    };
     for p in [InfiniteProtocol::Lazy, InfiniteProtocol::DrsHalving] {
         g.bench_function(p.label(), |b| {
             b.iter(|| {

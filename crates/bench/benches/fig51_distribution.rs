@@ -24,7 +24,9 @@ fn protocol_throughput(c: &mut Criterion) {
                     route_seed: 3,
                     snapshots: 0,
                 };
-                black_box(dds_bench::driver::run_infinite(InfiniteProtocol::Lazy, &spec).total_messages)
+                black_box(
+                    dds_bench::driver::run_infinite(InfiniteProtocol::Lazy, &spec).total_messages,
+                )
             });
         });
     }

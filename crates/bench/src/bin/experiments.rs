@@ -50,7 +50,11 @@ fn main() {
         }
         println!("   [{} finished in {:.1?}]\n", exp.id, started.elapsed());
     }
-    println!("all done in {:.1?}; CSVs in {}", t0.elapsed(), dir.display());
+    println!(
+        "all done in {:.1?}; CSVs in {}",
+        t0.elapsed(),
+        dir.display()
+    );
 }
 
 fn print_help() {

@@ -91,8 +91,8 @@ pub fn run_infinite(protocol: InfiniteProtocol, spec: &InfiniteRun) -> RunOutcom
             drive(&mut cluster, spec)
         }
         InfiniteProtocol::LazyReplyOnChange => {
-            let mut cluster = InfiniteConfig::with_seed(spec.s, spec.hash_seed)
-                .cluster_reply_on_change(spec.k);
+            let mut cluster =
+                InfiniteConfig::with_seed(spec.s, spec.hash_seed).cluster_reply_on_change(spec.k);
             drive(&mut cluster, spec)
         }
         InfiniteProtocol::Broadcast => {

@@ -61,8 +61,10 @@ fn sliding_feedback(scale: &Scale, profile: TraceProfile) -> SeriesSet {
         "window size w",
         "total messages",
     );
-    for (label, no_feedback) in [("lazy feedback (Alg 3/4)", false), ("no feedback (§4.1)", true)]
-    {
+    for (label, no_feedback) in [
+        ("lazy feedback (Alg 3/4)", false),
+        ("no feedback (§4.1)", true),
+    ] {
         let mut series = Series::new(label);
         for &w in &W_SWEEP {
             let avg = average_runs(runs, |run| {

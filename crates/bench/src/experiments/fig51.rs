@@ -20,10 +20,7 @@ const SNAPSHOTS: usize = 20;
 fn one_dataset(scale: &Scale, name: &str, base: TraceProfile) -> SeriesSet {
     let profile = scale.apply(base);
     let mut set = SeriesSet::new(
-        format!(
-            "Figure 5.1 ({name}) [{}]: k={K}, s={S}",
-            scale.label
-        ),
+        format!("Figure 5.1 ({name}) [{}]: k={K}, s={S}", scale.label),
         "elements observed",
         "total messages",
     );

@@ -19,7 +19,10 @@ const SNAPSHOTS: usize = 20;
 fn one_dataset(scale: &Scale, name: &str, base: TraceProfile) -> SeriesSet {
     let profile = scale.apply(base);
     let mut set = SeriesSet::new(
-        format!("Figure 5.4 ({name}) [{}]: k={K}, s={S}, random", scale.label),
+        format!(
+            "Figure 5.4 ({name}) [{}]: k={K}, s={S}, random",
+            scale.label
+        ),
         "elements observed",
         "total messages",
     );

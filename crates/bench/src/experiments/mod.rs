@@ -108,8 +108,11 @@ pub fn select(ids: &[String]) -> Vec<Experiment> {
     registry
         .into_iter()
         .filter(|e| {
-            ids.iter()
-                .any(|want| e.id == want || (want == "fig58" && e.id == "fig57") || (want == "fig510" && e.id == "fig59"))
+            ids.iter().any(|want| {
+                e.id == want
+                    || (want == "fig58" && e.id == "fig57")
+                    || (want == "fig510" && e.id == "fig59")
+            })
         })
         .collect()
 }
@@ -122,8 +125,18 @@ mod tests {
     fn registry_covers_every_table_and_figure() {
         let ids: Vec<&str> = all().iter().map(|e| e.id).collect();
         for required in [
-            "table51", "fig51", "fig52", "fig53", "fig54", "fig55", "fig56", "fig57", "fig59",
-            "ext_bounds", "ext_dds_vs_drs", "ext_ablation",
+            "table51",
+            "fig51",
+            "fig52",
+            "fig53",
+            "fig54",
+            "fig55",
+            "fig56",
+            "fig57",
+            "fig59",
+            "ext_bounds",
+            "ext_dds_vs_drs",
+            "ext_ablation",
         ] {
             assert!(ids.contains(&required), "missing experiment {required}");
         }

@@ -159,7 +159,11 @@ mod tests {
 
     #[test]
     fn lower_bound_below_upper_bound() {
-        for (k, s, d) in [(5usize, 10usize, 10_000u64), (100, 20, 374_330), (2, 1, 100)] {
+        for (k, s, d) in [
+            (5usize, 10usize, 10_000u64),
+            (100, 20, 374_330),
+            (2, 1, 100),
+        ] {
             assert!(lemma9_lower(k, s, d) < lemma4_upper(k, s, d));
             // Theorem 1: optimal within a factor of four.
             assert!(lemma4_upper(k, s, d) <= 4.0 * lemma9_lower(k, s, d) + 1e-9);
@@ -205,7 +209,10 @@ mod tests {
         // re-sends — no tax.
         assert_eq!(repeat_overhead(1, 100_000, 1_000), 0.0);
         let heavy = repeat_overhead(16, 100_000, 5_000);
-        assert!(heavy > lemma4_upper(4, 16, 5_000), "overhead should dominate");
+        assert!(
+            heavy > lemma4_upper(4, 16, 5_000),
+            "overhead should dominate"
+        );
         // Paper scale (OC48, k=5, s=10): same order as the bound — the
         // hidden-in-plain-sight regime described in the function docs.
         let paper = repeat_overhead(10, 42_268_510, 4_337_768);

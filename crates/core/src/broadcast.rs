@@ -140,7 +140,8 @@ impl CoordinatorNode for BroadcastCoordinator {
         out: &mut Vec<(Destination, DownThreshold)>,
     ) {
         let before = self.sample.threshold();
-        self.sample.offer(msg.element, self.hasher.unit(msg.element.0));
+        self.sample
+            .offer(msg.element, self.hasher.unit(msg.element.0));
         let after = self.sample.threshold();
         if after != before {
             self.broadcasts += 1;

@@ -182,7 +182,8 @@ impl CoordinatorNode for DrsCoordinator {
     ) {
         self.arrivals += 1;
         if UnitValue(msg.priority) < self.threshold() {
-            self.sample.insert((msg.priority, self.arrivals), msg.element);
+            self.sample
+                .insert((msg.priority, self.arrivals), msg.element);
             while self.sample.len() > self.s {
                 let last = *self.sample.keys().next_back().expect("over-full");
                 self.sample.remove(&last);
@@ -204,7 +205,6 @@ impl CoordinatorNode for DrsCoordinator {
         self.sample.len()
     }
 }
-
 
 /// Configuration for the halving-broadcast DRS.
 #[derive(Debug, Clone, Copy)]
@@ -325,7 +325,8 @@ impl CoordinatorNode for HalvingCoordinator {
     ) {
         self.arrivals += 1;
         if msg.priority < self.z {
-            self.sample.insert((msg.priority, self.arrivals), msg.element);
+            self.sample
+                .insert((msg.priority, self.arrivals), msg.element);
             while self.sample.len() > self.s {
                 let last = *self.sample.keys().next_back().expect("over-full");
                 self.sample.remove(&last);
@@ -360,7 +361,7 @@ impl CoordinatorNode for HalvingCoordinator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dds_data::{RouteTarget, Router, Routing, TraceLikeStream, TraceProfile};
+    use dds_data::{RouteTarget, Router, Routing};
 
     #[test]
     fn sample_size_is_min_s_n() {
@@ -396,8 +397,8 @@ mod tests {
                 cluster.observe(SiteId(rng.next_below(4) as usize), e);
             }
             let sample = cluster.sample();
-            zero_share += sample.iter().filter(|&&e| e == Element(0)).count() as f64
-                / sample.len() as f64;
+            zero_share +=
+                sample.iter().filter(|&&e| e == Element(0)).count() as f64 / sample.len() as f64;
         }
         zero_share /= f64::from(runs as u32);
         assert!(
@@ -443,8 +444,8 @@ mod tests {
                 cluster.observe(SiteId(rng.next_below(4) as usize), e);
             }
             let sample = cluster.sample();
-            zero_share += sample.iter().filter(|&&e| e == Element(0)).count() as f64
-                / sample.len() as f64;
+            zero_share +=
+                sample.iter().filter(|&&e| e == Element(0)).count() as f64 / sample.len() as f64;
         }
         zero_share /= f64::from(runs as u32);
         assert!(

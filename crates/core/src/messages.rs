@@ -130,7 +130,13 @@ mod tests {
 
     #[test]
     fn sizes_are_constant_and_small() {
-        assert_eq!(UpElem { element: Element(1) }.wire_bytes(), 8);
+        assert_eq!(
+            UpElem {
+                element: Element(1)
+            }
+            .wire_bytes(),
+            8
+        );
         assert_eq!(DownThreshold { u: 5 }.wire_bytes(), 8);
         assert_eq!(
             SwUp {
@@ -151,7 +157,9 @@ mod tests {
         assert_eq!(
             CopyUp {
                 copy: 3,
-                inner: UpElem { element: Element(9) }
+                inner: UpElem {
+                    element: Element(9)
+                }
             }
             .wire_bytes(),
             12

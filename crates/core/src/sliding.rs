@@ -208,7 +208,8 @@ impl<T: CandidateSet + Default> SiteNode for SwSite<T> {
             hash: h,
             expiry: msg.expiry,
         });
-        self.candidates.insert_or_refresh(msg.element, h.0, msg.expiry);
+        self.candidates
+            .insert_or_refresh(msg.element, h.0, msg.expiry);
     }
 
     fn on_slot_start(&mut self, now: Slot, out: &mut Vec<SwUp>) {
@@ -288,13 +289,7 @@ impl CoordinatorNode for SwCoordinator {
     type Up = SwUp;
     type Down = SwDown;
 
-    fn handle(
-        &mut self,
-        from: SiteId,
-        msg: SwUp,
-        now: Slot,
-        out: &mut Vec<(Destination, SwDown)>,
-    ) {
+    fn handle(&mut self, from: SiteId, msg: SwUp, now: Slot, out: &mut Vec<(Destination, SwDown)>) {
         self.now = self.now.max(now);
         let h = self.hasher.unit(msg.element.0);
         let incoming = SampleTuple {
@@ -513,7 +508,10 @@ mod tests {
             }
             (samples, c.counters().total_messages())
         };
-        assert_eq!(run(CoordinatorMode::Faithful), run(CoordinatorMode::Registry));
+        assert_eq!(
+            run(CoordinatorMode::Faithful),
+            run(CoordinatorMode::Registry)
+        );
     }
 
     #[test]

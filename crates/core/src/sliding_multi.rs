@@ -256,7 +256,11 @@ mod tests {
         let config = MultiSlidingConfig::with_seed(3, 5, 7);
         let mut cluster = config.cluster(2);
         cluster.observe(SiteId(0), Element(42));
-        assert_eq!(cluster.sample().len(), 3, "every copy samples the lone element");
+        assert_eq!(
+            cluster.sample().len(),
+            3,
+            "every copy samples the lone element"
+        );
         cluster.advance_slots(5);
         assert!(cluster.sample().is_empty(), "all copies must drain");
     }
@@ -266,8 +270,7 @@ mod tests {
         let run = |s: usize| {
             let config = MultiSlidingConfig::with_seed(s, 20, 5);
             let mut cluster = config.cluster(3);
-            let input =
-                SlottedInput::new(DistinctOnlyStream::new(3_000, 8), 3, 5, 11);
+            let input = SlottedInput::new(DistinctOnlyStream::new(3_000, 8), 3, 5, 11);
             for (slot, batch) in input {
                 while cluster.now() < slot {
                     cluster.advance_slot();

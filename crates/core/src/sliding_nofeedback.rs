@@ -183,13 +183,7 @@ impl CoordinatorNode for NfCoordinator {
     type Up = SwUp;
     type Down = ();
 
-    fn handle(
-        &mut self,
-        _from: SiteId,
-        msg: SwUp,
-        now: Slot,
-        _out: &mut Vec<(Destination, ())>,
-    ) {
+    fn handle(&mut self, _from: SiteId, msg: SwUp, now: Slot, _out: &mut Vec<(Destination, ())>) {
         self.now = self.now.max(now);
         let h = self.hasher.unit(msg.element.0);
         self.sky.insert_or_refresh(msg.element, h.0, msg.expiry);
@@ -320,7 +314,12 @@ mod tests {
             }
             batches
         };
-        let batches = drive(SlottedInput::new(TraceLikeStream::new(profile, 7), k, 5, 13));
+        let batches = drive(SlottedInput::new(
+            TraceLikeStream::new(profile, 7),
+            k,
+            5,
+            13,
+        ));
         for (slot, batch) in &batches {
             while nf.now() < *slot {
                 nf.advance_slot();
@@ -347,12 +346,7 @@ mod tests {
         let s = 4;
         let config = NfConfig::with_seed(s, 64, 6);
         let mut cluster = config.cluster(4);
-        let input = SlottedInput::new(
-            dds_data::DistinctOnlyStream::new(10_000, 3),
-            4,
-            5,
-            9,
-        );
+        let input = SlottedInput::new(dds_data::DistinctOnlyStream::new(10_000, 3), 4, 5, 9);
         let mut peak = 0usize;
         for (slot, batch) in input {
             while cluster.now() < slot {

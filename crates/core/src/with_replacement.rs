@@ -111,10 +111,7 @@ impl WrCoordinator {
     #[must_use]
     pub fn new(hashers: Vec<SeededHash>) -> Self {
         Self {
-            copies: hashers
-                .into_iter()
-                .map(|h| (h, BottomS::new(1)))
-                .collect(),
+            copies: hashers.into_iter().map(|h| (h, BottomS::new(1))).collect(),
         }
     }
 

@@ -55,7 +55,9 @@ impl TraceProfile {
         TraceProfile {
             name: self.name,
             total: (self.total / factor).max(1),
-            distinct: (self.distinct / factor).max(1).min(self.total / factor.max(1)),
+            distinct: (self.distinct / factor)
+                .max(1)
+                .min(self.total / factor.max(1)),
         }
     }
 
@@ -378,8 +380,7 @@ mod tests {
         };
         let stream = TraceLikeStream::new(profile, 3);
         let mut first_seen: Vec<Element> = Vec::new();
-        let mut counts: std::collections::HashMap<Element, u64> =
-            std::collections::HashMap::new();
+        let mut counts: std::collections::HashMap<Element, u64> = std::collections::HashMap::new();
         for e in stream {
             if !counts.contains_key(&e) {
                 first_seen.push(e);
@@ -432,8 +433,7 @@ mod tests {
     #[test]
     fn pair_stream_has_repeats_and_skew() {
         let s = PairStream::enron_flavour(50_000, 2);
-        let mut counts: std::collections::HashMap<Element, u64> =
-            std::collections::HashMap::new();
+        let mut counts: std::collections::HashMap<Element, u64> = std::collections::HashMap::new();
         for e in s {
             *counts.entry(e).or_insert(0) += 1;
         }

@@ -73,9 +73,7 @@ impl Zipf {
             let k_int = k as u64;
             // Accept: either x is close enough to k (the hat touches the
             // bar), or the standard rejection test passes.
-            if k - x <= self.s
-                || u >= h_integral(k + 0.5, self.alpha) - k.powf(-self.alpha)
-            {
+            if k - x <= self.s || u >= h_integral(k + 0.5, self.alpha) - k.powf(-self.alpha) {
                 return k_int;
             }
         }

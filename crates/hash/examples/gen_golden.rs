@@ -1,24 +1,10 @@
+//! Regenerates the frozen vectors asserted in `tests/golden_vectors.rs`.
+//!
+//! Run with
+//! `cargo run -p dds-hash --example gen_golden > crates/hash/tests/golden_vectors.txt`
+//! after any intentional hash change; the report itself lives in
+//! [`dds_hash::golden::golden_vector_report`], shared with the test.
+
 fn main() {
-    for (label, data, seed) in [
-        ("empty/1", b"".as_slice(), 1u64),
-        ("a/0", b"a".as_slice(), 0),
-        ("abc/0", b"abc".as_slice(), 0),
-        ("hello/42", b"hello world".as_slice(), 42),
-        ("fox/7", b"The quick brown fox jumps over the lazy dog".as_slice(), 7),
-    ] {
-        println!("m64a {label} = 0x{:016x}", dds_hash::murmur2::murmur64a(data, seed));
-    }
-    for (label, data, seed) in [
-        ("empty/1", b"".as_slice(), 1u32),
-        ("a/0", b"a".as_slice(), 0),
-        ("abc/0", b"abc".as_slice(), 0),
-        ("hello/42", b"hello world".as_slice(), 42),
-    ] {
-        println!("m2_32 {label} = 0x{:08x}", dds_hash::murmur2::murmur2_32(data, seed));
-    }
-    for x in [0u64, 1, 42, 0xdeadbeef, u64::MAX] {
-        println!("m64a_u64 {x} seed3 = 0x{:016x}", dds_hash::murmur2::murmur64a_u64(x, 3));
-    }
-    let (a, b) = dds_hash::murmur3::murmur3_x64_128(b"distinct sampling", 2015);
-    println!("m3_128 = 0x{a:016x} 0x{b:016x}");
+    print!("{}", dds_hash::golden::golden_vector_report());
 }

@@ -136,8 +136,7 @@ mod tests {
     #[test]
     fn members_have_distinct_seeds() {
         let f = HashFamily::murmur2(42);
-        let seeds: std::collections::HashSet<u64> =
-            f.members(1000).map(|h| h.seed()).collect();
+        let seeds: std::collections::HashSet<u64> = f.members(1000).map(|h| h.seed()).collect();
         assert_eq!(seeds.len(), 1000);
     }
 

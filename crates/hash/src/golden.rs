@@ -1,0 +1,45 @@
+//! The canonical golden-vector report.
+//!
+//! One function renders every frozen vector; `examples/gen_golden.rs`
+//! prints it and `tests/golden_vectors.rs` asserts the committed
+//! `golden_vectors.txt` equals it, so the regeneration tool and the
+//! freshness check can never drift apart.
+
+use std::fmt::Write as _;
+
+use crate::murmur2::{murmur2_32, murmur64a, murmur64a_u64};
+use crate::murmur3::murmur3_x64_128;
+
+/// Render the golden-vector report: every input/seed pair the workspace
+/// freezes, one `name label = value` line each.
+#[must_use]
+pub fn golden_vector_report() -> String {
+    let mut out = String::new();
+    for (label, data, seed) in [
+        ("empty/1", b"".as_slice(), 1u64),
+        ("a/0", b"a".as_slice(), 0),
+        ("abc/0", b"abc".as_slice(), 0),
+        ("hello/42", b"hello world".as_slice(), 42),
+        (
+            "fox/7",
+            b"The quick brown fox jumps over the lazy dog".as_slice(),
+            7,
+        ),
+    ] {
+        let _ = writeln!(out, "m64a {label} = 0x{:016x}", murmur64a(data, seed));
+    }
+    for (label, data, seed) in [
+        ("empty/1", b"".as_slice(), 1u32),
+        ("a/0", b"a".as_slice(), 0),
+        ("abc/0", b"abc".as_slice(), 0),
+        ("hello/42", b"hello world".as_slice(), 42),
+    ] {
+        let _ = writeln!(out, "m2_32 {label} = 0x{:08x}", murmur2_32(data, seed));
+    }
+    for x in [0u64, 1, 42, 0xdead_beef, u64::MAX] {
+        let _ = writeln!(out, "m64a_u64 {x} seed3 = 0x{:016x}", murmur64a_u64(x, 3));
+    }
+    let (a, b) = murmur3_x64_128(b"distinct sampling", 2015);
+    let _ = writeln!(out, "m3_128 = 0x{a:016x} 0x{b:016x}");
+    out
+}

@@ -42,6 +42,7 @@
 
 pub mod family;
 pub mod fnv;
+pub mod golden;
 pub mod murmur2;
 pub mod murmur3;
 pub mod sip;

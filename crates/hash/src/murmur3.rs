@@ -173,7 +173,10 @@ mod tests {
         assert_eq!(murmur3_32(b"", 0xffff_ffff), 0x81f1_6f39);
         assert_eq!(murmur3_32(b"test", 0), 0xba6b_d213);
         assert_eq!(murmur3_32(b"Hello, world!", 0), 0xc036_3e43);
-        assert_eq!(murmur3_32(b"The quick brown fox jumps over the lazy dog", 0), 0x2e4f_f723);
+        assert_eq!(
+            murmur3_32(b"The quick brown fox jumps over the lazy dog", 0),
+            0x2e4f_f723
+        );
     }
 
     #[test]

@@ -89,7 +89,9 @@ impl HashKind {
             HashKind::Murmur2 => murmur64a_u64(element, seed),
             HashKind::Murmur3 => murmur3_u64(element, seed),
             HashKind::SplitMix => splitmix64_keyed(element, seed),
-            HashKind::Sip13 => siphash13_u64(element, seed, seed.rotate_left(32) ^ 0xa5a5_a5a5_a5a5_a5a5),
+            HashKind::Sip13 => {
+                siphash13_u64(element, seed, seed.rotate_left(32) ^ 0xa5a5_a5a5_a5a5_a5a5)
+            }
             HashKind::Fmix => fmix64(element ^ seed),
         }
     }
@@ -101,7 +103,15 @@ mod tests {
 
     #[test]
     fn unit_value_order_matches_f64_order() {
-        let vals = [0u64, 1, 1 << 20, 1 << 40, u64::MAX / 2, u64::MAX - 1, u64::MAX];
+        let vals = [
+            0u64,
+            1,
+            1 << 20,
+            1 << 40,
+            u64::MAX / 2,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
         for &a in &vals {
             for &b in &vals {
                 let (ua, ub) = (UnitValue(a), UnitValue(b));

@@ -78,6 +78,22 @@ fn family_member_seeds_frozen() {
     assert_eq!(family.kind(), HashKind::Murmur2);
 }
 
+/// The committed golden file must equal the canonical report in
+/// [`dds_hash::golden::golden_vector_report`] (which is exactly what
+/// `examples/gen_golden.rs` prints). Regenerate with
+/// `cargo run -p dds-hash --example gen_golden > crates/hash/tests/golden_vectors.txt`
+/// after any *intentional* hash change — and expect every sample, test,
+/// and experiment in the workspace to change meaning when you do.
+#[test]
+fn golden_file_matches_regenerated_vectors() {
+    let committed = include_str!("golden_vectors.txt");
+    assert_eq!(
+        committed,
+        dds_hash::golden::golden_vector_report(),
+        "golden_vectors.txt is stale; see this test's doc comment"
+    );
+}
+
 #[test]
 fn siphash_frozen() {
     let v = siphash13(b"distinct sampling", 1, 2);

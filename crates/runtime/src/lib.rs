@@ -275,14 +275,18 @@ fn coordinator_loop<C>(
                 for (dest, down) in outs.drain(..) {
                     match dest {
                         Destination::Site(to) => {
-                            counters.lock().record(Direction::Down, to, down.wire_bytes());
+                            counters
+                                .lock()
+                                .record(Direction::Down, to, down.wire_bytes());
                             let _ = down_txs[to.0].send(down);
                         }
                         Destination::Broadcast => {
                             for (i, tx) in down_txs.iter().enumerate() {
-                                counters
-                                    .lock()
-                                    .record(Direction::Down, SiteId(i), down.wire_bytes());
+                                counters.lock().record(
+                                    Direction::Down,
+                                    SiteId(i),
+                                    down.wire_bytes(),
+                                );
                                 let _ = tx.send(down.clone());
                             }
                         }
@@ -373,7 +377,9 @@ mod tests {
         use dds_core::broadcast::{BroadcastConfig, BroadcastCoordinator, BroadcastSite};
         let k = 5;
         let config = BroadcastConfig::with_seed(4, 99);
-        let sites = (0..k).map(|_| BroadcastSite::new(config.hasher())).collect();
+        let sites = (0..k)
+            .map(|_| BroadcastSite::new(config.hasher()))
+            .collect();
         let coordinator = BroadcastCoordinator::new(4, config.hasher());
         let mut cluster = ThreadedCluster::spawn(sites, coordinator);
         let mut oracle = CentralizedSampler::new(4, config.hasher());

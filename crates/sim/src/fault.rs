@@ -77,7 +77,8 @@ impl DuplicateAndReorder {
     fn flip(&mut self) -> bool {
         // Unbiased enough for fault injection: compare against a scaled
         // threshold in the full 64-bit range.
-        let threshold = (u128::from(u64::MAX) * u128::from(self.num) / u128::from(self.denom)) as u64;
+        let threshold =
+            (u128::from(u64::MAX) * u128::from(self.num) / u128::from(self.denom)) as u64;
         self.next_u64() < threshold
     }
 }
@@ -135,9 +136,7 @@ mod tests {
     #[test]
     fn half_probability_duplicates_roughly_half() {
         let mut f = DuplicateAndReorder::new(1, 2, 42);
-        let dups = (0..10_000)
-            .filter(|_| f.up_copies(SiteId(0)) == 2)
-            .count();
+        let dups = (0..10_000).filter(|_| f.up_copies(SiteId(0)) == 2).count();
         assert!((4_500..=5_500).contains(&dups), "dups = {dups}");
     }
 
@@ -153,6 +152,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "probability must be in [0,1]")]
     fn rejects_bad_probability() {
-        DuplicateAndReorder::new(2, 1, 0);
+        let _ = DuplicateAndReorder::new(2, 1, 0);
     }
 }

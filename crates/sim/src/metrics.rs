@@ -157,7 +157,12 @@ impl SeriesSet {
             out.push_str(&s.label.replace(',', ";"));
         }
         out.push('\n');
-        let rows = self.series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+        let rows = self
+            .series
+            .iter()
+            .map(|s| s.points.len())
+            .max()
+            .unwrap_or(0);
         for r in 0..rows {
             let x = self
                 .series
@@ -184,7 +189,12 @@ impl SeriesSet {
         out.push_str(&format!("## {}\n", self.title));
         let mut header = vec![self.x_label.clone()];
         header.extend(self.series.iter().map(|s| s.label.clone()));
-        let rows = self.series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+        let rows = self
+            .series
+            .iter()
+            .map(|s| s.points.len())
+            .max()
+            .unwrap_or(0);
         let mut body: Vec<Vec<String>> = Vec::with_capacity(rows);
         for r in 0..rows {
             let x = self
@@ -224,7 +234,9 @@ impl SeriesSet {
         };
         out.push_str(&fmt_row(&header));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)),
+        );
         out.push('\n');
         for row in &body {
             out.push_str(&fmt_row(row));

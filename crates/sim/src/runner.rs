@@ -159,8 +159,7 @@ where
     /// Exhaustively deliver a batch of up messages from `origin` and every
     /// message transitively triggered by them.
     fn settle(&mut self, origin: SiteId, initial: Vec<S::Up>) {
-        let mut pending: Vec<(SiteId, S::Up)> =
-            initial.into_iter().map(|m| (origin, m)).collect();
+        let mut pending: Vec<(SiteId, S::Up)> = initial.into_iter().map(|m| (origin, m)).collect();
         let mut rounds = 0usize;
 
         while !pending.is_empty() {

@@ -25,8 +25,11 @@ impl NaiveCandidateSet {
     /// Drop every entry dominated by another (quadratic, by definition).
     fn prune(&mut self) {
         let snapshot = self.entries.clone();
-        self.entries
-            .retain(|a| !snapshot.iter().any(|b| b.element != a.element && b.dominates(a)));
+        self.entries.retain(|a| {
+            !snapshot
+                .iter()
+                .any(|b| b.element != a.element && b.dominates(a))
+        });
     }
 }
 

@@ -82,7 +82,8 @@ impl SkybandSet {
         let at = self
             .entries
             .partition_point(|c| (c.expiry, c.element) < (expiry, e));
-        self.entries.insert(at, CandidateEntry::new(e, hash, expiry));
+        self.entries
+            .insert(at, CandidateEntry::new(e, hash, expiry));
         self.index.insert(e, hash);
         self.rebuild();
     }
@@ -108,7 +109,10 @@ impl SkybandSet {
     /// Smallest-hash entry (equals `bottom_s().first()`).
     #[must_use]
     pub fn min_entry(&self) -> Option<CandidateEntry> {
-        self.entries.iter().min_by_key(|c| (c.hash, c.element)).copied()
+        self.entries
+            .iter()
+            .min_by_key(|c| (c.hash, c.element))
+            .copied()
     }
 
     /// Stored tuple count (the memory measure).
@@ -172,7 +176,8 @@ impl SkybandSet {
             i = j;
         }
         let mut it = keep.iter();
-        self.entries.retain(|_| *it.next().expect("keep mask sized"));
+        self.entries
+            .retain(|_| *it.next().expect("keep mask sized"));
     }
 }
 
@@ -315,6 +320,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "sample size must be at least 1")]
     fn zero_s_rejected() {
-        SkybandSet::new(0);
+        let _ = SkybandSet::new(0);
     }
 }

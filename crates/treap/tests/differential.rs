@@ -11,7 +11,8 @@ use proptest::prelude::*;
 
 /// Injective pseudo-hash: odd-constant multiply (a bijection on u64).
 fn h(e: u64) -> u64 {
-    e.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(0x1234_5678)
+    e.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(0x1234_5678)
 }
 
 #[derive(Debug, Clone)]

@@ -50,8 +50,7 @@ fn main() {
     let mean_freq = |sample: &[Element]| {
         sample.iter().map(|e| freq[e] as f64).sum::<f64>() / sample.len().max(1) as f64
     };
-    let population_mean =
-        freq.values().map(|&v| v as f64).sum::<f64>() / freq.len() as f64;
+    let population_mean = freq.values().map(|&v| v as f64).sum::<f64>() / freq.len() as f64;
 
     println!("communication-graph edges (distinct pairs): {}", freq.len());
     println!("mean mails per edge, whole graph:      {population_mean:8.2}");

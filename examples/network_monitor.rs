@@ -61,9 +61,8 @@ fn main() {
 
     // Mean destination id over distinct flows from that subnet — an
     // "aggregate over the distinct sub-population" query.
-    let mean_dst = subset::distinct_mean_where(&sample, in_subnet, |e| {
-        f64::from(PairStream::dst(*e))
-    });
+    let mean_dst =
+        subset::distinct_mean_where(&sample, in_subnet, |e| f64::from(PairStream::dst(*e)));
     if let Some(m) = mean_dst {
         println!("mean destination id over those flows (estimated): {m:.0}");
     }

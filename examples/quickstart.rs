@@ -70,8 +70,7 @@ fn main() {
     // extra messages. On this 20×-repeat stream that correction DOMINATES
     // the bound; on the paper's own datasets it is ~1% and invisible.
     let bound = dds_core::bounds::lemma4_upper(k, s, profile.distinct);
-    let repeat_tax =
-        dds_core::bounds::repeat_overhead(s, profile.total, profile.distinct);
+    let repeat_tax = dds_core::bounds::repeat_overhead(s, profile.total, profile.distinct);
     println!("\nLemma 4 bound (distinct arrivals only): {bound:>8.0} messages");
     println!("+ in-sample repeat tax (see dds-core docs): {repeat_tax:>8.0}");
     println!(

@@ -73,9 +73,7 @@ pub mod prelude {
     };
     pub use dds_hash::{HashFamily, SeededHash, UnitHash, UnitValue};
     pub use dds_runtime::ThreadedCluster;
-    pub use dds_sim::{
-        Cluster, CoordinatorNode, Element, MessageCounters, SiteId, SiteNode, Slot,
-    };
+    pub use dds_sim::{Cluster, CoordinatorNode, Element, MessageCounters, SiteId, SiteNode, Slot};
     pub use dds_stats::{harmonic, KmvEstimate, Summary};
 }
 

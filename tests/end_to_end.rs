@@ -2,8 +2,8 @@
 //! strategy, against the centralized oracle — plus system-level
 //! invariants (thresholds, byte accounting, fault tolerance).
 
-use distinct_stream_sampling::prelude::*;
 use dds_sim::fault::DuplicateAndReorder;
+use distinct_stream_sampling::prelude::*;
 
 fn drive_with_routing(
     cluster: &mut Cluster<LazySite, LazyCoordinator>,

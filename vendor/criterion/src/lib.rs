@@ -1,0 +1,294 @@
+//! Vendored, offline subset of `criterion`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the benchmarking surface its 14 bench targets use: `criterion_group!` /
+//! `criterion_main!`, `Criterion::benchmark_group`, `bench_function` /
+//! `bench_with_input`, `Bencher::iter`, `Throughput`, `BenchmarkId`, and
+//! `black_box`. Call sites are source-compatible with the real crate.
+//!
+//! Measurement is intentionally simple: each benchmark is warmed up once,
+//! then timed over up to `sample_size` batches capped by a wall-clock
+//! budget, and the mean/min/max per-iteration times are printed. That is
+//! enough to (a) exercise every bench target in CI and (b) eyeball
+//! regressions; statistical analysis returns when the registry crate
+//! replaces this stub.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-benchmark time budget for the stub's measurement loop.
+const TIME_BUDGET: Duration = Duration::from_millis(500);
+
+/// Top-level benchmark driver (API-compatible subset).
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Accept (and ignore) harness command-line arguments such as
+    /// `--bench` and filter strings.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Override the default number of samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.default_sample_size = n;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        run_one(&id.into(), sample_size, None, f);
+        self
+    }
+
+    /// Print the closing summary (no-op in the stub; per-benchmark lines
+    /// are printed as they run).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Units processed per iteration, for derived rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one parameterised benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Declare per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmark a closure under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.sample_size,
+            self.throughput,
+            &mut f,
+        );
+        self
+    }
+
+    /// Benchmark a closure over one input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.sample_size,
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Timing harness handed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, recording one sample per call until the sample
+    /// target or the time budget is reached.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up (also primes lazy statics and caches).
+        black_box(routine());
+        let budget_start = Instant::now();
+        while self.samples.len() < self.target_samples
+            && (self.samples.is_empty() || budget_start.elapsed() < TIME_BUDGET)
+        {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one<F>(label: &str, sample_size: usize, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        target_samples: sample_size.max(1),
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("bench: {label:<48} (no samples recorded)");
+        return;
+    }
+    let n = bencher.samples.len() as u32;
+    let mean = bencher.samples.iter().sum::<Duration>() / n;
+    let min = bencher.samples.iter().min().copied().unwrap_or_default();
+    let max = bencher.samples.iter().max().copied().unwrap_or_default();
+    let rate = throughput.map_or(String::new(), |t| match t {
+        Throughput::Elements(e) => rate_suffix(e, mean, "elem/s"),
+        Throughput::Bytes(b) => rate_suffix(b, mean, "B/s"),
+    });
+    println!(
+        "bench: {label:<48} mean {mean:>10.3?}  min {min:>10.3?}  max {max:>10.3?}  ({n} samples){rate}"
+    );
+}
+
+fn rate_suffix(units: u64, mean: Duration, suffix: &str) -> String {
+    if mean.is_zero() {
+        return String::new();
+    }
+    let per_sec = units as f64 / mean.as_secs_f64();
+    format!("  {per_sec:.3e} {suffix}")
+}
+
+/// Bundle benchmark functions into a runner function (API-compatible
+/// subset of `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        #[doc = "Runs this target's registered benchmark functions."]
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        #[doc = "Runs this target's registered benchmark functions."]
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate a `main` that runs benchmark groups (API-compatible subset
+/// of `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::Criterion::default().configure_from_args().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_records() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("stub");
+        g.sample_size(5);
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("square", |b| {
+            let mut acc = 0u64;
+            b.iter(|| {
+                acc = acc.wrapping_add(black_box(7u64).pow(2));
+                acc
+            });
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &x| {
+            b.iter(|| black_box(x) * 2);
+        });
+        g.finish();
+        c.final_summary();
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+}

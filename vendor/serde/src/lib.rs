@@ -1,0 +1,17 @@
+//! Vendored, offline subset of `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` trait names and their derive
+//! macros so types can carry serde annotations today; the derives are
+//! no-ops (see `vendor/serde_derive`). Swapping this directory for the
+//! registry crates turns the annotations into real implementations with
+//! no call-site changes.
+
+#![forbid(unsafe_code)]
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

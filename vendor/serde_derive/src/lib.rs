@@ -1,0 +1,21 @@
+//! No-op `Serialize` / `Deserialize` derive macros for the vendored
+//! `serde` stub (the build environment has no crates.io access).
+//!
+//! The workspace only *annotates* types with the serde derives — nothing
+//! serializes at runtime yet — so the derives expand to nothing. When real
+//! serialization lands, this vendor directory is replaced by the registry
+//! crates and the annotations start doing work, with no call-site changes.
+
+use proc_macro::TokenStream;
+
+/// Accept and discard a `#[derive(Serialize)]` annotation.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accept and discard a `#[derive(Deserialize)]` annotation.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
