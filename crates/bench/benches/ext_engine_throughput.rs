@@ -1,0 +1,55 @@
+//! Bench target for the serving layer: prints the engine throughput
+//! sweeps (shards × tenants × batch), then times durable batched ingest
+//! at the base configuration for each sampler protocol the engine hosts.
+
+use criterion::{black_box, criterion_group, Criterion};
+use dds_core::sampler::{SamplerKind, SamplerSpec};
+use dds_data::{MultiTenantStream, TraceProfile};
+use dds_engine::{Engine, EngineConfig, TenantId};
+use dds_sim::Element;
+
+const SHARDS: usize = 4;
+const TENANTS: u64 = 1_000;
+const BATCH: usize = 256;
+
+fn engine_ingest(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ext_engine/ingest_4shards_1000tenants");
+    g.sample_size(10);
+    let per_tenant = TraceProfile {
+        name: "engine-bench",
+        total: 20,
+        distinct: 10,
+    };
+    let feed: Vec<(TenantId, Element)> = MultiTenantStream::new(TENANTS, per_tenant, 5)
+        .map(|(t, e)| (TenantId(t), e))
+        .collect();
+    g.throughput(criterion::Throughput::Elements(feed.len() as u64));
+    for (label, kind) in [
+        ("infinite", SamplerKind::Infinite),
+        ("centralized", SamplerKind::Centralized),
+        ("with_replacement", SamplerKind::WithReplacement),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let spec = SamplerSpec::new(kind, 8, 11);
+                let engine = Engine::spawn(EngineConfig::new(spec).with_shards(SHARDS));
+                for chunk in feed.chunks(BATCH) {
+                    engine.observe_batch(chunk.iter().copied());
+                }
+                engine.flush();
+                let elements = engine.metrics().total_elements();
+                let _ = engine.shutdown();
+                black_box(elements)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, engine_ingest);
+
+fn main() {
+    dds_bench::bench_support::print_experiment("ext_engine");
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -7,6 +7,7 @@
 pub mod ext_ablation;
 pub mod ext_bounds;
 pub mod ext_dds_vs_drs;
+pub mod ext_engine;
 pub mod fig51;
 pub mod fig52;
 pub mod fig53;
@@ -95,6 +96,11 @@ pub fn all() -> Vec<Experiment> {
             title: "Ablations: reply policy; sliding feedback; WR vs WOR",
             run: ext_ablation::run,
         },
+        Experiment {
+            id: "ext_engine",
+            title: "Extension: engine ingest throughput (shards × tenants × batch)",
+            run: ext_engine::run,
+        },
     ]
 }
 
@@ -137,6 +143,7 @@ mod tests {
             "ext_bounds",
             "ext_dds_vs_drs",
             "ext_ablation",
+            "ext_engine",
         ] {
             assert!(ids.contains(&required), "missing experiment {required}");
         }

@@ -68,6 +68,7 @@ pub mod centralized;
 pub mod drs;
 pub mod infinite;
 pub mod messages;
+pub mod sampler;
 pub mod sliding;
 pub mod sliding_multi;
 pub mod sliding_nofeedback;
@@ -77,6 +78,7 @@ pub use broadcast::BroadcastConfig;
 pub use centralized::{BottomS, CentralizedSampler, SlidingOracle};
 pub use drs::{DrsConfig, HalvingConfig};
 pub use infinite::{InfiniteConfig, LazyCoordinator, LazySite};
+pub use sampler::{DistinctSampler, FusedInfinite, FusedWr, SamplerKind, SamplerSpec};
 pub use sliding::{CoordinatorMode, SlidingConfig, SwCoordinator, SwSite};
 pub use sliding_multi::MultiSlidingConfig;
 pub use sliding_nofeedback::NfConfig;

@@ -1,0 +1,412 @@
+//! A unified, object-safe sampler interface — the substrate of the
+//! multi-tenant serving layer (`dds-engine`).
+//!
+//! Every protocol in this crate is a *pair* of state machines designed to
+//! run apart (sites + coordinator). A serving layer that hosts thousands
+//! of independent sampling instances needs the opposite shape: one opaque
+//! object per tenant with an `observe`/`sample` surface and nothing else.
+//! [`DistinctSampler`] is that surface, and the *fused* adapters
+//! ([`FusedInfinite`], [`FusedWr`]) provide it by wiring a protocol's two
+//! halves together in-process: site output feeds the coordinator, the
+//! coordinator's replies feed back, and the would-be wire traffic is
+//! tallied in [`DistinctSampler::protocol_messages`]. Fusing changes
+//! *where* the halves run, not *what* they compute — a fused instance
+//! produces exactly the sample (and exactly the message count) of a
+//! `k = 1` deployment, which the tests pin down.
+//!
+//! [`SamplerSpec`] is the value-level description of an instance
+//! (protocol + sample size + hash seed) from which a serving layer can
+//! build boxed samplers per tenant without being generic over protocols.
+
+use dds_hash::family::HashFamily;
+use dds_hash::{SeededHash, UnitValue};
+use dds_sim::{CoordinatorNode, Destination, Element, SiteId, SiteNode, Slot};
+
+use crate::centralized::CentralizedSampler;
+use crate::infinite::{InfiniteConfig, LazyCoordinator, LazySite};
+use crate::messages::{CopyDown, CopyUp, DownThreshold, UpElem};
+use crate::with_replacement::{WrCoordinator, WrSite};
+
+/// One self-contained distinct-sampling instance.
+///
+/// Object-safe and `Send` so serving layers can hold
+/// `Box<dyn DistinctSampler>` per tenant and move whole tenant maps
+/// between worker threads.
+pub trait DistinctSampler: Send {
+    /// Observe one element of the instance's stream.
+    fn observe(&mut self, e: Element);
+
+    /// The current distinct sample. For bottom-`s` samplers this is
+    /// ascending by hash; for with-replacement it is the per-copy minima
+    /// in copy order.
+    fn sample(&self) -> Vec<Element>;
+
+    /// The bottom-`s` threshold `u(t)`, where the protocol maintains a
+    /// single one (`None` for with-replacement, whose `s` copies each
+    /// have their own).
+    fn threshold(&self) -> Option<UnitValue>;
+
+    /// Memory footprint in stored tuples.
+    fn memory_tuples(&self) -> usize;
+
+    /// Site ↔ coordinator messages this instance would have exchanged had
+    /// its halves been deployed apart (0 for inherently single-node
+    /// samplers).
+    fn protocol_messages(&self) -> u64 {
+        0
+    }
+}
+
+/// The in-process message pump shared by the fused adapters: deliver one
+/// observation to the site, route every resulting up-message to the
+/// coordinator, feed every reply back to the site, and tally both
+/// directions. Termination: site replies never generate new up-messages
+/// in these protocols, and each up-message produces at most one reply.
+fn pump_observe<S, C>(
+    site: &mut S,
+    coordinator: &mut C,
+    e: Element,
+    up_buf: &mut Vec<S::Up>,
+    down_buf: &mut Vec<(Destination, C::Down)>,
+    messages: &mut u64,
+) where
+    S: SiteNode,
+    C: CoordinatorNode<Up = S::Up, Down = S::Down>,
+{
+    site.observe(e, Slot(0), up_buf);
+    while let Some(up) = up_buf.pop() {
+        *messages += 1;
+        coordinator.handle(SiteId(0), up, Slot(0), down_buf);
+        while let Some((_, down)) = down_buf.pop() {
+            *messages += 1;
+            site.handle(down, Slot(0), up_buf);
+        }
+    }
+}
+
+impl DistinctSampler for CentralizedSampler {
+    fn observe(&mut self, e: Element) {
+        CentralizedSampler::observe(self, e);
+    }
+
+    fn sample(&self) -> Vec<Element> {
+        CentralizedSampler::sample(self)
+    }
+
+    fn threshold(&self) -> Option<UnitValue> {
+        Some(CentralizedSampler::threshold(self))
+    }
+
+    fn memory_tuples(&self) -> usize {
+        self.bottom().len()
+    }
+}
+
+/// Algorithms 1 & 2 fused into one object: a single [`LazySite`] wired
+/// directly to its [`LazyCoordinator`].
+///
+/// The site filter still runs in front of the coordinator, so the hot
+/// path for an out-of-sample element is one hash + one compare — the same
+/// O(1) work a remote site would do — and `protocol_messages` reports the
+/// traffic a `k = 1` deployment would have put on the wire.
+#[derive(Debug, Clone)]
+pub struct FusedInfinite {
+    site: LazySite,
+    coordinator: LazyCoordinator,
+    up_buf: Vec<UpElem>,
+    down_buf: Vec<(Destination, DownThreshold)>,
+    messages: u64,
+}
+
+impl FusedInfinite {
+    /// Build from the same config a distributed deployment would use.
+    #[must_use]
+    pub fn new(config: &InfiniteConfig) -> Self {
+        Self {
+            site: LazySite::new(config.hasher()),
+            coordinator: config.coordinator(),
+            up_buf: Vec::new(),
+            down_buf: Vec::new(),
+            messages: 0,
+        }
+    }
+
+    /// The coordinator half (e.g. for threshold-based estimation).
+    #[must_use]
+    pub fn coordinator(&self) -> &LazyCoordinator {
+        &self.coordinator
+    }
+}
+
+impl DistinctSampler for FusedInfinite {
+    fn observe(&mut self, e: Element) {
+        pump_observe(
+            &mut self.site,
+            &mut self.coordinator,
+            e,
+            &mut self.up_buf,
+            &mut self.down_buf,
+            &mut self.messages,
+        );
+    }
+
+    fn sample(&self) -> Vec<Element> {
+        CoordinatorNode::sample(&self.coordinator)
+    }
+
+    fn threshold(&self) -> Option<UnitValue> {
+        Some(self.coordinator.threshold())
+    }
+
+    fn memory_tuples(&self) -> usize {
+        SiteNode::memory_tuples(&self.site) + CoordinatorNode::memory_tuples(&self.coordinator)
+    }
+
+    fn protocol_messages(&self) -> u64 {
+        self.messages
+    }
+}
+
+/// §3's with-replacement construction fused into one object: a single
+/// [`WrSite`] (s per-copy thresholds) wired to its [`WrCoordinator`].
+#[derive(Debug, Clone)]
+pub struct FusedWr {
+    site: WrSite,
+    coordinator: WrCoordinator,
+    up_buf: Vec<CopyUp<UpElem>>,
+    down_buf: Vec<(Destination, CopyDown<DownThreshold>)>,
+    messages: u64,
+}
+
+impl FusedWr {
+    /// Build `s` fused copies over `family`.
+    #[must_use]
+    pub fn new(s: usize, family: HashFamily) -> Self {
+        let hashers: Vec<SeededHash> = family.members(s).collect();
+        Self {
+            site: WrSite::new(hashers.clone()),
+            coordinator: WrCoordinator::new(hashers),
+            up_buf: Vec::new(),
+            down_buf: Vec::new(),
+            messages: 0,
+        }
+    }
+}
+
+impl DistinctSampler for FusedWr {
+    fn observe(&mut self, e: Element) {
+        pump_observe(
+            &mut self.site,
+            &mut self.coordinator,
+            e,
+            &mut self.up_buf,
+            &mut self.down_buf,
+            &mut self.messages,
+        );
+    }
+
+    fn sample(&self) -> Vec<Element> {
+        self.coordinator.sample_with_replacement()
+    }
+
+    fn threshold(&self) -> Option<UnitValue> {
+        None // each of the s copies has its own threshold
+    }
+
+    fn memory_tuples(&self) -> usize {
+        SiteNode::memory_tuples(&self.site) + CoordinatorNode::memory_tuples(&self.coordinator)
+    }
+
+    fn protocol_messages(&self) -> u64 {
+        self.messages
+    }
+}
+
+/// Which protocol backs an instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SamplerKind {
+    /// [`CentralizedSampler`] — exact bottom-`s` with O(d) oracle
+    /// bookkeeping; the correctness reference.
+    Centralized,
+    /// [`FusedInfinite`] — Algorithms 1 & 2, O(s) state, the default.
+    Infinite,
+    /// [`FusedWr`] — `s` independent single-element copies (sampling
+    /// *with* replacement).
+    WithReplacement,
+}
+
+/// A value-level description of one sampling instance: protocol, sample
+/// size, and the seed of the shared hash family.
+///
+/// Two specs that are equal build samplers that agree exactly on every
+/// stream — which is what lets a serving layer check any instance against
+/// a [`CentralizedSampler`] oracle built from the same spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplerSpec {
+    /// Protocol choice.
+    pub kind: SamplerKind,
+    /// Sample size `s ≥ 1` (number of copies for with-replacement).
+    pub s: usize,
+    /// Seed of the Murmur2 hash family shared by the instance.
+    pub seed: u64,
+}
+
+impl SamplerSpec {
+    /// A spec for the given protocol.
+    ///
+    /// # Panics
+    /// Panics if `s == 0`.
+    #[must_use]
+    pub fn new(kind: SamplerKind, s: usize, seed: u64) -> Self {
+        assert!(s > 0, "sample size must be at least 1");
+        Self { kind, s, seed }
+    }
+
+    /// The hash family all builds of this spec share.
+    #[must_use]
+    pub fn family(&self) -> HashFamily {
+        HashFamily::murmur2(self.seed)
+    }
+
+    /// The primary hash function (what a bottom-`s` oracle should use).
+    #[must_use]
+    pub fn hasher(&self) -> SeededHash {
+        self.family().primary()
+    }
+
+    /// Build one sampler instance behind the unified interface.
+    #[must_use]
+    pub fn build(&self) -> Box<dyn DistinctSampler> {
+        match self.kind {
+            SamplerKind::Centralized => Box::new(CentralizedSampler::new(self.s, self.hasher())),
+            SamplerKind::Infinite => Box::new(FusedInfinite::new(&InfiniteConfig {
+                s: self.s,
+                family: self.family(),
+            })),
+            SamplerKind::WithReplacement => Box::new(FusedWr::new(self.s, self.family())),
+        }
+    }
+
+    /// The exact-oracle twin of this spec: a [`CentralizedSampler`] over
+    /// the same hash function. For `Centralized` and `Infinite` specs the
+    /// oracle's sample matches [`SamplerSpec::build`]'s output exactly;
+    /// for `WithReplacement` it provides the without-replacement
+    /// reference.
+    #[must_use]
+    pub fn oracle(&self) -> CentralizedSampler {
+        CentralizedSampler::new(self.s, self.hasher())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dds_hash::UnitHash;
+    use dds_sim::Cluster;
+
+    fn stream(n: u64, modulus: u64) -> impl Iterator<Item = Element> {
+        // Repeat-heavy deterministic stream exercising in-sample repeats.
+        (0..n).map(move |i| Element((i * i + 7 * i) % modulus))
+    }
+
+    #[test]
+    fn fused_infinite_matches_oracle_and_k1_cluster() {
+        let config = InfiniteConfig::with_seed(8, 42);
+        let mut fused = FusedInfinite::new(&config);
+        let mut oracle = CentralizedSampler::new(8, config.hasher());
+        let mut sim = config.cluster(1);
+        for e in stream(5_000, 900) {
+            DistinctSampler::observe(&mut fused, e);
+            oracle.observe(e);
+            sim.observe(SiteId(0), e);
+        }
+        assert_eq!(DistinctSampler::sample(&fused), oracle.sample());
+        assert_eq!(DistinctSampler::sample(&fused), sim.sample());
+        assert_eq!(DistinctSampler::threshold(&fused), Some(oracle.threshold()));
+        // Fusing must not change the would-be wire traffic of k = 1.
+        assert_eq!(
+            fused.protocol_messages(),
+            sim.counters().total_messages(),
+            "fused adapter and k=1 simulator disagree on message count"
+        );
+        assert!(fused.protocol_messages() > 0);
+    }
+
+    #[test]
+    fn fused_wr_matches_k1_cluster() {
+        let s = 6;
+        let family = HashFamily::murmur2(7);
+        let mut fused = FusedWr::new(s, family);
+        let hashers: Vec<SeededHash> = family.members(s).collect();
+        let mut sim: Cluster<WrSite, WrCoordinator> = Cluster::new(
+            vec![WrSite::new(hashers.clone())],
+            WrCoordinator::new(hashers.clone()),
+        );
+        let elems: Vec<Element> = stream(3_000, 700).collect();
+        for &e in &elems {
+            DistinctSampler::observe(&mut fused, e);
+            sim.observe(SiteId(0), e);
+        }
+        let sample = DistinctSampler::sample(&fused);
+        assert_eq!(sample, sim.sample());
+        assert_eq!(sample.len(), s);
+        // Each copy's entry is the true argmin of its hash function.
+        for (j, hasher) in hashers.iter().enumerate() {
+            let want = elems.iter().copied().min_by_key(|&e| hasher.unit(e.0));
+            assert_eq!(Some(sample[j]), want, "copy {j}");
+        }
+        assert_eq!(fused.protocol_messages(), sim.counters().total_messages());
+        assert_eq!(DistinctSampler::threshold(&fused), None);
+    }
+
+    #[test]
+    fn spec_builds_agree_with_their_direct_counterparts() {
+        for kind in [
+            SamplerKind::Centralized,
+            SamplerKind::Infinite,
+            SamplerKind::WithReplacement,
+        ] {
+            let spec = SamplerSpec::new(kind, 5, 99);
+            let mut a = spec.build();
+            let mut b = spec.build();
+            for e in stream(2_000, 333) {
+                a.observe(e);
+                b.observe(e);
+            }
+            assert_eq!(a.sample(), b.sample(), "{kind:?} build not deterministic");
+            assert!(a.memory_tuples() > 0);
+        }
+    }
+
+    #[test]
+    fn centralized_and_infinite_specs_match_the_shared_oracle() {
+        let spec_c = SamplerSpec::new(SamplerKind::Centralized, 7, 5);
+        let spec_i = SamplerSpec::new(SamplerKind::Infinite, 7, 5);
+        let mut c = spec_c.build();
+        let mut i = spec_i.build();
+        let mut oracle = spec_c.oracle();
+        for e in stream(4_000, 1_000) {
+            c.observe(e);
+            i.observe(e);
+            oracle.observe(e);
+        }
+        assert_eq!(c.sample(), oracle.sample());
+        assert_eq!(i.sample(), oracle.sample());
+        assert_eq!(c.threshold(), Some(oracle.threshold()));
+        assert_eq!(i.threshold(), Some(oracle.threshold()));
+    }
+
+    #[test]
+    fn boxed_samplers_are_send() {
+        fn assert_send<T: Send + ?Sized>() {}
+        assert_send::<dyn DistinctSampler>();
+        let sampler = SamplerSpec::new(SamplerKind::Infinite, 2, 1).build();
+        std::thread::spawn(move || drop(sampler)).join().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "sample size must be at least 1")]
+    fn zero_s_spec_rejected() {
+        let _ = SamplerSpec::new(SamplerKind::Infinite, 0, 1);
+    }
+}

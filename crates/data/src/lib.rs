@@ -26,6 +26,8 @@
 //! * [`synthetic`] — calibrated trace-like streams ([`synthetic::TraceLikeStream`]),
 //!   structured src×dst pair streams ([`synthetic::PairStream`]), plus
 //!   all-distinct and adversarial lower-bound inputs.
+//! * [`multi_tenant`] — interleaved tenant-keyed ingest feeds for the
+//!   serving layer (`dds-engine`).
 //! * [`routing`] — §5.1's data-distribution methods.
 //! * [`timeline`] — §5.3's slotted input schedule (five elements to random
 //!   sites per timestep) for sliding-window experiments.
@@ -37,12 +39,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod multi_tenant;
 pub mod routing;
 pub mod synthetic;
 pub mod timeline;
 pub mod trace;
 pub mod zipf;
 
+pub use multi_tenant::MultiTenantStream;
 pub use routing::{RouteTarget, Router, Routing};
 pub use synthetic::{
     AdversarialLowerBound, DistinctOnlyStream, PairStream, TraceLikeStream, TraceProfile, ENRON,

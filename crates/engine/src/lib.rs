@@ -1,0 +1,611 @@
+//! # dds-engine — a sharded, multi-tenant sampling service layer
+//!
+//! The paper's protocols maintain **one** distinct sample over one
+//! logical stream. A serving deployment (the ROADMAP's north star) hosts
+//! *many* independent sampling instances — one per tenant, user, or query
+//! key — behind a single ingest path, where per-instance state is tiny
+//! (O(s) for the fused infinite-window sampler) and throughput lives or
+//! dies on batching and merge structure.
+//!
+//! [`Engine`] is that layer:
+//!
+//! * **Sharding.** `shards` worker threads each own a disjoint set of
+//!   tenants (`tenant → shard` by seeded hash), so a tenant's stream is
+//!   processed by exactly one thread and needs no locking at all — the
+//!   shard map is plain owned state, and cross-tenant isolation is
+//!   structural rather than synchronized.
+//! * **Batched ingest.** [`Engine::observe_batch`] partitions a batch by
+//!   shard and forwards one message per shard over a *bounded* crossbeam
+//!   channel. A full queue exerts backpressure: the send blocks until the
+//!   worker catches up, and the event is counted per shard
+//!   ([`ShardMetricsSnapshot::backpressure`]) so operators can see which
+//!   shards are hot.
+//! * **Consistent snapshots.** Queries travel the same FIFO queue as
+//!   ingest (the in-band analogue of `dds-runtime`'s flush-token
+//!   barrier): by the time a [`Engine::snapshot`] is answered, every
+//!   batch whose `observe_batch` call returned before the snapshot call
+//!   began is reflected in the sample. [`Engine::flush`] is the explicit
+//!   all-shards barrier.
+//! * **Protocol-generic.** Tenant instances are built from a
+//!   [`SamplerSpec`] behind the object-safe
+//!   [`DistinctSampler`] trait — centralized,
+//!   fused infinite-window (Algorithms 1 & 2), and with-replacement
+//!   samplers all serve unchanged.
+//!
+//! The correctness contract is inherited from the paper: for
+//! `Centralized` and `Infinite` specs, every tenant's snapshot equals a
+//! single-threaded [`CentralizedSampler`](dds_core::CentralizedSampler)
+//! oracle fed that tenant's stream in the same order — regardless of
+//! interleaving with other tenants, shard count, or batch boundaries.
+//! The integration tests drive that equality across 1 000+ tenants.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metrics;
+
+pub use metrics::{EngineMetrics, ShardMetricsSnapshot};
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+
+use dds_core::sampler::{DistinctSampler, SamplerSpec};
+use dds_hash::splitmix::splitmix64_keyed;
+use dds_sim::Element;
+
+use metrics::ShardMetrics;
+
+/// Identifies one tenant (one independent sampling instance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(pub u64);
+
+/// Salt for the tenant → shard hash, fixed so placement is stable across
+/// engine restarts with the same shard count.
+const SHARD_SALT: u64 = 0x7e6a_5ce3_9d1b_42f1;
+
+/// Engine deployment parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Worker threads / tenant partitions (`≥ 1`).
+    pub shards: usize,
+    /// Per-shard command-queue capacity (`≥ 1`); smaller values trade
+    /// ingest throughput for tighter memory and faster backpressure.
+    pub queue_capacity: usize,
+    /// How to build each tenant's sampler instance.
+    pub spec: SamplerSpec,
+}
+
+impl EngineConfig {
+    /// Defaults: 4 shards, 128-command queues.
+    #[must_use]
+    pub fn new(spec: SamplerSpec) -> Self {
+        Self {
+            shards: 4,
+            queue_capacity: 128,
+            spec,
+        }
+    }
+
+    /// Set the shard count.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Set the per-shard queue capacity.
+    #[must_use]
+    pub fn with_queue_capacity(mut self, cap: usize) -> Self {
+        self.queue_capacity = cap;
+        self
+    }
+}
+
+/// Everything a shard worker can receive. Batches and queries share one
+/// FIFO queue — that ordering *is* the snapshot-consistency mechanism.
+enum ShardCmd {
+    /// Observe a batch of (tenant, element) pairs owned by this shard.
+    Batch(Vec<(TenantId, Element)>),
+    /// Answer one tenant's current sample (`None` if never observed).
+    /// `enqueued` lets the worker account queue-wait + service time as
+    /// the shard's snapshot latency.
+    Query {
+        tenant: TenantId,
+        reply: Sender<Option<Vec<Element>>>,
+        enqueued: Instant,
+    },
+    /// Answer every hosted tenant's sample (unordered; the engine sorts
+    /// the merged result).
+    QueryAll {
+        reply: Sender<Vec<(TenantId, Vec<Element>)>>,
+        enqueued: Instant,
+    },
+    /// Acknowledge once every previously enqueued command is processed.
+    Flush { reply: Sender<()> },
+    /// Stop the worker.
+    Shutdown,
+}
+
+struct Shard {
+    tx: Sender<ShardCmd>,
+    metrics: Arc<ShardMetrics>,
+    handle: JoinHandle<usize>,
+}
+
+/// Final accounting returned by [`Engine::shutdown`].
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Per-shard metrics at shutdown.
+    pub metrics: EngineMetrics,
+    /// Tenants hosted per shard at shutdown.
+    pub tenants_per_shard: Vec<usize>,
+}
+
+/// A running sharded multi-tenant sampling service.
+///
+/// All methods take `&self`: wrap the engine in an [`Arc`] to ingest from
+/// many producer threads while others snapshot.
+pub struct Engine {
+    shards: Vec<Shard>,
+    spec: SamplerSpec,
+}
+
+impl Engine {
+    /// Spawn the shard workers.
+    ///
+    /// # Panics
+    /// Panics if `config.shards == 0` or `config.queue_capacity == 0`.
+    #[must_use]
+    pub fn spawn(config: EngineConfig) -> Self {
+        assert!(config.shards >= 1, "need at least one shard");
+        assert!(config.queue_capacity >= 1, "queue capacity must be ≥ 1");
+        let shards = (0..config.shards)
+            .map(|_| {
+                let (tx, rx) = bounded::<ShardCmd>(config.queue_capacity);
+                let metrics = Arc::new(ShardMetrics::default());
+                let worker_metrics = Arc::clone(&metrics);
+                let spec = config.spec;
+                let handle = std::thread::spawn(move || shard_loop(&rx, spec, &worker_metrics));
+                Shard {
+                    tx,
+                    metrics,
+                    handle,
+                }
+            })
+            .collect();
+        Self {
+            shards,
+            spec: config.spec,
+        }
+    }
+
+    /// Number of shard workers.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The spec every tenant instance is built from.
+    #[must_use]
+    pub fn spec(&self) -> SamplerSpec {
+        self.spec
+    }
+
+    /// Which shard hosts `tenant` (stable for a fixed shard count).
+    #[must_use]
+    pub fn shard_of(&self, tenant: TenantId) -> usize {
+        (splitmix64_keyed(tenant.0, SHARD_SALT) % self.shards.len() as u64) as usize
+    }
+
+    /// Ingest one observation (a one-element batch; prefer
+    /// [`Engine::observe_batch`] on hot paths).
+    pub fn observe(&self, tenant: TenantId, e: Element) {
+        let shard = &self.shards[self.shard_of(tenant)];
+        send_with_backpressure(shard, ShardCmd::Batch(vec![(tenant, e)]));
+    }
+
+    /// Ingest a batch of observations, preserving per-tenant order.
+    ///
+    /// The batch is partitioned by owning shard and forwarded as one
+    /// message per shard; a full shard queue blocks (and is counted as a
+    /// backpressure event) rather than dropping or buffering unboundedly.
+    pub fn observe_batch(&self, batch: impl IntoIterator<Item = (TenantId, Element)>) {
+        let mut per_shard: Vec<Vec<(TenantId, Element)>> = vec![Vec::new(); self.shards.len()];
+        for (tenant, e) in batch {
+            per_shard[self.shard_of(tenant)].push((tenant, e));
+        }
+        for (i, part) in per_shard.into_iter().enumerate() {
+            if !part.is_empty() {
+                send_with_backpressure(&self.shards[i], ShardCmd::Batch(part));
+            }
+        }
+    }
+
+    /// One tenant's current sample, or `None` if the tenant has never
+    /// been observed.
+    ///
+    /// Consistency: reflects every batch whose `observe_batch` call
+    /// returned before this call began (FIFO queue barrier), and possibly
+    /// later ones still in flight from concurrent producers.
+    #[must_use]
+    pub fn snapshot(&self, tenant: TenantId) -> Option<Vec<Element>> {
+        let shard = &self.shards[self.shard_of(tenant)];
+        let (reply_tx, reply_rx) = unbounded();
+        shard
+            .tx
+            .send(ShardCmd::Query {
+                tenant,
+                reply: reply_tx,
+                enqueued: Instant::now(),
+            })
+            .expect("shard worker alive");
+        reply_rx.recv().expect("shard worker alive")
+    }
+
+    /// Every hosted tenant's sample, ascending by tenant id.
+    #[must_use]
+    pub fn snapshot_all(&self) -> Vec<(TenantId, Vec<Element>)> {
+        let replies: Vec<Receiver<Vec<(TenantId, Vec<Element>)>>> = self
+            .shards
+            .iter()
+            .map(|shard| {
+                let (reply_tx, reply_rx) = unbounded();
+                shard
+                    .tx
+                    .send(ShardCmd::QueryAll {
+                        reply: reply_tx,
+                        enqueued: Instant::now(),
+                    })
+                    .expect("shard worker alive");
+                reply_rx
+            })
+            .collect();
+        let mut all = Vec::new();
+        for rx in replies {
+            all.extend(rx.recv().expect("shard worker alive"));
+        }
+        all.sort_by_key(|&(t, _)| t);
+        all
+    }
+
+    /// Block until every shard has processed all previously enqueued
+    /// commands — the explicit all-shards barrier.
+    pub fn flush(&self) {
+        let replies: Vec<Receiver<()>> = self
+            .shards
+            .iter()
+            .map(|shard| {
+                let (reply_tx, reply_rx) = unbounded();
+                shard
+                    .tx
+                    .send(ShardCmd::Flush { reply: reply_tx })
+                    .expect("shard worker alive");
+                reply_rx
+            })
+            .collect();
+        for rx in replies {
+            rx.recv().expect("shard worker alive");
+        }
+    }
+
+    /// Current per-shard metrics (counters may lag in-flight traffic;
+    /// exact right after [`Engine::flush`]).
+    #[must_use]
+    pub fn metrics(&self) -> EngineMetrics {
+        EngineMetrics {
+            shards: self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(i, shard)| shard.metrics.snapshot(i, shard.tx.len()))
+                .collect(),
+        }
+    }
+
+    /// Stop all workers and return the final accounting.
+    #[must_use]
+    pub fn shutdown(self) -> EngineReport {
+        for shard in &self.shards {
+            let _ = shard.tx.send(ShardCmd::Shutdown);
+        }
+        // Join *before* reading metrics: Shutdown queues behind any
+        // still-unprocessed commands, so the counters are final only once
+        // the worker has exited.
+        let mut tenants_per_shard = Vec::with_capacity(self.shards.len());
+        let mut snapshots = Vec::with_capacity(self.shards.len());
+        for (i, shard) in self.shards.into_iter().enumerate() {
+            tenants_per_shard.push(shard.handle.join().expect("shard worker exits cleanly"));
+            snapshots.push(shard.metrics.snapshot(i, 0));
+        }
+        EngineReport {
+            metrics: EngineMetrics { shards: snapshots },
+            tenants_per_shard,
+        }
+    }
+}
+
+/// Ingest enqueue: try the non-blocking fast path first; on a full queue,
+/// count the backpressure event and fall back to the blocking send.
+/// (Queries and flushes use plain `send` — the backpressure metric means
+/// *ingest* pressure, the signal a rebalancer would act on.)
+fn send_with_backpressure(shard: &Shard, cmd: ShardCmd) {
+    match shard.tx.try_send(cmd) {
+        Ok(()) => {}
+        Err(TrySendError::Full(cmd)) => {
+            shard
+                .metrics
+                .backpressure
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            shard.tx.send(cmd).expect("shard worker alive");
+        }
+        Err(TrySendError::Disconnected(_)) => panic!("shard worker is gone"),
+    }
+}
+
+/// Queue-wait + service time of one snapshot query, recorded by the
+/// worker as it answers (so a slow sibling shard cannot skew another
+/// shard's numbers).
+fn record_snapshot_latency(metrics: &ShardMetrics, enqueued: Instant) {
+    use std::sync::atomic::Ordering::Relaxed;
+    metrics.snapshots.fetch_add(1, Relaxed);
+    metrics
+        .snapshot_nanos
+        .fetch_add(enqueued.elapsed().as_nanos() as u64, Relaxed);
+}
+
+/// The shard worker: owns its tenants' samplers outright; returns the
+/// final tenant count on shutdown.
+fn shard_loop(rx: &Receiver<ShardCmd>, spec: SamplerSpec, metrics: &ShardMetrics) -> usize {
+    use std::sync::atomic::Ordering::Relaxed;
+    let mut tenants: HashMap<u64, Box<dyn DistinctSampler>> = HashMap::new();
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            ShardCmd::Batch(batch) => {
+                metrics.batches.fetch_add(1, Relaxed);
+                metrics.elements.fetch_add(batch.len() as u64, Relaxed);
+                for (tenant, e) in batch {
+                    tenants
+                        .entry(tenant.0)
+                        .or_insert_with(|| spec.build())
+                        .observe(e);
+                }
+                metrics.tenants.store(tenants.len(), Relaxed);
+            }
+            ShardCmd::Query {
+                tenant,
+                reply,
+                enqueued,
+            } => {
+                let _ = reply.send(tenants.get(&tenant.0).map(|s| s.sample()));
+                record_snapshot_latency(metrics, enqueued);
+            }
+            ShardCmd::QueryAll { reply, enqueued } => {
+                // Unordered: the engine sorts the merged result once.
+                let all: Vec<(TenantId, Vec<Element>)> = tenants
+                    .iter()
+                    .map(|(&t, s)| (TenantId(t), s.sample()))
+                    .collect();
+                let _ = reply.send(all);
+                record_snapshot_latency(metrics, enqueued);
+            }
+            ShardCmd::Flush { reply } => {
+                let _ = reply.send(());
+            }
+            ShardCmd::Shutdown => break,
+        }
+    }
+    tenants.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dds_core::sampler::SamplerKind;
+    use dds_core::CentralizedSampler;
+
+    fn spec() -> SamplerSpec {
+        SamplerSpec::new(SamplerKind::Infinite, 8, 1234)
+    }
+
+    #[test]
+    fn shard_assignment_is_stable_and_covers_all_shards() {
+        let engine = Engine::spawn(EngineConfig::new(spec()).with_shards(8));
+        let mut seen = vec![false; 8];
+        for t in 0..1_000 {
+            let shard = engine.shard_of(TenantId(t));
+            assert_eq!(shard, engine.shard_of(TenantId(t)), "placement not stable");
+            seen[shard] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "some shard hosts no tenants");
+        let _ = engine.shutdown();
+    }
+
+    #[test]
+    fn single_tenant_matches_oracle() {
+        let engine = Engine::spawn(EngineConfig::new(spec()).with_shards(3));
+        let mut oracle = spec().oracle();
+        let t = TenantId(42);
+        for i in 0..5_000u64 {
+            let e = Element((i * 31) % 800);
+            engine.observe(t, e);
+            oracle.observe(e);
+        }
+        assert_eq!(engine.snapshot(t), Some(oracle.sample()));
+        let report = engine.shutdown();
+        assert_eq!(report.metrics.total_elements(), 5_000);
+        assert_eq!(report.metrics.tenants(), 1);
+    }
+
+    #[test]
+    fn batched_multi_tenant_matches_per_tenant_oracles() {
+        let tenants = 64u64;
+        let engine = Engine::spawn(EngineConfig::new(spec()).with_shards(4));
+        let mut oracles: HashMap<u64, CentralizedSampler> = HashMap::new();
+        let mut batch = Vec::new();
+        for i in 0..40_000u64 {
+            let t = i % tenants; // interleave all tenants
+            let e = Element((i * 17) % 500); // element ids collide across tenants
+            oracles
+                .entry(t)
+                .or_insert_with(|| spec().oracle())
+                .observe(e);
+            batch.push((TenantId(t), e));
+            if batch.len() == 256 {
+                engine.observe_batch(batch.drain(..).collect::<Vec<_>>());
+            }
+        }
+        engine.observe_batch(batch);
+        for (&t, oracle) in &oracles {
+            assert_eq!(
+                engine.snapshot(TenantId(t)),
+                Some(oracle.sample()),
+                "tenant {t} diverged"
+            );
+        }
+        let all = engine.snapshot_all();
+        assert_eq!(all.len(), tenants as usize);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "not sorted");
+        let _ = engine.shutdown();
+    }
+
+    #[test]
+    fn snapshot_of_unknown_tenant_is_none() {
+        let engine = Engine::spawn(EngineConfig::new(spec()).with_shards(2));
+        engine.observe(TenantId(1), Element(9));
+        assert_eq!(engine.snapshot(TenantId(999)), None);
+        assert!(engine.snapshot(TenantId(1)).is_some());
+        let _ = engine.shutdown();
+    }
+
+    #[test]
+    fn flush_makes_metrics_exact() {
+        let engine = Engine::spawn(EngineConfig::new(spec()).with_shards(4));
+        let batch: Vec<(TenantId, Element)> =
+            (0..1_000).map(|i| (TenantId(i % 10), Element(i))).collect();
+        engine.observe_batch(batch);
+        engine.flush();
+        let m = engine.metrics();
+        assert_eq!(m.total_elements(), 1_000);
+        assert_eq!(m.tenants(), 10);
+        assert_eq!(m.max_queue_depth(), 0, "flush leaves queues drained");
+        let _ = engine.shutdown();
+    }
+
+    #[test]
+    fn tiny_queue_exerts_and_counts_backpressure() {
+        let engine = Engine::spawn(
+            EngineConfig::new(spec())
+                .with_shards(1)
+                .with_queue_capacity(1),
+        );
+        // Each batch takes the worker far longer to process than the
+        // sender needs to enqueue the next one, so with a one-slot queue
+        // the try_send fast path must fail (and block) repeatedly.
+        for round in 0..50u64 {
+            let batch: Vec<(TenantId, Element)> = (0..1_000)
+                .map(|i| (TenantId(i % 20), Element(round * 1_000 + i)))
+                .collect();
+            engine.observe_batch(batch);
+        }
+        engine.flush();
+        let m = engine.metrics();
+        assert_eq!(m.total_elements(), 50_000);
+        assert!(
+            m.total_backpressure() > 0,
+            "50 batches through a 1-slot queue never blocked"
+        );
+        let _ = engine.shutdown();
+    }
+
+    #[test]
+    fn with_replacement_tenants_serve_too() {
+        let wr = SamplerSpec::new(SamplerKind::WithReplacement, 4, 7);
+        let engine = Engine::spawn(EngineConfig::new(wr).with_shards(2));
+        for i in 0..2_000u64 {
+            engine.observe(TenantId(i % 3), Element(i % 100));
+        }
+        for t in 0..3 {
+            let sample = engine.snapshot(TenantId(t)).expect("tenant exists");
+            assert_eq!(sample.len(), 4, "one entry per WR copy");
+        }
+        let _ = engine.shutdown();
+    }
+
+    #[test]
+    fn concurrent_producers_and_snapshots_do_not_deadlock() {
+        let engine = Arc::new(Engine::spawn(
+            EngineConfig::new(spec())
+                .with_shards(4)
+                .with_queue_capacity(4),
+        ));
+        let producers: Vec<_> = (0..4u64)
+            .map(|p| {
+                let engine = Arc::clone(&engine);
+                std::thread::spawn(move || {
+                    for round in 0..50u64 {
+                        let batch: Vec<(TenantId, Element)> = (0..200)
+                            .map(|i| (TenantId(p * 100 + i % 25), Element(round * 200 + i)))
+                            .collect();
+                        engine.observe_batch(batch);
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..20 {
+            let _ = engine.snapshot(TenantId(0));
+            let _ = engine.snapshot_all();
+        }
+        for h in producers {
+            h.join().unwrap();
+        }
+        engine.flush();
+        let m = engine.metrics();
+        assert_eq!(m.total_elements(), 4 * 50 * 200);
+        let engine = Arc::into_inner(engine).expect("sole owner after joins");
+        let _ = engine.shutdown();
+    }
+
+    #[test]
+    fn shutdown_report_counts_all_queued_work() {
+        // Regression: shutdown must join workers *before* reading
+        // metrics — Shutdown queues behind unprocessed batches, so a
+        // premature read under-counts.
+        let engine = Engine::spawn(
+            EngineConfig::new(spec())
+                .with_shards(2)
+                .with_queue_capacity(2),
+        );
+        for _ in 0..20u64 {
+            let batch: Vec<(TenantId, Element)> =
+                (0..2_500).map(|i| (TenantId(i % 50), Element(i))).collect();
+            engine.observe_batch(batch);
+        }
+        // Deliberately no flush before shutdown.
+        let report = engine.shutdown();
+        assert_eq!(report.metrics.total_elements(), 50_000);
+        assert_eq!(report.metrics.tenants(), 50);
+    }
+
+    #[test]
+    fn snapshot_latency_is_recorded_by_the_worker() {
+        let engine = Engine::spawn(EngineConfig::new(spec()).with_shards(1));
+        engine.observe(TenantId(0), Element(1));
+        let _ = engine.snapshot(TenantId(0));
+        let _ = engine.snapshot_all();
+        engine.flush();
+        let m = engine.metrics();
+        assert_eq!(m.total_snapshots(), 2);
+        assert!(m.shards[0].mean_snapshot_latency_ns() > 0.0);
+        let _ = engine.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = Engine::spawn(EngineConfig::new(spec()).with_shards(0));
+    }
+}

@@ -1,0 +1,194 @@
+//! Per-shard operational metrics.
+//!
+//! Shard workers and ingest callers record into [`ShardMetrics`] with
+//! relaxed atomics (the same no-locks-on-the-hot-path rule as
+//! `dds_sim::AtomicMessageCounters`); [`Engine::metrics`] materializes
+//! [`ShardMetricsSnapshot`]s and wraps them in an [`EngineMetrics`] for
+//! aggregate queries and table rendering.
+//!
+//! [`Engine::metrics`]: crate::Engine::metrics
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Live (shared, atomic) counters of one shard.
+#[derive(Debug, Default)]
+pub(crate) struct ShardMetrics {
+    /// Ingest batches processed by the worker.
+    pub(crate) batches: AtomicU64,
+    /// Elements processed by the worker.
+    pub(crate) elements: AtomicU64,
+    /// Snapshot queries answered (single-tenant and whole-shard alike).
+    pub(crate) snapshots: AtomicU64,
+    /// Total caller-observed snapshot latency, nanoseconds.
+    pub(crate) snapshot_nanos: AtomicU64,
+    /// Ingest sends that found the shard queue full and had to block.
+    pub(crate) backpressure: AtomicU64,
+    /// Tenants currently hosted (gauge, maintained by the worker).
+    pub(crate) tenants: AtomicUsize,
+}
+
+impl ShardMetrics {
+    pub(crate) fn snapshot(&self, shard: usize, queue_depth: usize) -> ShardMetricsSnapshot {
+        ShardMetricsSnapshot {
+            shard,
+            batches: self.batches.load(Ordering::Relaxed),
+            elements: self.elements.load(Ordering::Relaxed),
+            snapshots: self.snapshots.load(Ordering::Relaxed),
+            snapshot_nanos: self.snapshot_nanos.load(Ordering::Relaxed),
+            backpressure: self.backpressure.load(Ordering::Relaxed),
+            tenants: self.tenants.load(Ordering::Relaxed),
+            queue_depth,
+        }
+    }
+}
+
+/// Point-in-time copy of one shard's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMetricsSnapshot {
+    /// Shard index.
+    pub shard: usize,
+    /// Ingest batches processed.
+    pub batches: u64,
+    /// Elements processed.
+    pub elements: u64,
+    /// Snapshot queries answered.
+    pub snapshots: u64,
+    /// Total caller-observed snapshot latency in nanoseconds.
+    pub snapshot_nanos: u64,
+    /// Ingest sends that hit a full queue and blocked.
+    pub backpressure: u64,
+    /// Tenants hosted when the snapshot was taken.
+    pub tenants: usize,
+    /// Commands queued when the snapshot was taken.
+    pub queue_depth: usize,
+}
+
+impl ShardMetricsSnapshot {
+    /// Mean snapshot round-trip latency in nanoseconds (0 before the
+    /// first snapshot).
+    #[must_use]
+    pub fn mean_snapshot_latency_ns(&self) -> f64 {
+        if self.snapshots == 0 {
+            0.0
+        } else {
+            self.snapshot_nanos as f64 / self.snapshots as f64
+        }
+    }
+}
+
+/// All shards' snapshots, with aggregate accessors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineMetrics {
+    /// One snapshot per shard, in shard order.
+    pub shards: Vec<ShardMetricsSnapshot>,
+}
+
+impl EngineMetrics {
+    /// Elements processed across all shards.
+    #[must_use]
+    pub fn total_elements(&self) -> u64 {
+        self.shards.iter().map(|s| s.elements).sum()
+    }
+
+    /// Ingest batches processed across all shards.
+    #[must_use]
+    pub fn total_batches(&self) -> u64 {
+        self.shards.iter().map(|s| s.batches).sum()
+    }
+
+    /// Snapshot queries answered across all shards.
+    #[must_use]
+    pub fn total_snapshots(&self) -> u64 {
+        self.shards.iter().map(|s| s.snapshots).sum()
+    }
+
+    /// Full-queue (blocking) ingest sends across all shards.
+    #[must_use]
+    pub fn total_backpressure(&self) -> u64 {
+        self.shards.iter().map(|s| s.backpressure).sum()
+    }
+
+    /// Tenants hosted across all shards.
+    #[must_use]
+    pub fn tenants(&self) -> usize {
+        self.shards.iter().map(|s| s.tenants).sum()
+    }
+
+    /// Deepest per-shard command queue at snapshot time.
+    #[must_use]
+    pub fn max_queue_depth(&self) -> usize {
+        self.shards.iter().map(|s| s.queue_depth).max().unwrap_or(0)
+    }
+
+    /// Render an aligned per-shard table (for examples and logs).
+    #[must_use]
+    pub fn to_table(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:>5} {:>9} {:>11} {:>8} {:>11} {:>13} {:>12} {:>10}",
+            "shard",
+            "tenants",
+            "elements",
+            "batches",
+            "snapshots",
+            "mean-snap-us",
+            "backpressure",
+            "queue"
+        );
+        for s in &self.shards {
+            let _ = writeln!(
+                out,
+                "{:>5} {:>9} {:>11} {:>8} {:>11} {:>13.1} {:>12} {:>10}",
+                s.shard,
+                s.tenants,
+                s.elements,
+                s.batches,
+                s.snapshots,
+                s.mean_snapshot_latency_ns() / 1_000.0,
+                s.backpressure,
+                s.queue_depth
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_aggregates() {
+        let live = ShardMetrics::default();
+        live.batches.store(3, Ordering::Relaxed);
+        live.elements.store(300, Ordering::Relaxed);
+        live.snapshots.store(2, Ordering::Relaxed);
+        live.snapshot_nanos.store(4_000, Ordering::Relaxed);
+        live.backpressure.store(1, Ordering::Relaxed);
+        live.tenants.store(7, Ordering::Relaxed);
+        let snap = live.snapshot(0, 5);
+        assert_eq!(snap.queue_depth, 5);
+        assert!((snap.mean_snapshot_latency_ns() - 2_000.0).abs() < 1e-9);
+
+        let m = EngineMetrics {
+            shards: vec![snap, live.snapshot(1, 2)],
+        };
+        assert_eq!(m.total_elements(), 600);
+        assert_eq!(m.total_batches(), 6);
+        assert_eq!(m.total_snapshots(), 4);
+        assert_eq!(m.total_backpressure(), 2);
+        assert_eq!(m.tenants(), 14);
+        assert_eq!(m.max_queue_depth(), 5);
+        let table = m.to_table();
+        assert!(table.contains("backpressure"));
+        assert_eq!(table.lines().count(), 3);
+    }
+
+    #[test]
+    fn latency_mean_defined_before_first_snapshot() {
+        let live = ShardMetrics::default();
+        assert_eq!(live.snapshot(0, 0).mean_snapshot_latency_ns(), 0.0);
+    }
+}

@@ -39,11 +39,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
 
 use dds_sim::{
-    CoordinatorNode, Destination, Direction, Element, MessageCounters, SiteId, SiteNode, Slot,
-    WireMessage,
+    AtomicMessageCounters, CoordinatorNode, Destination, Direction, Element, MessageCounters,
+    SiteId, SiteNode, Slot, WireMessage,
 };
 
 /// Commands accepted by a site thread.
@@ -77,7 +76,7 @@ enum CoordMsg<U> {
 pub struct ThreadedCluster<S: SiteNode, C: CoordinatorNode> {
     site_txs: Vec<Sender<SiteCmd>>,
     coord_tx: Sender<CoordMsg<S::Up>>,
-    counters: Arc<Mutex<MessageCounters>>,
+    counters: Arc<AtomicMessageCounters>,
     site_handles: Vec<JoinHandle<S>>,
     coord_handle: JoinHandle<C>,
     next_gen: u64,
@@ -96,7 +95,7 @@ where
     #[must_use]
     pub fn spawn(sites: Vec<S>, coordinator: C) -> Self {
         let k = sites.len();
-        let counters = Arc::new(Mutex::new(MessageCounters::new(k)));
+        let counters = Arc::new(AtomicMessageCounters::new(k));
         let (coord_tx, coord_rx) = unbounded::<CoordMsg<S::Up>>();
 
         let mut down_txs = Vec::with_capacity(k);
@@ -179,7 +178,7 @@ where
     /// otherwise).
     #[must_use]
     pub fn counters(&self) -> MessageCounters {
-        self.counters.lock().clone()
+        self.counters.snapshot()
     }
 
     /// Stop all threads, returning the final coordinator and site states
@@ -195,7 +194,7 @@ where
             .collect();
         let _ = self.coord_tx.send(CoordMsg::Shutdown);
         let coordinator = self.coord_handle.join().expect("coordinator exits cleanly");
-        let counters = self.counters.lock().clone();
+        let counters = self.counters.snapshot();
         (coordinator, sites, counters)
     }
 }
@@ -206,7 +205,7 @@ fn site_loop<S>(
     cmd_rx: &Receiver<SiteCmd>,
     down_rx: &Receiver<S::Down>,
     to_coord: &Sender<CoordMsg<S::Up>>,
-    counters: &Mutex<MessageCounters>,
+    counters: &AtomicMessageCounters,
 ) where
     S: SiteNode,
     S::Up: WireMessage,
@@ -242,10 +241,12 @@ fn drain_ups<U: WireMessage>(
     id: SiteId,
     ups: &mut Vec<U>,
     to_coord: &Sender<CoordMsg<U>>,
-    counters: &Mutex<MessageCounters>,
+    counters: &AtomicMessageCounters,
 ) {
     for up in ups.drain(..) {
-        counters.lock().record(Direction::Up, id, up.wire_bytes());
+        // Lock-free per-site accounting: two relaxed fetch-adds instead of
+        // a k-thread-contended mutex on every protocol message.
+        counters.record(Direction::Up, id, up.wire_bytes());
         to_coord
             .send(CoordMsg::Up(id, up))
             .expect("coordinator alive");
@@ -257,7 +258,7 @@ fn coordinator_loop<C>(
     k: usize,
     rx: &Receiver<CoordMsg<C::Up>>,
     down_txs: &[Sender<C::Down>],
-    counters: &Mutex<MessageCounters>,
+    counters: &AtomicMessageCounters,
 ) where
     C: CoordinatorNode,
     C::Down: WireMessage + Clone,
@@ -275,18 +276,12 @@ fn coordinator_loop<C>(
                 for (dest, down) in outs.drain(..) {
                     match dest {
                         Destination::Site(to) => {
-                            counters
-                                .lock()
-                                .record(Direction::Down, to, down.wire_bytes());
+                            counters.record(Direction::Down, to, down.wire_bytes());
                             let _ = down_txs[to.0].send(down);
                         }
                         Destination::Broadcast => {
                             for (i, tx) in down_txs.iter().enumerate() {
-                                counters.lock().record(
-                                    Direction::Down,
-                                    SiteId(i),
-                                    down.wire_bytes(),
-                                );
+                                counters.record(Direction::Down, SiteId(i), down.wire_bytes());
                                 let _ = tx.send(down.clone());
                             }
                         }

@@ -44,6 +44,7 @@
 //! | [`dds_data`] | calibrated OC48-like / Enron-like synthetic traces, Zipf, routing strategies, slotted schedules |
 //! | [`dds_stats`] | KMV distinct-count estimation, predicate estimators, chi-square / KS machinery |
 //! | [`dds_runtime`] | real multi-threaded deployment over crossbeam channels |
+//! | [`dds_engine`] | sharded multi-tenant serving layer: thousands of sampler instances behind one batched ingest path |
 //!
 //! Run the evaluation-reproduction harness with
 //! `cargo run -p dds-bench --release --bin experiments -- all`.
@@ -53,6 +54,7 @@
 
 pub use dds_core as core;
 pub use dds_data as data;
+pub use dds_engine as engine;
 pub use dds_hash as hash;
 pub use dds_runtime as runtime;
 pub use dds_sim as sim;
@@ -64,13 +66,17 @@ pub mod prelude {
     pub use dds_core::broadcast::BroadcastConfig;
     pub use dds_core::centralized::{BottomS, CentralizedSampler, SlidingOracle};
     pub use dds_core::infinite::{InfiniteConfig, LazyCoordinator, LazySite};
+    pub use dds_core::sampler::{
+        DistinctSampler, FusedInfinite, FusedWr, SamplerKind, SamplerSpec,
+    };
     pub use dds_core::sliding::{CoordinatorMode, SlidingConfig, SwCoordinator, SwSite};
     pub use dds_core::sliding_nofeedback::NfConfig;
     pub use dds_core::with_replacement::WrConfig;
     pub use dds_data::{
-        PairStream, RouteTarget, Router, Routing, SlottedInput, TraceLikeStream, TraceProfile,
-        ENRON, OC48,
+        MultiTenantStream, PairStream, RouteTarget, Router, Routing, SlottedInput, TraceLikeStream,
+        TraceProfile, ENRON, OC48,
     };
+    pub use dds_engine::{Engine, EngineConfig, EngineMetrics, TenantId};
     pub use dds_hash::{HashFamily, SeededHash, UnitHash, UnitValue};
     pub use dds_runtime::ThreadedCluster;
     pub use dds_sim::{Cluster, CoordinatorNode, Element, MessageCounters, SiteId, SiteNode, Slot};

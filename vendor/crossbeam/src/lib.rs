@@ -2,13 +2,16 @@
 //! blocking `select!` over `recv` arms.
 //!
 //! The build environment has no crates.io access, so the workspace vendors
-//! the slice of crossbeam it uses: [`channel::unbounded`] channels with
-//! cloneable senders *and* receivers, disconnect-aware `recv`, and a
-//! `select!` macro covering the `recv(rx) -> msg => ...` form. Semantics
-//! match the real crate for that surface (FIFO per channel, `Err` on
-//! disconnect); `select!` here polls with a short parked backoff instead
-//! of registering wakers, which is indistinguishable for protocol-scale
-//! traffic and keeps the stub dependency-free.
+//! the slice of crossbeam it uses: [`channel::unbounded`] and
+//! [`channel::bounded`] channels with cloneable senders *and* receivers,
+//! disconnect-aware `recv`, non-blocking `try_send`, and a `select!`
+//! macro covering the `recv(rx) -> msg => ...` form. Semantics match the
+//! real crate for that surface (FIFO per channel, `Err` on disconnect,
+//! `send` on a full bounded channel blocks until a receiver makes room);
+//! `select!` here polls with a short parked backoff instead of
+//! registering wakers, which is indistinguishable for protocol-scale
+//! traffic and keeps the stub dependency-free. One simplification:
+//! `bounded(0)` (a rendezvous channel) is not supported and panics.
 
 #![forbid(unsafe_code)]
 
@@ -24,6 +27,8 @@ pub mod channel {
         queue: VecDeque<T>,
         senders: usize,
         receivers: usize,
+        /// `Some(cap)` for bounded channels, `None` for unbounded.
+        cap: Option<usize>,
     }
 
     struct Inner<T> {
@@ -73,6 +78,48 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is bounded and at capacity.
+        Full(T),
+        /// Every receiver is gone.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+            }
+        }
+    }
+
+    impl<T> TrySendError<T> {
+        /// Recover the message that could not be sent.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(msg) | TrySendError::Disconnected(msg) => msg,
+            }
+        }
+
+        /// True iff the failure was a full (not disconnected) channel.
+        #[must_use]
+        pub fn is_full(&self) -> bool {
+            matches!(self, TrySendError::Full(_))
+        }
+    }
+
     impl<T> fmt::Debug for Sender<T> {
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             f.write_str("Sender { .. }")
@@ -93,14 +140,13 @@ pub mod channel {
 
     impl std::error::Error for RecvError {}
 
-    /// Create an unbounded FIFO channel.
-    #[must_use]
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
                 senders: 1,
                 receivers: 1,
+                cap,
             }),
             ready: Condvar::new(),
         });
@@ -110,6 +156,25 @@ pub mod channel {
             },
             Receiver { inner },
         )
+    }
+
+    /// Create an unbounded FIFO channel.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel(None)
+    }
+
+    /// Create a bounded FIFO channel holding at most `cap` messages.
+    /// `send` on a full channel blocks until a receiver makes room;
+    /// `try_send` fails fast with [`TrySendError::Full`].
+    ///
+    /// # Panics
+    /// Panics if `cap == 0` (rendezvous channels are outside the vendored
+    /// subset).
+    #[must_use]
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap > 0, "bounded(0) rendezvous channels are not supported");
+        channel(Some(cap))
     }
 
     impl<T> Clone for Sender<T> {
@@ -143,21 +208,79 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.inner.state.lock().expect("channel lock").receivers -= 1;
+            let mut state = self.inner.state.lock().expect("channel lock");
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                // Wake senders blocked on a full bounded channel so they
+                // observe the disconnect instead of sleeping forever.
+                self.inner.ready.notify_all();
+            }
         }
     }
 
     impl<T> Sender<T> {
-        /// Enqueue a message; fails only if every receiver is dropped.
+        /// Enqueue a message, blocking while a bounded channel is full;
+        /// fails only if every receiver is dropped.
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
             let mut state = self.inner.state.lock().expect("channel lock");
-            if state.receivers == 0 {
-                return Err(SendError(msg));
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                match state.cap {
+                    Some(cap) if state.queue.len() >= cap => {
+                        state = self.inner.ready.wait(state).expect("channel lock");
+                    }
+                    _ => break,
+                }
             }
+            let bounded = state.cap.is_some();
             state.queue.push_back(msg);
             drop(state);
-            self.inner.ready.notify_one();
+            if bounded {
+                // Senders and receivers share one condvar on bounded
+                // channels; notify_one could wake another blocked sender
+                // and lose the receiver wakeup.
+                self.inner.ready.notify_all();
+            } else {
+                self.inner.ready.notify_one();
+            }
             Ok(())
+        }
+
+        /// Non-blocking enqueue: fails fast when a bounded channel is at
+        /// capacity or every receiver is dropped.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.inner.state.lock().expect("channel lock");
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if let Some(cap) = state.cap {
+                if state.queue.len() >= cap {
+                    return Err(TrySendError::Full(msg));
+                }
+            }
+            let bounded = state.cap.is_some();
+            state.queue.push_back(msg);
+            drop(state);
+            if bounded {
+                self.inner.ready.notify_all();
+            } else {
+                self.inner.ready.notify_one();
+            }
+            Ok(())
+        }
+
+        /// Number of messages currently queued.
+        #[must_use]
+        pub fn len(&self) -> usize {
+            self.inner.state.lock().expect("channel lock").queue.len()
+        }
+
+        /// Whether the queue is currently empty.
+        #[must_use]
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
@@ -167,6 +290,12 @@ pub mod channel {
             let mut state = self.inner.state.lock().expect("channel lock");
             loop {
                 if let Some(msg) = state.queue.pop_front() {
+                    let bounded = state.cap.is_some();
+                    drop(state);
+                    if bounded {
+                        // A slot freed up: wake senders blocked on full.
+                        self.inner.ready.notify_all();
+                    }
                     return Ok(msg);
                 }
                 if state.senders == 0 {
@@ -180,6 +309,11 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut state = self.inner.state.lock().expect("channel lock");
             if let Some(msg) = state.queue.pop_front() {
+                let bounded = state.cap.is_some();
+                drop(state);
+                if bounded {
+                    self.inner.ready.notify_all();
+                }
                 Ok(msg)
             } else if state.senders == 0 {
                 Err(TryRecvError::Disconnected)
@@ -193,6 +327,11 @@ pub mod channel {
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, TryRecvError> {
             let mut state = self.inner.state.lock().expect("channel lock");
             if let Some(msg) = state.queue.pop_front() {
+                let bounded = state.cap.is_some();
+                drop(state);
+                if bounded {
+                    self.inner.ready.notify_all();
+                }
                 return Ok(msg);
             }
             if state.senders == 0 {
@@ -204,6 +343,11 @@ pub mod channel {
                 .wait_timeout(state, timeout)
                 .expect("channel lock");
             if let Some(msg) = state.queue.pop_front() {
+                let bounded = state.cap.is_some();
+                drop(state);
+                if bounded {
+                    self.inner.ready.notify_all();
+                }
                 Ok(msg)
             } else if state.senders == 0 {
                 Err(TryRecvError::Disconnected)
@@ -275,7 +419,69 @@ macro_rules! select {
 
 #[cfg(test)]
 mod tests {
-    use super::channel::{unbounded, RecvError, TryRecvError};
+    use super::channel::{bounded, unbounded, RecvError, TryRecvError, TrySendError};
+
+    #[test]
+    fn bounded_try_send_reports_full_then_recovers() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        match tx.try_send(3) {
+            Err(e @ TrySendError::Full(_)) => {
+                assert!(e.is_full());
+                assert_eq!(e.into_inner(), 3);
+            }
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(tx.len(), 2);
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_room() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(1).unwrap();
+        let h = std::thread::spawn(move || {
+            tx.send(2).unwrap(); // blocks until the recv below
+            tx.send(3).unwrap();
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn bounded_send_unblocks_on_receiver_drop() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(1).unwrap();
+        let h = std::thread::spawn(move || tx.send(2));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(rx);
+        assert!(h.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn try_send_on_disconnected_channel() {
+        let (tx, rx) = bounded::<u32>(4);
+        drop(rx);
+        assert!(matches!(tx.try_send(9), Err(TrySendError::Disconnected(9))));
+        let (tx2, _) = (unbounded::<u32>().0, ());
+        assert!(matches!(
+            tx2.try_send(7),
+            Err(TrySendError::Disconnected(7))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "rendezvous")]
+    fn bounded_zero_rejected() {
+        let _ = bounded::<u32>(0);
+    }
 
     #[test]
     fn fifo_and_disconnect() {
