@@ -1,0 +1,68 @@
+//! Bench target for the time-aware serving layer: prints the windowed
+//! engine throughput sweeps (shards × tenants × window), then times
+//! durable timestamped ingest at the base configuration for the single-
+//! and multi-copy sliding samplers the engine hosts.
+
+use criterion::{black_box, criterion_group, Criterion};
+use dds_core::sampler::{SamplerKind, SamplerSpec};
+use dds_data::{MultiTenantStream, TraceProfile};
+use dds_engine::{Engine, EngineConfig, TenantId};
+use dds_sim::{Element, Slot};
+
+const SHARDS: usize = 4;
+const TENANTS: u64 = 1_000;
+const PER_SLOT: usize = 256;
+const WINDOW: u64 = 128;
+
+fn windowed_ingest(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ext_engine_sliding/ingest_4shards_1000tenants_w128");
+    g.sample_size(10);
+    let per_tenant = TraceProfile {
+        name: "engine-sliding-bench",
+        total: 20,
+        distinct: 10,
+    };
+    let feed: Vec<(Slot, Vec<(TenantId, Element)>)> =
+        MultiTenantStream::new(TENANTS, per_tenant, 5)
+            .slotted(PER_SLOT)
+            .map(|(slot, batch)| {
+                (
+                    slot,
+                    batch.into_iter().map(|(t, e)| (TenantId(t), e)).collect(),
+                )
+            })
+            .collect();
+    let elements: u64 = feed.iter().map(|(_, b)| b.len() as u64).sum();
+    g.throughput(criterion::Throughput::Elements(elements));
+    for (label, kind, s) in [
+        ("sliding_s1", SamplerKind::Sliding { window: WINDOW }, 1),
+        (
+            "sliding_multi_s4",
+            SamplerKind::SlidingMulti { window: WINDOW },
+            4,
+        ),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let spec = SamplerSpec::new(kind, s, 11);
+                let engine = Engine::spawn(EngineConfig::new(spec).with_shards(SHARDS));
+                for (slot, batch) in &feed {
+                    engine.observe_batch_at(*slot, batch.iter().copied());
+                }
+                engine.flush();
+                let done = engine.metrics().total_elements();
+                let _ = engine.shutdown();
+                black_box(done)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, windowed_ingest);
+
+fn main() {
+    dds_bench::bench_support::print_experiment("ext_engine_sliding");
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -46,7 +46,44 @@ fn engine_ingest(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, engine_ingest);
+/// The single-element ingest delta: `Engine::observe` used to wrap each
+/// element in a one-entry `Vec` batch; it now sends an allocation-free
+/// single-element command. `one_cmd` times the new path, `batch_of_one`
+/// the old shape (a one-element batch per element through
+/// `observe_batch`).
+fn single_element_ingest(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ext_engine/single_element_2shards");
+    g.sample_size(10);
+    let per_tenant = TraceProfile {
+        name: "engine-single-bench",
+        total: 200,
+        distinct: 100,
+    };
+    let feed: Vec<(TenantId, Element)> = MultiTenantStream::new(100, per_tenant, 5)
+        .map(|(t, e)| (TenantId(t), e))
+        .collect();
+    g.throughput(criterion::Throughput::Elements(feed.len() as u64));
+    let run = |per_element: &dyn Fn(&Engine, TenantId, Element)| {
+        let spec = SamplerSpec::new(SamplerKind::Infinite, 8, 11);
+        let engine = Engine::spawn(EngineConfig::new(spec).with_shards(2));
+        for &(t, e) in &feed {
+            per_element(&engine, t, e);
+        }
+        engine.flush();
+        let elements = engine.metrics().total_elements();
+        let _ = engine.shutdown();
+        elements
+    };
+    g.bench_function("one_cmd", |b| {
+        b.iter(|| black_box(run(&|engine, t, e| engine.observe(t, e))));
+    });
+    g.bench_function("batch_of_one", |b| {
+        b.iter(|| black_box(run(&|engine, t, e| engine.observe_batch([(t, e)]))));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, engine_ingest, single_element_ingest);
 
 fn main() {
     dds_bench::bench_support::print_experiment("ext_engine");

@@ -8,6 +8,7 @@ pub mod ext_ablation;
 pub mod ext_bounds;
 pub mod ext_dds_vs_drs;
 pub mod ext_engine;
+pub mod ext_engine_sliding;
 pub mod fig51;
 pub mod fig52;
 pub mod fig53;
@@ -101,6 +102,11 @@ pub fn all() -> Vec<Experiment> {
             title: "Extension: engine ingest throughput (shards × tenants × batch)",
             run: ext_engine::run,
         },
+        Experiment {
+            id: "ext_engine_sliding",
+            title: "Extension: windowed-engine ingest throughput (shards × tenants × window)",
+            run: ext_engine_sliding::run,
+        },
     ]
 }
 
@@ -144,6 +150,7 @@ mod tests {
             "ext_dds_vs_drs",
             "ext_ablation",
             "ext_engine",
+            "ext_engine_sliding",
         ] {
             assert!(ids.contains(&required), "missing experiment {required}");
         }

@@ -78,7 +78,10 @@ pub use broadcast::BroadcastConfig;
 pub use centralized::{BottomS, CentralizedSampler, SlidingOracle};
 pub use drs::{DrsConfig, HalvingConfig};
 pub use infinite::{InfiniteConfig, LazyCoordinator, LazySite};
-pub use sampler::{DistinctSampler, FusedInfinite, FusedWr, SamplerKind, SamplerSpec};
+pub use sampler::{
+    DistinctSampler, FusedInfinite, FusedSliding, FusedSlidingMulti, FusedWr, SamplerKind,
+    SamplerSpec,
+};
 pub use sliding::{CoordinatorMode, SlidingConfig, SwCoordinator, SwSite};
 pub use sliding_multi::MultiSlidingConfig;
 pub use sliding_nofeedback::NfConfig;

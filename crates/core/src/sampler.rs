@@ -17,14 +17,28 @@
 //! [`SamplerSpec`] is the value-level description of an instance
 //! (protocol + sample size + hash seed) from which a serving layer can
 //! build boxed samplers per tenant without being generic over protocols.
+//!
+//! ## Time
+//!
+//! The interface is *time-aware*: every instance carries a slot clock
+//! driven by [`DistinctSampler::advance`], and observations may be
+//! timestamped via [`DistinctSampler::observe_at`]. Infinite-window
+//! samplers ignore time entirely (`advance` is a default no-op), so the
+//! pre-existing protocols serve unchanged; the sliding-window adapters
+//! ([`FusedSliding`], [`FusedSlidingMulti`] — Algorithms 3 & 4 and their
+//! parallel-copies generalisation) use the clock to expire candidates
+//! exactly as a distributed deployment would at its slot boundaries.
 
 use dds_hash::family::HashFamily;
 use dds_hash::{SeededHash, UnitValue};
 use dds_sim::{CoordinatorNode, Destination, Element, SiteId, SiteNode, Slot};
+use dds_treap::Treap;
 
-use crate::centralized::CentralizedSampler;
+use crate::centralized::{CentralizedSampler, SlidingOracle};
 use crate::infinite::{InfiniteConfig, LazyCoordinator, LazySite};
-use crate::messages::{CopyDown, CopyUp, DownThreshold, UpElem};
+use crate::messages::{CopyDown, CopyUp, DownThreshold, SwDown, SwUp, UpElem};
+use crate::sliding::{SlidingConfig, SwCoordinator, SwSite};
+use crate::sliding_multi::{MultiSlidingConfig, MultiSwCoordinator, MultiSwSite};
 use crate::with_replacement::{WrCoordinator, WrSite};
 
 /// One self-contained distinct-sampling instance.
@@ -33,12 +47,29 @@ use crate::with_replacement::{WrCoordinator, WrSite};
 /// `Box<dyn DistinctSampler>` per tenant and move whole tenant maps
 /// between worker threads.
 pub trait DistinctSampler: Send {
-    /// Observe one element of the instance's stream.
+    /// Observe one element of the instance's stream at the current clock.
     fn observe(&mut self, e: Element);
+
+    /// Advance the instance's slot clock to `now`, expiring whatever the
+    /// backing protocol expires at slot boundaries. Monotonic: a `now` at
+    /// or before the current clock is a no-op, so out-of-order callers
+    /// cannot rewind time. Infinite-window samplers have no clock and
+    /// ignore this entirely (the default).
+    fn advance(&mut self, now: Slot) {
+        let _ = now;
+    }
+
+    /// Timestamped observation: advance the clock to `now`, then observe
+    /// `e`. Equivalent to `advance(now); observe(e)` — provided so
+    /// serving layers can drive every protocol through one entry point.
+    fn observe_at(&mut self, e: Element, now: Slot) {
+        self.advance(now);
+        self.observe(e);
+    }
 
     /// The current distinct sample. For bottom-`s` samplers this is
     /// ascending by hash; for with-replacement it is the per-copy minima
-    /// in copy order.
+    /// in copy order. Window samplers answer as of the current clock.
     fn sample(&self) -> Vec<Element>;
 
     /// The bottom-`s` threshold `u(t)`, where the protocol maintains a
@@ -66,6 +97,7 @@ fn pump_observe<S, C>(
     site: &mut S,
     coordinator: &mut C,
     e: Element,
+    now: Slot,
     up_buf: &mut Vec<S::Up>,
     down_buf: &mut Vec<(Destination, C::Down)>,
     messages: &mut u64,
@@ -73,13 +105,30 @@ fn pump_observe<S, C>(
     S: SiteNode,
     C: CoordinatorNode<Up = S::Up, Down = S::Down>,
 {
-    site.observe(e, Slot(0), up_buf);
+    site.observe(e, now, up_buf);
+    pump_ups(site, coordinator, now, up_buf, down_buf, messages);
+}
+
+/// Settle pending up-messages (and every message they transitively
+/// trigger) between the fused halves — the `k = 1` specialization of the
+/// simulator's `settle` loop, with identical per-message accounting.
+fn pump_ups<S, C>(
+    site: &mut S,
+    coordinator: &mut C,
+    now: Slot,
+    up_buf: &mut Vec<S::Up>,
+    down_buf: &mut Vec<(Destination, C::Down)>,
+    messages: &mut u64,
+) where
+    S: SiteNode,
+    C: CoordinatorNode<Up = S::Up, Down = S::Down>,
+{
     while let Some(up) = up_buf.pop() {
         *messages += 1;
-        coordinator.handle(SiteId(0), up, Slot(0), down_buf);
+        coordinator.handle(SiteId(0), up, now, down_buf);
         while let Some((_, down)) = down_buf.pop() {
             *messages += 1;
-            site.handle(down, Slot(0), up_buf);
+            site.handle(down, now, up_buf);
         }
     }
 }
@@ -144,6 +193,7 @@ impl DistinctSampler for FusedInfinite {
             &mut self.site,
             &mut self.coordinator,
             e,
+            Slot(0),
             &mut self.up_buf,
             &mut self.down_buf,
             &mut self.messages,
@@ -199,10 +249,246 @@ impl DistinctSampler for FusedWr {
             &mut self.site,
             &mut self.coordinator,
             e,
+            Slot(0),
             &mut self.up_buf,
             &mut self.down_buf,
             &mut self.messages,
         );
+    }
+
+    fn sample(&self) -> Vec<Element> {
+        self.coordinator.sample_with_replacement()
+    }
+
+    fn threshold(&self) -> Option<UnitValue> {
+        None // each of the s copies has its own threshold
+    }
+
+    fn memory_tuples(&self) -> usize {
+        SiteNode::memory_tuples(&self.site) + CoordinatorNode::memory_tuples(&self.coordinator)
+    }
+
+    fn protocol_messages(&self) -> u64 {
+        self.messages
+    }
+}
+
+/// Algorithms 3 & 4 fused into one object: a single [`SwSite`] wired to
+/// its [`SwCoordinator`], with the slot clock owned by the adapter.
+///
+/// [`DistinctSampler::advance`] replays the distributed deployment's
+/// slot-boundary protocol one slot at a time — coordinator fallback
+/// first, then the site's expiry/fallback hook, with every triggered
+/// exchange settled inside the boundary — so a fused instance produces
+/// exactly the sample *and* message count of a `k = 1` cluster driven to
+/// the same slot. When neither half holds live state (a fresh or fully
+/// drained window — in either coordinator mode), slots are
+/// fast-forwarded in O(1): the paper's protocol is silent on an empty
+/// system, so jumping and replaying the coordinator's slot hook once is
+/// observationally identical to stepping — which keeps `advance` cheap
+/// for serving layers whose idle tenants wake up far in the future.
+#[derive(Debug, Clone)]
+pub struct FusedSliding {
+    site: SwSite<Treap>,
+    coordinator: SwCoordinator,
+    now: Slot,
+    up_buf: Vec<SwUp>,
+    down_buf: Vec<(Destination, SwDown)>,
+    messages: u64,
+}
+
+impl FusedSliding {
+    /// Build from the same config a distributed deployment would use
+    /// (`k = 1` registry sizing, same hash, same coordinator mode).
+    #[must_use]
+    pub fn new(config: &SlidingConfig) -> Self {
+        Self {
+            site: SwSite::new(config.window, config.hasher()),
+            coordinator: SwCoordinator::new(config.hasher(), 1, config.mode),
+            now: Slot(0),
+            up_buf: Vec::new(),
+            down_buf: Vec::new(),
+            messages: 0,
+        }
+    }
+
+    /// The adapter's slot clock (the last slot passed to `advance` /
+    /// `observe_at`, or 0 initially).
+    #[must_use]
+    pub fn now(&self) -> Slot {
+        self.now
+    }
+
+    /// The coordinator half (e.g. for expiry inspection).
+    #[must_use]
+    pub fn coordinator(&self) -> &SwCoordinator {
+        &self.coordinator
+    }
+
+    /// One slot boundary, in the simulator's order: coordinator hook,
+    /// deliver its output, site hook, settle.
+    fn step_slot(&mut self) {
+        self.now = self.now.next();
+        self.coordinator.on_slot_start(self.now, &mut self.down_buf);
+        while let Some((_, down)) = self.down_buf.pop() {
+            self.messages += 1;
+            self.site.handle(down, self.now, &mut self.up_buf);
+        }
+        pump_ups(
+            &mut self.site,
+            &mut self.coordinator,
+            self.now,
+            &mut self.up_buf,
+            &mut self.down_buf,
+            &mut self.messages,
+        );
+        self.site.on_slot_start(self.now, &mut self.up_buf);
+        pump_ups(
+            &mut self.site,
+            &mut self.coordinator,
+            self.now,
+            &mut self.up_buf,
+            &mut self.down_buf,
+            &mut self.messages,
+        );
+    }
+}
+
+impl DistinctSampler for FusedSliding {
+    fn observe(&mut self, e: Element) {
+        pump_observe(
+            &mut self.site,
+            &mut self.coordinator,
+            e,
+            self.now,
+            &mut self.up_buf,
+            &mut self.down_buf,
+            &mut self.messages,
+        );
+    }
+
+    fn advance(&mut self, now: Slot) {
+        while self.now < now {
+            if self.site.is_quiescent() && self.coordinator.is_inert_at(self.now) {
+                // Empty system ⇒ every remaining step is silent. Jump,
+                // then run the coordinator's slot hook once so its clock
+                // and dead-state bookkeeping (fallback-to-none, registry
+                // cleanup) land exactly where stepping would leave them.
+                self.now = now;
+                self.coordinator.on_slot_start(self.now, &mut self.down_buf);
+                debug_assert!(self.down_buf.is_empty(), "inert coordinator spoke");
+                return;
+            }
+            self.step_slot();
+        }
+    }
+
+    fn sample(&self) -> Vec<Element> {
+        CoordinatorNode::sample(&self.coordinator)
+    }
+
+    fn threshold(&self) -> Option<UnitValue> {
+        // s = 1: the threshold is the live sample's hash (1 when empty).
+        Some(
+            self.coordinator
+                .current()
+                .map_or(UnitValue::ONE, |t| t.hash),
+        )
+    }
+
+    fn memory_tuples(&self) -> usize {
+        SiteNode::memory_tuples(&self.site) + CoordinatorNode::memory_tuples(&self.coordinator)
+    }
+
+    fn protocol_messages(&self) -> u64 {
+        self.messages
+    }
+}
+
+/// The multi-window (`s > 1`, with replacement) variant of
+/// [`FusedSliding`]: one [`MultiSwSite`] wired to its
+/// [`MultiSwCoordinator`] — `s` independent copies of Algorithms 3 & 4
+/// advanced by one shared clock.
+#[derive(Debug, Clone)]
+pub struct FusedSlidingMulti {
+    site: MultiSwSite,
+    coordinator: MultiSwCoordinator,
+    now: Slot,
+    up_buf: Vec<CopyUp<SwUp>>,
+    down_buf: Vec<(Destination, CopyDown<SwDown>)>,
+    messages: u64,
+}
+
+impl FusedSlidingMulti {
+    /// Build `s` fused sliding copies from a deployment config.
+    #[must_use]
+    pub fn new(config: &MultiSlidingConfig) -> Self {
+        Self {
+            site: MultiSwSite::new(config.window, config.hashers()),
+            coordinator: MultiSwCoordinator::new(config.hashers(), 1, config.mode),
+            now: Slot(0),
+            up_buf: Vec::new(),
+            down_buf: Vec::new(),
+            messages: 0,
+        }
+    }
+
+    /// The adapter's slot clock.
+    #[must_use]
+    pub fn now(&self) -> Slot {
+        self.now
+    }
+
+    fn step_slot(&mut self) {
+        self.now = self.now.next();
+        self.coordinator.on_slot_start(self.now, &mut self.down_buf);
+        while let Some((_, down)) = self.down_buf.pop() {
+            self.messages += 1;
+            self.site.handle(down, self.now, &mut self.up_buf);
+        }
+        pump_ups(
+            &mut self.site,
+            &mut self.coordinator,
+            self.now,
+            &mut self.up_buf,
+            &mut self.down_buf,
+            &mut self.messages,
+        );
+        self.site.on_slot_start(self.now, &mut self.up_buf);
+        pump_ups(
+            &mut self.site,
+            &mut self.coordinator,
+            self.now,
+            &mut self.up_buf,
+            &mut self.down_buf,
+            &mut self.messages,
+        );
+    }
+}
+
+impl DistinctSampler for FusedSlidingMulti {
+    fn observe(&mut self, e: Element) {
+        pump_observe(
+            &mut self.site,
+            &mut self.coordinator,
+            e,
+            self.now,
+            &mut self.up_buf,
+            &mut self.down_buf,
+            &mut self.messages,
+        );
+    }
+
+    fn advance(&mut self, now: Slot) {
+        while self.now < now {
+            if self.site.is_quiescent() && self.coordinator.is_inert_at(self.now) {
+                self.now = now;
+                self.coordinator.on_slot_start(self.now, &mut self.down_buf);
+                debug_assert!(self.down_buf.is_empty(), "inert coordinator spoke");
+                return;
+            }
+            self.step_slot();
+        }
     }
 
     fn sample(&self) -> Vec<Element> {
@@ -233,6 +519,30 @@ pub enum SamplerKind {
     /// [`FusedWr`] — `s` independent single-element copies (sampling
     /// *with* replacement).
     WithReplacement,
+    /// [`FusedSliding`] — Algorithms 3 & 4 over a time-based window of
+    /// `window` slots (`s = 1`; the single-sample protocol).
+    Sliding {
+        /// Window length in slots (`≥ 1`).
+        window: u64,
+    },
+    /// [`FusedSlidingMulti`] — `s` parallel sliding copies over a
+    /// `window`-slot window (sampling *with* replacement).
+    SlidingMulti {
+        /// Window length in slots (`≥ 1`).
+        window: u64,
+    },
+}
+
+impl SamplerKind {
+    /// The window length for window-bounded kinds (`None` for the
+    /// infinite-window protocols).
+    #[must_use]
+    pub fn window(&self) -> Option<u64> {
+        match *self {
+            SamplerKind::Sliding { window } | SamplerKind::SlidingMulti { window } => Some(window),
+            _ => None,
+        }
+    }
 }
 
 /// A value-level description of one sampling instance: protocol, sample
@@ -255,11 +565,29 @@ impl SamplerSpec {
     /// A spec for the given protocol.
     ///
     /// # Panics
-    /// Panics if `s == 0`.
+    /// Panics if `s == 0`, if a window-bounded kind has `window == 0`,
+    /// or if `kind` is [`SamplerKind::Sliding`] with `s != 1` (the
+    /// single-sample protocol; use [`SamplerKind::SlidingMulti`] for
+    /// larger window samples).
     #[must_use]
     pub fn new(kind: SamplerKind, s: usize, seed: u64) -> Self {
         assert!(s > 0, "sample size must be at least 1");
+        if let Some(window) = kind.window() {
+            assert!(window >= 1, "window must be at least one slot");
+        }
+        if matches!(kind, SamplerKind::Sliding { .. }) {
+            assert!(
+                s == 1,
+                "Sliding is the single-sample protocol (s = 1); use SlidingMulti for s > 1"
+            );
+        }
         Self { kind, s, seed }
+    }
+
+    /// The window length in slots, for window-bounded specs.
+    #[must_use]
+    pub fn window(&self) -> Option<u64> {
+        self.kind.window()
     }
 
     /// The hash family all builds of this spec share.
@@ -284,6 +612,12 @@ impl SamplerSpec {
                 family: self.family(),
             })),
             SamplerKind::WithReplacement => Box::new(FusedWr::new(self.s, self.family())),
+            SamplerKind::Sliding { window } => Box::new(FusedSliding::new(
+                &SlidingConfig::with_seed(window, self.seed),
+            )),
+            SamplerKind::SlidingMulti { window } => Box::new(FusedSlidingMulti::new(
+                &MultiSlidingConfig::with_seed(self.s, window, self.seed),
+            )),
         }
     }
 
@@ -295,6 +629,27 @@ impl SamplerSpec {
     #[must_use]
     pub fn oracle(&self) -> CentralizedSampler {
         CentralizedSampler::new(self.s, self.hasher())
+    }
+
+    /// Brute-force window oracles for window-bounded specs: one
+    /// [`SlidingOracle`] per copy (a single oracle for `Sliding`, `s`
+    /// for `SlidingMulti`, none for the infinite-window kinds). Feeding
+    /// an oracle the same timestamped stream as
+    /// [`DistinctSampler::observe_at`] makes copy `j`'s
+    /// `min_in_window(now)` the exact expected `j`-th sample entry.
+    #[must_use]
+    pub fn sliding_oracles(&self) -> Vec<SlidingOracle> {
+        match self.kind {
+            SamplerKind::Sliding { window } => {
+                vec![SlidingOracle::new(window, self.hasher())]
+            }
+            SamplerKind::SlidingMulti { window } => self
+                .family()
+                .members(self.s)
+                .map(|h| SlidingOracle::new(window, h))
+                .collect(),
+            _ => Vec::new(),
+        }
     }
 }
 
@@ -408,5 +763,217 @@ mod tests {
     #[should_panic(expected = "sample size must be at least 1")]
     fn zero_s_spec_rejected() {
         let _ = SamplerSpec::new(SamplerKind::Infinite, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be at least one slot")]
+    fn zero_window_spec_rejected() {
+        let _ = SamplerSpec::new(SamplerKind::Sliding { window: 0 }, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "single-sample protocol")]
+    fn sliding_spec_with_s_above_one_rejected() {
+        let _ = SamplerSpec::new(SamplerKind::Sliding { window: 8 }, 2, 1);
+    }
+
+    /// Drive a fused sliding adapter and a k = 1 cluster through the same
+    /// slotted input; samples must agree at *every* query point (after
+    /// each slot boundary and after each observation) and message counts
+    /// must agree continuously — the fused adapter is the deployment,
+    /// relocated.
+    #[test]
+    fn fused_sliding_matches_oracle_and_k1_cluster() {
+        use dds_data::{SlottedInput, TraceLikeStream, TraceProfile};
+        let window = 12;
+        let config = SlidingConfig::with_seed(window, 404);
+        let mut fused = FusedSliding::new(&config);
+        let mut sim = config.cluster(1);
+        let mut oracle = SlidingOracle::new(window, config.hasher());
+        let profile = TraceProfile {
+            name: "t",
+            total: 2_500,
+            distinct: 900,
+        };
+        let input = SlottedInput::new(TraceLikeStream::new(profile, 11), 1, 5, 3);
+        for (slot, batch) in input {
+            while sim.now() < slot {
+                sim.advance_slot();
+                fused.advance(sim.now());
+                oracle.expire(sim.now());
+                assert_eq!(fused.sample(), sim.sample(), "slot {slot} boundary");
+                assert_eq!(
+                    fused.protocol_messages(),
+                    sim.counters().total_messages(),
+                    "messages diverged at slot boundary {slot}"
+                );
+            }
+            for (_, e) in batch {
+                DistinctSampler::observe(&mut fused, e);
+                sim.observe(SiteId(0), e);
+                oracle.observe(e, slot);
+                assert_eq!(fused.sample(), sim.sample(), "after {e} at slot {slot}");
+            }
+            let want: Vec<Element> = oracle
+                .min_in_window(slot)
+                .map(|(e, _, _)| e)
+                .into_iter()
+                .collect();
+            assert_eq!(fused.sample(), want, "oracle mismatch at slot {slot}");
+        }
+        assert_eq!(fused.protocol_messages(), sim.counters().total_messages());
+        assert!(fused.protocol_messages() > 0);
+        // Drain both: the fused window must empty exactly like the
+        // cluster's, and an empty system must stay silent.
+        let drained = Slot(fused.now().0 + window + 1);
+        sim.advance_slots(window + 1);
+        fused.advance(drained);
+        assert!(fused.sample().is_empty());
+        assert_eq!(fused.protocol_messages(), sim.counters().total_messages());
+        assert_eq!(fused.threshold(), Some(UnitValue::ONE));
+        assert_eq!(fused.memory_tuples(), 0, "drained window must free state");
+    }
+
+    /// The quiescent fast-forward must be invisible: a sampler advanced
+    /// across a huge idle gap behaves exactly like a cluster stepped
+    /// through every slot of that gap.
+    #[test]
+    fn fused_sliding_fast_forward_is_exact() {
+        let config = SlidingConfig::with_seed(10, 77);
+        let mut fused = FusedSliding::new(&config);
+        let mut sim = config.cluster(1);
+        // Gap 1: from pristine state.
+        fused.advance(Slot(5_000));
+        sim.advance_slots(5_000);
+        for e in [3u64, 9, 41, 3, 7].map(Element) {
+            DistinctSampler::observe(&mut fused, e);
+            sim.observe(SiteId(0), e);
+            assert_eq!(fused.sample(), sim.sample());
+        }
+        // Gap 2: across a drained window (state dies mid-gap).
+        fused.advance(Slot(15_000));
+        sim.advance_slots(10_000);
+        assert!(fused.sample().is_empty());
+        assert_eq!(fused.sample(), sim.sample());
+        DistinctSampler::observe(&mut fused, Element(100));
+        sim.observe(SiteId(0), Element(100));
+        assert_eq!(fused.sample(), sim.sample());
+        assert_eq!(fused.protocol_messages(), sim.counters().total_messages());
+    }
+
+    /// The multi-window adapter against a k = 1 multi-sliding cluster and
+    /// the per-copy brute-force window oracles.
+    #[test]
+    fn fused_sliding_multi_matches_k1_cluster_and_copy_oracles() {
+        use dds_data::{SlottedInput, TraceLikeStream, TraceProfile};
+        let spec = SamplerSpec::new(SamplerKind::SlidingMulti { window: 20 }, 4, 909);
+        let config = MultiSlidingConfig::with_seed(4, 20, 909);
+        let mut fused = FusedSlidingMulti::new(&config);
+        let mut sim = config.cluster(1);
+        let mut oracles = spec.sliding_oracles();
+        assert_eq!(oracles.len(), 4);
+        let profile = TraceProfile {
+            name: "t",
+            total: 1_500,
+            distinct: 500,
+        };
+        let input = SlottedInput::new(TraceLikeStream::new(profile, 5), 1, 5, 8);
+        for (slot, batch) in input {
+            while sim.now() < slot {
+                sim.advance_slot();
+                fused.advance(sim.now());
+                for o in &mut oracles {
+                    o.expire(sim.now());
+                }
+                assert_eq!(fused.sample(), sim.sample(), "slot {slot} boundary");
+            }
+            for (_, e) in batch {
+                DistinctSampler::observe(&mut fused, e);
+                sim.observe(SiteId(0), e);
+                for o in &mut oracles {
+                    o.observe(e, slot);
+                }
+            }
+            let want: Vec<Element> = oracles
+                .iter()
+                .filter_map(|o| o.min_in_window(slot).map(|(e, _, _)| e))
+                .collect();
+            assert_eq!(fused.sample(), want, "copy oracles mismatch at slot {slot}");
+            assert_eq!(
+                fused.protocol_messages(),
+                sim.counters().total_messages(),
+                "messages diverged at slot {slot}"
+            );
+        }
+        assert_eq!(fused.threshold(), None);
+    }
+
+    /// Spec-built sliding samplers are deterministic and advance through
+    /// the boxed trait object.
+    #[test]
+    fn sliding_specs_build_and_replay_deterministically() {
+        for kind in [
+            SamplerKind::Sliding { window: 16 },
+            SamplerKind::SlidingMulti { window: 16 },
+        ] {
+            let s = if matches!(kind, SamplerKind::Sliding { .. }) {
+                1
+            } else {
+                3
+            };
+            let spec = SamplerSpec::new(kind, s, 55);
+            assert_eq!(spec.window(), Some(16));
+            let mut a = spec.build();
+            let mut b = spec.build();
+            for i in 0..2_000u64 {
+                let now = Slot(i / 5);
+                a.observe_at(Element((i * i) % 311), now);
+                b.observe_at(Element((i * i) % 311), now);
+            }
+            assert_eq!(a.sample(), b.sample(), "{kind:?} build not deterministic");
+            assert_eq!(a.protocol_messages(), b.protocol_messages());
+            assert!(a.memory_tuples() > 0);
+            // Advancing past the window drains the sample and the state.
+            a.advance(Slot(2_000 / 5 + 17));
+            assert!(a.sample().is_empty(), "{kind:?} failed to drain");
+            assert_eq!(a.memory_tuples(), 0, "{kind:?} kept state past expiry");
+        }
+    }
+
+    /// Faithful mode keeps its expired sample tuple forever by design;
+    /// the fast-forward must still engage once the window has drained —
+    /// a billion-slot advance must return promptly and answer empty —
+    /// and stay exact against a cluster stepped the same distance.
+    #[test]
+    fn faithful_mode_fast_forwards_after_drain() {
+        use crate::sliding::CoordinatorMode;
+        let config = SlidingConfig::with_seed(5, 3).mode(CoordinatorMode::Faithful);
+        let mut fused = FusedSliding::new(&config);
+        let mut sim = config.cluster(1);
+        DistinctSampler::observe(&mut fused, Element(9));
+        sim.observe(SiteId(0), Element(9));
+        // Cross-check at a cluster-steppable distance first…
+        fused.advance(Slot(2_000));
+        sim.advance_slots(2_000);
+        assert!(fused.sample().is_empty());
+        assert_eq!(fused.sample(), sim.sample());
+        assert_eq!(fused.protocol_messages(), sim.counters().total_messages());
+        // …then jump a distance only the fast path can cover.
+        fused.advance(Slot(1_000_000_000));
+        assert_eq!(fused.now(), Slot(1_000_000_000));
+        assert!(fused.sample().is_empty());
+    }
+
+    /// `advance` must be monotonic: a stale timestamp never rewinds.
+    #[test]
+    fn advance_is_monotonic() {
+        let spec = SamplerSpec::new(SamplerKind::Sliding { window: 4 }, 1, 3);
+        let mut sampler = spec.build();
+        sampler.observe_at(Element(1), Slot(10));
+        sampler.advance(Slot(2)); // stale: must not rewind
+        sampler.observe_at(Element(2), Slot(3)); // stale observe: lands at clock 10
+        assert_eq!(sampler.sample().len(), 1);
+        sampler.advance(Slot(14));
+        assert!(sampler.sample().is_empty(), "window must expire at 14");
     }
 }

@@ -181,6 +181,13 @@ impl<T: CandidateSet + Default> SwSite<T> {
     pub fn view(&self) -> Option<SampleTuple> {
         self.view
     }
+
+    /// True when the site holds no state at all (no candidates, no
+    /// view): advancing time can produce no message and no state change,
+    /// which lets a fused adapter fast-forward its clock.
+    pub(crate) fn is_quiescent(&self) -> bool {
+        self.view.is_none() && self.candidates.is_empty()
+    }
 }
 
 impl<T: CandidateSet + Default> SiteNode for SwSite<T> {
@@ -283,6 +290,23 @@ impl SwCoordinator {
             .min_by_key(|t| (t.hash, t.element))
             .copied();
     }
+
+    /// True when the coordinator holds no *live* state at `now`: the
+    /// sample is absent or expired and every remembered announcement is
+    /// expired. Stepping an inert coordinator can emit no message and
+    /// can only perform dead-state bookkeeping (fallback-to-`None`,
+    /// registry cleanup), which one `on_slot_start` call replays — the
+    /// licence a fused adapter needs to fast-forward across idle gaps.
+    /// Covers `Faithful` mode too, where an expired `sample` lingers
+    /// forever by design.
+    pub(crate) fn is_inert_at(&self, now: Slot) -> bool {
+        self.sample.map_or(true, |t| is_expired(t.expiry, now))
+            && self
+                .registry
+                .iter()
+                .flatten()
+                .all(|t| is_expired(t.expiry, now))
+    }
 }
 
 impl CoordinatorNode for SwCoordinator {
@@ -330,6 +354,14 @@ impl CoordinatorNode for SwCoordinator {
             if let Some(cur) = self.sample {
                 if is_expired(cur.expiry, now) {
                     self.registry_fallback();
+                }
+            }
+            // Expired remembered announcements can never win a fallback;
+            // dropping them keeps `memory_tuples` equal to *live* state,
+            // so a drained coordinator reports zero.
+            for slot_entry in &mut self.registry {
+                if slot_entry.is_some_and(|t| is_expired(t.expiry, self.now)) {
+                    *slot_entry = None;
                 }
             }
         }

@@ -91,6 +91,11 @@ impl MultiSwSite {
             inner: m,
         }));
     }
+
+    /// True when every copy is stateless (see [`SwSite::is_quiescent`]).
+    pub(crate) fn is_quiescent(&self) -> bool {
+        self.copies.iter().all(SwSite::is_quiescent)
+    }
 }
 
 impl SiteNode for MultiSwSite {
@@ -151,6 +156,12 @@ impl MultiSwCoordinator {
             .iter()
             .filter_map(|c| c.current().map(|t| t.element))
             .collect()
+    }
+
+    /// True when every copy holds no live state at `now` (see
+    /// [`SwCoordinator::is_inert_at`]).
+    pub(crate) fn is_inert_at(&self, now: Slot) -> bool {
+        self.copies.iter().all(|c| c.is_inert_at(now))
     }
 }
 

@@ -30,7 +30,8 @@
 //!   serving layer (`dds-engine`).
 //! * [`routing`] — §5.1's data-distribution methods.
 //! * [`timeline`] — §5.3's slotted input schedule (five elements to random
-//!   sites per timestep) for sliding-window experiments.
+//!   sites per timestep) for sliding-window experiments, plus the generic
+//!   [`timeline::SlottedStream`] timeline primitive behind it.
 //! * [`trace`] — plain-text trace loading/saving so user-supplied real
 //!   traces drop in where the synthetics are used.
 //!
@@ -52,5 +53,5 @@ pub use synthetic::{
     AdversarialLowerBound, DistinctOnlyStream, PairStream, TraceLikeStream, TraceProfile, ENRON,
     OC48,
 };
-pub use timeline::SlottedInput;
+pub use timeline::{SlottedInput, SlottedStream};
 pub use zipf::Zipf;

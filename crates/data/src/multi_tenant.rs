@@ -22,6 +22,7 @@ use dds_hash::splitmix::{splitmix64_keyed, SplitMix64};
 use dds_sim::Element;
 
 use crate::synthetic::{TraceLikeStream, TraceProfile};
+use crate::timeline::SlottedStream;
 
 /// An interleaved multi-tenant ingest feed.
 #[derive(Debug, Clone)]
@@ -80,6 +81,19 @@ impl MultiTenantStream {
     #[must_use]
     pub fn live_tenants(&self) -> usize {
         self.live.len()
+    }
+
+    /// Timeline mode: batch the interleaved feed into consecutive slots
+    /// of `per_slot` `(tenant, element)` arrivals — §5.3's slotted
+    /// schedule lifted to the multi-tenant setting, and the shape a
+    /// time-aware engine ingests via
+    /// [`observe_batch_at`](../../dds_engine/struct.Engine.html#method.observe_batch_at).
+    ///
+    /// # Panics
+    /// Panics if `per_slot == 0`.
+    #[must_use]
+    pub fn slotted(self, per_slot: usize) -> SlottedStream<Self> {
+        SlottedStream::new(self, per_slot)
     }
 }
 
@@ -204,6 +218,22 @@ mod tests {
         let _ = s.next();
         assert_eq!(s.len(), 999);
         assert_eq!(s.live_tenants(), 2);
+    }
+
+    #[test]
+    fn slotted_mode_preserves_the_feed_and_numbers_slots() {
+        let flat: Vec<(u64, Element)> = MultiTenantStream::new(4, PROFILE, 8).collect();
+        let slotted: Vec<_> = MultiTenantStream::new(4, PROFILE, 8).slotted(7).collect();
+        // Slots are consecutive, batches full except possibly the last.
+        for (i, (slot, batch)) in slotted.iter().enumerate() {
+            assert_eq!(slot.0, i as u64);
+            if i + 1 < slotted.len() {
+                assert_eq!(batch.len(), 7);
+            }
+        }
+        // Timeline mode is a pure re-batching: flattening restores the feed.
+        let refl: Vec<(u64, Element)> = slotted.into_iter().flat_map(|(_, b)| b).collect();
+        assert_eq!(flat, refl);
     }
 
     #[test]

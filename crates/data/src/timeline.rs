@@ -3,20 +3,93 @@
 //! The paper derives sliding-window inputs as: "In each timestep, we assign
 //! 5 elements to 5 sites chosen randomly; hence, it is possible that
 //! multiple elements are observed by the same site in the same timestep."
-//! [`SlottedInput`] reproduces that schedule for any batch size, yielding
-//! one slot's worth of `(site, element)` assignments at a time.
+//!
+//! Two layers implement that schedule:
+//!
+//! * [`SlottedStream`] — the generic timeline primitive: batch *any*
+//!   iterator into consecutive slots of `per_slot` items. Tenant-keyed
+//!   feeds use it directly
+//!   ([`MultiTenantStream::slotted`](crate::MultiTenantStream::slotted))
+//!   to produce the timestamped ingest a time-aware serving layer
+//!   consumes.
+//! * [`SlottedInput`] — the paper's site-assignment schedule: a
+//!   [`SlottedStream`] over elements tagged with independently random
+//!   sites, yielding one slot's worth of `(site, element)` assignments
+//!   at a time.
 
 use dds_hash::splitmix::SplitMix64;
 use dds_sim::{Element, SiteId, Slot};
 
-/// Batches an element stream into per-slot site assignments.
+/// Batches any iterator into per-slot groups: slot 0 gets the first
+/// `per_slot` items, slot 1 the next, and so on — the timeline shape
+/// every sliding-window consumer in this workspace drives.
 #[derive(Debug, Clone)]
-pub struct SlottedInput<I> {
+pub struct SlottedStream<I> {
+    items: I,
+    per_slot: usize,
+    next_slot: Slot,
+}
+
+impl<I: Iterator> SlottedStream<I> {
+    /// Schedule `per_slot` items per timestep.
+    ///
+    /// # Panics
+    /// Panics if `per_slot == 0`.
+    #[must_use]
+    pub fn new(items: I, per_slot: usize) -> Self {
+        assert!(per_slot >= 1, "need at least one element per slot");
+        Self {
+            items,
+            per_slot,
+            next_slot: Slot(0),
+        }
+    }
+}
+
+impl<I: Iterator> Iterator for SlottedStream<I> {
+    type Item = (Slot, Vec<I::Item>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let mut batch = Vec::with_capacity(self.per_slot);
+        for _ in 0..self.per_slot {
+            match self.items.next() {
+                Some(item) => batch.push(item),
+                None => break,
+            }
+        }
+        if batch.is_empty() {
+            return None;
+        }
+        let slot = self.next_slot;
+        self.next_slot = slot.next();
+        Some((slot, batch))
+    }
+}
+
+/// Tags each element with an independently random site, exactly as in
+/// §5.3 (one RNG draw per element, in stream order).
+#[derive(Debug, Clone)]
+struct SiteAssign<I> {
     elements: I,
     k: usize,
-    per_slot: usize,
     rng: SplitMix64,
-    next_slot: Slot,
+}
+
+impl<I: Iterator<Item = Element>> Iterator for SiteAssign<I> {
+    type Item = (SiteId, Element);
+
+    fn next(&mut self) -> Option<(SiteId, Element)> {
+        let e = self.elements.next()?;
+        let site = SiteId(self.rng.next_below(self.k as u64) as usize);
+        Some((site, e))
+    }
+}
+
+/// Batches an element stream into per-slot site assignments — a
+/// [`SlottedStream`] over randomly site-tagged elements.
+#[derive(Debug, Clone)]
+pub struct SlottedInput<I> {
+    inner: SlottedStream<SiteAssign<I>>,
 }
 
 impl<I: Iterator<Item = Element>> SlottedInput<I> {
@@ -28,13 +101,15 @@ impl<I: Iterator<Item = Element>> SlottedInput<I> {
     #[must_use]
     pub fn new(elements: I, k: usize, per_slot: usize, seed: u64) -> Self {
         assert!(k >= 1, "need at least one site");
-        assert!(per_slot >= 1, "need at least one element per slot");
         Self {
-            elements,
-            k,
-            per_slot,
-            rng: SplitMix64::new(seed),
-            next_slot: Slot(0),
+            inner: SlottedStream::new(
+                SiteAssign {
+                    elements,
+                    k,
+                    rng: SplitMix64::new(seed),
+                },
+                per_slot,
+            ),
         }
     }
 
@@ -49,22 +124,7 @@ impl<I: Iterator<Item = Element>> Iterator for SlottedInput<I> {
     type Item = (Slot, Vec<(SiteId, Element)>);
 
     fn next(&mut self) -> Option<Self::Item> {
-        let mut batch = Vec::with_capacity(self.per_slot);
-        for _ in 0..self.per_slot {
-            match self.elements.next() {
-                Some(e) => {
-                    let site = SiteId(self.rng.next_below(self.k as u64) as usize);
-                    batch.push((site, e));
-                }
-                None => break,
-            }
-        }
-        if batch.is_empty() {
-            return None;
-        }
-        let slot = self.next_slot;
-        self.next_slot = slot.next();
-        Some((slot, batch))
+        self.inner.next()
     }
 }
 
@@ -124,6 +184,27 @@ mod tests {
     fn empty_stream_yields_nothing() {
         let mut input = SlottedInput::new(DistinctOnlyStream::new(0, 0), 3, 5, 0);
         assert!(input.next().is_none());
+    }
+
+    #[test]
+    fn slotted_stream_batches_any_item_type() {
+        let pairs = (0u64..7).map(|i| (i, Element(i * 10)));
+        let slots: Vec<_> = SlottedStream::new(pairs, 3).collect();
+        assert_eq!(slots.len(), 3); // 3+3+1
+        assert_eq!(slots[0].0, Slot(0));
+        assert_eq!(slots[2].0, Slot(2));
+        assert_eq!(slots[2].1, vec![(6, Element(60))]);
+    }
+
+    #[test]
+    fn slotted_input_is_a_slotted_stream_of_site_assignments() {
+        // The refactor must not change the schedule: flattening the
+        // slotted input reproduces the element order of the raw stream.
+        let raw: Vec<Element> = DistinctOnlyStream::new(23, 4).collect();
+        let flattened: Vec<Element> = SlottedInput::new(DistinctOnlyStream::new(23, 4), 3, 5, 99)
+            .flat_map(|(_, batch)| batch.into_iter().map(|(_, e)| e))
+            .collect();
+        assert_eq!(raw, flattened);
     }
 
     #[test]

@@ -29,15 +29,31 @@
 //! * **Protocol-generic.** Tenant instances are built from a
 //!   [`SamplerSpec`] behind the object-safe
 //!   [`DistinctSampler`] trait — centralized,
-//!   fused infinite-window (Algorithms 1 & 2), and with-replacement
-//!   samplers all serve unchanged.
+//!   fused infinite-window (Algorithms 1 & 2), with-replacement, *and*
+//!   sliding-window (Algorithms 3 & 4, single- and multi-copy) samplers
+//!   all serve unchanged.
+//! * **Time.** Ingest may be timestamped ([`Engine::observe_at`],
+//!   [`Engine::observe_batch_at`]): each shard tracks a **watermark** —
+//!   the highest slot it has seen — and [`Engine::advance`] pushes the
+//!   watermark forward explicitly, driving
+//!   [`DistinctSampler::advance`] across *every* hosted tenant so that a
+//!   tenant whose stream has gone idle still expires its window
+//!   candidates (and frees their memory). Snapshots are
+//!   window-parameterized: every query first advances the queried
+//!   instance to the shard watermark (or to an explicit
+//!   [`Engine::snapshot_at`] slot), so answers are always "the sample as
+//!   of now", never a stale pre-expiry view. Untimed ingest on the same
+//!   engine keeps working — infinite-window tenants simply ignore the
+//!   clock.
 //!
 //! The correctness contract is inherited from the paper: for
 //! `Centralized` and `Infinite` specs, every tenant's snapshot equals a
 //! single-threaded [`CentralizedSampler`](dds_core::CentralizedSampler)
 //! oracle fed that tenant's stream in the same order — regardless of
 //! interleaving with other tenants, shard count, or batch boundaries.
-//! The integration tests drive that equality across 1 000+ tenants.
+//! For `Sliding` specs the same holds against a per-tenant
+//! [`SlidingOracle`](dds_core::SlidingOracle) at every watermark. The
+//! integration tests drive both equalities across 1 000+ tenants.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -55,7 +71,7 @@ use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 
 use dds_core::sampler::{DistinctSampler, SamplerSpec};
 use dds_hash::splitmix::splitmix64_keyed;
-use dds_sim::Element;
+use dds_sim::{Element, Slot};
 
 use metrics::ShardMetrics;
 
@@ -105,21 +121,50 @@ impl EngineConfig {
     }
 }
 
-/// Everything a shard worker can receive. Batches and queries share one
-/// FIFO queue — that ordering *is* the snapshot-consistency mechanism.
+/// One tenant's state as answered by a snapshot query: the sample plus
+/// the operational facts a serving layer wants alongside it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantView {
+    /// The current distinct sample (window samplers answer as of the
+    /// shard watermark / requested slot).
+    pub sample: Vec<Element>,
+    /// Stored tuples across the instance's fused halves — the number a
+    /// memory-based eviction or rebalancing policy would act on.
+    pub memory_tuples: usize,
+    /// Site ↔ coordinator messages a distributed deployment of this
+    /// instance would have exchanged.
+    pub protocol_messages: u64,
+}
+
+/// Everything a shard worker can receive. Batches, clock advances, and
+/// queries share one FIFO queue — that ordering *is* the
+/// snapshot-consistency mechanism.
 enum ShardCmd {
+    /// Observe a single element at the tenant's current clock (the
+    /// allocation-free fast path for unbatched ingest).
+    One(TenantId, Element),
+    /// Observe a single element at an explicit slot.
+    OneAt(TenantId, Element, Slot),
     /// Observe a batch of (tenant, element) pairs owned by this shard.
     Batch(Vec<(TenantId, Element)>),
-    /// Answer one tenant's current sample (`None` if never observed).
-    /// `enqueued` lets the worker account queue-wait + service time as
-    /// the shard's snapshot latency.
+    /// Observe a batch, all elements timestamped at one slot; raises the
+    /// shard watermark to that slot.
+    BatchAt(Slot, Vec<(TenantId, Element)>),
+    /// Raise the shard watermark and advance every hosted tenant's clock
+    /// to it, expiring window candidates of idle tenants.
+    Advance(Slot),
+    /// Answer one tenant's current view (`None` if never observed),
+    /// first advancing it to the shard watermark — raised to `at` if
+    /// given. `enqueued` lets the worker account queue-wait + service
+    /// time as the shard's snapshot latency.
     Query {
         tenant: TenantId,
-        reply: Sender<Option<Vec<Element>>>,
+        at: Option<Slot>,
+        reply: Sender<Option<TenantView>>,
         enqueued: Instant,
     },
-    /// Answer every hosted tenant's sample (unordered; the engine sorts
-    /// the merged result).
+    /// Answer every hosted tenant's sample at the shard watermark
+    /// (unordered; the engine sorts the merged result).
     QueryAll {
         reply: Sender<Vec<(TenantId, Vec<Element>)>>,
         enqueued: Instant,
@@ -201,11 +246,21 @@ impl Engine {
         (splitmix64_keyed(tenant.0, SHARD_SALT) % self.shards.len() as u64) as usize
     }
 
-    /// Ingest one observation (a one-element batch; prefer
-    /// [`Engine::observe_batch`] on hot paths).
+    /// Ingest one observation at the tenant's current clock.
+    ///
+    /// This is the allocation-free single-element path (one enum send,
+    /// no per-element `Vec`); prefer [`Engine::observe_batch`] when the
+    /// caller can amortize channel traffic over many elements.
     pub fn observe(&self, tenant: TenantId, e: Element) {
         let shard = &self.shards[self.shard_of(tenant)];
-        send_with_backpressure(shard, ShardCmd::Batch(vec![(tenant, e)]));
+        send_with_backpressure(shard, ShardCmd::One(tenant, e));
+    }
+
+    /// Ingest one observation stamped at slot `now`, raising the owning
+    /// shard's watermark to `now`.
+    pub fn observe_at(&self, tenant: TenantId, e: Element, now: Slot) {
+        let shard = &self.shards[self.shard_of(tenant)];
+        send_with_backpressure(shard, ShardCmd::OneAt(tenant, e, now));
     }
 
     /// Ingest a batch of observations, preserving per-tenant order.
@@ -225,20 +280,73 @@ impl Engine {
         }
     }
 
+    /// Ingest a batch of observations all stamped at slot `now` — one
+    /// slot's worth of a timestamped feed.
+    ///
+    /// Raises the watermark of every shard that receives elements; a
+    /// shard with no elements in the batch keeps its old watermark until
+    /// the next [`Engine::advance`] (the global clock signal).
+    pub fn observe_batch_at(
+        &self,
+        now: Slot,
+        batch: impl IntoIterator<Item = (TenantId, Element)>,
+    ) {
+        let mut per_shard: Vec<Vec<(TenantId, Element)>> = vec![Vec::new(); self.shards.len()];
+        for (tenant, e) in batch {
+            per_shard[self.shard_of(tenant)].push((tenant, e));
+        }
+        for (i, part) in per_shard.into_iter().enumerate() {
+            if !part.is_empty() {
+                send_with_backpressure(&self.shards[i], ShardCmd::BatchAt(now, part));
+            }
+        }
+    }
+
+    /// Advance the global clock: every shard's watermark rises to `now`
+    /// and every hosted tenant's sampler is advanced to it, so tenants
+    /// whose streams have gone idle still expire (and free) their window
+    /// candidates.
+    ///
+    /// Asynchronous like ingest — follow with [`Engine::flush`] to wait
+    /// for the expiry work to land.
+    pub fn advance(&self, now: Slot) {
+        // Producer-side like ingest: a clock driver stalling on a full
+        // queue is backpressure an operator should see.
+        for shard in &self.shards {
+            send_with_backpressure(shard, ShardCmd::Advance(now));
+        }
+    }
+
     /// One tenant's current sample, or `None` if the tenant has never
-    /// been observed.
+    /// been observed. Window samplers answer as of the shard watermark.
     ///
     /// Consistency: reflects every batch whose `observe_batch` call
     /// returned before this call began (FIFO queue barrier), and possibly
     /// later ones still in flight from concurrent producers.
     #[must_use]
     pub fn snapshot(&self, tenant: TenantId) -> Option<Vec<Element>> {
+        self.snapshot_view(tenant, None).map(|v| v.sample)
+    }
+
+    /// One tenant's sample as of slot `now`: the shard watermark is
+    /// raised to `now` and the tenant advanced to it before sampling —
+    /// the window-parameterized query.
+    #[must_use]
+    pub fn snapshot_at(&self, tenant: TenantId, now: Slot) -> Option<Vec<Element>> {
+        self.snapshot_view(tenant, Some(now)).map(|v| v.sample)
+    }
+
+    /// One tenant's full [`TenantView`] (sample + stored tuples +
+    /// would-be wire traffic), optionally as of an explicit slot.
+    #[must_use]
+    pub fn snapshot_view(&self, tenant: TenantId, at: Option<Slot>) -> Option<TenantView> {
         let shard = &self.shards[self.shard_of(tenant)];
         let (reply_tx, reply_rx) = unbounded();
         shard
             .tx
             .send(ShardCmd::Query {
                 tenant,
+                at,
                 reply: reply_tx,
                 enqueued: Instant::now(),
             })
@@ -328,10 +436,11 @@ impl Engine {
     }
 }
 
-/// Ingest enqueue: try the non-blocking fast path first; on a full queue,
-/// count the backpressure event and fall back to the blocking send.
-/// (Queries and flushes use plain `send` — the backpressure metric means
-/// *ingest* pressure, the signal a rebalancer would act on.)
+/// Producer-side enqueue (ingest and clock advances): try the
+/// non-blocking fast path first; on a full queue, count the backpressure
+/// event and fall back to the blocking send. (Queries and flushes use
+/// plain `send` — the backpressure metric means *producer* pressure, the
+/// signal a rebalancer would act on.)
 fn send_with_backpressure(shard: &Shard, cmd: ShardCmd) {
     match shard.tx.try_send(cmd) {
         Ok(()) => {}
@@ -357,13 +466,38 @@ fn record_snapshot_latency(metrics: &ShardMetrics, enqueued: Instant) {
         .fetch_add(enqueued.elapsed().as_nanos() as u64, Relaxed);
 }
 
-/// The shard worker: owns its tenants' samplers outright; returns the
-/// final tenant count on shutdown.
+/// The shard worker: owns its tenants' samplers and the shard watermark
+/// outright; returns the final tenant count on shutdown.
 fn shard_loop(rx: &Receiver<ShardCmd>, spec: SamplerSpec, metrics: &ShardMetrics) -> usize {
     use std::sync::atomic::Ordering::Relaxed;
     let mut tenants: HashMap<u64, Box<dyn DistinctSampler>> = HashMap::new();
+    // Highest slot this shard has seen (timestamped ingest, Advance, or
+    // snapshot_at). Monotonic; queries answer as of this watermark.
+    let mut watermark = Slot(0);
     while let Ok(cmd) = rx.recv() {
         match cmd {
+            ShardCmd::One(tenant, e) => {
+                metrics.batches.fetch_add(1, Relaxed);
+                metrics.elements.fetch_add(1, Relaxed);
+                tenants
+                    .entry(tenant.0)
+                    .or_insert_with(|| spec.build())
+                    .observe(e);
+                metrics.tenants.store(tenants.len(), Relaxed);
+            }
+            ShardCmd::OneAt(tenant, e, now) => {
+                metrics.batches.fetch_add(1, Relaxed);
+                metrics.elements.fetch_add(1, Relaxed);
+                if now > watermark {
+                    watermark = now;
+                    metrics.watermark.store(watermark.0, Relaxed);
+                }
+                tenants
+                    .entry(tenant.0)
+                    .or_insert_with(|| spec.build())
+                    .observe_at(e, now);
+                metrics.tenants.store(tenants.len(), Relaxed);
+            }
             ShardCmd::Batch(batch) => {
                 metrics.batches.fetch_add(1, Relaxed);
                 metrics.elements.fetch_add(batch.len() as u64, Relaxed);
@@ -375,19 +509,64 @@ fn shard_loop(rx: &Receiver<ShardCmd>, spec: SamplerSpec, metrics: &ShardMetrics
                 }
                 metrics.tenants.store(tenants.len(), Relaxed);
             }
+            ShardCmd::BatchAt(now, batch) => {
+                metrics.batches.fetch_add(1, Relaxed);
+                metrics.elements.fetch_add(batch.len() as u64, Relaxed);
+                if now > watermark {
+                    watermark = now;
+                    metrics.watermark.store(watermark.0, Relaxed);
+                }
+                for (tenant, e) in batch {
+                    tenants
+                        .entry(tenant.0)
+                        .or_insert_with(|| spec.build())
+                        .observe_at(e, now);
+                }
+                metrics.tenants.store(tenants.len(), Relaxed);
+            }
+            ShardCmd::Advance(now) => {
+                if now > watermark {
+                    watermark = now;
+                    metrics.watermark.store(watermark.0, Relaxed);
+                }
+                // Eager: idle tenants expire their candidates *now*, not
+                // at their next query — this is the memory-reclaim path.
+                for sampler in tenants.values_mut() {
+                    sampler.advance(watermark);
+                }
+                metrics.advances.fetch_add(1, Relaxed);
+            }
             ShardCmd::Query {
                 tenant,
+                at,
                 reply,
                 enqueued,
             } => {
-                let _ = reply.send(tenants.get(&tenant.0).map(|s| s.sample()));
+                if let Some(now) = at {
+                    if now > watermark {
+                        watermark = now;
+                        metrics.watermark.store(watermark.0, Relaxed);
+                    }
+                }
+                let view = tenants.get_mut(&tenant.0).map(|s| {
+                    s.advance(watermark);
+                    TenantView {
+                        sample: s.sample(),
+                        memory_tuples: s.memory_tuples(),
+                        protocol_messages: s.protocol_messages(),
+                    }
+                });
+                let _ = reply.send(view);
                 record_snapshot_latency(metrics, enqueued);
             }
             ShardCmd::QueryAll { reply, enqueued } => {
                 // Unordered: the engine sorts the merged result once.
                 let all: Vec<(TenantId, Vec<Element>)> = tenants
-                    .iter()
-                    .map(|(&t, s)| (TenantId(t), s.sample()))
+                    .iter_mut()
+                    .map(|(&t, s)| {
+                        s.advance(watermark);
+                        (TenantId(t), s.sample())
+                    })
                     .collect();
                 let _ = reply.send(all);
                 record_snapshot_latency(metrics, enqueued);
@@ -600,6 +779,77 @@ mod tests {
         let m = engine.metrics();
         assert_eq!(m.total_snapshots(), 2);
         assert!(m.shards[0].mean_snapshot_latency_ns() > 0.0);
+        let _ = engine.shutdown();
+    }
+
+    #[test]
+    fn sliding_tenants_serve_and_expire() {
+        let sliding = SamplerSpec::new(SamplerKind::Sliding { window: 10 }, 1, 42);
+        let engine = Engine::spawn(EngineConfig::new(sliding).with_shards(2));
+        engine.observe_at(TenantId(0), Element(7), Slot(0));
+        engine.observe_at(TenantId(1), Element(7), Slot(5));
+        assert_eq!(engine.snapshot(TenantId(0)), Some(vec![Element(7)]));
+        // Tenant 0's element dies at slot 10; tenant 1's lives to 15.
+        assert_eq!(engine.snapshot_at(TenantId(0), Slot(10)), Some(vec![]));
+        assert_eq!(
+            engine.snapshot_at(TenantId(1), Slot(12)),
+            Some(vec![Element(7)])
+        );
+        assert_eq!(engine.snapshot_at(TenantId(1), Slot(15)), Some(vec![]));
+        let _ = engine.shutdown();
+    }
+
+    #[test]
+    fn advance_drives_idle_tenant_expiry_and_metrics() {
+        let sliding = SamplerSpec::new(SamplerKind::Sliding { window: 4 }, 1, 9);
+        let engine = Engine::spawn(EngineConfig::new(sliding).with_shards(3));
+        for t in 0..30u64 {
+            engine.observe_at(TenantId(t), Element(t), Slot(1));
+        }
+        engine.advance(Slot(100));
+        engine.flush();
+        let m = engine.metrics();
+        assert_eq!(m.total_advances(), 3, "one advance per shard");
+        assert_eq!(m.watermark(), 100);
+        for t in 0..30u64 {
+            let view = engine.snapshot_view(TenantId(t), None).expect("hosted");
+            assert!(view.sample.is_empty(), "tenant {t} survived the window");
+            assert_eq!(view.memory_tuples, 0, "tenant {t} kept expired state");
+        }
+        let _ = engine.shutdown();
+    }
+
+    #[test]
+    fn untimed_engine_is_unaffected_by_time_api() {
+        // Infinite-window tenants ignore the clock entirely: advancing
+        // far ahead must not change any sample.
+        let engine = Engine::spawn(EngineConfig::new(spec()).with_shards(2));
+        let mut oracle = spec().oracle();
+        for i in 0..3_000u64 {
+            let e = Element((i * 13) % 400);
+            engine.observe(TenantId(5), e);
+            oracle.observe(e);
+        }
+        engine.advance(Slot(1_000_000));
+        assert_eq!(engine.snapshot(TenantId(5)), Some(oracle.sample()));
+        assert_eq!(
+            engine.snapshot_at(TenantId(5), Slot(2_000_000)),
+            Some(oracle.sample())
+        );
+        let _ = engine.shutdown();
+    }
+
+    #[test]
+    fn snapshot_view_reports_memory_and_messages() {
+        let engine = Engine::spawn(EngineConfig::new(spec()).with_shards(1));
+        for i in 0..500u64 {
+            engine.observe(TenantId(0), Element(i));
+        }
+        let view = engine.snapshot_view(TenantId(0), None).expect("hosted");
+        assert_eq!(view.sample.len(), 8);
+        assert!(view.memory_tuples > 0);
+        assert!(view.protocol_messages > 0);
+        assert_eq!(engine.snapshot_view(TenantId(404), None), None);
         let _ = engine.shutdown();
     }
 

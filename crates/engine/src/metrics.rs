@@ -25,6 +25,10 @@ pub(crate) struct ShardMetrics {
     pub(crate) backpressure: AtomicU64,
     /// Tenants currently hosted (gauge, maintained by the worker).
     pub(crate) tenants: AtomicUsize,
+    /// Explicit clock-advance commands processed by the worker.
+    pub(crate) advances: AtomicU64,
+    /// Highest slot the shard has seen (gauge, maintained by the worker).
+    pub(crate) watermark: AtomicU64,
 }
 
 impl ShardMetrics {
@@ -37,6 +41,8 @@ impl ShardMetrics {
             snapshot_nanos: self.snapshot_nanos.load(Ordering::Relaxed),
             backpressure: self.backpressure.load(Ordering::Relaxed),
             tenants: self.tenants.load(Ordering::Relaxed),
+            advances: self.advances.load(Ordering::Relaxed),
+            watermark: self.watermark.load(Ordering::Relaxed),
             queue_depth,
         }
     }
@@ -59,6 +65,10 @@ pub struct ShardMetricsSnapshot {
     pub backpressure: u64,
     /// Tenants hosted when the snapshot was taken.
     pub tenants: usize,
+    /// Explicit clock-advance commands processed.
+    pub advances: u64,
+    /// Highest slot the shard had seen (0 for untimed workloads).
+    pub watermark: u64,
     /// Commands queued when the snapshot was taken.
     pub queue_depth: usize,
 }
@@ -114,6 +124,21 @@ impl EngineMetrics {
         self.shards.iter().map(|s| s.tenants).sum()
     }
 
+    /// Clock-advance commands processed across all shards.
+    #[must_use]
+    pub fn total_advances(&self) -> u64 {
+        self.shards.iter().map(|s| s.advances).sum()
+    }
+
+    /// The engine-wide watermark: the highest slot any shard has seen.
+    /// (Shards advance independently under timestamped ingest; after an
+    /// [`Engine::advance`](crate::Engine::advance) + flush all shards
+    /// agree.)
+    #[must_use]
+    pub fn watermark(&self) -> u64 {
+        self.shards.iter().map(|s| s.watermark).max().unwrap_or(0)
+    }
+
     /// Deepest per-shard command queue at snapshot time.
     #[must_use]
     pub fn max_queue_depth(&self) -> usize {
@@ -127,7 +152,7 @@ impl EngineMetrics {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:>5} {:>9} {:>11} {:>8} {:>11} {:>13} {:>12} {:>10}",
+            "{:>5} {:>9} {:>11} {:>8} {:>11} {:>13} {:>12} {:>10} {:>10}",
             "shard",
             "tenants",
             "elements",
@@ -135,12 +160,13 @@ impl EngineMetrics {
             "snapshots",
             "mean-snap-us",
             "backpressure",
+            "watermark",
             "queue"
         );
         for s in &self.shards {
             let _ = writeln!(
                 out,
-                "{:>5} {:>9} {:>11} {:>8} {:>11} {:>13.1} {:>12} {:>10}",
+                "{:>5} {:>9} {:>11} {:>8} {:>11} {:>13.1} {:>12} {:>10} {:>10}",
                 s.shard,
                 s.tenants,
                 s.elements,
@@ -148,6 +174,7 @@ impl EngineMetrics {
                 s.snapshots,
                 s.mean_snapshot_latency_ns() / 1_000.0,
                 s.backpressure,
+                s.watermark,
                 s.queue_depth
             );
         }
@@ -168,6 +195,8 @@ mod tests {
         live.snapshot_nanos.store(4_000, Ordering::Relaxed);
         live.backpressure.store(1, Ordering::Relaxed);
         live.tenants.store(7, Ordering::Relaxed);
+        live.advances.store(4, Ordering::Relaxed);
+        live.watermark.store(99, Ordering::Relaxed);
         let snap = live.snapshot(0, 5);
         assert_eq!(snap.queue_depth, 5);
         assert!((snap.mean_snapshot_latency_ns() - 2_000.0).abs() < 1e-9);
@@ -180,6 +209,8 @@ mod tests {
         assert_eq!(m.total_snapshots(), 4);
         assert_eq!(m.total_backpressure(), 2);
         assert_eq!(m.tenants(), 14);
+        assert_eq!(m.total_advances(), 8);
+        assert_eq!(m.watermark(), 99);
         assert_eq!(m.max_queue_depth(), 5);
         let table = m.to_table();
         assert!(table.contains("backpressure"));

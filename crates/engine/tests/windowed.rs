@@ -1,0 +1,186 @@
+//! Scale stress for the time-aware serving layer: ≥ 1 000 sliding-window
+//! tenants on 4 shards, timestamped batched ingest, and exact agreement
+//! with a per-tenant brute-force [`SlidingOracle`] at every snapshot —
+//! plus the watermark contract: a tenant whose stream goes idle still
+//! expires (and frees) its window candidates once the clock passes its
+//! window boundary.
+
+use std::collections::HashMap;
+
+use dds_core::sampler::{SamplerKind, SamplerSpec};
+use dds_core::SlidingOracle;
+use dds_data::{MultiTenantStream, TraceProfile};
+use dds_engine::{Engine, EngineConfig, TenantId};
+use dds_sim::{Element, Slot};
+
+const WINDOW: u64 = 24;
+
+fn spec() -> SamplerSpec {
+    SamplerSpec::new(SamplerKind::Sliding { window: WINDOW }, 1, 33_2026)
+}
+
+/// 1 200 windowed tenants on 4 shards, one slot's worth of timestamped
+/// ingest at a time, with a full all-tenant oracle comparison at five
+/// evenly spaced watermarks and after the final slot. Element ids are
+/// folded into a small shared range so tenants collide on identity —
+/// cross-tenant leakage or clock skew would corrupt a window minimum.
+#[test]
+fn thousand_windowed_tenants_exact_at_every_snapshot() {
+    const TENANTS: u64 = 1_200;
+    const PER_SLOT: usize = 600;
+    let per_tenant = TraceProfile {
+        name: "windowed-stress",
+        total: 100,
+        distinct: 40,
+    };
+    let engine = Engine::spawn(
+        EngineConfig::new(spec())
+            .with_shards(4)
+            .with_queue_capacity(16),
+    );
+    let mut oracles: HashMap<u64, SlidingOracle> = HashMap::new();
+    let feed = MultiTenantStream::new(TENANTS, per_tenant, 4)
+        .with_shared_ids(300)
+        .slotted(PER_SLOT);
+    let total_slots = (TENANTS * per_tenant.total).div_ceil(PER_SLOT as u64);
+    let checkpoint_every = (total_slots / 5).max(1);
+
+    let verify_all = |engine: &Engine, oracles: &mut HashMap<u64, SlidingOracle>, now: Slot| {
+        // Advance every shard to the query watermark, then barrier so the
+        // snapshot reflects everything enqueued so far.
+        engine.advance(now);
+        let all = engine.snapshot_all();
+        assert_eq!(all.len(), oracles.len(), "tenant count wrong at {now}");
+        for (tenant, sample) in all {
+            let oracle = oracles.get_mut(&tenant.0).expect("oracle exists");
+            oracle.expire(now);
+            let want: Vec<Element> = oracle
+                .min_in_window(now)
+                .map(|(e, _, _)| e)
+                .into_iter()
+                .collect();
+            assert_eq!(
+                sample, want,
+                "tenant {} window sample wrong at {now}",
+                tenant.0
+            );
+        }
+    };
+
+    let mut last_slot = Slot(0);
+    for (slot, batch) in feed {
+        for &(t, e) in &batch {
+            oracles
+                .entry(t)
+                .or_insert_with(|| SlidingOracle::new(WINDOW, spec().hasher()))
+                .observe(e, slot);
+        }
+        engine.observe_batch_at(slot, batch.into_iter().map(|(t, e)| (TenantId(t), e)));
+        last_slot = slot;
+        if slot.0 % checkpoint_every == checkpoint_every - 1 {
+            verify_all(&engine, &mut oracles, slot);
+        }
+    }
+    assert!(oracles.len() >= 1_000, "stream touched too few tenants");
+    verify_all(&engine, &mut oracles, last_slot);
+
+    // Advance past every window: all samples must drain and all candidate
+    // memory must be released, tenant by tenant.
+    let drained = Slot(last_slot.0 + WINDOW + 1);
+    verify_all(&engine, &mut oracles, drained);
+    for t in [0, 1, 17, 500, TENANTS - 1] {
+        let view = engine
+            .snapshot_view(TenantId(t), None)
+            .expect("tenant hosted");
+        assert!(view.sample.is_empty(), "tenant {t} survived the drain");
+        assert_eq!(view.memory_tuples, 0, "tenant {t} kept expired state");
+    }
+
+    let report = engine.shutdown();
+    assert_eq!(report.metrics.total_elements(), TENANTS * per_tenant.total);
+    assert_eq!(report.metrics.tenants(), oracles.len());
+    assert_eq!(report.metrics.watermark(), drained.0);
+}
+
+/// The watermark satellite: a tenant that stops observing is still
+/// expired by time carried on *other* tenants' ingest — its stale sample
+/// disappears and its candidate memory is freed without it ever being
+/// touched again by its own stream.
+#[test]
+fn idle_tenant_expires_via_other_tenants_watermark() {
+    let engine = Engine::spawn(EngineConfig::new(spec()).with_shards(1));
+    let idle = TenantId(7);
+    let busy = TenantId(8);
+
+    engine.observe_at(idle, Element(42), Slot(0));
+    assert_eq!(engine.snapshot(idle), Some(vec![Element(42)]));
+    let before = engine.snapshot_view(idle, None).expect("hosted");
+    assert!(before.memory_tuples > 0);
+
+    // Only the busy tenant keeps streaming; its timestamps carry the
+    // shard watermark far past the idle tenant's window boundary.
+    for slot in 1..=(WINDOW + 3) {
+        engine.observe_at(busy, Element(slot), Slot(slot));
+    }
+    let after = engine.snapshot_view(idle, None).expect("still hosted");
+    assert!(
+        after.sample.is_empty(),
+        "idle tenant still serves an element that left its window"
+    );
+    assert_eq!(
+        after.memory_tuples, 0,
+        "idle tenant's expired candidates were not evicted"
+    );
+    // The busy tenant is unaffected.
+    assert_eq!(engine.snapshot(busy).map(|s| s.len()), Some(1));
+    let _ = engine.shutdown();
+}
+
+/// Multi-window tenants (s parallel sliding copies) serve through the
+/// same engine, with per-copy oracle agreement at a few watermarks.
+#[test]
+fn multi_window_tenants_match_copy_oracles() {
+    const S: usize = 3;
+    let spec = SamplerSpec::new(SamplerKind::SlidingMulti { window: 16 }, S, 606);
+    let engine = Engine::spawn(EngineConfig::new(spec).with_shards(2));
+    let tenants = 40u64;
+    let mut oracles: HashMap<u64, Vec<SlidingOracle>> = HashMap::new();
+    let per_tenant = TraceProfile {
+        name: "multi-window",
+        total: 200,
+        distinct: 60,
+    };
+    let feed = MultiTenantStream::new(tenants, per_tenant, 12)
+        .with_shared_ids(150)
+        .slotted(100);
+    for (slot, batch) in feed {
+        for &(t, e) in &batch {
+            for o in oracles
+                .entry(t)
+                .or_insert_with(|| spec.sliding_oracles())
+                .iter_mut()
+            {
+                o.observe(e, slot);
+            }
+        }
+        engine.observe_batch_at(slot, batch.into_iter().map(|(t, e)| (TenantId(t), e)));
+        if slot.0 % 20 == 19 {
+            engine.advance(slot);
+            for (&t, copy_oracles) in &mut oracles {
+                let want: Vec<Element> = copy_oracles
+                    .iter_mut()
+                    .filter_map(|o| {
+                        o.expire(slot);
+                        o.min_in_window(slot).map(|(e, _, _)| e)
+                    })
+                    .collect();
+                assert_eq!(
+                    engine.snapshot(TenantId(t)),
+                    Some(want),
+                    "tenant {t} copy minima wrong at {slot}"
+                );
+            }
+        }
+    }
+    let _ = engine.shutdown();
+}

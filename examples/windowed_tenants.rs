@@ -1,0 +1,134 @@
+//! Sliding windows as a service: many tenants, one time-aware engine.
+//!
+//! Spawns a 4-shard [`Engine`] hosting an independent sliding-window
+//! sampler (Algorithms 3 & 4, fused) per tenant, drives a timestamped
+//! multi-tenant feed slot by slot, and prints a handful of tenants'
+//! window samples as the clock advances — including what happens when
+//! the feed stops and only the clock keeps moving: samples expire, and
+//! idle tenants' candidate memory drains to zero.
+//!
+//! A brute-force [`SlidingOracle`] per spot-checked tenant verifies
+//! every printed sample.
+//!
+//! Run with: `cargo run --release --example windowed_tenants`
+
+use std::collections::HashMap;
+
+use distinct_stream_sampling::prelude::*;
+
+const TENANTS: u64 = 1_000;
+const WINDOW: u64 = 64;
+const PER_SLOT: usize = 200;
+
+fn main() {
+    let per_tenant = TraceProfile {
+        name: "windowed-feed",
+        total: 600,
+        distinct: 200,
+    };
+    let spec = SamplerSpec::new(SamplerKind::Sliding { window: WINDOW }, 1, 2026);
+    let engine = Engine::spawn(
+        EngineConfig::new(spec)
+            .with_shards(4)
+            .with_queue_capacity(64),
+    );
+
+    // Timestamped ingest: the slotted feed assigns PER_SLOT arrivals to
+    // each slot; element ids collide across tenants on purpose.
+    let spot = [0u64, 1, 500, TENANTS - 1];
+    let mut oracles: HashMap<u64, SlidingOracle> = spot
+        .iter()
+        .map(|&t| (t, SlidingOracle::new(WINDOW, spec.hasher())))
+        .collect();
+
+    let feed = MultiTenantStream::new(TENANTS, per_tenant, 17)
+        .with_shared_ids(5_000)
+        .slotted(PER_SLOT);
+    let total_slots = (TENANTS * per_tenant.total).div_ceil(PER_SLOT as u64);
+    let report_every = total_slots / 4;
+
+    println!(
+        "{TENANTS} sliding-window tenants (w = {WINDOW} slots), 4 shards, \
+         {PER_SLOT} arrivals/slot, {total_slots} slots\n"
+    );
+    let started = std::time::Instant::now();
+    let mut last = Slot(0);
+    for (slot, batch) in feed {
+        for &(t, e) in &batch {
+            if let Some(oracle) = oracles.get_mut(&t) {
+                oracle.observe(e, slot);
+            }
+        }
+        engine.observe_batch_at(slot, batch.into_iter().map(|(t, e)| (TenantId(t), e)));
+        last = slot;
+        if slot.0 % report_every == report_every - 1 {
+            print_row(&engine, &mut oracles, &spot, slot, "streaming");
+        }
+    }
+    let elapsed = started.elapsed();
+
+    // The feed has ended; only time keeps passing. Tenants are idle, yet
+    // the advancing watermark must expire their windows for them.
+    for gap in [WINDOW / 2, WINDOW / 2 + 1] {
+        let now = Slot(last.0 + gap);
+        engine.advance(now);
+        print_row(&engine, &mut oracles, &spot, now, "feed stopped");
+    }
+
+    engine.flush();
+    let m = engine.metrics();
+    println!("\n{}", m.to_table());
+    println!(
+        "{} elements · {} tenants · watermark t{} · {:.2?} → {:.2e} elem/s durable",
+        m.total_elements(),
+        m.tenants(),
+        m.watermark(),
+        elapsed,
+        (TENANTS * per_tenant.total) as f64 / elapsed.as_secs_f64()
+    );
+
+    // After the window has fully passed, every tenant's state is gone.
+    let drained = Slot(last.0 + WINDOW + 1);
+    engine.advance(drained);
+    for t in 0..TENANTS {
+        let view = engine
+            .snapshot_view(TenantId(t), None)
+            .expect("tenant hosted");
+        assert!(view.sample.is_empty(), "tenant {t} survived the drain");
+        assert_eq!(view.memory_tuples, 0, "tenant {t} kept expired state");
+    }
+    println!("all {TENANTS} windows drained, candidate memory at zero ✓");
+
+    let report = engine.shutdown();
+    println!(
+        "tenants per shard at shutdown: {:?}",
+        report.tenants_per_shard
+    );
+}
+
+/// Print (and oracle-check) the spot tenants' window samples at `now`.
+fn print_row(
+    engine: &Engine,
+    oracles: &mut HashMap<u64, SlidingOracle>,
+    spot: &[u64],
+    now: Slot,
+    phase: &str,
+) {
+    print!("{now:>6} [{phase:>12}]");
+    for &t in spot {
+        let got = engine.snapshot_at(TenantId(t), now).expect("tenant hosted");
+        let oracle = oracles.get_mut(&t).expect("spot oracle");
+        oracle.expire(now);
+        let want: Vec<Element> = oracle
+            .min_in_window(now)
+            .map(|(e, _, _)| e)
+            .into_iter()
+            .collect();
+        assert_eq!(got, want, "tenant {t} disagrees with its oracle at {now}");
+        match got.first() {
+            Some(e) => print!("  tenant {t}: {e}"),
+            None => print!("  tenant {t}: ∅"),
+        }
+    }
+    println!("  ✓");
+}

@@ -44,7 +44,7 @@
 //! | [`dds_data`] | calibrated OC48-like / Enron-like synthetic traces, Zipf, routing strategies, slotted schedules |
 //! | [`dds_stats`] | KMV distinct-count estimation, predicate estimators, chi-square / KS machinery |
 //! | [`dds_runtime`] | real multi-threaded deployment over crossbeam channels |
-//! | [`dds_engine`] | sharded multi-tenant serving layer: thousands of sampler instances behind one batched ingest path |
+//! | [`dds_engine`] | sharded multi-tenant serving layer: thousands of sampler instances (infinite- or sliding-window) behind one batched, timestamped ingest path |
 //!
 //! Run the evaluation-reproduction harness with
 //! `cargo run -p dds-bench --release --bin experiments -- all`.
@@ -67,16 +67,18 @@ pub mod prelude {
     pub use dds_core::centralized::{BottomS, CentralizedSampler, SlidingOracle};
     pub use dds_core::infinite::{InfiniteConfig, LazyCoordinator, LazySite};
     pub use dds_core::sampler::{
-        DistinctSampler, FusedInfinite, FusedWr, SamplerKind, SamplerSpec,
+        DistinctSampler, FusedInfinite, FusedSliding, FusedSlidingMulti, FusedWr, SamplerKind,
+        SamplerSpec,
     };
     pub use dds_core::sliding::{CoordinatorMode, SlidingConfig, SwCoordinator, SwSite};
+    pub use dds_core::sliding_multi::MultiSlidingConfig;
     pub use dds_core::sliding_nofeedback::NfConfig;
     pub use dds_core::with_replacement::WrConfig;
     pub use dds_data::{
-        MultiTenantStream, PairStream, RouteTarget, Router, Routing, SlottedInput, TraceLikeStream,
-        TraceProfile, ENRON, OC48,
+        MultiTenantStream, PairStream, RouteTarget, Router, Routing, SlottedInput, SlottedStream,
+        TraceLikeStream, TraceProfile, ENRON, OC48,
     };
-    pub use dds_engine::{Engine, EngineConfig, EngineMetrics, TenantId};
+    pub use dds_engine::{Engine, EngineConfig, EngineMetrics, TenantId, TenantView};
     pub use dds_hash::{HashFamily, SeededHash, UnitHash, UnitValue};
     pub use dds_runtime::ThreadedCluster;
     pub use dds_sim::{Cluster, CoordinatorNode, Element, MessageCounters, SiteId, SiteNode, Slot};
