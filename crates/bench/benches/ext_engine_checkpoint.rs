@@ -1,0 +1,81 @@
+//! Bench target for the durability path: prints the checkpoint/restore
+//! sweep (tenants × sampler kind), then times the three hot durability
+//! operations — whole-engine checkpoint, whole-engine restore, and
+//! single-sampler envelope round-trip — at a fixed base configuration.
+
+use criterion::{black_box, criterion_group, Criterion};
+use dds_core::checkpoint::restore_sampler;
+use dds_core::sampler::{SamplerKind, SamplerSpec};
+use dds_data::{MultiTenantStream, TraceProfile};
+use dds_engine::{Engine, EngineConfig, TenantId};
+use dds_sim::Slot;
+
+const SHARDS: usize = 4;
+const TENANTS: u64 = 1_000;
+const WINDOW: u64 = 128;
+
+fn filled_engine(kind: SamplerKind, s: usize) -> Engine {
+    let per_tenant = TraceProfile {
+        name: "engine-checkpoint-bench",
+        total: 20,
+        distinct: 10,
+    };
+    let spec = SamplerSpec::new(kind, s, 11);
+    let engine = Engine::spawn(EngineConfig::new(spec).with_shards(SHARDS));
+    for (slot, batch) in MultiTenantStream::new(TENANTS, per_tenant, 5).slotted(256) {
+        engine.observe_batch_at(slot, batch.into_iter().map(|(t, e)| (TenantId(t), e)));
+    }
+    engine.flush();
+    engine
+}
+
+fn checkpoint_restore(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ext_engine_checkpoint/1000tenants_4shards");
+    g.sample_size(10);
+    for (label, kind, s) in [
+        ("infinite_s8", SamplerKind::Infinite, 8),
+        ("sliding_s1", SamplerKind::Sliding { window: WINDOW }, 1),
+    ] {
+        let engine = filled_engine(kind, s);
+        g.bench_function(format!("checkpoint/{label}"), |b| {
+            b.iter(|| black_box(engine.checkpoint().len()));
+        });
+        let bytes = engine.checkpoint();
+        g.bench_function(format!("restore/{label}"), |b| {
+            b.iter(|| {
+                let restored = Engine::restore(black_box(&bytes)).expect("restores");
+                let hosted = restored.metrics().tenants();
+                let _ = restored.shutdown();
+                black_box(hosted)
+            });
+        });
+        let _ = engine.shutdown();
+    }
+    g.finish();
+}
+
+fn sampler_envelope_roundtrip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ext_engine_checkpoint/sampler_envelope");
+    let spec = SamplerSpec::new(SamplerKind::Sliding { window: WINDOW }, 1, 3);
+    let mut sampler = spec.build();
+    for i in 0..2_000u64 {
+        sampler.observe_at(dds_sim::Element(i % 300), Slot(i / 16));
+    }
+    g.bench_function("checkpoint_restore_one_sliding", |b| {
+        b.iter(|| {
+            let mut blob = Vec::new();
+            sampler.checkpoint(&mut blob);
+            let restored = restore_sampler(black_box(&blob)).expect("restores");
+            black_box(restored.memory_tuples())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, checkpoint_restore, sampler_envelope_roundtrip);
+
+fn main() {
+    dds_bench::bench_support::print_experiment("ext_engine_checkpoint");
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

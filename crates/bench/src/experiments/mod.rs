@@ -8,6 +8,7 @@ pub mod ext_ablation;
 pub mod ext_bounds;
 pub mod ext_dds_vs_drs;
 pub mod ext_engine;
+pub mod ext_engine_checkpoint;
 pub mod ext_engine_sliding;
 pub mod fig51;
 pub mod fig52;
@@ -107,6 +108,11 @@ pub fn all() -> Vec<Experiment> {
             title: "Extension: windowed-engine ingest throughput (shards × tenants × window)",
             run: ext_engine_sliding::run,
         },
+        Experiment {
+            id: "ext_engine_checkpoint",
+            title: "Extension: engine checkpoint/restore throughput and size per tenant",
+            run: ext_engine_checkpoint::run,
+        },
     ]
 }
 
@@ -151,6 +157,7 @@ mod tests {
             "ext_ablation",
             "ext_engine",
             "ext_engine_sliding",
+            "ext_engine_checkpoint",
         ] {
             assert!(ids.contains(&required), "missing experiment {required}");
         }

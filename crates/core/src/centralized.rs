@@ -114,6 +114,45 @@ impl BottomS {
     pub fn entries(&self) -> Vec<(Element, UnitValue)> {
         self.set.iter().map(|&(h, e)| (e, h)).collect()
     }
+
+    /// Checkpoint encoding: capacity plus the sampled elements in hash
+    /// order. Hashes are *not* stored — they are derived state, and the
+    /// decoder recomputes them from the protocol hash function.
+    pub(crate) fn encode_state(&self, w: &mut crate::checkpoint::StateWriter) {
+        w.put_len(self.s);
+        w.put_len(self.set.len());
+        for &(_, e) in &self.set {
+            w.put_element(e);
+        }
+    }
+
+    /// Rebuild from [`BottomS::encode_state`] output, recomputing hashes
+    /// under `hasher`.
+    pub(crate) fn decode_state(
+        r: &mut crate::checkpoint::StateReader<'_>,
+        hasher: &SeededHash,
+    ) -> Result<Self, crate::checkpoint::CheckpointError> {
+        use crate::checkpoint::CheckpointError;
+        // The capacity is a scalar, not a collection length: `s` may far
+        // exceed the stored (≤ s) element count and must not be bounds-
+        // checked against the remaining payload bytes.
+        let s = r.get_u32()? as usize;
+        if s == 0 {
+            return Err(CheckpointError::Corrupt("bottom-s capacity is zero"));
+        }
+        let n = r.get_len(8)?;
+        if n > s {
+            return Err(CheckpointError::Corrupt("bottom-s holds more than s"));
+        }
+        let mut bottom = Self::new(s);
+        for _ in 0..n {
+            let e = r.get_element()?;
+            if !bottom.offer(e, hasher.unit(e.0)) {
+                return Err(CheckpointError::Corrupt("duplicate bottom-s element"));
+            }
+        }
+        Ok(bottom)
+    }
 }
 
 /// A single-node distinct sampler: [`BottomS`] + a concrete hash function.
@@ -181,6 +220,51 @@ impl CentralizedSampler {
     #[must_use]
     pub fn bottom(&self) -> &BottomS {
         &self.bottom
+    }
+
+    /// Checkpoint encoding: hash function, bottom-`s` sample, counters,
+    /// and the (sorted, so encoding is deterministic) exact distinct set
+    /// — the O(d) oracle bookkeeping is part of the state by design.
+    pub(crate) fn encode_state(&self, w: &mut crate::checkpoint::StateWriter) {
+        w.put_hasher(self.hasher);
+        self.bottom.encode_state(w);
+        w.put_u64(self.total_seen);
+        let mut seen: Vec<Element> = self.seen.iter().copied().collect();
+        seen.sort_unstable();
+        w.put_len(seen.len());
+        for e in seen {
+            w.put_element(e);
+        }
+    }
+
+    /// Rebuild from [`CentralizedSampler::encode_state`] output.
+    pub(crate) fn decode_state(
+        r: &mut crate::checkpoint::StateReader<'_>,
+    ) -> Result<Self, crate::checkpoint::CheckpointError> {
+        use crate::checkpoint::CheckpointError;
+        let hasher = r.get_hasher()?;
+        let bottom = BottomS::decode_state(r, &hasher)?;
+        let total_seen = r.get_u64()?;
+        let n = r.get_len(8)?;
+        let mut seen = std::collections::HashSet::with_capacity(n);
+        for _ in 0..n {
+            if !seen.insert(r.get_element()?) {
+                return Err(CheckpointError::Corrupt("duplicate in distinct set"));
+            }
+        }
+        if total_seen < seen.len() as u64 {
+            return Err(CheckpointError::Corrupt("total below distinct count"));
+        }
+        if bottom.len() > seen.len() {
+            return Err(CheckpointError::Corrupt("sample larger than distinct set"));
+        }
+        Ok(Self {
+            bottom,
+            hasher,
+            distinct_seen: seen.len() as u64,
+            total_seen,
+            seen,
+        })
     }
 }
 

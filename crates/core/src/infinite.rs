@@ -122,6 +122,25 @@ impl LazySite {
     pub fn sends(&self) -> u64 {
         self.sends
     }
+
+    /// Checkpoint encoding: the whole Algorithm 1 state — hash function,
+    /// `uᵢ`, and the send diagnostic.
+    pub(crate) fn encode_state(&self, w: &mut crate::checkpoint::StateWriter) {
+        w.put_hasher(self.hasher);
+        w.put_u64(self.u_i.0);
+        w.put_u64(self.sends);
+    }
+
+    /// Rebuild from [`LazySite::encode_state`] output.
+    pub(crate) fn decode_state(
+        r: &mut crate::checkpoint::StateReader<'_>,
+    ) -> Result<Self, crate::checkpoint::CheckpointError> {
+        Ok(Self {
+            hasher: r.get_hasher()?,
+            u_i: UnitValue(r.get_u64()?),
+            sends: r.get_u64()?,
+        })
+    }
 }
 
 impl SiteNode for LazySite {
@@ -192,6 +211,28 @@ impl LazyCoordinator {
     #[must_use]
     pub fn bottom(&self) -> &BottomS {
         &self.sample
+    }
+
+    /// Checkpoint encoding: hash function, reply policy, and the
+    /// bottom-`s` sample `P` (Algorithm 2's entire state).
+    pub(crate) fn encode_state(&self, w: &mut crate::checkpoint::StateWriter) {
+        w.put_hasher(self.hasher);
+        w.put_bool(self.reply_only_on_change);
+        self.sample.encode_state(w);
+    }
+
+    /// Rebuild from [`LazyCoordinator::encode_state`] output.
+    pub(crate) fn decode_state(
+        r: &mut crate::checkpoint::StateReader<'_>,
+    ) -> Result<Self, crate::checkpoint::CheckpointError> {
+        let hasher = r.get_hasher()?;
+        let reply_only_on_change = r.get_bool()?;
+        let sample = BottomS::decode_state(r, &hasher)?;
+        Ok(Self {
+            hasher,
+            sample,
+            reply_only_on_change,
+        })
     }
 }
 

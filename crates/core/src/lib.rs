@@ -65,6 +65,7 @@
 pub mod bounds;
 pub mod broadcast;
 pub mod centralized;
+pub mod checkpoint;
 pub mod drs;
 pub mod infinite;
 pub mod messages;
@@ -76,6 +77,7 @@ pub mod with_replacement;
 
 pub use broadcast::BroadcastConfig;
 pub use centralized::{BottomS, CentralizedSampler, SlidingOracle};
+pub use checkpoint::{restore_sampler, CheckpointError};
 pub use drs::{DrsConfig, HalvingConfig};
 pub use infinite::{InfiniteConfig, LazyCoordinator, LazySite};
 pub use sampler::{

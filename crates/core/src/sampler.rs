@@ -35,6 +35,7 @@ use dds_sim::{CoordinatorNode, Destination, Element, SiteId, SiteNode, Slot};
 use dds_treap::Treap;
 
 use crate::centralized::{CentralizedSampler, SlidingOracle};
+use crate::checkpoint::{self, CheckpointError, StateReader, StateWriter};
 use crate::infinite::{InfiniteConfig, LazyCoordinator, LazySite};
 use crate::messages::{CopyDown, CopyUp, DownThreshold, SwDown, SwUp, UpElem};
 use crate::sliding::{SlidingConfig, SwCoordinator, SwSite};
@@ -86,6 +87,14 @@ pub trait DistinctSampler: Send {
     fn protocol_messages(&self) -> u64 {
         0
     }
+
+    /// Serialize the instance's complete internal state — hash seeds,
+    /// thresholds, candidate sets, clocks, message counters — as a
+    /// versioned, checksummed binary envelope appended to `out`. The
+    /// inverse is [`crate::checkpoint::restore_sampler`]; a restored
+    /// instance is observationally identical to this one on any suffix
+    /// of observations, advances, and queries.
+    fn checkpoint(&self, out: &mut Vec<u8>);
 }
 
 /// The in-process message pump shared by the fused adapters: deliver one
@@ -149,6 +158,12 @@ impl DistinctSampler for CentralizedSampler {
     fn memory_tuples(&self) -> usize {
         self.bottom().len()
     }
+
+    fn checkpoint(&self, out: &mut Vec<u8>) {
+        let mut w = StateWriter::new();
+        self.encode_state(&mut w);
+        checkpoint::write_envelope(checkpoint::kind::CENTRALIZED, &w.into_bytes(), out);
+    }
 }
 
 /// Algorithms 1 & 2 fused into one object: a single [`LazySite`] wired
@@ -185,6 +200,22 @@ impl FusedInfinite {
     pub fn coordinator(&self) -> &LazyCoordinator {
         &self.coordinator
     }
+
+    /// Rebuild from a [`DistinctSampler::checkpoint`] payload. The
+    /// message pump buffers are transient (always drained between
+    /// observations) and are not part of the state.
+    pub(crate) fn decode_state(r: &mut StateReader<'_>) -> Result<Self, CheckpointError> {
+        let site = LazySite::decode_state(r)?;
+        let coordinator = LazyCoordinator::decode_state(r)?;
+        let messages = r.get_u64()?;
+        Ok(Self {
+            site,
+            coordinator,
+            up_buf: Vec::new(),
+            down_buf: Vec::new(),
+            messages,
+        })
+    }
 }
 
 impl DistinctSampler for FusedInfinite {
@@ -215,6 +246,14 @@ impl DistinctSampler for FusedInfinite {
     fn protocol_messages(&self) -> u64 {
         self.messages
     }
+
+    fn checkpoint(&self, out: &mut Vec<u8>) {
+        let mut w = StateWriter::new();
+        self.site.encode_state(&mut w);
+        self.coordinator.encode_state(&mut w);
+        w.put_u64(self.messages);
+        checkpoint::write_envelope(checkpoint::kind::INFINITE, &w.into_bytes(), out);
+    }
 }
 
 /// §3's with-replacement construction fused into one object: a single
@@ -240,6 +279,20 @@ impl FusedWr {
             down_buf: Vec::new(),
             messages: 0,
         }
+    }
+
+    /// Rebuild from a [`DistinctSampler::checkpoint`] payload.
+    pub(crate) fn decode_state(r: &mut StateReader<'_>) -> Result<Self, CheckpointError> {
+        let site = WrSite::decode_state(r)?;
+        let coordinator = WrCoordinator::decode_state(r)?;
+        let messages = r.get_u64()?;
+        Ok(Self {
+            site,
+            coordinator,
+            up_buf: Vec::new(),
+            down_buf: Vec::new(),
+            messages,
+        })
     }
 }
 
@@ -270,6 +323,14 @@ impl DistinctSampler for FusedWr {
 
     fn protocol_messages(&self) -> u64 {
         self.messages
+    }
+
+    fn checkpoint(&self, out: &mut Vec<u8>) {
+        let mut w = StateWriter::new();
+        self.site.encode_state(&mut w);
+        self.coordinator.encode_state(&mut w);
+        w.put_u64(self.messages);
+        checkpoint::write_envelope(checkpoint::kind::WITH_REPLACEMENT, &w.into_bytes(), out);
     }
 }
 
@@ -323,6 +384,22 @@ impl FusedSliding {
     #[must_use]
     pub fn coordinator(&self) -> &SwCoordinator {
         &self.coordinator
+    }
+
+    /// Rebuild from a [`DistinctSampler::checkpoint`] payload.
+    pub(crate) fn decode_state(r: &mut StateReader<'_>) -> Result<Self, CheckpointError> {
+        let site = SwSite::decode_state(r)?;
+        let coordinator = SwCoordinator::decode_state(r)?;
+        let now = r.get_slot()?;
+        let messages = r.get_u64()?;
+        Ok(Self {
+            site,
+            coordinator,
+            now,
+            up_buf: Vec::new(),
+            down_buf: Vec::new(),
+            messages,
+        })
     }
 
     /// One slot boundary, in the simulator's order: coordinator hook,
@@ -403,6 +480,15 @@ impl DistinctSampler for FusedSliding {
     fn protocol_messages(&self) -> u64 {
         self.messages
     }
+
+    fn checkpoint(&self, out: &mut Vec<u8>) {
+        let mut w = StateWriter::new();
+        self.site.encode_state(&mut w);
+        self.coordinator.encode_state(&mut w);
+        w.put_slot(self.now);
+        w.put_u64(self.messages);
+        checkpoint::write_envelope(checkpoint::kind::SLIDING, &w.into_bytes(), out);
+    }
 }
 
 /// The multi-window (`s > 1`, with replacement) variant of
@@ -437,6 +523,22 @@ impl FusedSlidingMulti {
     #[must_use]
     pub fn now(&self) -> Slot {
         self.now
+    }
+
+    /// Rebuild from a [`DistinctSampler::checkpoint`] payload.
+    pub(crate) fn decode_state(r: &mut StateReader<'_>) -> Result<Self, CheckpointError> {
+        let site = MultiSwSite::decode_state(r)?;
+        let coordinator = MultiSwCoordinator::decode_state(r)?;
+        let now = r.get_slot()?;
+        let messages = r.get_u64()?;
+        Ok(Self {
+            site,
+            coordinator,
+            now,
+            up_buf: Vec::new(),
+            down_buf: Vec::new(),
+            messages,
+        })
     }
 
     fn step_slot(&mut self) {
@@ -505,6 +607,15 @@ impl DistinctSampler for FusedSlidingMulti {
 
     fn protocol_messages(&self) -> u64 {
         self.messages
+    }
+
+    fn checkpoint(&self, out: &mut Vec<u8>) {
+        let mut w = StateWriter::new();
+        self.site.encode_state(&mut w);
+        self.coordinator.encode_state(&mut w);
+        w.put_slot(self.now);
+        w.put_u64(self.messages);
+        checkpoint::write_envelope(checkpoint::kind::SLIDING_MULTI, &w.into_bytes(), out);
     }
 }
 

@@ -62,6 +62,48 @@ pub struct SampleTuple {
     pub expiry: Slot,
 }
 
+impl SampleTuple {
+    /// Checkpoint encoding: element and expiry only — the hash is derived
+    /// state, recomputed on decode under the protocol hash function.
+    pub(crate) fn encode_state(&self, w: &mut crate::checkpoint::StateWriter) {
+        w.put_element(self.element);
+        w.put_slot(self.expiry);
+    }
+
+    /// Rebuild from [`SampleTuple::encode_state`] output.
+    pub(crate) fn decode_state(
+        r: &mut crate::checkpoint::StateReader<'_>,
+        hasher: &SeededHash,
+    ) -> Result<Self, crate::checkpoint::CheckpointError> {
+        let element = r.get_element()?;
+        let expiry = r.get_slot()?;
+        Ok(Self {
+            element,
+            hash: hasher.unit(element.0),
+            expiry,
+        })
+    }
+}
+
+/// Encode an `Option<SampleTuple>` as a presence byte plus the tuple.
+fn encode_opt_tuple(view: Option<&SampleTuple>, w: &mut crate::checkpoint::StateWriter) {
+    w.put_bool(view.is_some());
+    if let Some(t) = view {
+        t.encode_state(w);
+    }
+}
+
+fn decode_opt_tuple(
+    r: &mut crate::checkpoint::StateReader<'_>,
+    hasher: &SeededHash,
+) -> Result<Option<SampleTuple>, crate::checkpoint::CheckpointError> {
+    if r.get_bool()? {
+        Ok(Some(SampleTuple::decode_state(r, hasher)?))
+    } else {
+        Ok(None)
+    }
+}
+
 /// Coordinator fallback behaviour at sample expiry (see module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CoordinatorMode {
@@ -188,6 +230,53 @@ impl<T: CandidateSet + Default> SwSite<T> {
     pub(crate) fn is_quiescent(&self) -> bool {
         self.view.is_none() && self.candidates.is_empty()
     }
+
+    /// Checkpoint encoding: hash function, window, sample view, and the
+    /// candidate staircase (sorted entries; elements + expiries only —
+    /// hashes and tree shape are rebuilt on decode).
+    pub(crate) fn encode_state(&self, w: &mut crate::checkpoint::StateWriter) {
+        w.put_hasher(self.hasher);
+        w.put_u64(self.window);
+        encode_opt_tuple(self.view.as_ref(), w);
+        let entries = self.candidates.entries_sorted();
+        w.put_len(entries.len());
+        for e in entries {
+            w.put_element(e.element);
+            w.put_slot(e.expiry);
+        }
+    }
+
+    /// Rebuild from [`SwSite::encode_state`] output. The candidate set is
+    /// reconstructed through the ordinary insertion path, which restores
+    /// every structural invariant; a serialized entry list that is not a
+    /// valid staircase (some entry dominates another) is corrupt.
+    pub(crate) fn decode_state(
+        r: &mut crate::checkpoint::StateReader<'_>,
+    ) -> Result<Self, crate::checkpoint::CheckpointError> {
+        use crate::checkpoint::CheckpointError;
+        let hasher = r.get_hasher()?;
+        let window = r.get_u64()?;
+        if window == 0 {
+            return Err(CheckpointError::Corrupt("sliding window of zero slots"));
+        }
+        let view = decode_opt_tuple(r, &hasher)?;
+        let n = r.get_len(16)?;
+        let mut candidates = T::default();
+        for _ in 0..n {
+            let e = r.get_element()?;
+            let expiry = r.get_slot()?;
+            candidates.insert_or_refresh(e, hasher.unit(e.0).0, expiry);
+        }
+        if candidates.len() != n {
+            return Err(CheckpointError::Corrupt("candidate list not a staircase"));
+        }
+        Ok(Self {
+            hasher,
+            window,
+            candidates,
+            view,
+        })
+    }
 }
 
 impl<T: CandidateSet + Default> SiteNode for SwSite<T> {
@@ -306,6 +395,49 @@ impl SwCoordinator {
                 .iter()
                 .flatten()
                 .all(|t| is_expired(t.expiry, now))
+    }
+
+    /// Checkpoint encoding: hash function, mode, clock, sample tuple, and
+    /// the per-site announcement registry.
+    pub(crate) fn encode_state(&self, w: &mut crate::checkpoint::StateWriter) {
+        w.put_hasher(self.hasher);
+        w.put_u8(match self.mode {
+            CoordinatorMode::Registry => 0,
+            CoordinatorMode::Faithful => 1,
+        });
+        w.put_slot(self.now);
+        encode_opt_tuple(self.sample.as_ref(), w);
+        w.put_len(self.registry.len());
+        for entry in &self.registry {
+            encode_opt_tuple(entry.as_ref(), w);
+        }
+    }
+
+    /// Rebuild from [`SwCoordinator::encode_state`] output.
+    pub(crate) fn decode_state(
+        r: &mut crate::checkpoint::StateReader<'_>,
+    ) -> Result<Self, crate::checkpoint::CheckpointError> {
+        use crate::checkpoint::CheckpointError;
+        let hasher = r.get_hasher()?;
+        let mode = match r.get_u8()? {
+            0 => CoordinatorMode::Registry,
+            1 => CoordinatorMode::Faithful,
+            _ => return Err(CheckpointError::Corrupt("unknown coordinator mode")),
+        };
+        let now = r.get_slot()?;
+        let sample = decode_opt_tuple(r, &hasher)?;
+        let k = r.get_len(1)?;
+        let mut registry = Vec::with_capacity(k);
+        for _ in 0..k {
+            registry.push(decode_opt_tuple(r, &hasher)?);
+        }
+        Ok(Self {
+            hasher,
+            sample,
+            now,
+            mode,
+            registry,
+        })
     }
 }
 

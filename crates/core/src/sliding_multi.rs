@@ -96,6 +96,31 @@ impl MultiSwSite {
     pub(crate) fn is_quiescent(&self) -> bool {
         self.copies.iter().all(SwSite::is_quiescent)
     }
+
+    /// Checkpoint encoding: the `s` per-copy site states.
+    pub(crate) fn encode_state(&self, w: &mut crate::checkpoint::StateWriter) {
+        w.put_len(self.copies.len());
+        for copy in &self.copies {
+            copy.encode_state(w);
+        }
+    }
+
+    /// Rebuild from [`MultiSwSite::encode_state`] output.
+    pub(crate) fn decode_state(
+        r: &mut crate::checkpoint::StateReader<'_>,
+    ) -> Result<Self, crate::checkpoint::CheckpointError> {
+        let s = r.get_len(18)?;
+        if s == 0 {
+            return Err(crate::checkpoint::CheckpointError::Corrupt(
+                "multi-sliding site has zero copies",
+            ));
+        }
+        let mut copies = Vec::with_capacity(s);
+        for _ in 0..s {
+            copies.push(SwSite::decode_state(r)?);
+        }
+        Ok(Self { copies })
+    }
 }
 
 impl SiteNode for MultiSwSite {
@@ -162,6 +187,31 @@ impl MultiSwCoordinator {
     /// [`SwCoordinator::is_inert_at`]).
     pub(crate) fn is_inert_at(&self, now: Slot) -> bool {
         self.copies.iter().all(|c| c.is_inert_at(now))
+    }
+
+    /// Checkpoint encoding: the `s` per-copy coordinator states.
+    pub(crate) fn encode_state(&self, w: &mut crate::checkpoint::StateWriter) {
+        w.put_len(self.copies.len());
+        for copy in &self.copies {
+            copy.encode_state(w);
+        }
+    }
+
+    /// Rebuild from [`MultiSwCoordinator::encode_state`] output.
+    pub(crate) fn decode_state(
+        r: &mut crate::checkpoint::StateReader<'_>,
+    ) -> Result<Self, crate::checkpoint::CheckpointError> {
+        let s = r.get_len(19)?;
+        if s == 0 {
+            return Err(crate::checkpoint::CheckpointError::Corrupt(
+                "multi-sliding coordinator has zero copies",
+            ));
+        }
+        let mut copies = Vec::with_capacity(s);
+        for _ in 0..s {
+            copies.push(SwCoordinator::decode_state(r)?);
+        }
+        Ok(Self { copies })
     }
 }
 

@@ -74,6 +74,33 @@ impl WrSite {
     pub fn threshold(&self, j: usize) -> UnitValue {
         self.copies[j].1
     }
+
+    /// Checkpoint encoding: per copy, the hash function and `uᵢ`.
+    pub(crate) fn encode_state(&self, w: &mut crate::checkpoint::StateWriter) {
+        w.put_len(self.copies.len());
+        for &(h, u_i) in &self.copies {
+            w.put_hasher(h);
+            w.put_u64(u_i.0);
+        }
+    }
+
+    /// Rebuild from [`WrSite::encode_state`] output.
+    pub(crate) fn decode_state(
+        r: &mut crate::checkpoint::StateReader<'_>,
+    ) -> Result<Self, crate::checkpoint::CheckpointError> {
+        let s = r.get_len(17)?;
+        if s == 0 {
+            return Err(crate::checkpoint::CheckpointError::Corrupt(
+                "with-replacement site has zero copies",
+            ));
+        }
+        let mut copies = Vec::with_capacity(s);
+        for _ in 0..s {
+            let h = r.get_hasher()?;
+            copies.push((h, UnitValue(r.get_u64()?)));
+        }
+        Ok(Self { copies })
+    }
 }
 
 impl SiteNode for WrSite {
@@ -123,6 +150,35 @@ impl WrCoordinator {
             .iter()
             .filter_map(|(_, b)| b.elements().first().copied())
             .collect()
+    }
+
+    /// Checkpoint encoding: per copy, the hash function and its
+    /// single-element bottom structure.
+    pub(crate) fn encode_state(&self, w: &mut crate::checkpoint::StateWriter) {
+        w.put_len(self.copies.len());
+        for (h, b) in &self.copies {
+            w.put_hasher(*h);
+            b.encode_state(w);
+        }
+    }
+
+    /// Rebuild from [`WrCoordinator::encode_state`] output.
+    pub(crate) fn decode_state(
+        r: &mut crate::checkpoint::StateReader<'_>,
+    ) -> Result<Self, crate::checkpoint::CheckpointError> {
+        let s = r.get_len(17)?;
+        if s == 0 {
+            return Err(crate::checkpoint::CheckpointError::Corrupt(
+                "with-replacement coordinator has zero copies",
+            ));
+        }
+        let mut copies = Vec::with_capacity(s);
+        for _ in 0..s {
+            let h = r.get_hasher()?;
+            let b = BottomS::decode_state(r, &h)?;
+            copies.push((h, b));
+        }
+        Ok(Self { copies })
     }
 }
 

@@ -1,0 +1,265 @@
+//! Property: `checkpoint → restore` is the identity, for every sampler
+//! kind, under arbitrary interleavings of observations and clock
+//! advances — and malformed envelopes fail *cleanly*.
+//!
+//! Identity here is behavioural, which is stronger than state equality
+//! at the instant of the checkpoint: after restoring we keep driving the
+//! original and the restored instance through the same suffix of
+//! operations and demand exact agreement on samples, thresholds, memory,
+//! and cumulative message counts at every step. Any field missing from
+//! the envelope (a clock, a registry entry, a threshold view) shows up
+//! as divergence somewhere in the suffix.
+
+use dds_core::checkpoint::restore_sampler;
+use dds_core::sampler::{DistinctSampler, SamplerKind, SamplerSpec};
+use dds_sim::{Element, Slot};
+use proptest::prelude::*;
+
+/// The kinds under test, driven by a small index so proptest can pick.
+fn spec_for(kind_idx: u8, s: usize, window: u64, seed: u64) -> SamplerSpec {
+    match kind_idx % 5 {
+        0 => SamplerSpec::new(SamplerKind::Centralized, s, seed),
+        1 => SamplerSpec::new(SamplerKind::Infinite, s, seed),
+        2 => SamplerSpec::new(SamplerKind::WithReplacement, s, seed),
+        3 => SamplerSpec::new(SamplerKind::Sliding { window }, 1, seed),
+        _ => SamplerSpec::new(SamplerKind::SlidingMulti { window }, s, seed),
+    }
+}
+
+/// Drive `a` and `b` through the same operations, asserting full
+/// observable agreement after every single step.
+fn drive_in_lockstep(
+    a: &mut dyn DistinctSampler,
+    b: &mut dyn DistinctSampler,
+    ops: &[(u64, u64)],
+    clock: &mut Slot,
+) {
+    for &(gap, e) in ops {
+        *clock = Slot(clock.0 + gap);
+        a.advance(*clock);
+        b.advance(*clock);
+        assert_eq!(a.sample(), b.sample(), "sample diverged at {clock:?}");
+        a.observe_at(Element(e % 97), *clock);
+        b.observe_at(Element(e % 97), *clock);
+        assert_eq!(a.sample(), b.sample(), "post-observe at {clock:?}");
+        assert_eq!(a.threshold(), b.threshold(), "threshold at {clock:?}");
+        assert_eq!(a.memory_tuples(), b.memory_tuples(), "memory at {clock:?}");
+        assert_eq!(
+            a.protocol_messages(),
+            b.protocol_messages(),
+            "messages at {clock:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// checkpoint → restore mid-stream, then replay an identical suffix
+    /// on the original and the restored twin: byte-exact agreement at
+    /// every query point, for every kind.
+    #[test]
+    fn restore_is_behaviourally_identical(
+        kind_idx in 0u8..5,
+        s in 1usize..6,
+        window in 1u64..24,
+        seed in 0u64..1_000,
+        prefix in prop::collection::vec((0u64..3, 0u64..200), 0..120),
+        suffix in prop::collection::vec((0u64..3, 0u64..200), 1..120),
+    ) {
+        let spec = spec_for(kind_idx, s, window, seed);
+        let mut original = spec.build();
+        let mut clock = Slot(0);
+        for &(gap, e) in &prefix {
+            clock = Slot(clock.0 + gap);
+            original.observe_at(Element(e % 97), clock);
+        }
+        let mut blob = Vec::new();
+        original.checkpoint(&mut blob);
+        let mut restored = restore_sampler(&blob).expect("valid checkpoint restores");
+
+        // Exact state agreement at the restore point…
+        prop_assert_eq!(original.sample(), restored.sample());
+        prop_assert_eq!(original.threshold(), restored.threshold());
+        prop_assert_eq!(original.memory_tuples(), restored.memory_tuples());
+        prop_assert_eq!(original.protocol_messages(), restored.protocol_messages());
+
+        // …and behavioural agreement over the whole suffix.
+        drive_in_lockstep(original.as_mut(), restored.as_mut(), &suffix, &mut clock);
+
+        // A second checkpoint of the restored twin must restore too
+        // (serialization is closed under round-trips).
+        let mut blob2 = Vec::new();
+        restored.checkpoint(&mut blob2);
+        let again = restore_sampler(&blob2).expect("re-checkpoint restores");
+        prop_assert_eq!(restored.sample(), again.sample());
+        prop_assert_eq!(restored.protocol_messages(), again.protocol_messages());
+    }
+
+    /// Checkpoint encoding is deterministic: the same state always
+    /// yields the same bytes (a requirement for content-addressed
+    /// storage and for diffing engine snapshots).
+    #[test]
+    fn checkpoint_bytes_are_deterministic(
+        kind_idx in 0u8..5,
+        s in 1usize..5,
+        window in 1u64..16,
+        seed in 0u64..200,
+        ops in prop::collection::vec((0u64..3, 0u64..100), 0..80),
+    ) {
+        let spec = spec_for(kind_idx, s, window, seed);
+        let mut sampler = spec.build();
+        let mut clock = Slot(0);
+        for &(gap, e) in &ops {
+            clock = Slot(clock.0 + gap);
+            sampler.observe_at(Element(e % 61), clock);
+        }
+        let mut a = Vec::new();
+        sampler.checkpoint(&mut a);
+        let mut b = Vec::new();
+        sampler.checkpoint(&mut b);
+        prop_assert_eq!(&a, &b, "same state, different bytes");
+
+        // And an independently built twin fed the same stream agrees.
+        let mut twin = spec.build();
+        let mut clock = Slot(0);
+        for &(gap, e) in &ops {
+            clock = Slot(clock.0 + gap);
+            twin.observe_at(Element(e % 61), clock);
+        }
+        let mut c = Vec::new();
+        twin.checkpoint(&mut c);
+        prop_assert_eq!(&a, &c, "twin state, different bytes");
+    }
+
+    /// Every truncation of a valid envelope is a clean error — no
+    /// panics, no partial restores.
+    #[test]
+    fn truncated_envelopes_fail_cleanly(
+        kind_idx in 0u8..5,
+        s in 1usize..4,
+        window in 1u64..12,
+        ops in prop::collection::vec((0u64..2, 0u64..60), 0..40),
+    ) {
+        let spec = spec_for(kind_idx, s, window, 7);
+        let mut sampler = spec.build();
+        let mut clock = Slot(0);
+        for &(gap, e) in &ops {
+            clock = Slot(clock.0 + gap);
+            sampler.observe_at(Element(e % 41), clock);
+        }
+        let mut blob = Vec::new();
+        sampler.checkpoint(&mut blob);
+        prop_assert!(restore_sampler(&blob).is_ok());
+        for cut in 0..blob.len() {
+            prop_assert!(
+                restore_sampler(&blob[..cut]).is_err(),
+                "truncation at {} restored", cut
+            );
+        }
+    }
+
+    /// Every single-byte corruption of a valid envelope is a clean
+    /// error: the header fields validate themselves and the checksum
+    /// covers the kind tag and the whole payload.
+    #[test]
+    fn corrupted_envelopes_fail_cleanly(
+        kind_idx in 0u8..5,
+        s in 1usize..4,
+        window in 1u64..12,
+        flip in 1u8..=255,
+        ops in prop::collection::vec((0u64..2, 0u64..60), 0..40),
+    ) {
+        let spec = spec_for(kind_idx, s, window, 13);
+        let mut sampler = spec.build();
+        let mut clock = Slot(0);
+        for &(gap, e) in &ops {
+            clock = Slot(clock.0 + gap);
+            sampler.observe_at(Element(e % 41), clock);
+        }
+        let mut blob = Vec::new();
+        sampler.checkpoint(&mut blob);
+        for i in 0..blob.len() {
+            let mut bad = blob.clone();
+            bad[i] ^= flip;
+            prop_assert!(
+                restore_sampler(&bad).is_err(),
+                "flip {:#04x} at byte {} restored", flip, i
+            );
+        }
+        // Appending trailing bytes is also rejected.
+        let mut long = blob.clone();
+        long.push(0);
+        prop_assert!(restore_sampler(&long).is_err());
+    }
+}
+
+/// Non-property smoke checks that pin concrete facts the properties
+/// range over.
+#[test]
+fn empty_and_unobserved_samplers_roundtrip() {
+    for kind_idx in 0..5u8 {
+        let spec = spec_for(kind_idx, 3, 8, 1);
+        let sampler = spec.build();
+        let mut blob = Vec::new();
+        sampler.checkpoint(&mut blob);
+        let restored = restore_sampler(&blob).expect("fresh sampler restores");
+        assert!(restored.sample().is_empty());
+        assert_eq!(restored.memory_tuples(), sampler.memory_tuples());
+        assert_eq!(restored.protocol_messages(), 0);
+    }
+}
+
+#[test]
+fn sparse_large_s_samplers_roundtrip() {
+    // Regression: the bottom-s capacity is a scalar, not a collection
+    // length. A sampler whose `s` exceeds its whole serialized byte
+    // count (here s = 2 000 with one stored element) must restore — the
+    // original decoder bounds-checked `s` against the remaining payload
+    // and rejected every such checkpoint as truncated.
+    for kind in [
+        SamplerKind::Centralized,
+        SamplerKind::Infinite,
+        SamplerKind::WithReplacement,
+    ] {
+        let s = if kind == SamplerKind::WithReplacement {
+            64 // WR serializes all s copies; keep the blob sparse in spirit
+        } else {
+            2_000
+        };
+        let spec = SamplerSpec::new(kind, s, 9);
+        let mut sampler = spec.build();
+        sampler.observe(Element(1));
+        let mut blob = Vec::new();
+        sampler.checkpoint(&mut blob);
+        let restored =
+            restore_sampler(&blob).unwrap_or_else(|e| panic!("{kind:?} failed to restore: {e}"));
+        assert_eq!(restored.sample(), sampler.sample(), "{kind:?}");
+        assert_eq!(restored.threshold(), sampler.threshold(), "{kind:?}");
+    }
+}
+
+#[test]
+fn empty_input_is_an_error_not_a_panic() {
+    assert!(restore_sampler(&[]).is_err());
+    assert!(restore_sampler(&[0x44]).is_err());
+}
+
+#[test]
+fn checkpoints_are_compact() {
+    // The envelope must stay in the "constant number of bytes per stored
+    // tuple" regime of the paper's cost model: a drained or small-state
+    // sampler checkpoints in well under a kilobyte.
+    let spec = SamplerSpec::new(SamplerKind::Sliding { window: 16 }, 1, 3);
+    let mut sampler = spec.build();
+    for i in 0..1_000u64 {
+        sampler.observe_at(Element(i % 50), Slot(i / 10));
+    }
+    let mut blob = Vec::new();
+    sampler.checkpoint(&mut blob);
+    assert!(
+        blob.len() < 1_024,
+        "sliding checkpoint unexpectedly large: {} bytes",
+        blob.len()
+    );
+}

@@ -28,6 +28,8 @@
 //!   all-distinct and adversarial lower-bound inputs.
 //! * [`multi_tenant`] — interleaved tenant-keyed ingest feeds for the
 //!   serving layer (`dds-engine`).
+//! * [`replay`] — materialized, replayable recordings of slotted feeds
+//!   (prefix/suffix splits for crash-recovery equivalence tests).
 //! * [`routing`] — §5.1's data-distribution methods.
 //! * [`timeline`] — §5.3's slotted input schedule (five elements to random
 //!   sites per timestep) for sliding-window experiments, plus the generic
@@ -41,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod multi_tenant;
+pub mod replay;
 pub mod routing;
 pub mod synthetic;
 pub mod timeline;
@@ -48,6 +51,7 @@ pub mod trace;
 pub mod zipf;
 
 pub use multi_tenant::MultiTenantStream;
+pub use replay::ReplayLog;
 pub use routing::{RouteTarget, Router, Routing};
 pub use synthetic::{
     AdversarialLowerBound, DistinctOnlyStream, PairStream, TraceLikeStream, TraceProfile, ENRON,

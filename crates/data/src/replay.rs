@@ -1,0 +1,176 @@
+//! Replayable recordings of slotted multi-tenant feeds — the substrate
+//! for crash-recovery equivalence testing.
+//!
+//! A checkpoint/restore test needs to feed *exactly* the same stream to
+//! three consumers: an uninterrupted twin engine, the engine that will
+//! crash, and the restored engine that replays the suffix. Generator
+//! iterators are consumed by iteration, so [`ReplayLog`] materializes a
+//! slotted `(tenant, element)` feed once and then hands out as many
+//! borrowing replays — full, prefix, or suffix — as needed. Splitting is
+//! by *slot*, the unit at which an engine checkpoint is meaningful:
+//! `prefix(cut)` yields every batch strictly before `cut`,
+//! `suffix(cut)` everything at or after it, and the two always
+//! partition the log.
+
+use dds_sim::{Element, Slot};
+
+/// A materialized slotted feed: consecutive `(slot, batch)` records,
+/// replayable any number of times.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayLog {
+    batches: Vec<(Slot, Vec<(u64, Element)>)>,
+}
+
+impl ReplayLog {
+    /// Record a slotted feed (e.g.
+    /// [`MultiTenantStream::slotted`](crate::MultiTenantStream::slotted))
+    /// to completion.
+    ///
+    /// # Panics
+    /// Panics if the feed's slots are not strictly increasing — a replay
+    /// of an out-of-order log would not reproduce the original run.
+    #[must_use]
+    pub fn record(feed: impl IntoIterator<Item = (Slot, Vec<(u64, Element)>)>) -> Self {
+        let batches: Vec<(Slot, Vec<(u64, Element)>)> = feed.into_iter().collect();
+        assert!(
+            batches.windows(2).all(|w| w[0].0 < w[1].0),
+            "slotted feed must have strictly increasing slots"
+        );
+        Self { batches }
+    }
+
+    /// Number of recorded slot batches.
+    #[must_use]
+    pub fn slots(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// True if nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.batches.is_empty()
+    }
+
+    /// Total `(tenant, element)` observations across all batches.
+    #[must_use]
+    pub fn elements(&self) -> u64 {
+        self.batches.iter().map(|(_, b)| b.len() as u64).sum()
+    }
+
+    /// The last recorded slot, if any.
+    #[must_use]
+    pub fn last_slot(&self) -> Option<Slot> {
+        self.batches.last().map(|&(slot, _)| slot)
+    }
+
+    /// Replay the whole log, borrowing each batch.
+    pub fn replay(&self) -> impl Iterator<Item = (Slot, &[(u64, Element)])> {
+        self.batches.iter().map(|(slot, b)| (*slot, b.as_slice()))
+    }
+
+    /// Replay only the batches with `slot < cut` (the pre-checkpoint
+    /// prefix).
+    pub fn prefix(&self, cut: Slot) -> impl Iterator<Item = (Slot, &[(u64, Element)])> {
+        self.replay().take_while(move |&(slot, _)| slot < cut)
+    }
+
+    /// Replay only the batches with `slot >= cut` (the post-crash
+    /// suffix).
+    pub fn suffix(&self, cut: Slot) -> impl Iterator<Item = (Slot, &[(u64, Element)])> {
+        self.replay().skip_while(move |&(slot, _)| slot < cut)
+    }
+
+    /// The slot `fraction` of the way through the log (clamped to the
+    /// recorded range) — a convenient checkpoint cut for tests that want
+    /// "mid-stream" without hard-coding slot numbers.
+    ///
+    /// # Panics
+    /// Panics if the log is empty or `fraction` is not in `0.0..=1.0`.
+    #[must_use]
+    pub fn slot_at_fraction(&self, fraction: f64) -> Slot {
+        assert!(!self.is_empty(), "empty log has no slots");
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be within [0, 1]"
+        );
+        let idx = ((self.batches.len() - 1) as f64 * fraction).round() as usize;
+        self.batches[idx].0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::TraceProfile;
+    use crate::MultiTenantStream;
+
+    fn log() -> ReplayLog {
+        let profile = TraceProfile {
+            name: "replay-test",
+            total: 200,
+            distinct: 60,
+        };
+        ReplayLog::record(MultiTenantStream::new(6, profile, 11).slotted(25))
+    }
+
+    #[test]
+    fn records_the_feed_verbatim_and_replays_repeatedly() {
+        let profile = TraceProfile {
+            name: "replay-test",
+            total: 200,
+            distinct: 60,
+        };
+        let direct: Vec<(Slot, Vec<(u64, Element)>)> =
+            MultiTenantStream::new(6, profile, 11).slotted(25).collect();
+        let log = log();
+        assert_eq!(log.slots(), direct.len());
+        assert_eq!(log.elements(), 6 * 200);
+        for (got, want) in log.replay().zip(&direct) {
+            assert_eq!(got.0, want.0);
+            assert_eq!(got.1, want.1.as_slice());
+        }
+        // A second replay sees the identical feed.
+        let a: Vec<_> = log.replay().collect();
+        let b: Vec<_> = log.replay().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn prefix_and_suffix_partition_the_log() {
+        let log = log();
+        let cut = log.slot_at_fraction(0.5);
+        let prefix: Vec<_> = log.prefix(cut).collect();
+        let suffix: Vec<_> = log.suffix(cut).collect();
+        assert!(prefix.iter().all(|&(slot, _)| slot < cut));
+        assert!(suffix.iter().all(|&(slot, _)| slot >= cut));
+        assert_eq!(prefix.len() + suffix.len(), log.slots());
+        let rejoined: Vec<_> = prefix.into_iter().chain(suffix).collect();
+        assert_eq!(rejoined, log.replay().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fraction_endpoints_cover_the_whole_range() {
+        let log = log();
+        assert_eq!(log.prefix(log.slot_at_fraction(0.0)).count(), 0);
+        assert_eq!(log.suffix(log.slot_at_fraction(1.0)).count(), 1);
+        assert_eq!(log.last_slot(), Some(log.slot_at_fraction(1.0)));
+    }
+
+    #[test]
+    fn empty_feed_is_fine_to_record() {
+        let log = ReplayLog::record(Vec::new());
+        assert!(log.is_empty());
+        assert_eq!(log.elements(), 0);
+        assert_eq!(log.last_slot(), None);
+        assert_eq!(log.replay().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn out_of_order_slots_rejected() {
+        let _ = ReplayLog::record(vec![
+            (Slot(3), vec![(0, Element(1))]),
+            (Slot(2), vec![(0, Element(2))]),
+        ]);
+    }
+}

@@ -1,0 +1,495 @@
+//! Engine-level checkpoint & restore — durable snapshots of the whole
+//! multi-tenant serving layer.
+//!
+//! [`Engine::checkpoint`] drives a [`ShardCmd::Checkpoint`] through each
+//! shard's FIFO queue: by the time a shard answers, every batch, clock
+//! advance, and query enqueued before the checkpoint call is reflected
+//! in its state — the same in-band barrier that makes snapshots
+//! consistent makes checkpoints consistent, with no stop-the-world
+//! pause and no locks. The result is a single self-describing byte
+//! document; [`Engine::restore`] rebuilds a fully equivalent engine from
+//! it: same spec, same shard layout, same per-shard watermarks, same
+//! tenants (live instances *and* eviction-parked blobs), and the same
+//! operational counters.
+//!
+//! ## Container format (version 1)
+//!
+//! All integers little-endian, stacked on the primitive codec of
+//! [`dds_core::checkpoint`]:
+//!
+//! ```text
+//! magic          u32   0x4553_4444  ("DDSE")
+//! version        u16   1
+//! shards         u32
+//! queue_capacity u32
+//! spec           kind u8 ‖ window u64 ‖ s u32 ‖ seed u64
+//! per shard:
+//!   watermark    u64
+//!   counters     elements ‖ batches ‖ advances ‖ evictions ‖
+//!                snapshots ‖ snapshot_nanos ‖ backpressure   (u64 each)
+//!   tenants      count u32, then per tenant:
+//!                id u64 ‖ parked u8 ‖ blob_len u32 ‖ blob bytes
+//! check          u64   FNV-1a 64 over every preceding byte
+//! ```
+//!
+//! Each tenant `blob` is the sampler's own versioned, checksummed
+//! envelope (see `dds_core::checkpoint`), so tenant state is doubly
+//! protected: the outer checksum catches container corruption, the
+//! inner one catches blob corruption, and every decode path returns a
+//! clean [`CheckpointError`] instead of panicking. Restore re-routes
+//! tenants through the engine's own `tenant → shard` hash rather than
+//! trusting the file's grouping, so a checkpoint remains valid even if
+//! its shard sections are reordered by hand.
+//!
+//! The recovery contract — checkpoint → drop → restore → replay the
+//! suffix produces byte-exact samples, memory, and message counts
+//! against an engine that never crashed — is pinned by
+//! `crates/engine/tests/recovery.rs` for all four sampler kinds.
+
+use std::io;
+
+use crossbeam::channel::{unbounded, Receiver};
+
+use dds_core::checkpoint::{kind, restore_sampler, CheckpointError, StateReader, StateWriter};
+use dds_core::sampler::{DistinctSampler, SamplerKind, SamplerSpec};
+use dds_hash::fnv::fnv1a_64;
+use dds_sim::Slot;
+
+use crate::{Engine, EngineConfig, ShardCmd, ShardState, TenantId};
+
+/// Container magic: `b"DDSE"` read as a little-endian `u32`.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"DDSE");
+
+/// Current container format version.
+pub const VERSION: u16 = 1;
+
+/// Why an engine checkpoint could not be restored: a format error
+/// ([`CheckpointError`]) or, for the reader-based API, an I/O error.
+#[derive(Debug)]
+pub enum RestoreError {
+    /// The bytes do not form a valid engine checkpoint.
+    Format(CheckpointError),
+    /// Reading the checkpoint source failed.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::Format(e) => write!(f, "restore failed: {e}"),
+            RestoreError::Io(e) => write!(f, "restore failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+impl From<CheckpointError> for RestoreError {
+    fn from(e: CheckpointError) -> Self {
+        RestoreError::Format(e)
+    }
+}
+
+impl From<io::Error> for RestoreError {
+    fn from(e: io::Error) -> Self {
+        RestoreError::Io(e)
+    }
+}
+
+fn spec_kind_tag(kind_of: SamplerKind) -> u8 {
+    match kind_of {
+        SamplerKind::Centralized => kind::CENTRALIZED,
+        SamplerKind::Infinite => kind::INFINITE,
+        SamplerKind::WithReplacement => kind::WITH_REPLACEMENT,
+        SamplerKind::Sliding { .. } => kind::SLIDING,
+        SamplerKind::SlidingMulti { .. } => kind::SLIDING_MULTI,
+    }
+}
+
+fn encode_spec(spec: &SamplerSpec, w: &mut StateWriter) {
+    w.put_u8(spec_kind_tag(spec.kind));
+    w.put_u64(spec.window().unwrap_or(0));
+    w.put_len(spec.s);
+    w.put_u64(spec.seed);
+}
+
+/// Upper bound on the spec sample size accepted from a checkpoint: `s`
+/// drives per-tenant allocations when new tenants are built, so a
+/// crafted (but correctly checksummed) document must not be able to
+/// request an absurd one.
+const MAX_SPEC_S: usize = 1 << 20;
+
+fn decode_spec(r: &mut StateReader<'_>) -> Result<SamplerSpec, CheckpointError> {
+    let tag = r.get_u8()?;
+    let window = r.get_u64()?;
+    // A scalar, not a collection length — it must not be bounds-checked
+    // against the remaining document bytes.
+    let s = r.get_u32()? as usize;
+    let seed = r.get_u64()?;
+    if s == 0 {
+        return Err(CheckpointError::Corrupt("spec sample size is zero"));
+    }
+    if s > MAX_SPEC_S {
+        return Err(CheckpointError::Corrupt(
+            "spec sample size implausibly large",
+        ));
+    }
+    let kind_of = match tag {
+        kind::CENTRALIZED => SamplerKind::Centralized,
+        kind::INFINITE => SamplerKind::Infinite,
+        kind::WITH_REPLACEMENT => SamplerKind::WithReplacement,
+        kind::SLIDING => SamplerKind::Sliding { window },
+        kind::SLIDING_MULTI => SamplerKind::SlidingMulti { window },
+        other => return Err(CheckpointError::UnknownKind(other)),
+    };
+    if kind_of.window() == Some(0) {
+        return Err(CheckpointError::Corrupt("spec window is zero"));
+    }
+    if matches!(kind_of, SamplerKind::Sliding { .. }) && s != 1 {
+        return Err(CheckpointError::Corrupt("sliding spec with s above one"));
+    }
+    Ok(SamplerSpec::new(kind_of, s, seed))
+}
+
+impl Engine {
+    /// Serialize the entire engine — spec, shard layout, per-shard
+    /// watermarks and counters, and every tenant's full sampler state —
+    /// into one self-describing, checksummed byte document.
+    ///
+    /// Consistency: the checkpoint request travels each shard's FIFO
+    /// command queue, so the snapshot reflects every ingest batch, clock
+    /// advance, and query whose call returned before this call began.
+    /// Concurrent producers may land traffic after the barrier; like
+    /// [`Engine::flush`], call sites that need a quiescent image should
+    /// stop producers first.
+    #[must_use]
+    pub fn checkpoint(&self) -> Vec<u8> {
+        // Fan the barrier out to all shards first, then collect — the
+        // shards serialize their tenant maps concurrently.
+        let replies: Vec<Receiver<ShardState>> = self
+            .shards
+            .iter()
+            .map(|shard| {
+                let (reply_tx, reply_rx) = unbounded();
+                shard
+                    .tx
+                    .send(ShardCmd::Checkpoint { reply: reply_tx })
+                    .expect("shard worker alive");
+                reply_rx
+            })
+            .collect();
+
+        let mut w = StateWriter::new();
+        w.put_u32(MAGIC);
+        w.put_u16(VERSION);
+        w.put_len(self.shards.len());
+        w.put_len(self.queue_capacity);
+        encode_spec(&self.spec, &mut w);
+        for (shard, rx) in self.shards.iter().zip(replies) {
+            let state = rx.recv().expect("shard worker alive");
+            let m = shard.metrics.snapshot(0, 0);
+            w.put_slot(state.watermark);
+            for counter in [
+                m.elements,
+                m.batches,
+                m.advances,
+                m.evictions,
+                m.snapshots,
+                m.snapshot_nanos,
+                m.backpressure,
+            ] {
+                w.put_u64(counter);
+            }
+            w.put_len(state.tenants.len());
+            for (tenant, parked, blob) in state.tenants {
+                w.put_u64(tenant);
+                w.put_bool(parked);
+                w.put_len(blob.len());
+                w.put_bytes(&blob);
+            }
+        }
+        let mut out = w.into_bytes();
+        let check = fnv1a_64(&out);
+        out.extend_from_slice(&check.to_le_bytes());
+        out
+    }
+
+    /// Stream [`Engine::checkpoint`] to a writer (a file, a socket, …).
+    ///
+    /// # Errors
+    /// Propagates the writer's I/O errors.
+    pub fn checkpoint_to<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(&self.checkpoint())
+    }
+
+    /// Rebuild an engine from [`Engine::checkpoint`] output: respawn the
+    /// shard workers, reinstall every tenant (live instances rebuilt
+    /// from their envelopes; eviction-parked tenants kept parked), and
+    /// restore watermarks and operational counters. The returned engine
+    /// is ready for traffic and behaves byte-exactly like the original
+    /// would have on any suffix of ingest and queries.
+    ///
+    /// Tenants are re-routed through the engine's own `tenant → shard`
+    /// hash, so a hostable checkpoint never places a tenant on a shard
+    /// that queries would not reach.
+    ///
+    /// # Errors
+    /// Returns a [`CheckpointError`] on truncated, corrupted, or
+    /// semantically invalid input; never panics on untrusted bytes.
+    pub fn restore(bytes: &[u8]) -> Result<Engine, CheckpointError> {
+        if bytes.len() < 8 {
+            return Err(CheckpointError::Truncated);
+        }
+        let (body, trailer) = bytes.split_at(bytes.len() - 8);
+        let check = u64::from_le_bytes(trailer.try_into().expect("len 8"));
+        if check != fnv1a_64(body) {
+            return Err(CheckpointError::ChecksumMismatch);
+        }
+        let mut r = StateReader::new(body);
+        let magic = r.get_u32()?;
+        if magic != MAGIC {
+            return Err(CheckpointError::BadMagic(magic));
+        }
+        let version = r.get_u16()?;
+        if version != VERSION {
+            return Err(CheckpointError::UnsupportedVersion(version));
+        }
+        // `shards` counts the shard records that follow (each at least
+        // 8 watermark + 56 counter + 4 tenant-count bytes), so the
+        // collection-length bound applies and caps it against the
+        // document size — no thread is spawned for a count the document
+        // cannot actually contain.
+        let shards = r.get_len(68)?;
+        // The queue capacity is a scalar; bound it explicitly, since
+        // bounded channels allocate their capacity up front.
+        let queue_capacity = r.get_u32()? as usize;
+        if shards == 0 || queue_capacity == 0 {
+            return Err(CheckpointError::Corrupt("zero shards or queue capacity"));
+        }
+        if queue_capacity > 1 << 20 {
+            return Err(CheckpointError::Corrupt("queue capacity implausibly large"));
+        }
+        let spec = decode_spec(&mut r)?;
+
+        struct ShardRecord {
+            watermark: Slot,
+            counters: [u64; 7],
+        }
+        let mut records = Vec::with_capacity(shards);
+        // Tenants re-routed by the engine's own placement hash.
+        let mut live: Vec<Vec<(u64, Box<dyn DistinctSampler>)>> = Vec::new();
+        let mut parked: Vec<Vec<(u64, Vec<u8>)>> = Vec::new();
+        live.resize_with(shards, Vec::new);
+        parked.resize_with(shards, Vec::new);
+
+        let engine = Engine::spawn(EngineConfig {
+            shards,
+            queue_capacity,
+            spec,
+        });
+
+        for _ in 0..shards {
+            let watermark = r.get_slot()?;
+            let mut counters = [0u64; 7];
+            for c in &mut counters {
+                *c = r.get_u64()?;
+            }
+            let tenant_count = r.get_len(14)?;
+            for _ in 0..tenant_count {
+                let tenant = r.get_u64()?;
+                let is_parked = r.get_bool()?;
+                let blob_len = r.get_len(1)?;
+                let blob = r.get_bytes(blob_len)?;
+                let home = engine.shard_of(TenantId(tenant));
+                if is_parked {
+                    // Validate now so a corrupt blob fails the restore,
+                    // not a later rehydration inside a shard worker.
+                    restore_sampler(blob)?;
+                    parked[home].push((tenant, blob.to_vec()));
+                } else {
+                    live[home].push((tenant, restore_sampler(blob)?));
+                }
+            }
+            records.push(ShardRecord {
+                watermark,
+                counters,
+            });
+        }
+        r.expect_end()?;
+
+        for (i, (record, (live, parked))) in
+            records.iter().zip(live.into_iter().zip(parked)).enumerate()
+        {
+            let shard = &engine.shards[i];
+            shard
+                .tx
+                .send(ShardCmd::Install {
+                    watermark: record.watermark,
+                    live,
+                    parked,
+                })
+                .expect("shard worker alive");
+            use std::sync::atomic::Ordering::Relaxed;
+            let [elements, batches, advances, evictions, snapshots, snapshot_nanos, backpressure] =
+                record.counters;
+            shard.metrics.elements.store(elements, Relaxed);
+            shard.metrics.batches.store(batches, Relaxed);
+            shard.metrics.advances.store(advances, Relaxed);
+            shard.metrics.evictions.store(evictions, Relaxed);
+            shard.metrics.snapshots.store(snapshots, Relaxed);
+            shard.metrics.snapshot_nanos.store(snapshot_nanos, Relaxed);
+            shard.metrics.backpressure.store(backpressure, Relaxed);
+        }
+        // Barrier: the Installs have landed (and the tenant/watermark
+        // gauges are set) before the engine is handed to the caller.
+        engine.flush();
+        Ok(engine)
+    }
+
+    /// Read a checkpoint to its end from `r` and [`Engine::restore`] it.
+    ///
+    /// # Errors
+    /// Returns [`RestoreError::Io`] if reading fails, or
+    /// [`RestoreError::Format`] if the bytes do not restore.
+    pub fn restore_from<R: io::Read>(r: &mut R) -> Result<Engine, RestoreError> {
+        let mut bytes = Vec::new();
+        r.read_to_end(&mut bytes)?;
+        Ok(Engine::restore(&bytes)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dds_sim::Element;
+
+    fn sliding_spec() -> SamplerSpec {
+        SamplerSpec::new(SamplerKind::Sliding { window: 8 }, 1, 77)
+    }
+
+    #[test]
+    fn empty_engine_roundtrips() {
+        let engine = Engine::spawn(EngineConfig::new(sliding_spec()).with_shards(3));
+        let bytes = engine.checkpoint();
+        let _ = engine.shutdown();
+        let restored = Engine::restore(&bytes).expect("empty checkpoint restores");
+        assert_eq!(restored.shards(), 3);
+        assert_eq!(restored.spec(), sliding_spec());
+        assert_eq!(restored.snapshot(TenantId(1)), None);
+        let _ = restored.shutdown();
+    }
+
+    #[test]
+    fn tenants_watermark_and_metrics_survive() {
+        let engine = Engine::spawn(EngineConfig::new(sliding_spec()).with_shards(2));
+        for t in 0..20u64 {
+            engine.observe_at(TenantId(t), Element(t), Slot(5));
+        }
+        engine.advance(Slot(6));
+        let _ = engine.snapshot(TenantId(0));
+        engine.flush();
+        let before = engine.metrics();
+        let bytes = engine.checkpoint();
+        let _ = engine.shutdown();
+
+        let restored = Engine::restore(&bytes).expect("restores");
+        let after = restored.metrics();
+        assert_eq!(after.total_elements(), before.total_elements());
+        assert_eq!(after.total_batches(), before.total_batches());
+        assert_eq!(after.total_advances(), before.total_advances());
+        assert_eq!(after.total_snapshots(), before.total_snapshots());
+        assert_eq!(after.watermark(), before.watermark());
+        assert_eq!(after.tenants(), 20);
+        for t in 0..20u64 {
+            assert_eq!(
+                restored.snapshot(TenantId(t)),
+                Some(vec![Element(t)]),
+                "tenant {t} lost its window sample"
+            );
+        }
+        let _ = restored.shutdown();
+    }
+
+    #[test]
+    fn checkpoints_are_deterministic_given_quiescence() {
+        let engine = Engine::spawn(EngineConfig::new(sliding_spec()).with_shards(2));
+        for t in 0..10u64 {
+            engine.observe_at(TenantId(t), Element(t * 3), Slot(2));
+        }
+        engine.flush();
+        let a = engine.checkpoint();
+        let b = engine.checkpoint();
+        assert_eq!(a, b, "same state produced different checkpoints");
+        let _ = engine.shutdown();
+    }
+
+    #[test]
+    fn default_queue_capacity_and_large_scalars_restore() {
+        // Regression: queue_capacity and spec.s are scalars, not
+        // collection lengths — a checkpoint whose byte length is smaller
+        // than either value must still restore. The original decoder
+        // rejected every default-config (capacity 128) empty-engine
+        // checkpoint as truncated.
+        let engine = Engine::spawn(EngineConfig::new(sliding_spec()));
+        let bytes = engine.checkpoint();
+        let _ = engine.shutdown();
+        let restored = Engine::restore(&bytes).expect("default-config empty engine restores");
+        let _ = restored.shutdown();
+
+        let spec = SamplerSpec::new(SamplerKind::Infinite, 512, 3);
+        let engine = Engine::spawn(
+            EngineConfig::new(spec)
+                .with_shards(1)
+                .with_queue_capacity(4_096),
+        );
+        engine.observe(TenantId(1), Element(5));
+        engine.flush();
+        let want = engine.snapshot(TenantId(1));
+        let bytes = engine.checkpoint();
+        let _ = engine.shutdown();
+        let restored = Engine::restore(&bytes).expect("large s + queue capacity restores");
+        assert_eq!(restored.snapshot(TenantId(1)), want);
+        let _ = restored.shutdown();
+    }
+
+    #[test]
+    fn truncations_and_corruptions_fail_cleanly() {
+        let engine = Engine::spawn(EngineConfig::new(sliding_spec()).with_shards(2));
+        for t in 0..6u64 {
+            engine.observe_at(TenantId(t), Element(t), Slot(1));
+        }
+        engine.flush();
+        let bytes = engine.checkpoint();
+        let _ = engine.shutdown();
+        assert!(Engine::restore(&bytes).is_ok());
+        for cut in 0..bytes.len() {
+            assert!(
+                Engine::restore(&bytes[..cut]).is_err(),
+                "truncation at {cut} restored"
+            );
+        }
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x20;
+            assert!(Engine::restore(&bad).is_err(), "flip at {i} restored");
+        }
+    }
+
+    #[test]
+    fn restore_from_reader_works_and_reports_io() {
+        let engine = Engine::spawn(EngineConfig::new(sliding_spec()).with_shards(1));
+        engine.observe_at(TenantId(3), Element(9), Slot(1));
+        let mut buf = Vec::new();
+        engine.checkpoint_to(&mut buf).unwrap();
+        let _ = engine.shutdown();
+        let restored = Engine::restore_from(&mut buf.as_slice()).expect("reader restore");
+        assert_eq!(restored.snapshot(TenantId(3)), Some(vec![Element(9)]));
+        let _ = restored.shutdown();
+
+        let Err(err) = Engine::restore_from(&mut io::empty()) else {
+            panic!("empty reader restored an engine");
+        };
+        assert!(matches!(err, RestoreError::Format(_)));
+        assert!(!err.to_string().is_empty());
+    }
+}

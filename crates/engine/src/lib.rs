@@ -58,6 +58,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 mod metrics;
 
 pub use metrics::{EngineMetrics, ShardMetricsSnapshot};
@@ -169,10 +170,33 @@ enum ShardCmd {
         reply: Sender<Vec<(TenantId, Vec<Element>)>>,
         enqueued: Instant,
     },
+    /// Serialize the shard's full tenant population (live instances and
+    /// parked blobs alike) behind the FIFO barrier — the per-shard half
+    /// of [`Engine::checkpoint`].
+    Checkpoint { reply: Sender<ShardState> },
+    /// Install restored state (sent by [`Engine::restore`] before any
+    /// traffic reaches the shard).
+    Install {
+        watermark: Slot,
+        live: Vec<(u64, Box<dyn DistinctSampler>)>,
+        parked: Vec<(u64, Vec<u8>)>,
+    },
     /// Acknowledge once every previously enqueued command is processed.
     Flush { reply: Sender<()> },
     /// Stop the worker.
     Shutdown,
+}
+
+/// One shard's serialized population, as answered by
+/// [`ShardCmd::Checkpoint`]: the watermark plus every tenant as a
+/// self-describing sampler envelope (see `dds_core::checkpoint`),
+/// sorted by tenant id so shard snapshots are byte-deterministic.
+pub(crate) struct ShardState {
+    pub(crate) watermark: Slot,
+    /// `(tenant, parked, envelope)` — `parked` tenants are stored as
+    /// their eviction blob and rehydrate lazily after a restore, exactly
+    /// as they would have in the original engine.
+    pub(crate) tenants: Vec<(u64, bool, Vec<u8>)>,
 }
 
 struct Shard {
@@ -197,6 +221,7 @@ pub struct EngineReport {
 pub struct Engine {
     shards: Vec<Shard>,
     spec: SamplerSpec,
+    queue_capacity: usize,
 }
 
 impl Engine {
@@ -225,6 +250,7 @@ impl Engine {
         Self {
             shards,
             spec: config.spec,
+            queue_capacity: config.queue_capacity,
         }
     }
 
@@ -466,24 +492,55 @@ fn record_snapshot_latency(metrics: &ShardMetrics, enqueued: Instant) {
         .fetch_add(enqueued.elapsed().as_nanos() as u64, Relaxed);
 }
 
-/// The shard worker: owns its tenants' samplers and the shard watermark
-/// outright; returns the final tenant count on shutdown.
+/// Rehydrate a parked tenant: rebuild the sampler from its eviction
+/// blob and fast-forward it to the shard watermark — a parked window is
+/// drained, so the advance is the O(1) quiescent jump and the result is
+/// observationally identical to a tenant that was never evicted.
+fn rehydrate(blob: &[u8], watermark: Slot) -> Box<dyn DistinctSampler> {
+    let mut sampler = dds_core::checkpoint::restore_sampler(blob)
+        .expect("eviction blob was produced by this engine and must restore");
+    sampler.advance(watermark);
+    sampler
+}
+
+/// The shard worker: owns its tenants' samplers, its parked-tenant
+/// blobs, and the shard watermark outright; returns the final tenant
+/// count (live + parked) on shutdown.
 fn shard_loop(rx: &Receiver<ShardCmd>, spec: SamplerSpec, metrics: &ShardMetrics) -> usize {
     use std::sync::atomic::Ordering::Relaxed;
     let mut tenants: HashMap<u64, Box<dyn DistinctSampler>> = HashMap::new();
+    // Tenants evicted by Advance once their window drained: tenant id →
+    // final-state checkpoint blob. A later observe or query rehydrates
+    // from the blob, so eviction frees memory without forgetting the
+    // tenant's clock or message counter.
+    let mut parked: HashMap<u64, Vec<u8>> = HashMap::new();
     // Highest slot this shard has seen (timestamped ingest, Advance, or
     // snapshot_at). Monotonic; queries answer as of this watermark.
     let mut watermark = Slot(0);
+
+    // Look up (or create) a tenant's live sampler, rehydrating a parked
+    // one first — the single entry point every ingest path goes through.
+    fn live<'a>(
+        tenants: &'a mut HashMap<u64, Box<dyn DistinctSampler>>,
+        parked: &mut HashMap<u64, Vec<u8>>,
+        spec: SamplerSpec,
+        watermark: Slot,
+        tenant: TenantId,
+    ) -> &'a mut Box<dyn DistinctSampler> {
+        tenants.entry(tenant.0).or_insert_with(|| {
+            parked
+                .remove(&tenant.0)
+                .map_or_else(|| spec.build(), |blob| rehydrate(&blob, watermark))
+        })
+    }
+
     while let Ok(cmd) = rx.recv() {
         match cmd {
             ShardCmd::One(tenant, e) => {
                 metrics.batches.fetch_add(1, Relaxed);
                 metrics.elements.fetch_add(1, Relaxed);
-                tenants
-                    .entry(tenant.0)
-                    .or_insert_with(|| spec.build())
-                    .observe(e);
-                metrics.tenants.store(tenants.len(), Relaxed);
+                live(&mut tenants, &mut parked, spec, watermark, tenant).observe(e);
+                metrics.tenants.store(tenants.len() + parked.len(), Relaxed);
             }
             ShardCmd::OneAt(tenant, e, now) => {
                 metrics.batches.fetch_add(1, Relaxed);
@@ -492,22 +549,16 @@ fn shard_loop(rx: &Receiver<ShardCmd>, spec: SamplerSpec, metrics: &ShardMetrics
                     watermark = now;
                     metrics.watermark.store(watermark.0, Relaxed);
                 }
-                tenants
-                    .entry(tenant.0)
-                    .or_insert_with(|| spec.build())
-                    .observe_at(e, now);
-                metrics.tenants.store(tenants.len(), Relaxed);
+                live(&mut tenants, &mut parked, spec, watermark, tenant).observe_at(e, now);
+                metrics.tenants.store(tenants.len() + parked.len(), Relaxed);
             }
             ShardCmd::Batch(batch) => {
                 metrics.batches.fetch_add(1, Relaxed);
                 metrics.elements.fetch_add(batch.len() as u64, Relaxed);
                 for (tenant, e) in batch {
-                    tenants
-                        .entry(tenant.0)
-                        .or_insert_with(|| spec.build())
-                        .observe(e);
+                    live(&mut tenants, &mut parked, spec, watermark, tenant).observe(e);
                 }
-                metrics.tenants.store(tenants.len(), Relaxed);
+                metrics.tenants.store(tenants.len() + parked.len(), Relaxed);
             }
             ShardCmd::BatchAt(now, batch) => {
                 metrics.batches.fetch_add(1, Relaxed);
@@ -517,12 +568,9 @@ fn shard_loop(rx: &Receiver<ShardCmd>, spec: SamplerSpec, metrics: &ShardMetrics
                     metrics.watermark.store(watermark.0, Relaxed);
                 }
                 for (tenant, e) in batch {
-                    tenants
-                        .entry(tenant.0)
-                        .or_insert_with(|| spec.build())
-                        .observe_at(e, now);
+                    live(&mut tenants, &mut parked, spec, watermark, tenant).observe_at(e, now);
                 }
-                metrics.tenants.store(tenants.len(), Relaxed);
+                metrics.tenants.store(tenants.len() + parked.len(), Relaxed);
             }
             ShardCmd::Advance(now) => {
                 if now > watermark {
@@ -533,6 +581,25 @@ fn shard_loop(rx: &Receiver<ShardCmd>, spec: SamplerSpec, metrics: &ShardMetrics
                 // at their next query — this is the memory-reclaim path.
                 for sampler in tenants.values_mut() {
                     sampler.advance(watermark);
+                }
+                // Window-bounded tenants whose state has fully drained
+                // are parked: the instance (treap arenas, buffers) is
+                // freed, but its final state — clock, message counter —
+                // is recorded so a later observe *resumes* the tenant
+                // instead of resetting it.
+                if spec.window().is_some() {
+                    let drained: Vec<u64> = tenants
+                        .iter()
+                        .filter(|(_, s)| s.memory_tuples() == 0 && s.sample().is_empty())
+                        .map(|(&t, _)| t)
+                        .collect();
+                    for t in drained {
+                        let sampler = tenants.remove(&t).expect("listed above");
+                        let mut blob = Vec::new();
+                        sampler.checkpoint(&mut blob);
+                        parked.insert(t, blob);
+                        metrics.evictions.fetch_add(1, Relaxed);
+                    }
                 }
                 metrics.advances.fetch_add(1, Relaxed);
             }
@@ -548,7 +615,9 @@ fn shard_loop(rx: &Receiver<ShardCmd>, spec: SamplerSpec, metrics: &ShardMetrics
                         metrics.watermark.store(watermark.0, Relaxed);
                     }
                 }
-                let view = tenants.get_mut(&tenant.0).map(|s| {
+                let known = tenants.contains_key(&tenant.0) || parked.contains_key(&tenant.0);
+                let view = known.then(|| {
+                    let s = live(&mut tenants, &mut parked, spec, watermark, tenant);
                     s.advance(watermark);
                     TenantView {
                         sample: s.sample(),
@@ -561,15 +630,51 @@ fn shard_loop(rx: &Receiver<ShardCmd>, spec: SamplerSpec, metrics: &ShardMetrics
             }
             ShardCmd::QueryAll { reply, enqueued } => {
                 // Unordered: the engine sorts the merged result once.
-                let all: Vec<(TenantId, Vec<Element>)> = tenants
+                // Parked tenants answer without rehydrating — a drained
+                // window's sample is empty by construction.
+                let mut all: Vec<(TenantId, Vec<Element>)> = tenants
                     .iter_mut()
                     .map(|(&t, s)| {
                         s.advance(watermark);
                         (TenantId(t), s.sample())
                     })
                     .collect();
+                all.extend(parked.keys().map(|&t| (TenantId(t), Vec::new())));
                 let _ = reply.send(all);
                 record_snapshot_latency(metrics, enqueued);
+            }
+            ShardCmd::Checkpoint { reply } => {
+                let mut all: Vec<(u64, bool, Vec<u8>)> = tenants
+                    .iter()
+                    .map(|(&t, s)| {
+                        let mut blob = Vec::new();
+                        s.checkpoint(&mut blob);
+                        (t, false, blob)
+                    })
+                    .collect();
+                all.extend(parked.iter().map(|(&t, blob)| (t, true, blob.clone())));
+                all.sort_unstable_by_key(|&(t, _, _)| t);
+                let _ = reply.send(ShardState {
+                    watermark,
+                    tenants: all,
+                });
+            }
+            ShardCmd::Install {
+                watermark: restored_watermark,
+                live: restored_live,
+                parked: restored_parked,
+            } => {
+                if restored_watermark > watermark {
+                    watermark = restored_watermark;
+                    metrics.watermark.store(watermark.0, Relaxed);
+                }
+                for (t, sampler) in restored_live {
+                    tenants.insert(t, sampler);
+                }
+                for (t, blob) in restored_parked {
+                    parked.insert(t, blob);
+                }
+                metrics.tenants.store(tenants.len() + parked.len(), Relaxed);
             }
             ShardCmd::Flush { reply } => {
                 let _ = reply.send(());
@@ -577,7 +682,7 @@ fn shard_loop(rx: &Receiver<ShardCmd>, spec: SamplerSpec, metrics: &ShardMetrics
             ShardCmd::Shutdown => break,
         }
     }
-    tenants.len()
+    tenants.len() + parked.len()
 }
 
 #[cfg(test)]

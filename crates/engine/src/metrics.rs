@@ -27,6 +27,9 @@ pub(crate) struct ShardMetrics {
     pub(crate) tenants: AtomicUsize,
     /// Explicit clock-advance commands processed by the worker.
     pub(crate) advances: AtomicU64,
+    /// Drained idle tenants parked as checkpoint blobs by
+    /// [`Engine::advance`](crate::Engine::advance)-driven eviction.
+    pub(crate) evictions: AtomicU64,
     /// Highest slot the shard has seen (gauge, maintained by the worker).
     pub(crate) watermark: AtomicU64,
 }
@@ -42,6 +45,7 @@ impl ShardMetrics {
             backpressure: self.backpressure.load(Ordering::Relaxed),
             tenants: self.tenants.load(Ordering::Relaxed),
             advances: self.advances.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
             watermark: self.watermark.load(Ordering::Relaxed),
             queue_depth,
         }
@@ -67,6 +71,8 @@ pub struct ShardMetricsSnapshot {
     pub tenants: usize,
     /// Explicit clock-advance commands processed.
     pub advances: u64,
+    /// Drained idle tenants parked (evicted to checkpoint blobs).
+    pub evictions: u64,
     /// Highest slot the shard had seen (0 for untimed workloads).
     pub watermark: u64,
     /// Commands queued when the snapshot was taken.
@@ -128,6 +134,12 @@ impl EngineMetrics {
     #[must_use]
     pub fn total_advances(&self) -> u64 {
         self.shards.iter().map(|s| s.advances).sum()
+    }
+
+    /// Drained idle tenants parked as checkpoint blobs across all shards.
+    #[must_use]
+    pub fn total_evictions(&self) -> u64 {
+        self.shards.iter().map(|s| s.evictions).sum()
     }
 
     /// The engine-wide watermark: the highest slot any shard has seen.
@@ -196,6 +208,7 @@ mod tests {
         live.backpressure.store(1, Ordering::Relaxed);
         live.tenants.store(7, Ordering::Relaxed);
         live.advances.store(4, Ordering::Relaxed);
+        live.evictions.store(2, Ordering::Relaxed);
         live.watermark.store(99, Ordering::Relaxed);
         let snap = live.snapshot(0, 5);
         assert_eq!(snap.queue_depth, 5);
@@ -210,6 +223,7 @@ mod tests {
         assert_eq!(m.total_backpressure(), 2);
         assert_eq!(m.tenants(), 14);
         assert_eq!(m.total_advances(), 8);
+        assert_eq!(m.total_evictions(), 4);
         assert_eq!(m.watermark(), 99);
         assert_eq!(m.max_queue_depth(), 5);
         let table = m.to_table();

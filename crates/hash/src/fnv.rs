@@ -38,6 +38,21 @@ pub fn fnv1a_64(data: &[u8]) -> u64 {
     h
 }
 
+/// Incremental FNV-1a 64-bit: fold `data` into a running `state`.
+///
+/// Starting from [`FNV1A_64_OFFSET`] and folding consecutive slices
+/// produces exactly [`fnv1a_64`] of their concatenation — which lets
+/// callers checksum logically-concatenated regions without allocating a
+/// contiguous copy.
+#[must_use]
+pub fn fnv1a_64_update(mut state: u64, data: &[u8]) -> u64 {
+    for &b in data {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(FNV1A_64_PRIME);
+    }
+    state
+}
+
 /// Seeded FNV-1a 64-bit: folds the seed in as a prefix block.
 #[must_use]
 pub fn fnv1a_64_seeded(data: &[u8], seed: u64) -> u64 {
@@ -52,6 +67,17 @@ pub fn fnv1a_64_seeded(data: &[u8], seed: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn incremental_update_matches_one_shot() {
+        let data = b"distinct stream sampling";
+        for split in 0..=data.len() {
+            let (a, b) = data.split_at(split);
+            let state = fnv1a_64_update(FNV1A_64_OFFSET, a);
+            assert_eq!(fnv1a_64_update(state, b), fnv1a_64(data), "split {split}");
+        }
+        assert_eq!(fnv1a_64_update(FNV1A_64_OFFSET, b""), fnv1a_64(b""));
+    }
 
     #[test]
     fn fnv1a_published_vectors() {

@@ -65,6 +65,7 @@ pub use dds_treap as treap;
 pub mod prelude {
     pub use dds_core::broadcast::BroadcastConfig;
     pub use dds_core::centralized::{BottomS, CentralizedSampler, SlidingOracle};
+    pub use dds_core::checkpoint::{restore_sampler, CheckpointError};
     pub use dds_core::infinite::{InfiniteConfig, LazyCoordinator, LazySite};
     pub use dds_core::sampler::{
         DistinctSampler, FusedInfinite, FusedSliding, FusedSlidingMulti, FusedWr, SamplerKind,
@@ -75,8 +76,8 @@ pub mod prelude {
     pub use dds_core::sliding_nofeedback::NfConfig;
     pub use dds_core::with_replacement::WrConfig;
     pub use dds_data::{
-        MultiTenantStream, PairStream, RouteTarget, Router, Routing, SlottedInput, SlottedStream,
-        TraceLikeStream, TraceProfile, ENRON, OC48,
+        MultiTenantStream, PairStream, ReplayLog, RouteTarget, Router, Routing, SlottedInput,
+        SlottedStream, TraceLikeStream, TraceProfile, ENRON, OC48,
     };
     pub use dds_engine::{Engine, EngineConfig, EngineMetrics, TenantId, TenantView};
     pub use dds_hash::{HashFamily, SeededHash, UnitHash, UnitValue};

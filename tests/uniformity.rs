@@ -136,6 +136,118 @@ fn sliding_window_sample_is_uniform_over_window_distinct() {
     );
 }
 
+/// Statistical harness for *restored* samplers: drive a boxed sampler
+/// through a stream while repeatedly checkpoint/restore-cycling it, and
+/// return the final sample. Any seed or state corruption introduced by
+/// the serialization round-trip shows up as a non-uniform inclusion
+/// distribution over many trials — a failure mode the exact-replay
+/// recovery tests cannot see (a twin that is *consistently* wrong still
+/// replays consistently).
+fn sample_with_restore_cycles(
+    spec: SamplerSpec,
+    elements: &[(Element, Slot)],
+    cycles: usize,
+) -> Vec<Element> {
+    let mut sampler = spec.build();
+    let cycle_every = (elements.len() / (cycles + 1)).max(1);
+    for (i, &(e, now)) in elements.iter().enumerate() {
+        if i > 0 && i % cycle_every == 0 {
+            let mut blob = Vec::new();
+            sampler.checkpoint(&mut blob);
+            sampler = restore_sampler(&blob).expect("mid-stream checkpoint restores");
+        }
+        sampler.observe_at(e, now);
+    }
+    sampler.sample()
+}
+
+#[test]
+fn restored_infinite_samplers_stay_uniform() {
+    // d = 40 distinct elements, heavily skewed frequencies, s = 8; every
+    // trial restore-cycles the sampler 4 times mid-stream. Inclusion
+    // counts must stay uniform — and byte-identical to an uninterrupted
+    // twin, which pins that the cycles changed *nothing*.
+    let d = 40u64;
+    let s = 8;
+    let mut elements = Vec::new();
+    for id in 0..d {
+        for r in 0..(1 + id * 5) {
+            elements.push((Element(2_000 + id), Slot(r)));
+        }
+    }
+    let trials = 400;
+    let mut counts = vec![0.0f64; d as usize];
+    for t in 0..trials {
+        let spec = SamplerSpec::new(SamplerKind::Infinite, s, 110_000 + t);
+        let got = sample_with_restore_cycles(spec, &elements, 4);
+        let mut twin = spec.build();
+        for &(e, now) in &elements {
+            twin.observe_at(e, now);
+        }
+        assert_eq!(got, twin.sample(), "restore cycle changed the sample");
+        for e in got {
+            counts[(e.0 - 2_000) as usize] += 1.0;
+        }
+    }
+    let result = chi_square_uniform(&counts);
+    assert!(
+        result.p_value > 1e-4,
+        "post-restore inclusion not uniform: chi²={:.1}, p={:.2e}, counts={counts:?}",
+        result.statistic,
+        result.p_value
+    );
+}
+
+#[test]
+fn restored_sliding_samplers_stay_uniform_over_window_distinct() {
+    // The window holds exactly d = 30 distinct elements at the probe
+    // slot; each trial checkpoint/restores the sampler 5 times while the
+    // window fills. Over seeds, each element must be the sample equally
+    // often — a corrupted clock, view, or candidate staircase after
+    // restore would skew this long before an exact-replay test at one
+    // seed could notice.
+    let d = 30u64;
+    let w = 64;
+    let trials = 600;
+    let mut counts = vec![0.0f64; d as usize];
+    let elements: Vec<(Element, Slot)> = (0..d).map(|i| (Element(700 + i), Slot(i))).collect();
+    for t in 0..trials {
+        let spec = SamplerSpec::new(SamplerKind::Sliding { window: w }, 1, 120_000 + t);
+        let got = sample_with_restore_cycles(spec, &elements, 5);
+        assert_eq!(got.len(), 1, "window must hold a sample at the probe");
+        counts[(got[0].0 - 700) as usize] += 1.0;
+    }
+    let result = chi_square_uniform(&counts);
+    assert!(
+        result.p_value > 1e-4,
+        "post-restore window sample not uniform: p={:.2e}, counts={counts:?}",
+        result.p_value
+    );
+}
+
+#[test]
+fn restored_with_replacement_copies_stay_uniform() {
+    // s = 4 independent copies over d = 25 distinct elements, restore-
+    // cycled 3 times per trial: per-copy minima must remain uniform
+    // draws (per-copy hash seeds surviving the round-trip intact).
+    let d = 25u64;
+    let trials = 300;
+    let mut counts = vec![0.0f64; d as usize];
+    let elements: Vec<(Element, Slot)> = (0..d).map(|i| (Element(50 + i), Slot(0))).collect();
+    for t in 0..trials {
+        let spec = SamplerSpec::new(SamplerKind::WithReplacement, 4, 130_000 + t);
+        for e in sample_with_restore_cycles(spec, &elements, 3) {
+            counts[(e.0 - 50) as usize] += 1.0;
+        }
+    }
+    let result = chi_square_uniform(&counts);
+    assert!(
+        result.p_value > 1e-4,
+        "post-restore WR inclusion not uniform: p={:.2e}",
+        result.p_value
+    );
+}
+
 #[test]
 fn with_replacement_copies_are_independent_uniform_draws() {
     // For each copy, inclusion over seeds must be uniform across d
