@@ -1,0 +1,78 @@
+//! Bench target for the wire transport: prints the wire-vs-in-process
+//! sweep (`BENCH_engine_wire.json`), then times the hot protocol
+//! operations — frame encode/decode of an observe and a batch, and a
+//! loopback snapshot round-trip — at a fixed base configuration.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, Criterion};
+use dds_core::sampler::{SamplerKind, SamplerSpec};
+use dds_engine::{Engine, EngineConfig, TenantId};
+use dds_proto::{EngineHost, Request};
+use dds_server::{Client, Server};
+use dds_sim::Element;
+
+const BATCH: usize = 256;
+
+fn codec_hot_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ext_engine_wire/codec");
+    let observe = Request::Observe {
+        tenant: TenantId(7),
+        element: Element(13),
+    };
+    let batch = Request::ObserveBatch {
+        batch: (0..BATCH as u64)
+            .map(|i| (TenantId(i % 50), Element(i)))
+            .collect(),
+    };
+    g.throughput(criterion::Throughput::Elements(1));
+    g.bench_function("encode_decode_observe", |b| {
+        b.iter(|| {
+            let frame = observe.encode();
+            black_box(Request::decode_frame(black_box(&frame)).expect("decodes"))
+        });
+    });
+    g.throughput(criterion::Throughput::Elements(BATCH as u64));
+    g.bench_function("encode_decode_batch256", |b| {
+        b.iter(|| {
+            let frame = batch.encode();
+            black_box(Request::decode_frame(black_box(&frame)).expect("decodes"))
+        });
+    });
+    g.finish();
+}
+
+fn loopback_roundtrip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ext_engine_wire/loopback_tcp");
+    g.sample_size(10);
+    let spec = SamplerSpec::new(SamplerKind::Infinite, 8, 5);
+    let engine = Engine::spawn(EngineConfig::new(spec).with_shards(2));
+    let server = Server::bind_tcp("127.0.0.1:0", Arc::new(EngineHost::new(engine))).expect("binds");
+    let client = Client::connect_tcp(server.local_addr().expect("tcp")).expect("connects");
+    for i in 0..5_000u64 {
+        client
+            .observe(TenantId(i % 20), Element(i % 500))
+            .expect("ingest");
+    }
+    client.flush().expect("barrier");
+    g.bench_function("snapshot_roundtrip", |b| {
+        b.iter(|| black_box(client.snapshot(TenantId(3)).expect("hosted")));
+    });
+    g.bench_function("observe_flush_roundtrip", |b| {
+        b.iter(|| {
+            client.observe(TenantId(3), Element(9)).expect("ingest");
+            client.flush().expect("barrier");
+        });
+    });
+    g.finish();
+    let _ = client.shutdown_engine().expect("stops");
+    let _ = server.shutdown();
+}
+
+criterion_group!(benches, codec_hot_paths, loopback_roundtrip);
+
+fn main() {
+    dds_bench::bench_support::print_experiment("ext_engine_wire");
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -10,6 +10,7 @@ pub mod ext_dds_vs_drs;
 pub mod ext_engine;
 pub mod ext_engine_checkpoint;
 pub mod ext_engine_sliding;
+pub mod ext_engine_wire;
 pub mod fig51;
 pub mod fig52;
 pub mod fig53;
@@ -113,6 +114,11 @@ pub fn all() -> Vec<Experiment> {
             title: "Extension: engine checkpoint/restore throughput and size per tenant",
             run: ext_engine_checkpoint::run,
         },
+        Experiment {
+            id: "ext_engine_wire",
+            title: "Extension: wire-served engine throughput and bytes per observation",
+            run: ext_engine_wire::run,
+        },
     ]
 }
 
@@ -158,6 +164,7 @@ mod tests {
             "ext_engine",
             "ext_engine_sliding",
             "ext_engine_checkpoint",
+            "ext_engine_wire",
         ] {
             assert!(ids.contains(&required), "missing experiment {required}");
         }

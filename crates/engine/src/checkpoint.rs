@@ -55,7 +55,7 @@ use dds_core::sampler::{DistinctSampler, SamplerKind, SamplerSpec};
 use dds_hash::fnv::fnv1a_64;
 use dds_sim::Slot;
 
-use crate::{Engine, EngineConfig, ShardCmd, ShardState, TenantId};
+use crate::{Engine, EngineConfig, EngineError, ShardCmd, ShardState, TenantId};
 
 /// Container magic: `b"DDSE"` read as a little-endian `u32`.
 pub const MAGIC: u32 = u32::from_le_bytes(*b"DDSE");
@@ -162,22 +162,27 @@ impl Engine {
     /// Concurrent producers may land traffic after the barrier; like
     /// [`Engine::flush`], call sites that need a quiescent image should
     /// stop producers first.
-    #[must_use]
-    pub fn checkpoint(&self) -> Vec<u8> {
+    ///
+    /// # Errors
+    /// [`EngineError::ShutDown`] after [`Engine::begin_shutdown`];
+    /// [`EngineError::ShardDown`] if a worker is gone.
+    pub fn try_checkpoint(&self) -> Result<Vec<u8>, EngineError> {
+        self.guard()?;
         // Fan the barrier out to all shards first, then collect — the
         // shards serialize their tenant maps concurrently.
         let replies: Vec<Receiver<ShardState>> = self
             .shards
             .iter()
-            .map(|shard| {
+            .enumerate()
+            .map(|(i, shard)| {
                 let (reply_tx, reply_rx) = unbounded();
                 shard
                     .tx
                     .send(ShardCmd::Checkpoint { reply: reply_tx })
-                    .expect("shard worker alive");
-                reply_rx
+                    .map_err(|_| self.down_error(i))
+                    .map(|()| reply_rx)
             })
-            .collect();
+            .collect::<Result<_, _>>()?;
 
         let mut w = StateWriter::new();
         w.put_u32(MAGIC);
@@ -185,8 +190,8 @@ impl Engine {
         w.put_len(self.shards.len());
         w.put_len(self.queue_capacity);
         encode_spec(&self.spec, &mut w);
-        for (shard, rx) in self.shards.iter().zip(replies) {
-            let state = rx.recv().expect("shard worker alive");
+        for (i, (shard, rx)) in self.shards.iter().zip(replies).enumerate() {
+            let state = rx.recv().map_err(|_| self.down_error(i))?;
             let m = shard.metrics.snapshot(0, 0);
             w.put_slot(state.watermark);
             for counter in [
@@ -211,7 +216,16 @@ impl Engine {
         let mut out = w.into_bytes();
         let check = fnv1a_64(&out);
         out.extend_from_slice(&check.to_le_bytes());
-        out
+        Ok(out)
+    }
+
+    /// Infallible wrapper over [`Engine::try_checkpoint`].
+    ///
+    /// # Panics
+    /// Panics if the engine is shut down or a worker is gone.
+    #[must_use]
+    pub fn checkpoint(&self) -> Vec<u8> {
+        self.try_checkpoint().expect("engine checkpoints")
     }
 
     /// Stream [`Engine::checkpoint`] to a writer (a file, a socket, …).

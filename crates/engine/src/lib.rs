@@ -59,12 +59,15 @@
 #![warn(missing_docs)]
 
 pub mod checkpoint;
+mod error;
 mod metrics;
 
+pub use error::EngineError;
 pub use metrics::{EngineMetrics, ShardMetricsSnapshot};
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -164,9 +167,11 @@ enum ShardCmd {
         reply: Sender<Option<TenantView>>,
         enqueued: Instant,
     },
-    /// Answer every hosted tenant's sample at the shard watermark
-    /// (unordered; the engine sorts the merged result).
+    /// Answer every hosted tenant's sample at the shard watermark —
+    /// raised to `at` if given — (unordered; the engine sorts the
+    /// merged result).
     QueryAll {
+        at: Option<Slot>,
         reply: Sender<Vec<(TenantId, Vec<Element>)>>,
         enqueued: Instant,
     },
@@ -202,11 +207,12 @@ pub(crate) struct ShardState {
 struct Shard {
     tx: Sender<ShardCmd>,
     metrics: Arc<ShardMetrics>,
-    handle: JoinHandle<usize>,
+    /// Taken (and joined) exactly once, by [`Engine::begin_shutdown`].
+    handle: Mutex<Option<JoinHandle<usize>>>,
 }
 
 /// Final accounting returned by [`Engine::shutdown`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineReport {
     /// Per-shard metrics at shutdown.
     pub metrics: EngineMetrics,
@@ -222,6 +228,9 @@ pub struct Engine {
     shards: Vec<Shard>,
     spec: SamplerSpec,
     queue_capacity: usize,
+    /// Set (once) by [`Engine::begin_shutdown`]; afterwards every
+    /// fallible method answers [`EngineError::ShutDown`].
+    down: AtomicBool,
 }
 
 impl Engine {
@@ -243,7 +252,7 @@ impl Engine {
                 Shard {
                     tx,
                     metrics,
-                    handle,
+                    handle: Mutex::new(Some(handle)),
                 }
             })
             .collect();
@@ -251,6 +260,7 @@ impl Engine {
             shards,
             spec: config.spec,
             queue_capacity: config.queue_capacity,
+            down: AtomicBool::new(false),
         }
     }
 
@@ -272,21 +282,80 @@ impl Engine {
         (splitmix64_keyed(tenant.0, SHARD_SALT) % self.shards.len() as u64) as usize
     }
 
+    /// The error a failed send or receive on shard `idx` means: the
+    /// whole engine being down outranks one missing worker.
+    fn down_error(&self, idx: usize) -> EngineError {
+        if self.down.load(Ordering::SeqCst) {
+            EngineError::ShutDown
+        } else {
+            EngineError::ShardDown(idx)
+        }
+    }
+
+    /// Reject requests that arrive after [`Engine::begin_shutdown`].
+    fn guard(&self) -> Result<(), EngineError> {
+        if self.down.load(Ordering::SeqCst) {
+            Err(EngineError::ShutDown)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Producer-side enqueue (ingest and clock advances): try the
+    /// non-blocking fast path first; on a full queue, count the
+    /// backpressure event and fall back to the blocking send. (Queries
+    /// and flushes use [`Engine::plain_send`] — the backpressure metric
+    /// means *producer* pressure, the signal a rebalancer would act on.)
+    fn send_with_backpressure(&self, idx: usize, cmd: ShardCmd) -> Result<(), EngineError> {
+        let shard = &self.shards[idx];
+        match shard.tx.try_send(cmd) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(cmd)) => {
+                shard
+                    .metrics
+                    .backpressure
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                shard.tx.send(cmd).map_err(|_| self.down_error(idx))
+            }
+            Err(TrySendError::Disconnected(_)) => Err(self.down_error(idx)),
+        }
+    }
+
+    /// Non-backpressure-counted enqueue (queries, flushes, barriers).
+    fn plain_send(&self, idx: usize, cmd: ShardCmd) -> Result<(), EngineError> {
+        self.shards[idx]
+            .tx
+            .send(cmd)
+            .map_err(|_| self.down_error(idx))
+    }
+
     /// Ingest one observation at the tenant's current clock.
     ///
     /// This is the allocation-free single-element path (one enum send,
-    /// no per-element `Vec`); prefer [`Engine::observe_batch`] when the
-    /// caller can amortize channel traffic over many elements.
-    pub fn observe(&self, tenant: TenantId, e: Element) {
-        let shard = &self.shards[self.shard_of(tenant)];
-        send_with_backpressure(shard, ShardCmd::One(tenant, e));
+    /// no per-element `Vec`); prefer [`Engine::try_observe_batch`] when
+    /// the caller can amortize channel traffic over many elements.
+    ///
+    /// # Errors
+    /// [`EngineError::ShutDown`] after [`Engine::begin_shutdown`];
+    /// [`EngineError::ShardDown`] if the owning worker is gone.
+    pub fn try_observe(&self, tenant: TenantId, e: Element) -> Result<(), EngineError> {
+        self.guard()?;
+        self.send_with_backpressure(self.shard_of(tenant), ShardCmd::One(tenant, e))
     }
 
     /// Ingest one observation stamped at slot `now`, raising the owning
     /// shard's watermark to `now`.
-    pub fn observe_at(&self, tenant: TenantId, e: Element, now: Slot) {
-        let shard = &self.shards[self.shard_of(tenant)];
-        send_with_backpressure(shard, ShardCmd::OneAt(tenant, e, now));
+    ///
+    /// # Errors
+    /// As [`Engine::try_observe`].
+    pub fn try_observe_at(
+        &self,
+        tenant: TenantId,
+        e: Element,
+        now: Slot,
+    ) -> Result<(), EngineError> {
+        self.guard()?;
+        self.send_with_backpressure(self.shard_of(tenant), ShardCmd::OneAt(tenant, e, now))
     }
 
     /// Ingest a batch of observations, preserving per-tenant order.
@@ -294,16 +363,25 @@ impl Engine {
     /// The batch is partitioned by owning shard and forwarded as one
     /// message per shard; a full shard queue blocks (and is counted as a
     /// backpressure event) rather than dropping or buffering unboundedly.
-    pub fn observe_batch(&self, batch: impl IntoIterator<Item = (TenantId, Element)>) {
+    ///
+    /// # Errors
+    /// As [`Engine::try_observe`]. A mid-batch failure may leave the
+    /// already-forwarded per-shard parts applied.
+    pub fn try_observe_batch(
+        &self,
+        batch: impl IntoIterator<Item = (TenantId, Element)>,
+    ) -> Result<(), EngineError> {
+        self.guard()?;
         let mut per_shard: Vec<Vec<(TenantId, Element)>> = vec![Vec::new(); self.shards.len()];
         for (tenant, e) in batch {
             per_shard[self.shard_of(tenant)].push((tenant, e));
         }
         for (i, part) in per_shard.into_iter().enumerate() {
             if !part.is_empty() {
-                send_with_backpressure(&self.shards[i], ShardCmd::Batch(part));
+                self.send_with_backpressure(i, ShardCmd::Batch(part))?;
             }
         }
+        Ok(())
     }
 
     /// Ingest a batch of observations all stamped at slot `now` — one
@@ -312,20 +390,25 @@ impl Engine {
     /// Raises the watermark of every shard that receives elements; a
     /// shard with no elements in the batch keeps its old watermark until
     /// the next [`Engine::advance`] (the global clock signal).
-    pub fn observe_batch_at(
+    ///
+    /// # Errors
+    /// As [`Engine::try_observe_batch`].
+    pub fn try_observe_batch_at(
         &self,
         now: Slot,
         batch: impl IntoIterator<Item = (TenantId, Element)>,
-    ) {
+    ) -> Result<(), EngineError> {
+        self.guard()?;
         let mut per_shard: Vec<Vec<(TenantId, Element)>> = vec![Vec::new(); self.shards.len()];
         for (tenant, e) in batch {
             per_shard[self.shard_of(tenant)].push((tenant, e));
         }
         for (i, part) in per_shard.into_iter().enumerate() {
             if !part.is_empty() {
-                send_with_backpressure(&self.shards[i], ShardCmd::BatchAt(now, part));
+                self.send_with_backpressure(i, ShardCmd::BatchAt(now, part))?;
             }
         }
+        Ok(())
     }
 
     /// Advance the global clock: every shard's watermark rises to `now`
@@ -335,99 +418,281 @@ impl Engine {
     ///
     /// Asynchronous like ingest — follow with [`Engine::flush`] to wait
     /// for the expiry work to land.
-    pub fn advance(&self, now: Slot) {
+    ///
+    /// # Errors
+    /// As [`Engine::try_observe`].
+    pub fn try_advance(&self, now: Slot) -> Result<(), EngineError> {
+        self.guard()?;
         // Producer-side like ingest: a clock driver stalling on a full
         // queue is backpressure an operator should see.
-        for shard in &self.shards {
-            send_with_backpressure(shard, ShardCmd::Advance(now));
+        for i in 0..self.shards.len() {
+            self.send_with_backpressure(i, ShardCmd::Advance(now))?;
         }
+        Ok(())
     }
 
-    /// One tenant's current sample, or `None` if the tenant has never
-    /// been observed. Window samplers answer as of the shard watermark.
+    /// One tenant's current sample. Window samplers answer as of the
+    /// shard watermark.
     ///
     /// Consistency: reflects every batch whose `observe_batch` call
     /// returned before this call began (FIFO queue barrier), and possibly
     /// later ones still in flight from concurrent producers.
-    #[must_use]
-    pub fn snapshot(&self, tenant: TenantId) -> Option<Vec<Element>> {
-        self.snapshot_view(tenant, None).map(|v| v.sample)
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownTenant`] if the tenant has never been
+    /// observed; [`EngineError::ShutDown`] / [`EngineError::ShardDown`]
+    /// as for ingest.
+    pub fn try_snapshot(&self, tenant: TenantId) -> Result<Vec<Element>, EngineError> {
+        self.try_snapshot_view(tenant, None).map(|v| v.sample)
     }
 
     /// One tenant's sample as of slot `now`: the shard watermark is
     /// raised to `now` and the tenant advanced to it before sampling —
     /// the window-parameterized query.
-    #[must_use]
-    pub fn snapshot_at(&self, tenant: TenantId, now: Slot) -> Option<Vec<Element>> {
-        self.snapshot_view(tenant, Some(now)).map(|v| v.sample)
+    ///
+    /// # Errors
+    /// As [`Engine::try_snapshot`].
+    pub fn try_snapshot_at(
+        &self,
+        tenant: TenantId,
+        now: Slot,
+    ) -> Result<Vec<Element>, EngineError> {
+        self.try_snapshot_view(tenant, Some(now)).map(|v| v.sample)
     }
 
     /// One tenant's full [`TenantView`] (sample + stored tuples +
     /// would-be wire traffic), optionally as of an explicit slot.
-    #[must_use]
-    pub fn snapshot_view(&self, tenant: TenantId, at: Option<Slot>) -> Option<TenantView> {
-        let shard = &self.shards[self.shard_of(tenant)];
+    ///
+    /// # Errors
+    /// As [`Engine::try_snapshot`].
+    pub fn try_snapshot_view(
+        &self,
+        tenant: TenantId,
+        at: Option<Slot>,
+    ) -> Result<TenantView, EngineError> {
+        self.guard()?;
+        let idx = self.shard_of(tenant);
         let (reply_tx, reply_rx) = unbounded();
-        shard
-            .tx
-            .send(ShardCmd::Query {
+        self.plain_send(
+            idx,
+            ShardCmd::Query {
                 tenant,
                 at,
                 reply: reply_tx,
                 enqueued: Instant::now(),
-            })
-            .expect("shard worker alive");
-        reply_rx.recv().expect("shard worker alive")
+            },
+        )?;
+        reply_rx
+            .recv()
+            .map_err(|_| self.down_error(idx))?
+            .ok_or(EngineError::UnknownTenant(tenant))
     }
 
-    /// Every hosted tenant's sample, ascending by tenant id.
-    #[must_use]
-    pub fn snapshot_all(&self) -> Vec<(TenantId, Vec<Element>)> {
+    /// Every hosted tenant's sample, ascending by tenant id — optionally
+    /// as of an explicit slot (a consistent windowed census: every
+    /// shard's watermark is raised to `at` before answering).
+    ///
+    /// # Errors
+    /// [`EngineError::ShutDown`] / [`EngineError::ShardDown`] as for
+    /// ingest. An empty engine answers an empty census, not an error.
+    pub fn try_snapshot_all(
+        &self,
+        at: Option<Slot>,
+    ) -> Result<Vec<(TenantId, Vec<Element>)>, EngineError> {
+        self.guard()?;
         let replies: Vec<Receiver<Vec<(TenantId, Vec<Element>)>>> = self
             .shards
             .iter()
-            .map(|shard| {
+            .enumerate()
+            .map(|(i, _)| {
                 let (reply_tx, reply_rx) = unbounded();
-                shard
-                    .tx
-                    .send(ShardCmd::QueryAll {
+                self.plain_send(
+                    i,
+                    ShardCmd::QueryAll {
+                        at,
                         reply: reply_tx,
                         enqueued: Instant::now(),
-                    })
-                    .expect("shard worker alive");
-                reply_rx
+                    },
+                )
+                .map(|()| reply_rx)
             })
-            .collect();
+            .collect::<Result<_, _>>()?;
         let mut all = Vec::new();
-        for rx in replies {
-            all.extend(rx.recv().expect("shard worker alive"));
+        for (i, rx) in replies.into_iter().enumerate() {
+            all.extend(rx.recv().map_err(|_| self.down_error(i))?);
         }
         all.sort_by_key(|&(t, _)| t);
-        all
+        Ok(all)
     }
 
     /// Block until every shard has processed all previously enqueued
     /// commands — the explicit all-shards barrier.
-    pub fn flush(&self) {
+    ///
+    /// # Errors
+    /// [`EngineError::ShutDown`] / [`EngineError::ShardDown`] as for
+    /// ingest.
+    pub fn try_flush(&self) -> Result<(), EngineError> {
+        self.guard()?;
         let replies: Vec<Receiver<()>> = self
             .shards
             .iter()
-            .map(|shard| {
+            .enumerate()
+            .map(|(i, _)| {
                 let (reply_tx, reply_rx) = unbounded();
-                shard
-                    .tx
-                    .send(ShardCmd::Flush { reply: reply_tx })
-                    .expect("shard worker alive");
-                reply_rx
+                self.plain_send(i, ShardCmd::Flush { reply: reply_tx })
+                    .map(|()| reply_rx)
             })
-            .collect();
-        for rx in replies {
-            rx.recv().expect("shard worker alive");
+            .collect::<Result<_, _>>()?;
+        for (i, rx) in replies.into_iter().enumerate() {
+            rx.recv().map_err(|_| self.down_error(i))?;
         }
+        Ok(())
+    }
+
+    /// Stop all workers *in place* and return the final accounting —
+    /// the `&self` half of [`Engine::shutdown`], usable behind an
+    /// [`Arc`] (and by the wire server, whose clients may keep sending:
+    /// every later request answers [`EngineError::ShutDown`]).
+    ///
+    /// # Errors
+    /// [`EngineError::ShutDown`] if the engine was already shut down.
+    ///
+    /// # Panics
+    /// Panics if a shard worker itself panicked.
+    pub fn begin_shutdown(&self) -> Result<EngineReport, EngineError> {
+        if self.down.swap(true, Ordering::SeqCst) {
+            return Err(EngineError::ShutDown);
+        }
+        for shard in &self.shards {
+            let _ = shard.tx.send(ShardCmd::Shutdown);
+        }
+        // Join *before* reading metrics: Shutdown queues behind any
+        // still-unprocessed commands, so the counters are final only once
+        // the worker has exited.
+        let mut tenants_per_shard = Vec::with_capacity(self.shards.len());
+        let mut snapshots = Vec::with_capacity(self.shards.len());
+        for (i, shard) in self.shards.iter().enumerate() {
+            let handle = shard
+                .handle
+                .lock()
+                .expect("shutdown joiner not poisoned")
+                .take()
+                .expect("joined exactly once");
+            tenants_per_shard.push(handle.join().expect("shard worker exits cleanly"));
+            snapshots.push(shard.metrics.snapshot(i, 0));
+        }
+        Ok(EngineReport {
+            metrics: EngineMetrics { shards: snapshots },
+            tenants_per_shard,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Source-compatible wrappers over the fallible core. Ingest panics
+    // only if the engine was shut down under the caller (previously a
+    // type-system impossibility, now a typed error on the `try_` path);
+    // snapshots keep their historical `Option` shape.
+    // ------------------------------------------------------------------
+
+    /// Infallible wrapper over [`Engine::try_observe`].
+    ///
+    /// # Panics
+    /// Panics if the engine is shut down or the owning worker is gone.
+    pub fn observe(&self, tenant: TenantId, e: Element) {
+        self.try_observe(tenant, e).expect("engine accepts ingest");
+    }
+
+    /// Infallible wrapper over [`Engine::try_observe_at`].
+    ///
+    /// # Panics
+    /// Panics if the engine is shut down or the owning worker is gone.
+    pub fn observe_at(&self, tenant: TenantId, e: Element, now: Slot) {
+        self.try_observe_at(tenant, e, now)
+            .expect("engine accepts ingest");
+    }
+
+    /// Infallible wrapper over [`Engine::try_observe_batch`].
+    ///
+    /// # Panics
+    /// Panics if the engine is shut down or a worker is gone.
+    pub fn observe_batch(&self, batch: impl IntoIterator<Item = (TenantId, Element)>) {
+        self.try_observe_batch(batch)
+            .expect("engine accepts ingest");
+    }
+
+    /// Infallible wrapper over [`Engine::try_observe_batch_at`].
+    ///
+    /// # Panics
+    /// Panics if the engine is shut down or a worker is gone.
+    pub fn observe_batch_at(
+        &self,
+        now: Slot,
+        batch: impl IntoIterator<Item = (TenantId, Element)>,
+    ) {
+        self.try_observe_batch_at(now, batch)
+            .expect("engine accepts ingest");
+    }
+
+    /// Infallible wrapper over [`Engine::try_advance`].
+    ///
+    /// # Panics
+    /// Panics if the engine is shut down or a worker is gone.
+    pub fn advance(&self, now: Slot) {
+        self.try_advance(now)
+            .expect("engine accepts clock advances");
+    }
+
+    /// One tenant's current sample, or `None` if the tenant has never
+    /// been observed (or the engine is shut down) — the historical
+    /// `Option` shape of [`Engine::try_snapshot`].
+    #[must_use]
+    pub fn snapshot(&self, tenant: TenantId) -> Option<Vec<Element>> {
+        self.try_snapshot(tenant).ok()
+    }
+
+    /// `Option` wrapper over [`Engine::try_snapshot_at`].
+    #[must_use]
+    pub fn snapshot_at(&self, tenant: TenantId, now: Slot) -> Option<Vec<Element>> {
+        self.try_snapshot_at(tenant, now).ok()
+    }
+
+    /// `Option` wrapper over [`Engine::try_snapshot_view`].
+    #[must_use]
+    pub fn snapshot_view(&self, tenant: TenantId, at: Option<Slot>) -> Option<TenantView> {
+        self.try_snapshot_view(tenant, at).ok()
+    }
+
+    /// Every hosted tenant's sample, ascending by tenant id.
+    ///
+    /// # Panics
+    /// Panics if the engine is shut down or a worker is gone.
+    #[must_use]
+    pub fn snapshot_all(&self) -> Vec<(TenantId, Vec<Element>)> {
+        self.try_snapshot_all(None).expect("engine answers queries")
+    }
+
+    /// Every hosted tenant's sample as of slot `at` — the consistent
+    /// windowed census, in one request.
+    ///
+    /// # Panics
+    /// Panics if the engine is shut down or a worker is gone.
+    #[must_use]
+    pub fn snapshot_all_at(&self, at: Slot) -> Vec<(TenantId, Vec<Element>)> {
+        self.try_snapshot_all(Some(at))
+            .expect("engine answers queries")
+    }
+
+    /// Infallible wrapper over [`Engine::try_flush`].
+    ///
+    /// # Panics
+    /// Panics if the engine is shut down or a worker is gone.
+    pub fn flush(&self) {
+        self.try_flush().expect("engine reaches the flush barrier");
     }
 
     /// Current per-shard metrics (counters may lag in-flight traffic;
-    /// exact right after [`Engine::flush`]).
+    /// exact right after [`Engine::flush`]). Readable even after
+    /// shutdown — the final counters remain.
     #[must_use]
     pub fn metrics(&self) -> EngineMetrics {
         EngineMetrics {
@@ -440,44 +705,15 @@ impl Engine {
         }
     }
 
-    /// Stop all workers and return the final accounting.
+    /// Stop all workers and return the final accounting (the consuming
+    /// wrapper over [`Engine::begin_shutdown`]).
+    ///
+    /// # Panics
+    /// Panics if the engine was already shut down in place.
     #[must_use]
     pub fn shutdown(self) -> EngineReport {
-        for shard in &self.shards {
-            let _ = shard.tx.send(ShardCmd::Shutdown);
-        }
-        // Join *before* reading metrics: Shutdown queues behind any
-        // still-unprocessed commands, so the counters are final only once
-        // the worker has exited.
-        let mut tenants_per_shard = Vec::with_capacity(self.shards.len());
-        let mut snapshots = Vec::with_capacity(self.shards.len());
-        for (i, shard) in self.shards.into_iter().enumerate() {
-            tenants_per_shard.push(shard.handle.join().expect("shard worker exits cleanly"));
-            snapshots.push(shard.metrics.snapshot(i, 0));
-        }
-        EngineReport {
-            metrics: EngineMetrics { shards: snapshots },
-            tenants_per_shard,
-        }
-    }
-}
-
-/// Producer-side enqueue (ingest and clock advances): try the
-/// non-blocking fast path first; on a full queue, count the backpressure
-/// event and fall back to the blocking send. (Queries and flushes use
-/// plain `send` — the backpressure metric means *producer* pressure, the
-/// signal a rebalancer would act on.)
-fn send_with_backpressure(shard: &Shard, cmd: ShardCmd) {
-    match shard.tx.try_send(cmd) {
-        Ok(()) => {}
-        Err(TrySendError::Full(cmd)) => {
-            shard
-                .metrics
-                .backpressure
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            shard.tx.send(cmd).expect("shard worker alive");
-        }
-        Err(TrySendError::Disconnected(_)) => panic!("shard worker is gone"),
+        self.begin_shutdown()
+            .expect("engine shut down exactly once")
     }
 }
 
@@ -628,7 +864,17 @@ fn shard_loop(rx: &Receiver<ShardCmd>, spec: SamplerSpec, metrics: &ShardMetrics
                 let _ = reply.send(view);
                 record_snapshot_latency(metrics, enqueued);
             }
-            ShardCmd::QueryAll { reply, enqueued } => {
+            ShardCmd::QueryAll {
+                at,
+                reply,
+                enqueued,
+            } => {
+                if let Some(now) = at {
+                    if now > watermark {
+                        watermark = now;
+                        metrics.watermark.store(watermark.0, Relaxed);
+                    }
+                }
                 // Unordered: the engine sorts the merged result once.
                 // Parked tenants answer without rehydrating — a drained
                 // window's sample is empty by construction.
@@ -962,5 +1208,73 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         let _ = Engine::spawn(EngineConfig::new(spec()).with_shards(0));
+    }
+
+    #[test]
+    fn unknown_tenant_is_a_typed_error() {
+        let engine = Engine::spawn(EngineConfig::new(spec()).with_shards(2));
+        engine.observe(TenantId(1), Element(9));
+        assert_eq!(
+            engine.try_snapshot(TenantId(999)),
+            Err(EngineError::UnknownTenant(TenantId(999)))
+        );
+        assert_eq!(
+            engine.try_snapshot_view(TenantId(999), None),
+            Err(EngineError::UnknownTenant(TenantId(999)))
+        );
+        assert!(engine.try_snapshot(TenantId(1)).is_ok());
+        let _ = engine.shutdown();
+    }
+
+    #[test]
+    fn requests_after_begin_shutdown_are_typed_errors() {
+        let engine = Arc::new(Engine::spawn(EngineConfig::new(spec()).with_shards(2)));
+        engine.observe(TenantId(3), Element(1));
+        let report = engine.begin_shutdown().expect("first shutdown succeeds");
+        assert_eq!(report.metrics.total_elements(), 1);
+        // Every fallible entry point now answers ShutDown instead of
+        // panicking — including from other Arc holders.
+        let holder = Arc::clone(&engine);
+        assert_eq!(
+            holder.try_observe(TenantId(3), Element(2)),
+            Err(EngineError::ShutDown)
+        );
+        assert_eq!(
+            holder.try_observe_batch([(TenantId(3), Element(2))]),
+            Err(EngineError::ShutDown)
+        );
+        assert_eq!(holder.try_advance(Slot(9)), Err(EngineError::ShutDown));
+        assert_eq!(holder.try_snapshot(TenantId(3)), Err(EngineError::ShutDown));
+        assert_eq!(holder.try_snapshot_all(None), Err(EngineError::ShutDown));
+        assert_eq!(holder.try_flush(), Err(EngineError::ShutDown));
+        assert_eq!(holder.try_checkpoint(), Err(EngineError::ShutDown));
+        assert_eq!(holder.begin_shutdown(), Err(EngineError::ShutDown));
+        // Metrics stay readable — the final counters remain.
+        assert_eq!(holder.metrics().total_elements(), 1);
+    }
+
+    #[test]
+    fn snapshot_all_at_is_a_consistent_windowed_census() {
+        let sliding = SamplerSpec::new(SamplerKind::Sliding { window: 10 }, 1, 13);
+        let engine = Engine::spawn(EngineConfig::new(sliding).with_shards(3));
+        for t in 0..40u64 {
+            // Even tenants observed at slot 0, odd at slot 6.
+            engine.observe_at(TenantId(t), Element(t), Slot((t % 2) * 6));
+        }
+        // At slot 12, the slot-0 observations (expiry 10) are gone and
+        // the slot-6 ones (expiry 16) remain — in one request.
+        let census = engine.snapshot_all_at(Slot(12));
+        assert_eq!(census.len(), 40);
+        for (t, sample) in census {
+            if t.0 % 2 == 0 {
+                assert!(sample.is_empty(), "tenant {} survived its window", t.0);
+            } else {
+                assert_eq!(sample, vec![Element(t.0)], "tenant {} lost its window", t.0);
+            }
+        }
+        // The census raised every shard's watermark.
+        engine.flush();
+        assert_eq!(engine.metrics().watermark(), 12);
+        let _ = engine.shutdown();
     }
 }

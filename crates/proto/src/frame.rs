@@ -1,0 +1,305 @@
+//! The length-prefixed, checksummed frame every protocol message rides
+//! in.
+//!
+//! Chapter 2's cost model counts messages and bytes; the served system
+//! must be measurable the same way, so the frame layout is fixed and
+//! self-describing — `wire_bytes = OVERHEAD_BYTES + payload.len()`,
+//! with no compression, no padding, and no out-of-band state:
+//!
+//! ```text
+//! magic    u32   0x5053_4444  ("DDSP")
+//! version  u16   1
+//! opcode   u8    request/response discriminator (see `crate::opcode`)
+//! len      u32   payload byte length (≤ MAX_PAYLOAD)
+//! payload  [u8]  opcode-specific body (StateWriter layout)
+//! check    u64   FNV-1a 64 over [opcode ‖ payload]
+//! ```
+//!
+//! The checksum covers the opcode and the payload, so any single-bit
+//! corruption of a message or its dispatch byte is detected;
+//! `magic`/`version`/`len` corruption is caught by their own validation,
+//! and `len` is bounded *before* any allocation, so a hostile peer
+//! cannot request a huge buffer with a 4-byte header. This mirrors the
+//! checkpoint envelope of `dds_core::checkpoint` — same primitives, same
+//! failure taxonomy ([`CheckpointError`]) — one binary dialect across
+//! durability and transport.
+
+use std::io::{self, Read, Write};
+
+use dds_core::checkpoint::{CheckpointError, StateReader, StateWriter};
+use dds_hash::fnv::{fnv1a_64_update, FNV1A_64_OFFSET};
+
+/// Frame magic: `b"DDSP"` read as a little-endian `u32`.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"DDSP");
+
+/// Current protocol version. A peer speaking any other version is
+/// rejected with [`CheckpointError::UnsupportedVersion`] before its
+/// payload is interpreted.
+pub const VERSION: u16 = 1;
+
+/// Fixed bytes before the payload: magic + version + opcode + len.
+pub const HEADER_BYTES: usize = 4 + 2 + 1 + 4;
+
+/// Fixed bytes after the payload: the FNV-1a 64 checksum.
+pub const TRAILER_BYTES: usize = 8;
+
+/// Per-frame overhead: `wire_bytes = OVERHEAD_BYTES + payload len`.
+pub const OVERHEAD_BYTES: usize = HEADER_BYTES + TRAILER_BYTES;
+
+/// Upper bound on a frame payload (64 MiB). Large enough for any
+/// realistic checkpoint document or census, small enough that a crafted
+/// `len` cannot exhaust memory.
+pub const MAX_PAYLOAD: usize = 64 << 20;
+
+/// I/O-capable decode failure: transport errors and format errors stay
+/// distinct so callers can retry one and must drop the other.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Reading or writing the underlying stream failed.
+    Io(io::Error),
+    /// The bytes read do not form a valid frame.
+    Format(CheckpointError),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o failed: {e}"),
+            FrameError::Format(e) => write!(f, "frame malformed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+impl From<CheckpointError> for FrameError {
+    fn from(e: CheckpointError) -> Self {
+        FrameError::Format(e)
+    }
+}
+
+impl From<FrameError> for dds_engine::EngineError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(e) => dds_engine::EngineError::Transport(e.to_string()),
+            FrameError::Format(e) => dds_engine::EngineError::Format(e.to_string()),
+        }
+    }
+}
+
+/// FNV-1a 64 over the opcode byte followed by the payload (incremental,
+/// allocation-free — this runs on every message both ways).
+fn checksum(opcode: u8, payload: &[u8]) -> u64 {
+    fnv1a_64_update(fnv1a_64_update(FNV1A_64_OFFSET, &[opcode]), payload)
+}
+
+/// Wrap an opcode + payload into one complete frame.
+///
+/// # Panics
+/// Panics if `payload` exceeds [`MAX_PAYLOAD`] (no legitimate protocol
+/// message does; the limit exists to bound *decoder* allocations).
+#[must_use]
+pub fn frame_bytes(opcode: u8, payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() <= MAX_PAYLOAD,
+        "frame payload exceeds MAX_PAYLOAD"
+    );
+    let mut w = StateWriter::new();
+    w.put_u32(MAGIC);
+    w.put_u16(VERSION);
+    w.put_u8(opcode);
+    w.put_len(payload.len());
+    w.put_bytes(payload);
+    w.put_u64(checksum(opcode, payload));
+    w.into_bytes()
+}
+
+/// Validate one frame occupying *all* of `bytes`; return the opcode and
+/// payload slice.
+///
+/// # Errors
+/// A clean [`CheckpointError`] on truncated, oversized, corrupted, or
+/// trailing-garbage input — never a panic.
+pub fn decode_frame(bytes: &[u8]) -> Result<(u8, &[u8]), CheckpointError> {
+    let mut r = StateReader::new(bytes);
+    let magic = r.get_u32()?;
+    if magic != MAGIC {
+        return Err(CheckpointError::BadMagic(magic));
+    }
+    let version = r.get_u16()?;
+    if version != VERSION {
+        return Err(CheckpointError::UnsupportedVersion(version));
+    }
+    let opcode = r.get_u8()?;
+    // Raw scalar read: the MAX_PAYLOAD verdict must come before the
+    // remaining-bytes bound so oversized claims are named as such.
+    let len = r.get_u32()? as usize;
+    if len > MAX_PAYLOAD {
+        return Err(CheckpointError::Corrupt("frame payload exceeds maximum"));
+    }
+    let payload = r.get_bytes(len)?;
+    let check = r.get_u64()?;
+    if check != checksum(opcode, payload) {
+        return Err(CheckpointError::ChecksumMismatch);
+    }
+    r.expect_end()?;
+    Ok((opcode, payload))
+}
+
+/// Write one frame to a stream, returning the bytes put on the wire
+/// (`OVERHEAD_BYTES + payload.len()` — the number every byte counter
+/// accumulates).
+///
+/// # Errors
+/// Propagates the writer's I/O errors.
+pub fn write_frame<W: Write + ?Sized>(w: &mut W, opcode: u8, payload: &[u8]) -> io::Result<usize> {
+    let frame = frame_bytes(opcode, payload);
+    w.write_all(&frame)?;
+    Ok(frame.len())
+}
+
+/// Read one frame from a stream.
+///
+/// Returns `Ok(None)` on a clean end-of-stream (the peer closed between
+/// frames) and the opcode + payload otherwise. EOF *inside* a frame is
+/// a [`CheckpointError::Truncated`] format error, and the payload
+/// length is bounds-checked against [`MAX_PAYLOAD`] before any
+/// allocation.
+///
+/// # Errors
+/// [`FrameError::Io`] on transport failure, [`FrameError::Format`] on
+/// malformed bytes.
+pub fn read_frame<R: Read + ?Sized>(r: &mut R) -> Result<Option<(u8, Vec<u8>)>, FrameError> {
+    let mut header = [0u8; HEADER_BYTES];
+    // First byte alone, to tell "peer closed between frames" (clean
+    // `None`) from "peer died mid-frame" (truncation).
+    let mut first = [0u8; 1];
+    loop {
+        match r.read(&mut first) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    header[0] = first[0];
+    r.read_exact(&mut header[1..]).map_err(map_eof)?;
+
+    let mut h = StateReader::new(&header);
+    let magic = h.get_u32().expect("header buffered");
+    if magic != MAGIC {
+        return Err(CheckpointError::BadMagic(magic).into());
+    }
+    let version = h.get_u16().expect("header buffered");
+    if version != VERSION {
+        return Err(CheckpointError::UnsupportedVersion(version).into());
+    }
+    let opcode = h.get_u8().expect("header buffered");
+    let len = h.get_u32().expect("header buffered") as usize;
+    if len > MAX_PAYLOAD {
+        return Err(CheckpointError::Corrupt("frame payload exceeds maximum").into());
+    }
+
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(map_eof)?;
+    let mut trailer = [0u8; TRAILER_BYTES];
+    r.read_exact(&mut trailer).map_err(map_eof)?;
+    if u64::from_le_bytes(trailer) != checksum(opcode, &payload) {
+        return Err(CheckpointError::ChecksumMismatch.into());
+    }
+    Ok(Some((opcode, payload)))
+}
+
+/// An EOF mid-frame is a protocol truncation, not a transport error.
+fn map_eof(e: io::Error) -> FrameError {
+    if e.kind() == io::ErrorKind::UnexpectedEof {
+        FrameError::Format(CheckpointError::Truncated)
+    } else {
+        FrameError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_bytes_and_streams() {
+        let frame = frame_bytes(7, b"hello");
+        assert_eq!(frame.len(), OVERHEAD_BYTES + 5);
+        let (op, payload) = decode_frame(&frame).expect("decodes");
+        assert_eq!((op, payload), (7, &b"hello"[..]));
+
+        let mut cursor = io::Cursor::new(&frame);
+        let (op, payload) = read_frame(&mut cursor).expect("reads").expect("one frame");
+        assert_eq!((op, payload.as_slice()), (7, &b"hello"[..]));
+        assert_eq!(read_frame(&mut cursor).expect("clean eof"), None);
+    }
+
+    #[test]
+    fn every_truncation_and_bitflip_fails_cleanly() {
+        let frame = frame_bytes(3, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        for cut in 0..frame.len() {
+            assert!(
+                decode_frame(&frame[..cut]).is_err(),
+                "prefix {cut} accepted"
+            );
+            if cut > 0 {
+                let mut cursor = io::Cursor::new(&frame[..cut]);
+                assert!(
+                    matches!(
+                        read_frame(&mut cursor),
+                        Err(FrameError::Format(CheckpointError::Truncated))
+                    ),
+                    "stream prefix {cut} not a truncation"
+                );
+            }
+        }
+        for i in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[i] ^= 0x10;
+            assert!(decode_frame(&bad).is_err(), "flip at byte {i} accepted");
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocation() {
+        let mut w = StateWriter::new();
+        w.put_u32(MAGIC);
+        w.put_u16(VERSION);
+        w.put_u8(1);
+        w.put_u32(u32::MAX); // claims a 4 GiB payload
+        let bytes = w.into_bytes();
+        assert_eq!(
+            decode_frame(&bytes),
+            Err(CheckpointError::Corrupt("frame payload exceeds maximum"))
+        );
+        let mut cursor = io::Cursor::new(&bytes);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(FrameError::Format(CheckpointError::Corrupt(_)))
+        ));
+    }
+
+    #[test]
+    fn foreign_magic_and_versions_are_rejected() {
+        let mut frame = frame_bytes(1, b"x");
+        frame[0] ^= 0xFF;
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(CheckpointError::BadMagic(_))
+        ));
+        let mut frame = frame_bytes(1, b"x");
+        frame[4] = 0xFE; // version 0xFE01 ≠ 1
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(CheckpointError::UnsupportedVersion(_))
+        ));
+    }
+}

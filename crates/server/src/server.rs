@@ -1,0 +1,355 @@
+//! The accept loop: an [`EngineService`] behind a listening socket.
+//!
+//! One thread accepts; each connection gets its own handler thread
+//! running a framed decode loop — read one request frame, dispatch into
+//! the service, write one outcome frame, in order. Because responses
+//! are written strictly in request order, a client may *pipeline*: send
+//! any number of requests before reading, and pair responses back up by
+//! position (exactly what [`crate::Client`] does for ingest acks).
+//!
+//! A malformed frame (bad magic, bad checksum, oversized length) is
+//! answered with a typed error frame and the connection is closed —
+//! after a framing error the byte stream can no longer be trusted. A
+//! malformed *payload* in a well-formed frame only fails that request;
+//! the stream stays aligned and the connection stays up.
+//!
+//! Graceful shutdown ([`Server::shutdown`]): stop accepting, shut down
+//! every open connection's socket (which wakes its blocked read), and
+//! join all handler threads. The hosted service is left untouched — its
+//! owner decides whether the engine dies with the transport.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+#[cfg(unix)]
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use dds_engine::EngineError;
+use dds_proto::frame::{read_frame, FrameError, OVERHEAD_BYTES};
+use dds_proto::message::{encode_outcome_checked, Request};
+use dds_proto::EngineService;
+
+/// Byte and frame counters, shared across all connections. The server
+/// and the client count the same frames, so `client.bytes_sent ==
+/// server.bytes_received` on a quiet loopback — the equality the wire
+/// tests pin.
+#[derive(Debug, Default)]
+struct Counters {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    bytes_received: AtomicU64,
+    bytes_sent: AtomicU64,
+}
+
+/// Point-in-time copy of a server's traffic counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted since bind.
+    pub connections: u64,
+    /// Request frames decoded (malformed frames are not requests).
+    pub requests: u64,
+    /// Bytes read off the wire (frame overhead included).
+    pub bytes_received: u64,
+    /// Bytes written to the wire (frame overhead included).
+    pub bytes_sent: u64,
+}
+
+/// A handle to one open connection's socket, kept so shutdown can
+/// unblock its handler's read.
+enum ConnSocket {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl ConnSocket {
+    fn shutdown(&self) {
+        match self {
+            ConnSocket::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            #[cfg(unix)]
+            ConnSocket::Unix(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
+struct Shared {
+    service: Arc<dyn EngineService>,
+    stop: AtomicBool,
+    counters: Counters,
+    conns: Mutex<Vec<(ConnSocket, JoinHandle<()>)>>,
+}
+
+/// A running wire server: an [`EngineService`] reachable over TCP or a
+/// Unix socket.
+pub struct Server {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    endpoint: Endpoint,
+}
+
+enum Endpoint {
+    Tcp(SocketAddr),
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+impl Server {
+    /// Bind a TCP listener (use port `0` for an ephemeral port; read it
+    /// back with [`Server::local_addr`]) and start serving.
+    ///
+    /// # Errors
+    /// Propagates bind failures.
+    pub fn bind_tcp(addr: &str, service: Arc<dyn EngineService>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            service,
+            stop: AtomicBool::new(false),
+            counters: Counters::default(),
+            conns: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let stream = match stream {
+                    Ok(stream) => stream,
+                    // Persistent accept errors (e.g. EMFILE) must not
+                    // busy-spin a core; back off briefly and retry.
+                    Err(_) => {
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                        continue;
+                    }
+                };
+                // Responses are small frames written back-to-back; never
+                // let Nagle + delayed ACK hold one hostage for 40 ms.
+                let _ = stream.set_nodelay(true);
+                spawn_conn(&accept_shared, ConnSocket::Tcp(stream));
+            }
+        });
+        Ok(Server {
+            shared,
+            accept: Some(accept),
+            endpoint: Endpoint::Tcp(local),
+        })
+    }
+
+    /// Bind a Unix-domain socket at `path` (removed and re-created) and
+    /// start serving.
+    ///
+    /// # Errors
+    /// Propagates bind failures.
+    #[cfg(unix)]
+    pub fn bind_unix(
+        path: impl AsRef<Path>,
+        service: Arc<dyn EngineService>,
+    ) -> std::io::Result<Server> {
+        let path = path.as_ref().to_path_buf();
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path)?;
+        let shared = Arc::new(Shared {
+            service,
+            stop: AtomicBool::new(false),
+            counters: Counters::default(),
+            conns: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let stream = match stream {
+                    Ok(stream) => stream,
+                    Err(_) => {
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                        continue;
+                    }
+                };
+                spawn_conn(&accept_shared, ConnSocket::Unix(stream));
+            }
+        });
+        Ok(Server {
+            shared,
+            accept: Some(accept),
+            endpoint: Endpoint::Unix(path),
+        })
+    }
+
+    /// The bound TCP address (`None` for Unix-socket servers) — how a
+    /// test that bound port `0` learns where to connect.
+    #[must_use]
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        match self.endpoint {
+            Endpoint::Tcp(addr) => Some(addr),
+            #[cfg(unix)]
+            Endpoint::Unix(_) => None,
+        }
+    }
+
+    /// Current traffic counters.
+    #[must_use]
+    pub fn stats(&self) -> ServerStats {
+        let c = &self.shared.counters;
+        ServerStats {
+            connections: c.connections.load(Ordering::Relaxed),
+            requests: c.requests.load(Ordering::Relaxed),
+            bytes_received: c.bytes_received.load(Ordering::Relaxed),
+            bytes_sent: c.bytes_sent.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stop accepting, close every open connection, and join all
+    /// threads. Final counters are returned; the hosted service is not
+    /// shut down (send [`Request::Shutdown`] first for that).
+    pub fn shutdown(mut self) -> ServerStats {
+        self.stop_in_place();
+        self.stats()
+    }
+
+    fn stop_in_place(&mut self) {
+        if self.shared.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the accept loop with a throwaway connection.
+        match &self.endpoint {
+            Endpoint::Tcp(addr) => {
+                let _ = TcpStream::connect(addr);
+            }
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                let _ = UnixStream::connect(path);
+            }
+        }
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        // Unblock and join every connection handler.
+        let conns = std::mem::take(&mut *self.shared.conns.lock().expect("conn registry"));
+        for (socket, handle) in conns {
+            socket.shutdown();
+            let _ = handle.join();
+        }
+        #[cfg(unix)]
+        if let Endpoint::Unix(path) = &self.endpoint {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl Drop for Server {
+    /// Dropping a server stops it (tests that panic mid-suite must not
+    /// leak accept loops).
+    fn drop(&mut self) {
+        self.stop_in_place();
+    }
+}
+
+fn spawn_conn(shared: &Arc<Shared>, socket: ConnSocket) {
+    let clone = match &socket {
+        ConnSocket::Tcp(s) => s.try_clone().map(ConnSocket::Tcp),
+        #[cfg(unix)]
+        ConnSocket::Unix(s) => s.try_clone().map(ConnSocket::Unix),
+    };
+    let Ok(keeper) = clone else { return };
+    shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+    let conn_shared = Arc::clone(shared);
+    let handle = std::thread::spawn(move || serve_conn(&conn_shared, socket));
+    let mut conns = shared.conns.lock().expect("conn registry");
+    // Prune finished connections while we hold the lock: dropping an
+    // entry closes the kept socket clone and detaches the (already
+    // exited) handler, so a long-lived server with churning clients
+    // does not leak FDs or JoinHandles.
+    conns.retain(|(_, handle)| !handle.is_finished());
+    conns.push((keeper, handle));
+}
+
+/// One connection's lifetime: framed decode → dispatch → framed reply,
+/// strictly in order (the pipelining contract).
+fn serve_conn(shared: &Arc<Shared>, socket: ConnSocket) {
+    match socket {
+        ConnSocket::Tcp(stream) => {
+            let Ok(read_half) = stream.try_clone() else {
+                return;
+            };
+            serve_streams(shared, read_half, stream);
+        }
+        #[cfg(unix)]
+        ConnSocket::Unix(stream) => {
+            let Ok(read_half) = stream.try_clone() else {
+                return;
+            };
+            serve_streams(shared, read_half, stream);
+        }
+    }
+}
+
+fn serve_streams<R, W>(shared: &Arc<Shared>, read_half: R, write_half: W)
+where
+    R: std::io::Read,
+    W: Write,
+{
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(write_half);
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let (op, payload) = match read_frame(&mut reader) {
+            Ok(Some(frame)) => frame,
+            // Clean EOF, or the socket was shut down under us.
+            Ok(None) | Err(FrameError::Io(_)) => return,
+            Err(FrameError::Format(e)) => {
+                // The stream is desynchronized: answer once, then close.
+                let outcome = Err(EngineError::Format(e.to_string()));
+                let _ = write_outcome(shared, &mut writer, &outcome);
+                return;
+            }
+        };
+        shared
+            .counters
+            .bytes_received
+            .fetch_add((OVERHEAD_BYTES + payload.len()) as u64, Ordering::Relaxed);
+
+        // A bad payload inside a good frame fails only this request.
+        let outcome = match Request::decode(op, &payload) {
+            Ok(request) => {
+                shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+                shared.service.call(request)
+            }
+            Err(e) => Err(EngineError::Format(e.to_string())),
+        };
+        if write_outcome(shared, &mut writer, &outcome).is_err() {
+            return;
+        }
+    }
+}
+
+fn write_outcome<W: Write>(
+    shared: &Arc<Shared>,
+    writer: &mut BufWriter<W>,
+    outcome: &Result<dds_proto::Response, EngineError>,
+) -> std::io::Result<()> {
+    // Checked: an oversized response (a huge checkpoint document) turns
+    // into a typed error frame instead of a panic in this thread.
+    let frame = encode_outcome_checked(outcome);
+    // Count before writing: a client that has read this response must
+    // find it already reflected in the server's counters.
+    shared
+        .counters
+        .bytes_sent
+        .fetch_add(frame.len() as u64, Ordering::SeqCst);
+    writer.write_all(&frame)?;
+    writer.flush()?;
+    Ok(())
+}

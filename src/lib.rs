@@ -45,6 +45,8 @@
 //! | [`dds_stats`] | KMV distinct-count estimation, predicate estimators, chi-square / KS machinery |
 //! | [`dds_runtime`] | real multi-threaded deployment over crossbeam channels |
 //! | [`dds_engine`] | sharded multi-tenant serving layer: thousands of sampler instances (infinite- or sliding-window) behind one batched, timestamped ingest path |
+//! | [`dds_proto`] | the engine's formal service API: versioned request/response frames, byte-accounted codec, the transport-agnostic `EngineService` trait |
+//! | [`dds_server`] | wire transport: TCP/Unix-socket server with pipelined framed decode, plus the typed batching `Client` |
 //!
 //! Run the evaluation-reproduction harness with
 //! `cargo run -p dds-bench --release --bin experiments -- all`.
@@ -56,7 +58,9 @@ pub use dds_core as core;
 pub use dds_data as data;
 pub use dds_engine as engine;
 pub use dds_hash as hash;
+pub use dds_proto as proto;
 pub use dds_runtime as runtime;
+pub use dds_server as server;
 pub use dds_sim as sim;
 pub use dds_stats as stats;
 pub use dds_treap as treap;
@@ -79,9 +83,13 @@ pub mod prelude {
         MultiTenantStream, PairStream, ReplayLog, RouteTarget, Router, Routing, SlottedInput,
         SlottedStream, TraceLikeStream, TraceProfile, ENRON, OC48,
     };
-    pub use dds_engine::{Engine, EngineConfig, EngineMetrics, TenantId, TenantView};
+    pub use dds_engine::{
+        Engine, EngineConfig, EngineError, EngineMetrics, EngineReport, TenantId, TenantView,
+    };
     pub use dds_hash::{HashFamily, SeededHash, UnitHash, UnitValue};
+    pub use dds_proto::{EngineHost, EngineService, Request, Response};
     pub use dds_runtime::ThreadedCluster;
+    pub use dds_server::{Client, ClientStats, Server, ServerStats, TenantHandle};
     pub use dds_sim::{Cluster, CoordinatorNode, Element, MessageCounters, SiteId, SiteNode, Slot};
     pub use dds_stats::{harmonic, KmvEstimate, Summary};
 }
