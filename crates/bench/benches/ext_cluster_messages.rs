@@ -1,0 +1,63 @@
+//! Bench target for the distributed deployment: prints the k × n × s
+//! message sweep (`BENCH_cluster_messages.json`), then times the hot
+//! wire operations — cluster frame encode/decode and a full
+//! observe round trip through a real loopback deployment.
+
+use criterion::{black_box, criterion_group, Criterion};
+use dds_cluster::LocalCluster;
+use dds_core::sampler::{SamplerKind, SamplerSpec};
+use dds_proto::cluster::{ClusterRequest, ClusterSpec, SiteUp};
+use dds_sim::{Element, SiteId, Slot};
+
+fn codec_hot_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ext_cluster_messages/codec");
+    let up = ClusterRequest::Up(SiteUp::SlidingMulti {
+        copy: 3,
+        element: Element(13),
+        expiry: Slot(99),
+    });
+    g.throughput(criterion::Throughput::Elements(1));
+    g.bench_function("encode_decode_up", |b| {
+        b.iter(|| {
+            let frame = up.encode();
+            black_box(ClusterRequest::decode_frame(black_box(&frame)).expect("decodes"))
+        });
+    });
+    g.finish();
+}
+
+fn deployment_roundtrip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ext_cluster_messages/loopback_tcp");
+    g.sample_size(10);
+    let spec = ClusterSpec::new(SamplerSpec::new(SamplerKind::Infinite, 8, 5), 4);
+    let mut cluster = LocalCluster::spawn(spec).expect("cluster boots");
+    for x in 0..5_000u64 {
+        cluster
+            .handle()
+            .observe(SiteId((x % 4) as usize), Element(x % 500))
+            .expect("ingest");
+    }
+    g.bench_function("observe_roundtrip", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x += 1;
+            cluster
+                .handle()
+                .observe(SiteId((x % 4) as usize), Element(x % 500))
+                .expect("ingest");
+        });
+    });
+    g.bench_function("sample_roundtrip", |b| {
+        b.iter(|| black_box(cluster.handle().sample().expect("sample")));
+    });
+    g.finish();
+    cluster.shutdown().expect("graceful teardown");
+}
+
+criterion_group!(benches, codec_hot_paths, deployment_roundtrip);
+
+fn main() {
+    dds_bench::bench_support::print_experiment("ext_cluster_messages");
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

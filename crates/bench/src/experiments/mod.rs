@@ -6,6 +6,7 @@
 
 pub mod ext_ablation;
 pub mod ext_bounds;
+pub mod ext_cluster_messages;
 pub mod ext_dds_vs_drs;
 pub mod ext_engine;
 pub mod ext_engine_checkpoint;
@@ -119,6 +120,11 @@ pub fn all() -> Vec<Experiment> {
             title: "Extension: wire-served engine throughput and bytes per observation",
             run: ext_engine_wire::run,
         },
+        Experiment {
+            id: "ext_cluster_messages",
+            title: "Extension: distributed-deployment message counts vs Lemma 4 and Broadcast",
+            run: ext_cluster_messages::run,
+        },
     ]
 }
 
@@ -165,6 +171,7 @@ mod tests {
             "ext_engine_sliding",
             "ext_engine_checkpoint",
             "ext_engine_wire",
+            "ext_cluster_messages",
         ] {
             assert!(ids.contains(&required), "missing experiment {required}");
         }

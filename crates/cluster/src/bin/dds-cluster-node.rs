@@ -1,0 +1,97 @@
+//! Standalone cluster node: run one coordinator or one site daemon as
+//! its own OS process.
+//!
+//! ```text
+//! dds-cluster-node coordinator <spec-hex> [bind]
+//! dds-cluster-node site <idx> <spec-hex> <coordinator-addr> [bind]
+//! ```
+//!
+//! `spec-hex` is [`ClusterSpec::to_hex`] — the driver encodes the
+//! deployment once and every node decodes (and digest-checks) the same
+//! bytes. `bind` defaults to `127.0.0.1:0`; the chosen address is
+//! announced as a single `LISTEN <addr>` stdout line so a parent
+//! process can wire the cluster together from ephemeral ports.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use dds_cluster::{ClusterCoordinator, SiteDaemon};
+use dds_proto::cluster::ClusterSpec;
+use dds_server::net::Listener;
+use dds_sim::SiteId;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args: Vec<&str> = args.iter().map(String::as_str).collect();
+    match args.as_slice() {
+        ["coordinator", hex] => run_coordinator(hex, "127.0.0.1:0"),
+        ["coordinator", hex, bind] => run_coordinator(hex, bind),
+        ["site", idx, hex, coord] => run_site(idx, hex, coord, "127.0.0.1:0"),
+        ["site", idx, hex, coord, bind] => run_site(idx, hex, coord, bind),
+        _ => {
+            eprintln!(
+                "usage: dds-cluster-node coordinator <spec-hex> [bind]\n       \
+                 dds-cluster-node site <idx> <spec-hex> <coordinator-addr> [bind]"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_coordinator(hex: &str, bind: &str) -> ExitCode {
+    let spec = match ClusterSpec::from_hex(hex) {
+        Ok(spec) => spec,
+        Err(e) => return fail(&format!("bad spec: {e}")),
+    };
+    let coordinator = match ClusterCoordinator::bind_tcp(bind, spec) {
+        Ok(coordinator) => coordinator,
+        Err(e) => return fail(&format!("bind {bind}: {e}")),
+    };
+    let Some(addr) = coordinator.local_addr() else {
+        return fail("no bound address");
+    };
+    announce(addr);
+    coordinator.wait();
+    ExitCode::SUCCESS
+}
+
+fn run_site(idx: &str, hex: &str, coord: &str, bind: &str) -> ExitCode {
+    let spec = match ClusterSpec::from_hex(hex) {
+        Ok(spec) => spec,
+        Err(e) => return fail(&format!("bad spec: {e}")),
+    };
+    let site = match idx.parse::<usize>() {
+        Ok(i) => SiteId(i),
+        Err(e) => return fail(&format!("bad site index {idx:?}: {e}")),
+    };
+    let coord_addr = match coord.parse() {
+        Ok(addr) => addr,
+        Err(e) => return fail(&format!("bad coordinator address {coord:?}: {e}")),
+    };
+    let daemon = match SiteDaemon::connect_tcp(coord_addr, site, &spec) {
+        Ok(daemon) => daemon,
+        Err(e) => return fail(&format!("join {coord}: {e}")),
+    };
+    let listener = match Listener::bind_tcp(bind) {
+        Ok(listener) => listener,
+        Err(e) => return fail(&format!("bind {bind}: {e}")),
+    };
+    let Some(addr) = listener.local_addr() else {
+        return fail("no bound address");
+    };
+    announce(addr);
+    match daemon.serve(&listener) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&format!("serve: {e}")),
+    }
+}
+
+fn announce(addr: std::net::SocketAddr) {
+    println!("LISTEN {addr}");
+    let _ = std::io::stdout().flush();
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("dds-cluster-node: {msg}");
+    ExitCode::FAILURE
+}

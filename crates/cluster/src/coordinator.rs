@@ -1,0 +1,435 @@
+//! The coordinator node: `k` site connections, one protocol state.
+//!
+//! Accepts framed connections over TCP or a Unix socket (the same
+//! [`Listener`] plumbing as `dds-server`). The first frame on every
+//! connection is a handshake — [`ClusterRequest::Join`] for a site,
+//! [`ClusterRequest::Control`] for a driver — carrying the
+//! [`ClusterSpec::digest`] so a peer built against different protocol
+//! parameters is rejected with a typed
+//! [`ClusterError::ConfigMismatch`] before it can touch the sample.
+//!
+//! Every site `Up` is answered with exactly one
+//! [`ClusterResponse::Downs`] frame carrying that up's protocol
+//! replies, which keeps the deployment in lock-step with
+//! `dds_sim::Cluster`'s settle loop: same handling order, same
+//! [`MessageCounters`], same sample at every query point.
+//!
+//! **Failure model:** a site connection that ends without a graceful
+//! `Leave` marks the site *failed*. The coordinator neither hangs nor
+//! panics: `Sample` and `Advance` answer [`ClusterError::SiteDown`]
+//! (the continuous query can no longer be trusted cluster-wide), while
+//! `Stats` keeps working so an operator can see exactly which site
+//! died and what it had contributed.
+
+use std::net::SocketAddr;
+#[cfg(unix)]
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use dds_proto::cluster::{
+    ClusterError, ClusterRequest, ClusterResponse, ClusterSpec, ClusterStats,
+};
+use dds_server::net::{Endpoint, Listener, Stream};
+use dds_sim::{Direction, MessageCounters, SiteId, Slot};
+
+use crate::conn::Framed;
+use crate::machine::CoordMachine;
+
+/// Everything the protocol knows, behind one lock. Connection handler
+/// threads take it only for the duration of one request, and the
+/// driver serializes the protocol itself, so there is no contention on
+/// the hot path — the lock exists for the *failure* paths, where a
+/// dying connection races a live query.
+struct CoordState {
+    machine: CoordMachine,
+    counters: MessageCounters,
+    now: Slot,
+    joined: Vec<bool>,
+    departed: Vec<bool>,
+    failed: Vec<bool>,
+}
+
+impl CoordState {
+    fn first_failure(&self) -> Option<SiteId> {
+        self.failed.iter().position(|&f| f).map(SiteId)
+    }
+
+    fn stats(&self, k: usize) -> ClusterStats {
+        ClusterStats {
+            k,
+            now: self.now,
+            joined: (0..k)
+                .filter(|&i| self.joined[i] && !self.departed[i] && !self.failed[i])
+                .count(),
+            departed: self.departed.iter().filter(|&&d| d).count(),
+            failed: self
+                .failed
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &f)| f.then_some(SiteId(i)))
+                .collect(),
+            counters: self.counters.clone(),
+            memory_tuples: self.machine.memory_tuples(),
+            threshold: self.machine.threshold(),
+        }
+    }
+}
+
+struct Shared {
+    spec: ClusterSpec,
+    state: Mutex<CoordState>,
+    stop: AtomicBool,
+    stopped: Mutex<bool>,
+    stopped_cv: Condvar,
+    conns: Mutex<Vec<(Stream, JoinHandle<()>)>>,
+    endpoint: Endpoint,
+}
+
+impl Shared {
+    /// Flip the stop flag and wake both the accept loop and any
+    /// [`ClusterCoordinator::wait`]er. Joining handler threads is the
+    /// owner's job (`stop_in_place`) — a handler can reach here too
+    /// (remote `Shutdown`) and must not join itself.
+    fn begin_stop(&self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let _ = self.endpoint.connect();
+        *self.stopped.lock().expect("stop flag") = true;
+        self.stopped_cv.notify_all();
+    }
+}
+
+/// A running coordinator: the aggregation half of Algorithms 2/4
+/// reachable over sockets.
+pub struct ClusterCoordinator {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ClusterCoordinator {
+    /// Bind a TCP listener (port `0` for ephemeral) and start
+    /// accepting site and control connections.
+    ///
+    /// # Errors
+    /// Propagates bind failures.
+    pub fn bind_tcp(addr: &str, spec: ClusterSpec) -> std::io::Result<ClusterCoordinator> {
+        Self::serve(Listener::bind_tcp(addr)?, spec)
+    }
+
+    /// Bind a Unix-domain socket at `path` and start accepting.
+    ///
+    /// # Errors
+    /// Propagates bind failures.
+    #[cfg(unix)]
+    pub fn bind_unix(
+        path: impl AsRef<Path>,
+        spec: ClusterSpec,
+    ) -> std::io::Result<ClusterCoordinator> {
+        Self::serve(Listener::bind_unix(path)?, spec)
+    }
+
+    fn serve(listener: Listener, spec: ClusterSpec) -> std::io::Result<ClusterCoordinator> {
+        let endpoint = listener.endpoint();
+        let k = spec.k;
+        let shared = Arc::new(Shared {
+            state: Mutex::new(CoordState {
+                machine: CoordMachine::new(&spec),
+                counters: MessageCounters::new(k),
+                now: Slot(0),
+                joined: vec![false; k],
+                departed: vec![false; k],
+                failed: vec![false; k],
+            }),
+            spec,
+            stop: AtomicBool::new(false),
+            stopped: Mutex::new(false),
+            stopped_cv: Condvar::new(),
+            conns: Mutex::new(Vec::new()),
+            endpoint,
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::spawn(move || loop {
+            let stream = match listener.accept() {
+                Ok(stream) => stream,
+                Err(_) => {
+                    if accept_shared.stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    continue;
+                }
+            };
+            if accept_shared.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            spawn_conn(&accept_shared, stream);
+        });
+        Ok(ClusterCoordinator {
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// Where sites and controllers dial this coordinator.
+    #[must_use]
+    pub fn endpoint(&self) -> Endpoint {
+        self.shared.endpoint.clone()
+    }
+
+    /// The bound TCP address (`None` for Unix-socket coordinators).
+    #[must_use]
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        match self.shared.endpoint {
+            Endpoint::Tcp(addr) => Some(addr),
+            #[cfg(unix)]
+            Endpoint::Unix(_) => None,
+        }
+    }
+
+    /// The deployment this coordinator serves.
+    #[must_use]
+    pub fn spec(&self) -> ClusterSpec {
+        self.shared.spec
+    }
+
+    /// Local (in-process) stats snapshot — what a control connection's
+    /// `Stats` would answer.
+    #[must_use]
+    pub fn stats(&self) -> ClusterStats {
+        self.shared
+            .state
+            .lock()
+            .expect("coordinator state")
+            .stats(self.shared.spec.k)
+    }
+
+    /// Block until a control connection sends `Shutdown` (how the
+    /// standalone node binary parks its main thread).
+    pub fn wait(&self) {
+        let mut stopped = self.shared.stopped.lock().expect("stop flag");
+        while !*stopped {
+            stopped = self.shared.stopped_cv.wait(stopped).expect("stop flag");
+        }
+    }
+
+    /// Stop accepting, close every connection, join all threads, and
+    /// return the final stats.
+    #[must_use = "final stats carry the message accounting"]
+    pub fn shutdown(mut self) -> ClusterStats {
+        self.stop_in_place();
+        self.stats()
+    }
+
+    fn stop_in_place(&mut self) {
+        self.shared.begin_stop();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let conns = std::mem::take(&mut *self.shared.conns.lock().expect("conn registry"));
+        for (socket, handle) in conns {
+            socket.shutdown();
+            let _ = handle.join();
+        }
+        self.shared.endpoint.cleanup();
+    }
+}
+
+impl Drop for ClusterCoordinator {
+    fn drop(&mut self) {
+        self.stop_in_place();
+    }
+}
+
+fn spawn_conn(shared: &Arc<Shared>, socket: Stream) {
+    let Ok(keeper) = socket.try_clone() else {
+        return;
+    };
+    let conn_shared = Arc::clone(shared);
+    let handle = std::thread::spawn(move || serve_conn(&conn_shared, socket));
+    let mut conns = shared.conns.lock().expect("conn registry");
+    conns.retain(|(_, handle)| !handle.is_finished());
+    conns.push((keeper, handle));
+}
+
+/// Dispatch one accepted connection by its handshake frame.
+fn serve_conn(shared: &Arc<Shared>, socket: Stream) {
+    let Ok(mut framed) = Framed::new(socket) else {
+        return;
+    };
+    match framed.recv_request() {
+        Ok(Some(ClusterRequest::Join { site, digest })) => {
+            let outcome = admit_site(shared, site, digest);
+            let admitted = outcome.is_ok();
+            if framed.send_outcome(&outcome).is_err() || !admitted {
+                return;
+            }
+            serve_site(shared, &mut framed, site);
+        }
+        Ok(Some(ClusterRequest::Control { digest })) => {
+            let expected = shared.spec.digest();
+            if digest != expected {
+                let _ = framed.send_outcome(&Err(ClusterError::ConfigMismatch {
+                    expected,
+                    got: digest,
+                }));
+                return;
+            }
+            if framed
+                .send_outcome(&Ok(ClusterResponse::Welcome { k: shared.spec.k }))
+                .is_err()
+            {
+                return;
+            }
+            serve_control(shared, &mut framed);
+        }
+        Ok(Some(_)) => {
+            let _ = framed.send_outcome(&Err(ClusterError::Protocol(
+                "first frame must be Join or Control".into(),
+            )));
+        }
+        // EOF before a handshake (e.g. the shutdown wake-up dial) or a
+        // malformed first frame: nothing joined, nothing to unwind.
+        Ok(None) | Err(_) => {}
+    }
+}
+
+fn admit_site(
+    shared: &Arc<Shared>,
+    site: SiteId,
+    digest: u64,
+) -> Result<ClusterResponse, ClusterError> {
+    let expected = shared.spec.digest();
+    if digest != expected {
+        return Err(ClusterError::ConfigMismatch {
+            expected,
+            got: digest,
+        });
+    }
+    if site.0 >= shared.spec.k {
+        return Err(ClusterError::UnknownSite(site));
+    }
+    let mut state = shared.state.lock().expect("coordinator state");
+    if state.joined[site.0] {
+        return Err(ClusterError::DuplicateSite(site));
+    }
+    state.joined[site.0] = true;
+    Ok(ClusterResponse::Welcome { k: shared.spec.k })
+}
+
+/// A joined site's request loop. Any exit that is not a graceful
+/// `Leave` (EOF, transport error, protocol violation) marks the site
+/// failed — unless the whole coordinator is shutting down.
+fn serve_site(shared: &Arc<Shared>, framed: &mut Framed, site: SiteId) {
+    let mark_failed = |shared: &Arc<Shared>| {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let mut state = shared.state.lock().expect("coordinator state");
+        if !state.departed[site.0] {
+            state.failed[site.0] = true;
+        }
+    };
+    loop {
+        match framed.recv_request() {
+            Ok(Some(ClusterRequest::Up(up))) => {
+                let outcome = {
+                    let mut state = shared.state.lock().expect("coordinator state");
+                    state
+                        .counters
+                        .record(Direction::Up, site, up.protocol_bytes());
+                    let now = state.now;
+                    match state.machine.handle(site, up, now) {
+                        Ok(downs) => {
+                            for down in &downs {
+                                state
+                                    .counters
+                                    .record(Direction::Down, site, down.protocol_bytes());
+                            }
+                            Ok(ClusterResponse::Downs { downs })
+                        }
+                        Err(e) => Err(e),
+                    }
+                };
+                let protocol_broken = outcome.is_err();
+                if framed.send_outcome(&outcome).is_err() || protocol_broken {
+                    mark_failed(shared);
+                    return;
+                }
+            }
+            Ok(Some(ClusterRequest::Leave)) => {
+                shared.state.lock().expect("coordinator state").departed[site.0] = true;
+                let _ = framed.send_outcome(&Ok(ClusterResponse::Goodbye));
+                return;
+            }
+            Ok(Some(_)) => {
+                let _ =
+                    framed.send_outcome(&Err(ClusterError::Protocol("not a site request".into())));
+                mark_failed(shared);
+                return;
+            }
+            Ok(None) | Err(_) => {
+                mark_failed(shared);
+                return;
+            }
+        }
+    }
+}
+
+/// A control connection's request loop: steer the clock, query the
+/// sample, read stats, or stop the node.
+fn serve_control(shared: &Arc<Shared>, framed: &mut Framed) {
+    loop {
+        let request = match framed.recv_request() {
+            Ok(Some(request)) => request,
+            // A controller disconnecting is not a fault.
+            Ok(None) | Err(_) => return,
+        };
+        let outcome = match request {
+            ClusterRequest::Advance { now } => {
+                let mut state = shared.state.lock().expect("coordinator state");
+                if let Some(down) = state.first_failure() {
+                    Err(ClusterError::SiteDown(down))
+                } else if now != state.now.next() {
+                    Err(ClusterError::Protocol(format!(
+                        "advance to slot {} but the next slot is {}",
+                        now.0,
+                        state.now.next().0
+                    )))
+                } else {
+                    state.now = now;
+                    state
+                        .machine
+                        .on_slot_start(now)
+                        .map(|()| ClusterResponse::Ack)
+                }
+            }
+            ClusterRequest::Sample => {
+                let state = shared.state.lock().expect("coordinator state");
+                match state.first_failure() {
+                    Some(down) => Err(ClusterError::SiteDown(down)),
+                    None => Ok(ClusterResponse::Sample {
+                        sample: state.machine.sample(),
+                    }),
+                }
+            }
+            ClusterRequest::Stats => {
+                let state = shared.state.lock().expect("coordinator state");
+                Ok(ClusterResponse::Stats {
+                    stats: state.stats(shared.spec.k),
+                })
+            }
+            ClusterRequest::Shutdown => {
+                let _ = framed.send_outcome(&Ok(ClusterResponse::Goodbye));
+                shared.begin_stop();
+                return;
+            }
+            _ => Err(ClusterError::Protocol("not a control request".into())),
+        };
+        if framed.send_outcome(&outcome).is_err() {
+            return;
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! The driver's view of a running cluster.
+//!
+//! [`ClusterHandle`] owns one control connection to the coordinator and
+//! one driver connection per site daemon. It deliberately does **not**
+//! implement `DistinctSampler` — every method is fallible, because in a
+//! real deployment any peer can be gone — but it exposes the same
+//! moves: observe at a site, advance the window clock, query the
+//! sample, read the accounting.
+//!
+//! Slot advancement replicates `dds_sim::Cluster::advance_slot`
+//! exactly: the **coordinator** starts the new slot first, then each
+//! site in site order (settling as it goes). Getting this order wrong
+//! would not deadlock anything — it would silently produce a different,
+//! non-twin protocol trace, which the twin-exactness tests would catch.
+
+use std::net::SocketAddr;
+#[cfg(unix)]
+use std::path::Path;
+
+use dds_proto::cluster::{
+    ClusterError, ClusterRequest, ClusterResponse, ClusterSpec, ClusterStats, SiteDaemonStats,
+};
+use dds_server::net::Endpoint;
+use dds_sim::{Element, SiteId, Slot};
+
+use crate::conn::Framed;
+
+/// A typed driver for one coordinator and its `k` site daemons.
+pub struct ClusterHandle {
+    control: Framed,
+    sites: Vec<Framed>,
+    k: usize,
+    now: Slot,
+    next_rr: usize,
+}
+
+impl ClusterHandle {
+    /// Connect the control channel to `coordinator` and a driver
+    /// channel to each of the `site` endpoints (one per site, in site
+    /// order).
+    ///
+    /// # Errors
+    /// Transport errors, or [`ClusterError::ConfigMismatch`] when the
+    /// coordinator was built from a different [`ClusterSpec`].
+    pub fn connect(
+        coordinator: &Endpoint,
+        site_endpoints: &[Endpoint],
+        spec: &ClusterSpec,
+    ) -> Result<ClusterHandle, ClusterError> {
+        if site_endpoints.len() != spec.k {
+            return Err(ClusterError::Protocol(format!(
+                "{} site endpoints for a k={} cluster",
+                site_endpoints.len(),
+                spec.k
+            )));
+        }
+        let stream = coordinator
+            .connect()
+            .map_err(|e| ClusterError::Transport(e.to_string()))?;
+        let mut control = Framed::new(stream)?;
+        match control.call(&ClusterRequest::Control {
+            digest: spec.digest(),
+        })? {
+            ClusterResponse::Welcome { k } if k == spec.k => {}
+            ClusterResponse::Welcome { k } => {
+                return Err(ClusterError::Protocol(format!(
+                    "coordinator runs k={k} but this driver expected k={}",
+                    spec.k
+                )))
+            }
+            other => {
+                return Err(ClusterError::Protocol(format!(
+                    "expected Welcome to Control, got {other:?}"
+                )))
+            }
+        }
+        let mut sites = Vec::with_capacity(spec.k);
+        for endpoint in site_endpoints {
+            let stream = endpoint
+                .connect()
+                .map_err(|e| ClusterError::Transport(e.to_string()))?;
+            sites.push(Framed::new(stream)?);
+        }
+        Ok(ClusterHandle {
+            control,
+            sites,
+            k: spec.k,
+            now: Slot(0),
+            next_rr: 0,
+        })
+    }
+
+    /// [`connect`](ClusterHandle::connect) with TCP addresses.
+    ///
+    /// # Errors
+    /// As [`connect`](ClusterHandle::connect).
+    pub fn connect_tcp(
+        coordinator: SocketAddr,
+        sites: &[SocketAddr],
+        spec: &ClusterSpec,
+    ) -> Result<ClusterHandle, ClusterError> {
+        let site_endpoints: Vec<Endpoint> = sites.iter().map(|&a| Endpoint::Tcp(a)).collect();
+        Self::connect(&Endpoint::Tcp(coordinator), &site_endpoints, spec)
+    }
+
+    /// [`connect`](ClusterHandle::connect) with Unix-socket paths.
+    ///
+    /// # Errors
+    /// As [`connect`](ClusterHandle::connect).
+    #[cfg(unix)]
+    pub fn connect_unix(
+        coordinator: impl AsRef<Path>,
+        sites: &[impl AsRef<Path>],
+        spec: &ClusterSpec,
+    ) -> Result<ClusterHandle, ClusterError> {
+        let site_endpoints: Vec<Endpoint> = sites
+            .iter()
+            .map(|p| Endpoint::Unix(p.as_ref().to_path_buf()))
+            .collect();
+        Self::connect(
+            &Endpoint::Unix(coordinator.as_ref().to_path_buf()),
+            &site_endpoints,
+            spec,
+        )
+    }
+
+    /// Number of sites.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The driver's slot clock (kept in lock-step with every node).
+    #[must_use]
+    pub fn now(&self) -> Slot {
+        self.now
+    }
+
+    /// Observe `e` at site `site`.
+    ///
+    /// # Errors
+    /// Transport or protocol errors from the site daemon (including
+    /// errors it hit talking to the coordinator).
+    pub fn observe(&mut self, site: SiteId, e: Element) -> Result<(), ClusterError> {
+        let conn = self
+            .sites
+            .get_mut(site.0)
+            .ok_or(ClusterError::UnknownSite(site))?;
+        match conn.call(&ClusterRequest::SiteObserve { element: e })? {
+            ClusterResponse::Ack => Ok(()),
+            other => Err(ClusterError::Protocol(format!(
+                "expected Ack to SiteObserve, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Observe `e` at the next site round-robin — the standard way to
+    /// spread a logical stream across the deployment.
+    ///
+    /// # Errors
+    /// As [`observe`](ClusterHandle::observe).
+    pub fn observe_routed(&mut self, e: Element) -> Result<SiteId, ClusterError> {
+        let site = SiteId(self.next_rr);
+        self.next_rr = (self.next_rr + 1) % self.k;
+        self.observe(site, e)?;
+        Ok(site)
+    }
+
+    /// Advance the whole deployment one slot: coordinator first, then
+    /// each site in site order — `dds_sim::Cluster::advance_slot`'s
+    /// exact order.
+    ///
+    /// # Errors
+    /// [`ClusterError::SiteDown`] if the coordinator has detected a
+    /// failed site; transport/protocol errors otherwise.
+    pub fn advance_slot(&mut self) -> Result<Slot, ClusterError> {
+        let next = self.now.next();
+        match self.control.call(&ClusterRequest::Advance { now: next })? {
+            ClusterResponse::Ack => {}
+            other => {
+                return Err(ClusterError::Protocol(format!(
+                    "expected Ack to Advance, got {other:?}"
+                )))
+            }
+        }
+        for conn in &mut self.sites {
+            match conn.call(&ClusterRequest::SiteAdvance { now: next })? {
+                ClusterResponse::Ack => {}
+                other => {
+                    return Err(ClusterError::Protocol(format!(
+                        "expected Ack to SiteAdvance, got {other:?}"
+                    )))
+                }
+            }
+        }
+        self.now = next;
+        Ok(next)
+    }
+
+    /// Advance slot by slot until the clock reads `slot`.
+    ///
+    /// # Errors
+    /// As [`advance_slot`](ClusterHandle::advance_slot).
+    pub fn advance_to(&mut self, slot: Slot) -> Result<(), ClusterError> {
+        while self.now < slot {
+            self.advance_slot()?;
+        }
+        Ok(())
+    }
+
+    /// The coordinator's current sample.
+    ///
+    /// # Errors
+    /// [`ClusterError::SiteDown`] once any site has failed; transport
+    /// errors otherwise.
+    pub fn sample(&mut self) -> Result<Vec<Element>, ClusterError> {
+        match self.control.call(&ClusterRequest::Sample)? {
+            ClusterResponse::Sample { sample } => Ok(sample),
+            other => Err(ClusterError::Protocol(format!(
+                "expected Sample reply, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The coordinator's stats: message counters, memory, membership,
+    /// failures. Keeps answering after a site failure.
+    ///
+    /// # Errors
+    /// Transport or protocol errors on the control channel.
+    pub fn stats(&mut self) -> Result<ClusterStats, ClusterError> {
+        match self.control.call(&ClusterRequest::Stats)? {
+            ClusterResponse::Stats { stats } => Ok(stats),
+            other => Err(ClusterError::Protocol(format!(
+                "expected Stats reply, got {other:?}"
+            ))),
+        }
+    }
+
+    /// One site daemon's local accounting.
+    ///
+    /// # Errors
+    /// Transport or protocol errors on that site's driver channel.
+    pub fn site_stats(&mut self, site: SiteId) -> Result<SiteDaemonStats, ClusterError> {
+        let conn = self
+            .sites
+            .get_mut(site.0)
+            .ok_or(ClusterError::UnknownSite(site))?;
+        match conn.call(&ClusterRequest::SiteStats)? {
+            ClusterResponse::SiteStats { stats } => Ok(stats),
+            other => Err(ClusterError::Protocol(format!(
+                "expected SiteStats reply, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Tell site `site` to crash: drop its sockets without a `Leave`.
+    /// No reply is awaited (a crashing process sends none). The
+    /// coordinator will mark the site failed as soon as it sees the
+    /// dead uplink.
+    ///
+    /// # Errors
+    /// Transport errors sending the crash order.
+    pub fn crash_site(&mut self, site: SiteId) -> Result<(), ClusterError> {
+        let conn = self
+            .sites
+            .get_mut(site.0)
+            .ok_or(ClusterError::UnknownSite(site))?;
+        conn.send_request(&ClusterRequest::SiteCrash)
+    }
+
+    /// Gracefully tear the deployment down: each site leaves (in site
+    /// order), then the coordinator is told to stop.
+    ///
+    /// # Errors
+    /// The first transport/protocol error hit; later peers are still
+    /// attempted.
+    pub fn shutdown(mut self) -> Result<(), ClusterError> {
+        let mut first_err = None;
+        for conn in &mut self.sites {
+            let outcome = conn
+                .call(&ClusterRequest::SiteShutdown)
+                .and_then(|reply| match reply {
+                    ClusterResponse::Goodbye => Ok(()),
+                    other => Err(ClusterError::Protocol(format!(
+                        "expected Goodbye to SiteShutdown, got {other:?}"
+                    ))),
+                });
+            if let Err(e) = outcome {
+                first_err.get_or_insert(e);
+            }
+        }
+        let outcome = self
+            .control
+            .call(&ClusterRequest::Shutdown)
+            .and_then(|reply| match reply {
+                ClusterResponse::Goodbye => Ok(()),
+                other => Err(ClusterError::Protocol(format!(
+                    "expected Goodbye to Shutdown, got {other:?}"
+                ))),
+            });
+        if let Err(e) = outcome {
+            first_err.get_or_insert(e);
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+}

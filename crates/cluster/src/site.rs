@@ -1,0 +1,259 @@
+//! The site daemon: local ingest, remote protocol.
+//!
+//! A [`SiteDaemon`] owns the per-site half of the configured protocol
+//! (Algorithm 1 or 3, possibly `s` parallel copies) and a framed
+//! connection to the coordinator. Observing an element runs the site
+//! algorithm locally; whatever the algorithm decides to send goes up
+//! the wire one frame at a time, each answered by a `Downs` frame whose
+//! replies are applied immediately — the same FIFO settle loop
+//! `dds_sim::Cluster` runs in process, which is why the per-site
+//! message and byte counters here match the simulator's
+//! [`MessageCounters`](dds_sim::MessageCounters) exactly.
+//!
+//! A daemon can be driven two ways: directly (its `observe` / `advance`
+//! methods, used when the whole cluster lives in one test process) or
+//! over its own driver socket ([`SiteDaemon::serve`], used by the
+//! standalone node binary) speaking the `Site*` requests of the cluster
+//! dialect.
+
+use std::collections::VecDeque;
+use std::net::SocketAddr;
+#[cfg(unix)]
+use std::path::Path;
+
+use dds_proto::cluster::{
+    ClusterError, ClusterRequest, ClusterResponse, ClusterSpec, SiteDaemonStats, SiteUp,
+};
+use dds_server::net::{Endpoint, Listener, Stream};
+use dds_sim::{Element, SiteId, Slot};
+
+use crate::conn::Framed;
+use crate::machine::SiteMachine;
+
+/// One site of a distributed deployment: local sampler state plus the
+/// coordinator uplink.
+pub struct SiteDaemon {
+    id: SiteId,
+    machine: SiteMachine,
+    now: Slot,
+    observations: u64,
+    up_msgs: u64,
+    down_msgs: u64,
+    up_bytes: u64,
+    down_bytes: u64,
+    coord: Framed,
+}
+
+impl SiteDaemon {
+    /// Dial the coordinator at `endpoint` and join as site `id`.
+    ///
+    /// # Errors
+    /// Transport errors, a [`ClusterError::ConfigMismatch`] when the
+    /// coordinator was built from a different [`ClusterSpec`], or
+    /// `UnknownSite`/`DuplicateSite` when `id` is out of range or
+    /// already taken.
+    pub fn connect(
+        endpoint: &Endpoint,
+        id: SiteId,
+        spec: &ClusterSpec,
+    ) -> Result<SiteDaemon, ClusterError> {
+        let stream = endpoint
+            .connect()
+            .map_err(|e| ClusterError::Transport(e.to_string()))?;
+        Self::join(stream, id, spec)
+    }
+
+    /// [`connect`](SiteDaemon::connect) over TCP.
+    ///
+    /// # Errors
+    /// As [`connect`](SiteDaemon::connect).
+    pub fn connect_tcp(
+        addr: SocketAddr,
+        id: SiteId,
+        spec: &ClusterSpec,
+    ) -> Result<SiteDaemon, ClusterError> {
+        Self::connect(&Endpoint::Tcp(addr), id, spec)
+    }
+
+    /// [`connect`](SiteDaemon::connect) over a Unix socket.
+    ///
+    /// # Errors
+    /// As [`connect`](SiteDaemon::connect).
+    #[cfg(unix)]
+    pub fn connect_unix(
+        path: impl AsRef<Path>,
+        id: SiteId,
+        spec: &ClusterSpec,
+    ) -> Result<SiteDaemon, ClusterError> {
+        Self::connect(&Endpoint::Unix(path.as_ref().to_path_buf()), id, spec)
+    }
+
+    fn join(stream: Stream, id: SiteId, spec: &ClusterSpec) -> Result<SiteDaemon, ClusterError> {
+        let mut coord = Framed::new(stream)?;
+        match coord.call(&ClusterRequest::Join {
+            site: id,
+            digest: spec.digest(),
+        })? {
+            ClusterResponse::Welcome { k } if k == spec.k => Ok(SiteDaemon {
+                id,
+                machine: SiteMachine::new(spec),
+                now: Slot(0),
+                observations: 0,
+                up_msgs: 0,
+                down_msgs: 0,
+                up_bytes: 0,
+                down_bytes: 0,
+                coord,
+            }),
+            ClusterResponse::Welcome { k } => Err(ClusterError::Protocol(format!(
+                "coordinator runs k={k} but this site expected k={}",
+                spec.k
+            ))),
+            other => Err(ClusterError::Protocol(format!(
+                "expected Welcome to a Join, got {other:?}"
+            ))),
+        }
+    }
+
+    /// This site's id.
+    #[must_use]
+    pub fn id(&self) -> SiteId {
+        self.id
+    }
+
+    /// Observe one local element: run the site algorithm, then settle
+    /// every triggered protocol exchange with the coordinator.
+    ///
+    /// # Errors
+    /// Transport errors talking to the coordinator, or a typed protocol
+    /// error if the exchange goes off-script.
+    pub fn observe(&mut self, e: Element) -> Result<(), ClusterError> {
+        self.observations += 1;
+        let ups = self.machine.observe(e, self.now);
+        self.settle(ups)
+    }
+
+    /// Advance the local slot clock to `now` (must be the next slot)
+    /// and settle any expiry-driven re-sends.
+    ///
+    /// # Errors
+    /// [`ClusterError::Protocol`] on a clock skip; otherwise as
+    /// [`observe`](SiteDaemon::observe).
+    pub fn advance(&mut self, now: Slot) -> Result<(), ClusterError> {
+        if now != self.now.next() {
+            return Err(ClusterError::Protocol(format!(
+                "advance to slot {} but the next slot is {}",
+                now.0,
+                self.now.next().0
+            )));
+        }
+        self.now = now;
+        let ups = self.machine.on_slot_start(now);
+        self.settle(ups)
+    }
+
+    /// The FIFO settle loop: send each pending up, apply the unicast
+    /// replies immediately, queue any re-sends they trigger. Identical
+    /// order to `dds_sim::Cluster` settling an in-process batch.
+    fn settle(&mut self, ups: Vec<SiteUp>) -> Result<(), ClusterError> {
+        let mut queue: VecDeque<SiteUp> = ups.into();
+        while let Some(up) = queue.pop_front() {
+            self.up_msgs += 1;
+            self.up_bytes += up.protocol_bytes() as u64;
+            match self.coord.call(&ClusterRequest::Up(up))? {
+                ClusterResponse::Downs { downs } => {
+                    for down in downs {
+                        self.down_msgs += 1;
+                        self.down_bytes += down.protocol_bytes() as u64;
+                        queue.extend(self.machine.handle(down, self.now)?);
+                    }
+                }
+                other => {
+                    return Err(ClusterError::Protocol(format!(
+                        "expected Downs to an Up, got {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Local accounting snapshot.
+    #[must_use]
+    pub fn stats(&self) -> SiteDaemonStats {
+        SiteDaemonStats {
+            site: self.id,
+            now: self.now,
+            observations: self.observations,
+            memory_tuples: self.machine.memory_tuples(),
+            up_msgs: self.up_msgs,
+            down_msgs: self.down_msgs,
+            up_bytes: self.up_bytes,
+            down_bytes: self.down_bytes,
+        }
+    }
+
+    /// Leave the cluster gracefully; the coordinator marks this site
+    /// departed rather than failed.
+    ///
+    /// # Errors
+    /// Transport errors, or a protocol error if the coordinator does
+    /// not answer with `Goodbye`.
+    pub fn leave(mut self) -> Result<(), ClusterError> {
+        match self.coord.call(&ClusterRequest::Leave)? {
+            ClusterResponse::Goodbye => Ok(()),
+            other => Err(ClusterError::Protocol(format!(
+                "expected Goodbye to a Leave, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Serve one driver connection from `listener`: the standalone node
+    /// binary's main loop. Returns after `SiteShutdown` (graceful leave
+    /// first), `SiteCrash` (sockets dropped with **no** leave — fault
+    /// injection), or driver EOF.
+    ///
+    /// # Errors
+    /// Transport errors on the driver socket; coordinator-side errors
+    /// are reported to the driver, then end the loop.
+    pub fn serve(mut self, listener: &Listener) -> Result<(), ClusterError> {
+        let stream = listener
+            .accept()
+            .map_err(|e| ClusterError::Transport(e.to_string()))?;
+        let mut driver = Framed::new(stream)?;
+        loop {
+            let request = match driver.recv_request()? {
+                Some(request) => request,
+                None => return Ok(()),
+            };
+            let outcome = match request {
+                ClusterRequest::SiteObserve { element } => {
+                    self.observe(element).map(|()| ClusterResponse::Ack)
+                }
+                ClusterRequest::SiteAdvance { now } => {
+                    self.advance(now).map(|()| ClusterResponse::Ack)
+                }
+                ClusterRequest::SiteStats => Ok(ClusterResponse::SiteStats {
+                    stats: self.stats(),
+                }),
+                ClusterRequest::SiteShutdown => {
+                    let left = self.leave();
+                    let _ = driver.send_outcome(&left.map(|()| ClusterResponse::Goodbye));
+                    return Ok(());
+                }
+                ClusterRequest::SiteCrash => {
+                    // Simulated failure: drop every socket on the floor
+                    // without a Leave. No reply — a crashing process
+                    // does not say goodbye.
+                    return Ok(());
+                }
+                _ => Err(ClusterError::Protocol("not a site-driver request".into())),
+            };
+            let broken = outcome.is_err();
+            driver.send_outcome(&outcome)?;
+            if broken {
+                return outcome.map(|_| ());
+            }
+        }
+    }
+}

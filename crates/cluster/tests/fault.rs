@@ -1,0 +1,139 @@
+//! Fault behaviour: a site dying mid-stream must surface as a typed
+//! [`ClusterError::SiteDown`] — promptly, with no hang and no panic —
+//! while a graceful `Leave` must not be mistaken for a failure.
+
+use std::time::{Duration, Instant};
+
+use dds_cluster::{ClusterCoordinator, ClusterHandle, LocalCluster, ProcessCluster, SiteDaemon};
+use dds_core::sampler::{SamplerKind, SamplerSpec};
+use dds_proto::cluster::{ClusterError, ClusterSpec};
+use dds_sim::{Element, SiteId};
+
+fn node_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_dds-cluster-node")
+}
+
+/// Poll the continuous query until the coordinator has noticed the
+/// death (EOF on the failed uplink) and answers `SiteDown`. Bounded:
+/// a hang here is exactly the bug this test exists to rule out.
+fn await_site_down(handle: &mut ClusterHandle, expect: SiteId) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match handle.sample() {
+            Err(ClusterError::SiteDown(site)) => {
+                assert_eq!(site, expect, "wrong site blamed");
+                return;
+            }
+            Ok(_) => {}
+            Err(e) => panic!("expected SiteDown, got {e}"),
+        }
+        assert!(
+            Instant::now() < deadline,
+            "coordinator never reported the dead site"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn killing_a_site_process_surfaces_a_typed_error() {
+    let spec = ClusterSpec::new(SamplerSpec::new(SamplerKind::Infinite, 8, 55), 3);
+    let mut cluster = ProcessCluster::spawn(node_bin(), spec).expect("spawn cluster");
+    for x in 0..600u64 {
+        let e = Element((x * 13) % 200);
+        let site = SiteId((x % 3) as usize);
+        cluster.handle().observe(site, e).expect("observe");
+    }
+    assert_eq!(cluster.handle().sample().expect("sample").len(), 8);
+
+    // SIGKILL the middle site: no Leave, no flush, a real dead process.
+    cluster.kill_site(SiteId(1)).expect("kill");
+    await_site_down(cluster.handle(), SiteId(1));
+
+    // The sample can no longer be trusted cluster-wide, but stats must
+    // keep answering and name the dead site precisely.
+    let stats = cluster.handle().stats().expect("stats after failure");
+    assert_eq!(stats.failed, vec![SiteId(1)]);
+    assert_eq!(stats.joined, 2, "survivors stay joined");
+    // Surviving sites still talk to the coordinator.
+    cluster
+        .handle()
+        .observe(SiteId(0), Element(9_999))
+        .expect("survivor observes");
+    // Advancing the clock is refused for the same reason as sampling.
+    match cluster.handle().advance_slot() {
+        Err(ClusterError::SiteDown(site)) => assert_eq!(site, SiteId(1)),
+        other => panic!("expected SiteDown on advance, got {other:?}"),
+    }
+    drop(cluster); // reaps the survivors; must not hang
+}
+
+#[test]
+fn crashing_a_site_thread_surfaces_a_typed_error() {
+    // Same fault through the in-process deployment: SiteCrash drops the
+    // daemon's sockets without a Leave.
+    let spec = ClusterSpec::new(SamplerSpec::new(SamplerKind::Infinite, 4, 77), 2);
+    let mut cluster = LocalCluster::spawn(spec).expect("spawn cluster");
+    for x in 0..200u64 {
+        cluster
+            .handle()
+            .observe_routed(Element(x % 50))
+            .expect("observe");
+    }
+    cluster.handle().crash_site(SiteId(0)).expect("crash order");
+    await_site_down(cluster.handle(), SiteId(0));
+}
+
+#[test]
+fn a_graceful_leave_is_not_a_failure() {
+    let spec = ClusterSpec::new(SamplerSpec::new(SamplerKind::Infinite, 4, 88), 2);
+    let coordinator = ClusterCoordinator::bind_tcp("127.0.0.1:0", spec).expect("bind");
+    let endpoint = coordinator.endpoint();
+    let mut staying = SiteDaemon::connect(&endpoint, SiteId(0), &spec).expect("join 0");
+    let leaving = SiteDaemon::connect(&endpoint, SiteId(1), &spec).expect("join 1");
+    staying.observe(Element(1)).expect("observe");
+    leaving.leave().expect("leave");
+
+    let stats = coordinator.stats();
+    assert_eq!(stats.joined, 1);
+    assert_eq!(stats.departed, 1);
+    assert!(
+        stats.failed.is_empty(),
+        "a Leave must not be recorded as a failure"
+    );
+    // The remaining site keeps working after the departure.
+    staying.observe(Element(2)).expect("observe after leave");
+}
+
+#[test]
+fn handshake_rejections_are_typed() {
+    let spec = ClusterSpec::new(SamplerSpec::new(SamplerKind::Infinite, 4, 123), 2);
+    let coordinator = ClusterCoordinator::bind_tcp("127.0.0.1:0", spec).expect("bind");
+    let endpoint = coordinator.endpoint();
+
+    // Wrong deployment parameters: refused before any protocol state.
+    let other = ClusterSpec::new(SamplerSpec::new(SamplerKind::Infinite, 4, 124), 2);
+    match SiteDaemon::connect(&endpoint, SiteId(0), &other) {
+        Err(ClusterError::ConfigMismatch { expected, got }) => {
+            assert_eq!(expected, spec.digest());
+            assert_eq!(got, other.digest());
+        }
+        other => panic!(
+            "expected ConfigMismatch, got {other:?}",
+            other = other.err()
+        ),
+    }
+
+    // Site id out of range.
+    match SiteDaemon::connect(&endpoint, SiteId(5), &spec) {
+        Err(ClusterError::UnknownSite(site)) => assert_eq!(site, SiteId(5)),
+        other => panic!("expected UnknownSite, got {other:?}", other = other.err()),
+    }
+
+    // The same seat taken twice.
+    let _first = SiteDaemon::connect(&endpoint, SiteId(0), &spec).expect("first join");
+    match SiteDaemon::connect(&endpoint, SiteId(0), &spec) {
+        Err(ClusterError::DuplicateSite(site)) => assert_eq!(site, SiteId(0)),
+        other => panic!("expected DuplicateSite, got {other:?}", other = other.err()),
+    }
+}

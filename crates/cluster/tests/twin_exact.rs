@@ -1,0 +1,313 @@
+//! Twin-exactness: a cluster of real socket-connected nodes is
+//! **byte-identical** to the in-process simulator (and, through the
+//! simulator's own parity tests, to the fused single-process samplers)
+//! at every query point — same samples, same per-site
+//! [`MessageCounters`], same memory footprints, same threshold.
+//!
+//! The wire carries the protocol; it must never change it. These tests
+//! drive the exact same element/slot schedule into a deployment (real
+//! OS processes via `ProcessCluster`, or threads-over-TCP via
+//! `LocalCluster`) and into `dds_sim::Cluster`, and compare everything
+//! observable after every batch.
+
+use dds_cluster::{ClusterHandle, LocalCluster, ProcessCluster};
+use dds_core::infinite::{InfiniteConfig, LazyCoordinator, LazySite};
+use dds_core::sampler::{SamplerKind, SamplerSpec};
+use dds_core::sliding::{SlidingConfig, SwCoordinator, SwSite};
+use dds_core::sliding_multi::{MultiSlidingConfig, MultiSwCoordinator, MultiSwSite};
+use dds_core::with_replacement::{WrConfig, WrCoordinator, WrSite};
+use dds_hash::UnitValue;
+use dds_proto::cluster::ClusterSpec;
+use dds_sim::{Cluster, CoordinatorNode, Element, MessageCounters, SiteId};
+
+fn node_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_dds-cluster-node")
+}
+
+/// The in-process reference deployment, one variant per protocol kind.
+enum Twin {
+    Infinite(Cluster<LazySite, LazyCoordinator>),
+    Wr(Cluster<WrSite, WrCoordinator>),
+    Sliding(Cluster<SwSite, SwCoordinator>),
+    SlidingMulti(Cluster<MultiSwSite, MultiSwCoordinator>),
+}
+
+impl Twin {
+    fn new(spec: &ClusterSpec) -> Twin {
+        let s = spec.sampler;
+        match s.kind {
+            SamplerKind::Infinite => {
+                Twin::Infinite(InfiniteConfig::with_seed(s.s, s.seed).cluster(spec.k))
+            }
+            SamplerKind::WithReplacement => {
+                Twin::Wr(WrConfig::with_seed(s.s, s.seed).cluster(spec.k))
+            }
+            SamplerKind::Sliding { window } => {
+                Twin::Sliding(SlidingConfig::with_seed(window, s.seed).cluster(spec.k))
+            }
+            SamplerKind::SlidingMulti { window } => Twin::SlidingMulti(
+                MultiSlidingConfig::with_seed(s.s, window, s.seed).cluster(spec.k),
+            ),
+            SamplerKind::Centralized => unreachable!("rejected by ClusterSpec::new"),
+        }
+    }
+
+    fn observe(&mut self, site: SiteId, e: Element) {
+        match self {
+            Twin::Infinite(c) => c.observe(site, e),
+            Twin::Wr(c) => c.observe(site, e),
+            Twin::Sliding(c) => c.observe(site, e),
+            Twin::SlidingMulti(c) => c.observe(site, e),
+        }
+    }
+
+    fn advance_slot(&mut self) {
+        match self {
+            Twin::Infinite(c) => c.advance_slot(),
+            Twin::Wr(c) => c.advance_slot(),
+            Twin::Sliding(c) => c.advance_slot(),
+            Twin::SlidingMulti(c) => c.advance_slot(),
+        }
+    }
+
+    fn sample(&self) -> Vec<Element> {
+        match self {
+            Twin::Infinite(c) => c.sample(),
+            Twin::Wr(c) => c.sample(),
+            Twin::Sliding(c) => c.sample(),
+            Twin::SlidingMulti(c) => c.sample(),
+        }
+    }
+
+    fn counters(&self) -> &MessageCounters {
+        match self {
+            Twin::Infinite(c) => c.counters(),
+            Twin::Wr(c) => c.counters(),
+            Twin::Sliding(c) => c.counters(),
+            Twin::SlidingMulti(c) => c.counters(),
+        }
+    }
+
+    fn site_memory(&self) -> Vec<usize> {
+        match self {
+            Twin::Infinite(c) => c.site_memory_tuples(),
+            Twin::Wr(c) => c.site_memory_tuples(),
+            Twin::Sliding(c) => c.site_memory_tuples(),
+            Twin::SlidingMulti(c) => c.site_memory_tuples(),
+        }
+    }
+
+    fn coord_memory(&self) -> usize {
+        match self {
+            Twin::Infinite(c) => CoordinatorNode::memory_tuples(c.coordinator()),
+            Twin::Wr(c) => CoordinatorNode::memory_tuples(c.coordinator()),
+            Twin::Sliding(c) => CoordinatorNode::memory_tuples(c.coordinator()),
+            Twin::SlidingMulti(c) => CoordinatorNode::memory_tuples(c.coordinator()),
+        }
+    }
+
+    /// Mirror of the cluster coordinator's `threshold` report.
+    fn threshold(&self) -> Option<u64> {
+        match self {
+            Twin::Infinite(c) => Some(c.coordinator().threshold().0),
+            Twin::Wr(_) | Twin::SlidingMulti(_) => None,
+            Twin::Sliding(c) => Some(
+                c.coordinator()
+                    .current()
+                    .map_or(UnitValue::ONE, |t| t.hash)
+                    .0,
+            ),
+        }
+    }
+}
+
+/// Everything observable must agree, exactly.
+fn assert_twin_exact(handle: &mut ClusterHandle, twin: &Twin, spec: &ClusterSpec, at: &str) {
+    assert_eq!(
+        handle.sample().expect("sample"),
+        twin.sample(),
+        "sample diverged {at}"
+    );
+    let stats = handle.stats().expect("stats");
+    assert_eq!(
+        &stats.counters,
+        twin.counters(),
+        "message counters diverged {at}"
+    );
+    assert_eq!(
+        stats.memory_tuples,
+        twin.coord_memory(),
+        "coordinator memory diverged {at}"
+    );
+    assert_eq!(stats.threshold, twin.threshold(), "threshold diverged {at}");
+    assert_eq!(stats.k, spec.k);
+    assert_eq!(stats.joined, spec.k, "all sites must be joined {at}");
+    assert!(stats.failed.is_empty(), "no failures expected {at}");
+    let site_memory = twin.site_memory();
+    for i in 0..spec.k {
+        let site = SiteId(i);
+        let ss = handle.site_stats(site).expect("site stats");
+        assert_eq!(
+            ss.memory_tuples, site_memory[i],
+            "site {i} memory diverged {at}"
+        );
+        // The daemon's local accounting and the coordinator's central
+        // accounting are two independent tallies of the same wire; they
+        // must agree message for message, byte for byte.
+        assert_eq!(ss.up_msgs, stats.counters.up_messages_for(site), "{at}");
+        assert_eq!(ss.down_msgs, stats.counters.down_messages_for(site), "{at}");
+        assert_eq!(ss.up_bytes, stats.counters.up_bytes_for(site), "{at}");
+        assert_eq!(ss.down_bytes, stats.counters.down_bytes_for(site), "{at}");
+    }
+}
+
+/// Drive `n` observations (with duplicates) through both deployments on
+/// an identical schedule, checking exactness at every query point. For
+/// window kinds, a slot boundary every `per_slot` observations.
+fn drive(
+    handle: &mut ClusterHandle,
+    twin: &mut Twin,
+    spec: &ClusterSpec,
+    n: u64,
+    domain: u64,
+    per_slot: u64,
+    query_every: u64,
+) {
+    let k = spec.k as u64;
+    for x in 0..n {
+        if per_slot > 0 && x > 0 && x % per_slot == 0 {
+            handle.advance_slot().expect("advance");
+            twin.advance_slot();
+        }
+        // Deterministic duplicates and routing, decorrelated from the
+        // hash seed.
+        let e = Element((x.wrapping_mul(2_654_435_761) >> 7) % domain);
+        let site = SiteId(((x.wrapping_mul(31).wrapping_add(7)) % k) as usize);
+        handle.observe(site, e).expect("observe");
+        twin.observe(site, e);
+        if (x + 1) % query_every == 0 {
+            assert_twin_exact(handle, twin, spec, &format!("after {} observations", x + 1));
+        }
+    }
+    assert_twin_exact(handle, twin, spec, "at end of stream");
+}
+
+#[test]
+fn process_cluster_is_byte_exact_with_sim_twin_infinite() {
+    for k in [2usize, 4, 8] {
+        let spec = ClusterSpec::new(SamplerSpec::new(SamplerKind::Infinite, 8, 4242), k);
+        let mut cluster = ProcessCluster::spawn(node_bin(), spec).expect("spawn cluster");
+        let mut twin = Twin::new(&spec);
+        drive(cluster.handle(), &mut twin, &spec, 1_500, 300, 0, 250);
+        cluster.shutdown().expect("graceful shutdown");
+    }
+}
+
+#[test]
+fn process_cluster_is_byte_exact_with_sim_twin_sliding() {
+    for k in [2usize, 4] {
+        let spec = ClusterSpec::new(
+            SamplerSpec::new(SamplerKind::Sliding { window: 8 }, 1, 777),
+            k,
+        );
+        let mut cluster = ProcessCluster::spawn(node_bin(), spec).expect("spawn cluster");
+        let mut twin = Twin::new(&spec);
+        // 40 slots of 25 observations: elements expire, the window
+        // turns over five times.
+        drive(cluster.handle(), &mut twin, &spec, 1_000, 120, 25, 200);
+        cluster.shutdown().expect("graceful shutdown");
+    }
+}
+
+#[test]
+fn local_cluster_is_byte_exact_with_sim_twin_wr() {
+    for k in [2usize, 8] {
+        let spec = ClusterSpec::new(SamplerSpec::new(SamplerKind::WithReplacement, 6, 99), k);
+        let mut cluster = LocalCluster::spawn(spec).expect("spawn cluster");
+        let mut twin = Twin::new(&spec);
+        drive(cluster.handle(), &mut twin, &spec, 1_200, 200, 0, 300);
+        cluster.shutdown().expect("graceful shutdown");
+    }
+}
+
+#[test]
+fn local_cluster_is_byte_exact_with_sim_twin_sliding_multi() {
+    for k in [2usize, 4] {
+        let spec = ClusterSpec::new(
+            SamplerSpec::new(SamplerKind::SlidingMulti { window: 6 }, 4, 1234),
+            k,
+        );
+        let mut cluster = LocalCluster::spawn(spec).expect("spawn cluster");
+        let mut twin = Twin::new(&spec);
+        drive(cluster.handle(), &mut twin, &spec, 900, 150, 30, 300);
+        cluster.shutdown().expect("graceful shutdown");
+    }
+}
+
+#[test]
+fn k1_cluster_matches_the_fused_sampler() {
+    // With one site, the deployment must equal the fused in-process
+    // sampler: same sample, same threshold, and the wire's message
+    // count equal to what the fused adapter says the deployment *would*
+    // have cost.
+    let sampler = SamplerSpec::new(SamplerKind::Infinite, 8, 2025);
+    let spec = ClusterSpec::new(sampler, 1);
+    let mut cluster = LocalCluster::spawn(spec).expect("spawn cluster");
+    let mut fused = sampler.build();
+    for x in 0..2_000u64 {
+        let e = Element((x.wrapping_mul(2_654_435_761) >> 9) % 400);
+        cluster.handle().observe(SiteId(0), e).expect("observe");
+        fused.observe(e);
+        if (x + 1) % 500 == 0 {
+            assert_eq!(cluster.handle().sample().expect("sample"), fused.sample());
+        }
+    }
+    let site_memory = cluster
+        .handle()
+        .site_stats(SiteId(0))
+        .expect("site stats")
+        .memory_tuples;
+    let stats = cluster.shutdown().expect("graceful shutdown");
+    assert_eq!(stats.counters.total_messages(), fused.protocol_messages());
+    assert_eq!(stats.threshold, fused.threshold().map(|u| u.0));
+    // The fused adapter counts both halves' tuples; split across the
+    // wire they must sum to the same footprint.
+    assert_eq!(stats.memory_tuples + site_memory, fused.memory_tuples());
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_cluster_is_byte_exact_too() {
+    use dds_cluster::{ClusterCoordinator, SiteDaemon};
+    use dds_server::net::Listener;
+
+    let spec = ClusterSpec::new(SamplerSpec::new(SamplerKind::Infinite, 4, 31337), 2);
+    let dir = std::env::temp_dir().join(format!("dds-cluster-ux-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("socket dir");
+    let coordinator =
+        ClusterCoordinator::bind_unix(dir.join("coord.sock"), spec).expect("bind coordinator");
+    let coord_endpoint = coordinator.endpoint();
+    let mut site_paths = Vec::new();
+    let mut threads = Vec::new();
+    for i in 0..spec.k {
+        let path = dir.join(format!("site{i}.sock"));
+        let listener = Listener::bind_unix(&path).expect("bind site driver");
+        site_paths.push(path);
+        let coord_endpoint = coord_endpoint.clone();
+        threads.push(std::thread::spawn(move || {
+            let daemon = SiteDaemon::connect(&coord_endpoint, SiteId(i), &spec)?;
+            daemon.serve(&listener)
+        }));
+    }
+    let mut handle =
+        ClusterHandle::connect_unix(dir.join("coord.sock"), &site_paths, &spec).expect("connect");
+    let mut twin = Twin::new(&spec);
+    drive(&mut handle, &mut twin, &spec, 600, 100, 0, 200);
+    handle.shutdown().expect("graceful shutdown");
+    let stats = coordinator.shutdown();
+    assert_eq!(&stats.counters, twin.counters());
+    for thread in threads {
+        thread.join().expect("site thread").expect("site daemon");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

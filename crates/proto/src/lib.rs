@@ -17,6 +17,7 @@
 //! | frames | [`frame`] | `DDSP` magic, version, opcode, `u32` length, FNV-1a 64 checksum — 19 bytes of overhead per message, bounded before allocation |
 //! | messages | [`message`] | [`Request`] / [`Response`] payload codecs over `dds_core::checkpoint`'s `StateWriter` / `StateReader` primitives; a structural [`EngineError`](dds_engine::EngineError) codec so failures round-trip losslessly |
 //! | service | [`service`] | [`EngineService`] (request in → response out), implemented by `Engine` directly and by [`EngineHost`] (a replaceable engine slot that also serves `Restore` and `Shutdown`) |
+//! | cluster | [`cluster`] | the site→coordinator dialect `dds-cluster` speaks: protocol ups/downs byte-equivalent to `dds_core::messages`, join/control handshakes keyed by a [`ClusterSpec`] digest, driver commands, typed [`ClusterError`]s |
 //!
 //! ## Versioning
 //!
@@ -38,10 +39,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod frame;
 pub mod message;
 pub mod service;
 
+pub use cluster::{
+    ClusterError, ClusterRequest, ClusterResponse, ClusterSpec, ClusterStats, CoordDown,
+    SiteDaemonStats, SiteUp,
+};
 pub use frame::{FrameError, MAX_PAYLOAD, OVERHEAD_BYTES};
 pub use message::{
     decode_outcome, decode_outcome_frame, encode_outcome, opcode, Request, Response,

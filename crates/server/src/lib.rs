@@ -40,7 +40,9 @@
 #![warn(missing_docs)]
 
 mod client;
+pub mod net;
 mod server;
 
 pub use client::{Client, ClientStats, TenantHandle};
+pub use net::{Endpoint, Listener, Stream};
 pub use server::{Server, ServerStats};

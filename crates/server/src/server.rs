@@ -17,13 +17,15 @@
 //! every open connection's socket (which wakes its blocked read), and
 //! join all handler threads. The hosted service is left untouched — its
 //! owner decides whether the engine dies with the transport.
+//!
+//! The socket mechanics (TCP/Unix listeners, connection handles,
+//! accept wake-up) live in [`crate::net`], shared with the cluster
+//! nodes in `dds-cluster`.
 
 use std::io::{BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::SocketAddr;
 #[cfg(unix)]
-use std::os::unix::net::{UnixListener, UnixStream};
-#[cfg(unix)]
-use std::path::{Path, PathBuf};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -32,6 +34,8 @@ use dds_engine::EngineError;
 use dds_proto::frame::{read_frame, FrameError, OVERHEAD_BYTES};
 use dds_proto::message::{encode_outcome_checked, Request};
 use dds_proto::EngineService;
+
+use crate::net::{Endpoint, Listener, Stream};
 
 /// Byte and frame counters, shared across all connections. The server
 /// and the client count the same frames, so `client.bytes_sent ==
@@ -58,33 +62,11 @@ pub struct ServerStats {
     pub bytes_sent: u64,
 }
 
-/// A handle to one open connection's socket, kept so shutdown can
-/// unblock its handler's read.
-enum ConnSocket {
-    Tcp(TcpStream),
-    #[cfg(unix)]
-    Unix(UnixStream),
-}
-
-impl ConnSocket {
-    fn shutdown(&self) {
-        match self {
-            ConnSocket::Tcp(s) => {
-                let _ = s.shutdown(std::net::Shutdown::Both);
-            }
-            #[cfg(unix)]
-            ConnSocket::Unix(s) => {
-                let _ = s.shutdown(std::net::Shutdown::Both);
-            }
-        }
-    }
-}
-
 struct Shared {
     service: Arc<dyn EngineService>,
     stop: AtomicBool,
     counters: Counters,
-    conns: Mutex<Vec<(ConnSocket, JoinHandle<()>)>>,
+    conns: Mutex<Vec<(Stream, JoinHandle<()>)>>,
 }
 
 /// A running wire server: an [`EngineService`] reachable over TCP or a
@@ -95,12 +77,6 @@ pub struct Server {
     endpoint: Endpoint,
 }
 
-enum Endpoint {
-    Tcp(SocketAddr),
-    #[cfg(unix)]
-    Unix(PathBuf),
-}
-
 impl Server {
     /// Bind a TCP listener (use port `0` for an ephemeral port; read it
     /// back with [`Server::local_addr`]) and start serving.
@@ -108,40 +84,7 @@ impl Server {
     /// # Errors
     /// Propagates bind failures.
     pub fn bind_tcp(addr: &str, service: Arc<dyn EngineService>) -> std::io::Result<Server> {
-        let listener = TcpListener::bind(addr)?;
-        let local = listener.local_addr()?;
-        let shared = Arc::new(Shared {
-            service,
-            stop: AtomicBool::new(false),
-            counters: Counters::default(),
-            conns: Mutex::new(Vec::new()),
-        });
-        let accept_shared = Arc::clone(&shared);
-        let accept = std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                if accept_shared.stop.load(Ordering::SeqCst) {
-                    break;
-                }
-                let stream = match stream {
-                    Ok(stream) => stream,
-                    // Persistent accept errors (e.g. EMFILE) must not
-                    // busy-spin a core; back off briefly and retry.
-                    Err(_) => {
-                        std::thread::sleep(std::time::Duration::from_millis(10));
-                        continue;
-                    }
-                };
-                // Responses are small frames written back-to-back; never
-                // let Nagle + delayed ACK hold one hostage for 40 ms.
-                let _ = stream.set_nodelay(true);
-                spawn_conn(&accept_shared, ConnSocket::Tcp(stream));
-            }
-        });
-        Ok(Server {
-            shared,
-            accept: Some(accept),
-            endpoint: Endpoint::Tcp(local),
-        })
+        Self::serve(Listener::bind_tcp(addr)?, service)
     }
 
     /// Bind a Unix-domain socket at `path` (removed and re-created) and
@@ -154,9 +97,11 @@ impl Server {
         path: impl AsRef<Path>,
         service: Arc<dyn EngineService>,
     ) -> std::io::Result<Server> {
-        let path = path.as_ref().to_path_buf();
-        let _ = std::fs::remove_file(&path);
-        let listener = UnixListener::bind(&path)?;
+        Self::serve(Listener::bind_unix(path)?, service)
+    }
+
+    fn serve(listener: Listener, service: Arc<dyn EngineService>) -> std::io::Result<Server> {
+        let endpoint = listener.endpoint();
         let shared = Arc::new(Shared {
             service,
             stop: AtomicBool::new(false),
@@ -164,25 +109,28 @@ impl Server {
             conns: Mutex::new(Vec::new()),
         });
         let accept_shared = Arc::clone(&shared);
-        let accept = std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                if accept_shared.stop.load(Ordering::SeqCst) {
-                    break;
-                }
-                let stream = match stream {
-                    Ok(stream) => stream,
-                    Err(_) => {
-                        std::thread::sleep(std::time::Duration::from_millis(10));
-                        continue;
+        let accept = std::thread::spawn(move || loop {
+            let stream = match listener.accept() {
+                Ok(stream) => stream,
+                // Persistent accept errors (e.g. EMFILE) must not
+                // busy-spin a core; back off briefly and retry.
+                Err(_) => {
+                    if accept_shared.stop.load(Ordering::SeqCst) {
+                        break;
                     }
-                };
-                spawn_conn(&accept_shared, ConnSocket::Unix(stream));
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    continue;
+                }
+            };
+            if accept_shared.stop.load(Ordering::SeqCst) {
+                break;
             }
+            spawn_conn(&accept_shared, stream);
         });
         Ok(Server {
             shared,
             accept: Some(accept),
-            endpoint: Endpoint::Unix(path),
+            endpoint,
         })
     }
 
@@ -222,15 +170,7 @@ impl Server {
             return;
         }
         // Wake the accept loop with a throwaway connection.
-        match &self.endpoint {
-            Endpoint::Tcp(addr) => {
-                let _ = TcpStream::connect(addr);
-            }
-            #[cfg(unix)]
-            Endpoint::Unix(path) => {
-                let _ = UnixStream::connect(path);
-            }
-        }
+        let _ = self.endpoint.connect();
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
@@ -240,10 +180,7 @@ impl Server {
             socket.shutdown();
             let _ = handle.join();
         }
-        #[cfg(unix)]
-        if let Endpoint::Unix(path) = &self.endpoint {
-            let _ = std::fs::remove_file(path);
-        }
+        self.endpoint.cleanup();
     }
 }
 
@@ -255,13 +192,10 @@ impl Drop for Server {
     }
 }
 
-fn spawn_conn(shared: &Arc<Shared>, socket: ConnSocket) {
-    let clone = match &socket {
-        ConnSocket::Tcp(s) => s.try_clone().map(ConnSocket::Tcp),
-        #[cfg(unix)]
-        ConnSocket::Unix(s) => s.try_clone().map(ConnSocket::Unix),
+fn spawn_conn(shared: &Arc<Shared>, socket: Stream) {
+    let Ok(keeper) = socket.try_clone() else {
+        return;
     };
-    let Ok(keeper) = clone else { return };
     shared.counters.connections.fetch_add(1, Ordering::Relaxed);
     let conn_shared = Arc::clone(shared);
     let handle = std::thread::spawn(move || serve_conn(&conn_shared, socket));
@@ -276,22 +210,11 @@ fn spawn_conn(shared: &Arc<Shared>, socket: ConnSocket) {
 
 /// One connection's lifetime: framed decode → dispatch → framed reply,
 /// strictly in order (the pipelining contract).
-fn serve_conn(shared: &Arc<Shared>, socket: ConnSocket) {
-    match socket {
-        ConnSocket::Tcp(stream) => {
-            let Ok(read_half) = stream.try_clone() else {
-                return;
-            };
-            serve_streams(shared, read_half, stream);
-        }
-        #[cfg(unix)]
-        ConnSocket::Unix(stream) => {
-            let Ok(read_half) = stream.try_clone() else {
-                return;
-            };
-            serve_streams(shared, read_half, stream);
-        }
-    }
+fn serve_conn(shared: &Arc<Shared>, socket: Stream) {
+    let Ok(read_half) = socket.try_clone() else {
+        return;
+    };
+    serve_streams(shared, read_half, socket);
 }
 
 fn serve_streams<R, W>(shared: &Arc<Shared>, read_half: R, write_half: W)

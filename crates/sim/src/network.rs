@@ -45,10 +45,61 @@ impl MessageCounters {
         }
     }
 
+    /// Rebuild a counter set from per-site tallies — the inverse of the
+    /// per-site accessors, used by wire codecs that ship counters
+    /// between processes (`dds-proto`'s cluster stats).
+    ///
+    /// # Panics
+    /// If the four vectors disagree on length.
+    #[must_use]
+    pub fn from_parts(
+        up_msgs: Vec<u64>,
+        down_msgs: Vec<u64>,
+        up_bytes: Vec<u64>,
+        down_bytes: Vec<u64>,
+    ) -> Self {
+        assert!(
+            up_msgs.len() == down_msgs.len()
+                && up_msgs.len() == up_bytes.len()
+                && up_msgs.len() == down_bytes.len(),
+            "site-count mismatch"
+        );
+        Self {
+            up_msgs,
+            down_msgs,
+            up_bytes,
+            down_bytes,
+        }
+    }
+
     /// Number of sites this counter set covers.
     #[must_use]
     pub fn sites(&self) -> usize {
         self.up_msgs.len()
+    }
+
+    /// Site → coordinator messages recorded for one site.
+    #[must_use]
+    pub fn up_messages_for(&self, site: SiteId) -> u64 {
+        self.up_msgs[site.0]
+    }
+
+    /// Coordinator → site messages recorded for one site.
+    #[must_use]
+    pub fn down_messages_for(&self, site: SiteId) -> u64 {
+        self.down_msgs[site.0]
+    }
+
+    /// Site → coordinator bytes recorded for one site.
+    #[must_use]
+    pub fn up_bytes_for(&self, site: SiteId) -> u64 {
+        self.up_bytes[site.0]
+    }
+
+    /// Coordinator → site bytes recorded for one site.
+    #[must_use]
+    pub fn down_bytes_for(&self, site: SiteId) -> u64 {
+        self.down_bytes[site.0]
     }
 
     /// Record one message involving `site` in `dir`, of `bytes` encoded size.
@@ -253,6 +304,28 @@ mod tests {
         assert_eq!(c.site_messages(SiteId(1)), 0);
         assert_eq!(c.site_messages(SiteId(2)), 1);
         assert_eq!(c.per_site_messages(), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn from_parts_round_trips_per_site_accessors() {
+        let mut c = MessageCounters::new(2);
+        c.record(Direction::Up, SiteId(0), 8);
+        c.record(Direction::Down, SiteId(1), 16);
+        let rebuilt = MessageCounters::from_parts(
+            (0..2).map(|i| c.up_messages_for(SiteId(i))).collect(),
+            (0..2).map(|i| c.down_messages_for(SiteId(i))).collect(),
+            (0..2).map(|i| c.up_bytes_for(SiteId(i))).collect(),
+            (0..2).map(|i| c.down_bytes_for(SiteId(i))).collect(),
+        );
+        assert_eq!(rebuilt, c);
+        assert_eq!(rebuilt.up_bytes_for(SiteId(0)), 8);
+        assert_eq!(rebuilt.down_bytes_for(SiteId(1)), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "site-count mismatch")]
+    fn from_parts_rejects_mismatched_lengths() {
+        let _ = MessageCounters::from_parts(vec![0; 2], vec![0; 3], vec![0; 2], vec![0; 2]);
     }
 
     #[test]

@@ -47,6 +47,7 @@
 //! | [`dds_engine`] | sharded multi-tenant serving layer: thousands of sampler instances (infinite- or sliding-window) behind one batched, timestamped ingest path |
 //! | [`dds_proto`] | the engine's formal service API: versioned request/response frames, byte-accounted codec, the transport-agnostic `EngineService` trait |
 //! | [`dds_server`] | wire transport: TCP/Unix-socket server with pipelined framed decode, plus the typed batching `Client` |
+//! | [`dds_cluster`] | true distributed deployment: site-daemon and coordinator processes speaking the paper's protocols over sockets, byte-exact with the in-process twin |
 //!
 //! Run the evaluation-reproduction harness with
 //! `cargo run -p dds-bench --release --bin experiments -- all`.
@@ -54,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use dds_cluster as cluster;
 pub use dds_core as core;
 pub use dds_data as data;
 pub use dds_engine as engine;
@@ -67,6 +69,10 @@ pub use dds_treap as treap;
 
 /// The items most programs need, re-exported flat.
 pub mod prelude {
+    pub use dds_cluster::{
+        ClusterError, ClusterHandle, ClusterSpec, ClusterStats, LocalCluster, ProcessCluster,
+        SiteDaemon, SiteDaemonStats,
+    };
     pub use dds_core::broadcast::BroadcastConfig;
     pub use dds_core::centralized::{BottomS, CentralizedSampler, SlidingOracle};
     pub use dds_core::checkpoint::{restore_sampler, CheckpointError};

@@ -274,3 +274,78 @@ fn with_replacement_copies_are_independent_uniform_draws() {
         result.p_value
     );
 }
+
+// ---------------------------------------------------------------------
+// The same statistical guarantees over a *real* deployment: sites and
+// coordinator as socket-connected nodes (dds-cluster), not simulator
+// objects. Lemma 1 does not care how the messages travel — and thanks
+// to twin-exactness it cannot — but these tests verify it end to end.
+// ---------------------------------------------------------------------
+
+/// Run the infinite-window protocol on a real k-node cluster once,
+/// return which elements were sampled.
+fn cluster_sample_once(hash_seed: u64, elements: &[Element], s: usize, k: usize) -> Vec<Element> {
+    let spec = ClusterSpec::new(SamplerSpec::new(SamplerKind::Infinite, s, hash_seed), k);
+    let mut cluster = LocalCluster::spawn(spec).expect("spawn cluster");
+    for (i, &e) in elements.iter().enumerate() {
+        cluster.handle().observe(SiteId(i % k), e).expect("observe");
+    }
+    let sample = cluster.handle().sample().expect("sample");
+    cluster.shutdown().expect("graceful shutdown");
+    sample
+}
+
+#[test]
+fn cluster_inclusion_is_uniform_over_distinct_elements() {
+    // d = 32 distinct elements with skewed frequencies, streamed into a
+    // real 4-node cluster under many hash seeds: each element's
+    // inclusion count must be uniform, independent of frequency.
+    let d = 32usize;
+    let s = 8;
+    let mut elements = Vec::new();
+    for id in 0..d as u64 {
+        for _ in 0..(1 + (id % 6) * id) {
+            elements.push(Element(7_000 + id));
+        }
+    }
+    let trials = 160;
+    let mut counts = vec![0.0f64; d];
+    for t in 0..trials {
+        for e in cluster_sample_once(200_000 + t, &elements, s, 4) {
+            counts[(e.0 - 7_000) as usize] += 1.0;
+        }
+    }
+    let result = chi_square_uniform(&counts);
+    assert!(
+        result.p_value > 1e-4,
+        "cluster inclusion not uniform: chi²={:.1}, p={:.2e}, counts={counts:?}",
+        result.statistic,
+        result.p_value
+    );
+}
+
+#[test]
+fn cluster_messages_stay_under_the_paper_bound() {
+    // Lemma 4 on the wire: a distinct-only stream (every arrival new)
+    // is the protocol's worst case; the observed message total of a
+    // real deployment must stay under E[Y] ≤ 2ks(1 + H_d − H_s) with
+    // the generous 3× slack the simulator experiments use.
+    use distinct_stream_sampling::core::bounds::lemma4_upper;
+    use distinct_stream_sampling::data::DistinctOnlyStream;
+
+    let (k, s, n) = (4usize, 8usize, 2_000u64);
+    let spec = ClusterSpec::new(SamplerSpec::new(SamplerKind::Infinite, s, 4096), k);
+    let mut cluster = LocalCluster::spawn(spec).expect("spawn cluster");
+    for e in DistinctOnlyStream::new(n, 4096) {
+        cluster.handle().observe_routed(e).expect("observe");
+    }
+    assert_eq!(cluster.handle().sample().expect("sample").len(), s);
+    let stats = cluster.shutdown().expect("graceful shutdown");
+    let observed = stats.counters.total_messages() as f64;
+    let bound = lemma4_upper(k, s, n);
+    assert!(
+        observed <= 3.0 * bound,
+        "cluster exceeded the Lemma 4 envelope: {observed} messages vs bound {bound:.0}"
+    );
+    assert!(observed > 0.0, "protocol exchanged no messages");
+}
