@@ -1,0 +1,70 @@
+//! Bench target for the observability layer: prints this build's
+//! ingest-rate overhead record (`BENCH_obs_overhead.json`, or the
+//! `_noop` baseline when built with `--features obs-noop`), then times
+//! the raw `dds-obs` recording primitives so a regression in the
+//! metrics hot path shows up even before it moves the end-to-end gate.
+
+use criterion::{black_box, criterion_group, Criterion};
+use dds_obs::Registry;
+
+fn recording_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ext_obs_overhead/record");
+    g.throughput(criterion::Throughput::Elements(1));
+    let registry = Registry::new();
+    let counter = registry.counter("bench_counter_total");
+    let gauge = registry.gauge("bench_gauge");
+    let hist = registry.histogram("bench_nanos");
+    g.bench_function("counter_inc", |b| {
+        b.iter(|| counter.inc());
+    });
+    g.bench_function("gauge_set", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = v.wrapping_add(1);
+            gauge.set(black_box(v));
+        });
+    });
+    g.bench_function("histogram_observe", |b| {
+        let mut v = 1u64;
+        b.iter(|| {
+            v = v.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            hist.observe(black_box(v >> 32));
+        });
+    });
+    g.bench_function("span_timer", |b| {
+        b.iter(|| black_box(hist.start().stop()));
+    });
+    g.finish();
+}
+
+fn snapshotting(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ext_obs_overhead/snapshot");
+    let registry = Registry::new();
+    for shard in 0..8 {
+        let label = shard.to_string();
+        let labels = [("shard", label.as_str())];
+        registry
+            .counter_with("bench_elements_total", &labels)
+            .add(1_000);
+        let h = registry.histogram_with("bench_batch_nanos", &labels);
+        for v in 0..1_000u64 {
+            h.observe(v * 97);
+        }
+    }
+    g.bench_function("registry_snapshot", |b| {
+        b.iter(|| black_box(registry.snapshot()));
+    });
+    let snap = registry.snapshot();
+    g.bench_function("render_text", |b| {
+        b.iter(|| black_box(snap.render_text()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, recording_primitives, snapshotting);
+
+fn main() {
+    dds_bench::bench_support::print_experiment("ext_obs_overhead");
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

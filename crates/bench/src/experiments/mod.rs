@@ -12,6 +12,7 @@ pub mod ext_engine;
 pub mod ext_engine_checkpoint;
 pub mod ext_engine_sliding;
 pub mod ext_engine_wire;
+pub mod ext_obs_overhead;
 pub mod fig51;
 pub mod fig52;
 pub mod fig53;
@@ -125,6 +126,11 @@ pub fn all() -> Vec<Experiment> {
             title: "Extension: distributed-deployment message counts vs Lemma 4 and Broadcast",
             run: ext_cluster_messages::run,
         },
+        Experiment {
+            id: "ext_obs_overhead",
+            title: "Extension: observability overhead, instrumented vs obs-noop ingest",
+            run: ext_obs_overhead::run,
+        },
     ]
 }
 
@@ -172,6 +178,7 @@ mod tests {
             "ext_engine_checkpoint",
             "ext_engine_wire",
             "ext_cluster_messages",
+            "ext_obs_overhead",
         ] {
             assert!(ids.contains(&required), "missing experiment {required}");
         }

@@ -4,6 +4,7 @@
 //! ```text
 //! dds-cluster-node coordinator <spec-hex> [bind]
 //! dds-cluster-node site <idx> <spec-hex> <coordinator-addr> [bind]
+//! dds-cluster-node telemetry <spec-hex> <coordinator-addr>
 //! ```
 //!
 //! `spec-hex` is [`ClusterSpec::to_hex`] — the driver encodes the
@@ -11,6 +12,10 @@
 //! bytes. `bind` defaults to `127.0.0.1:0`; the chosen address is
 //! announced as a single `LISTEN <addr>` stdout line so a parent
 //! process can wire the cluster together from ephemeral ports.
+//!
+//! `telemetry` dials a running coordinator's control port, fetches its
+//! telemetry snapshot, and prints it in Prometheus text exposition
+//! format — a one-shot scrape for operators and scripts.
 
 use std::io::Write;
 use std::process::ExitCode;
@@ -28,10 +33,12 @@ fn main() -> ExitCode {
         ["coordinator", hex, bind] => run_coordinator(hex, bind),
         ["site", idx, hex, coord] => run_site(idx, hex, coord, "127.0.0.1:0"),
         ["site", idx, hex, coord, bind] => run_site(idx, hex, coord, bind),
+        ["telemetry", hex, coord] => run_telemetry(hex, coord),
         _ => {
             eprintln!(
                 "usage: dds-cluster-node coordinator <spec-hex> [bind]\n       \
-                 dds-cluster-node site <idx> <spec-hex> <coordinator-addr> [bind]"
+                 dds-cluster-node site <idx> <spec-hex> <coordinator-addr> [bind]\n       \
+                 dds-cluster-node telemetry <spec-hex> <coordinator-addr>"
             );
             ExitCode::from(2)
         }
@@ -83,6 +90,25 @@ fn run_site(idx: &str, hex: &str, coord: &str, bind: &str) -> ExitCode {
     match daemon.serve(&listener) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => fail(&format!("serve: {e}")),
+    }
+}
+
+fn run_telemetry(hex: &str, coord: &str) -> ExitCode {
+    let spec = match ClusterSpec::from_hex(hex) {
+        Ok(spec) => spec,
+        Err(e) => return fail(&format!("bad spec: {e}")),
+    };
+    let coord_addr = match coord.parse() {
+        Ok(addr) => addr,
+        Err(e) => return fail(&format!("bad coordinator address {coord:?}: {e}")),
+    };
+    match dds_cluster::fetch_telemetry(&dds_server::net::Endpoint::Tcp(coord_addr), &spec) {
+        Ok(snapshot) => {
+            print!("{}", snapshot.render_text());
+            let _ = std::io::stdout().flush();
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&format!("telemetry {coord}: {e}")),
     }
 }
 

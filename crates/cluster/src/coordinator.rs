@@ -12,7 +12,8 @@
 //! [`ClusterResponse::Downs`] frame carrying that up's protocol
 //! replies, which keeps the deployment in lock-step with
 //! `dds_sim::Cluster`'s settle loop: same handling order, same
-//! [`MessageCounters`], same sample at every query point.
+//! [`dds_sim::MessageCounters`] totals, same sample at every query
+//! point.
 //!
 //! **Failure model:** a site connection that ends without a graceful
 //! `Leave` marks the site *failed*. The coordinator neither hangs nor
@@ -28,11 +29,12 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
+use dds_obs::{Counter, Registry, TelemetrySnapshot};
 use dds_proto::cluster::{
     ClusterError, ClusterRequest, ClusterResponse, ClusterSpec, ClusterStats,
 };
 use dds_server::net::{Endpoint, Listener, Stream};
-use dds_sim::{Direction, MessageCounters, SiteId, Slot};
+use dds_sim::{AtomicMessageCounters, Direction, SiteId, Slot};
 
 use crate::conn::Framed;
 use crate::machine::CoordMachine;
@@ -44,7 +46,6 @@ use crate::machine::CoordMachine;
 /// dying connection races a live query.
 struct CoordState {
     machine: CoordMachine,
-    counters: MessageCounters,
     now: Slot,
     joined: Vec<bool>,
     departed: Vec<bool>,
@@ -56,13 +57,17 @@ impl CoordState {
         self.failed.iter().position(|&f| f).map(SiteId)
     }
 
-    fn stats(&self, k: usize) -> ClusterStats {
+    fn live_sites(&self, k: usize) -> usize {
+        (0..k)
+            .filter(|&i| self.joined[i] && !self.departed[i] && !self.failed[i])
+            .count()
+    }
+
+    fn stats(&self, k: usize, counters: &AtomicMessageCounters) -> ClusterStats {
         ClusterStats {
             k,
             now: self.now,
-            joined: (0..k)
-                .filter(|&i| self.joined[i] && !self.departed[i] && !self.failed[i])
-                .count(),
+            joined: self.live_sites(k),
             departed: self.departed.iter().filter(|&&d| d).count(),
             failed: self
                 .failed
@@ -70,9 +75,28 @@ impl CoordState {
                 .enumerate()
                 .filter_map(|(i, &f)| f.then_some(SiteId(i)))
                 .collect(),
-            counters: self.counters.clone(),
+            counters: counters.snapshot(),
             memory_tuples: self.machine.memory_tuples(),
             threshold: self.machine.threshold(),
+        }
+    }
+}
+
+/// Lifecycle counters registered under the coordinator's registry.
+struct CoordObs {
+    joins: Counter,
+    leaves: Counter,
+    faults: Counter,
+    accept_errors: Counter,
+}
+
+impl CoordObs {
+    fn register(registry: &Registry) -> Self {
+        Self {
+            joins: registry.counter("cluster_joins_total"),
+            leaves: registry.counter("cluster_leaves_total"),
+            faults: registry.counter("cluster_faults_total"),
+            accept_errors: registry.counter("cluster_accept_errors_total"),
         }
     }
 }
@@ -80,11 +104,64 @@ impl CoordState {
 struct Shared {
     spec: ClusterSpec,
     state: Mutex<CoordState>,
+    /// The paper's exact message accounting (`Y` / `Yᵢ`), on the same
+    /// lock-free `dds-obs` cells the rest of the workspace counts with.
+    /// Recording does not take the state lock.
+    counters: AtomicMessageCounters,
+    registry: Arc<Registry>,
+    obs: CoordObs,
     stop: AtomicBool,
     stopped: Mutex<bool>,
     stopped_cv: Condvar,
     conns: Mutex<Vec<(Stream, JoinHandle<()>)>>,
     endpoint: Endpoint,
+}
+
+/// The coordinator's full telemetry: its registry (lifecycle counters,
+/// events) plus the exact per-site protocol message/byte tallies and
+/// protocol-state gauges.
+fn build_telemetry(shared: &Shared) -> TelemetrySnapshot {
+    let mut snap = shared.registry.snapshot();
+    {
+        let state = shared.state.lock().expect("coordinator state");
+        snap.push_gauge("cluster_now_slot", &[], state.now.0);
+        snap.push_gauge(
+            "cluster_joined_sites",
+            &[],
+            state.live_sites(shared.spec.k) as u64,
+        );
+        snap.push_gauge(
+            "cluster_memory_tuples",
+            &[],
+            state.machine.memory_tuples() as u64,
+        );
+    }
+    let counters = shared.counters.snapshot();
+    for i in 0..shared.spec.k {
+        let site = i.to_string();
+        let labels = [("site", site.as_str())];
+        snap.push_counter(
+            "cluster_up_msgs_total",
+            &labels,
+            counters.up_messages_for(SiteId(i)),
+        );
+        snap.push_counter(
+            "cluster_down_msgs_total",
+            &labels,
+            counters.down_messages_for(SiteId(i)),
+        );
+        snap.push_counter(
+            "cluster_up_bytes_total",
+            &labels,
+            counters.up_bytes_for(SiteId(i)),
+        );
+        snap.push_counter(
+            "cluster_down_bytes_total",
+            &labels,
+            counters.down_bytes_for(SiteId(i)),
+        );
+    }
+    snap
 }
 
 impl Shared {
@@ -134,16 +211,20 @@ impl ClusterCoordinator {
     fn serve(listener: Listener, spec: ClusterSpec) -> std::io::Result<ClusterCoordinator> {
         let endpoint = listener.endpoint();
         let k = spec.k;
+        let registry = Arc::new(Registry::new());
+        let obs = CoordObs::register(&registry);
         let shared = Arc::new(Shared {
             state: Mutex::new(CoordState {
                 machine: CoordMachine::new(&spec),
-                counters: MessageCounters::new(k),
                 now: Slot(0),
                 joined: vec![false; k],
                 departed: vec![false; k],
                 failed: vec![false; k],
             }),
             spec,
+            counters: AtomicMessageCounters::new(k),
+            registry,
+            obs,
             stop: AtomicBool::new(false),
             stopped: Mutex::new(false),
             stopped_cv: Condvar::new(),
@@ -158,6 +239,7 @@ impl ClusterCoordinator {
                     if accept_shared.stop.load(Ordering::SeqCst) {
                         break;
                     }
+                    accept_shared.obs.accept_errors.inc();
                     std::thread::sleep(std::time::Duration::from_millis(10));
                     continue;
                 }
@@ -203,7 +285,21 @@ impl ClusterCoordinator {
             .state
             .lock()
             .expect("coordinator state")
-            .stats(self.shared.spec.k)
+            .stats(self.shared.spec.k, &self.shared.counters)
+    }
+
+    /// Local telemetry snapshot — what a control connection's
+    /// `Telemetry` would answer.
+    #[must_use]
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        build_telemetry(&self.shared)
+    }
+
+    /// The coordinator's metric registry (lifecycle counters and the
+    /// structured event ring).
+    #[must_use]
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.shared.registry
     }
 
     /// Block until a control connection sends `Shutdown` (how the
@@ -311,11 +407,18 @@ fn admit_site(
     if site.0 >= shared.spec.k {
         return Err(ClusterError::UnknownSite(site));
     }
-    let mut state = shared.state.lock().expect("coordinator state");
-    if state.joined[site.0] {
-        return Err(ClusterError::DuplicateSite(site));
+    {
+        let mut state = shared.state.lock().expect("coordinator state");
+        if state.joined[site.0] {
+            return Err(ClusterError::DuplicateSite(site));
+        }
+        state.joined[site.0] = true;
     }
-    state.joined[site.0] = true;
+    shared.obs.joins.inc();
+    shared
+        .registry
+        .events()
+        .note("site_join", format!("site {} joined", site.0));
     Ok(ClusterResponse::Welcome { k: shared.spec.k })
 }
 
@@ -327,26 +430,40 @@ fn serve_site(shared: &Arc<Shared>, framed: &mut Framed, site: SiteId) {
         if shared.stop.load(Ordering::SeqCst) {
             return;
         }
-        let mut state = shared.state.lock().expect("coordinator state");
-        if !state.departed[site.0] {
-            state.failed[site.0] = true;
+        let newly_failed = {
+            let mut state = shared.state.lock().expect("coordinator state");
+            if state.departed[site.0] || state.failed[site.0] {
+                false
+            } else {
+                state.failed[site.0] = true;
+                true
+            }
+        };
+        if newly_failed {
+            shared.obs.faults.inc();
+            shared.registry.events().note(
+                "site_fault",
+                format!("site {} failed without Leave", site.0),
+            );
         }
     };
     loop {
         match framed.recv_request() {
             Ok(Some(ClusterRequest::Up(up))) => {
+                shared
+                    .counters
+                    .record(Direction::Up, site, up.protocol_bytes());
                 let outcome = {
                     let mut state = shared.state.lock().expect("coordinator state");
-                    state
-                        .counters
-                        .record(Direction::Up, site, up.protocol_bytes());
                     let now = state.now;
                     match state.machine.handle(site, up, now) {
                         Ok(downs) => {
                             for down in &downs {
-                                state
-                                    .counters
-                                    .record(Direction::Down, site, down.protocol_bytes());
+                                shared.counters.record(
+                                    Direction::Down,
+                                    site,
+                                    down.protocol_bytes(),
+                                );
                             }
                             Ok(ClusterResponse::Downs { downs })
                         }
@@ -361,6 +478,11 @@ fn serve_site(shared: &Arc<Shared>, framed: &mut Framed, site: SiteId) {
             }
             Ok(Some(ClusterRequest::Leave)) => {
                 shared.state.lock().expect("coordinator state").departed[site.0] = true;
+                shared.obs.leaves.inc();
+                shared
+                    .registry
+                    .events()
+                    .note("site_leave", format!("site {} left gracefully", site.0));
                 let _ = framed.send_outcome(&Ok(ClusterResponse::Goodbye));
                 return;
             }
@@ -418,9 +540,12 @@ fn serve_control(shared: &Arc<Shared>, framed: &mut Framed) {
             ClusterRequest::Stats => {
                 let state = shared.state.lock().expect("coordinator state");
                 Ok(ClusterResponse::Stats {
-                    stats: state.stats(shared.spec.k),
+                    stats: state.stats(shared.spec.k, &shared.counters),
                 })
             }
+            ClusterRequest::Telemetry => Ok(ClusterResponse::Telemetry {
+                snapshot: build_telemetry(shared),
+            }),
             ClusterRequest::Shutdown => {
                 let _ = framed.send_outcome(&Ok(ClusterResponse::Goodbye));
                 shared.begin_stop();

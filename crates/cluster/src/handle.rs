@@ -25,6 +25,39 @@ use dds_sim::{Element, SiteId, Slot};
 
 use crate::conn::Framed;
 
+/// Fetch a running coordinator's telemetry over a one-shot control
+/// connection — what `dds-cluster-node telemetry` uses, so an operator
+/// can scrape a live deployment without holding site channels.
+///
+/// # Errors
+/// Transport errors, [`ClusterError::ConfigMismatch`] on a spec digest
+/// mismatch, or protocol errors if the peer answers off-script.
+pub fn fetch_telemetry(
+    coordinator: &Endpoint,
+    spec: &ClusterSpec,
+) -> Result<dds_obs::TelemetrySnapshot, ClusterError> {
+    let stream = coordinator
+        .connect()
+        .map_err(|e| ClusterError::Transport(e.to_string()))?;
+    let mut control = Framed::new(stream)?;
+    match control.call(&ClusterRequest::Control {
+        digest: spec.digest(),
+    })? {
+        ClusterResponse::Welcome { .. } => {}
+        other => {
+            return Err(ClusterError::Protocol(format!(
+                "expected Welcome to Control, got {other:?}"
+            )))
+        }
+    }
+    match control.call(&ClusterRequest::Telemetry)? {
+        ClusterResponse::Telemetry { snapshot } => Ok(snapshot),
+        other => Err(ClusterError::Protocol(format!(
+            "expected Telemetry reply, got {other:?}"
+        ))),
+    }
+}
+
 /// A typed driver for one coordinator and its `k` site daemons.
 pub struct ClusterHandle {
     control: Framed,
@@ -232,6 +265,41 @@ impl ClusterHandle {
             ClusterResponse::Stats { stats } => Ok(stats),
             other => Err(ClusterError::Protocol(format!(
                 "expected Stats reply, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The coordinator's telemetry snapshot: lifecycle counters,
+    /// per-site protocol message/byte totals, protocol-state gauges,
+    /// and recent structured events.
+    ///
+    /// # Errors
+    /// Transport or protocol errors on the control channel.
+    pub fn telemetry(&mut self) -> Result<dds_obs::TelemetrySnapshot, ClusterError> {
+        match self.control.call(&ClusterRequest::Telemetry)? {
+            ClusterResponse::Telemetry { snapshot } => Ok(snapshot),
+            other => Err(ClusterError::Protocol(format!(
+                "expected Telemetry reply, got {other:?}"
+            ))),
+        }
+    }
+
+    /// One site daemon's telemetry snapshot over its driver channel.
+    ///
+    /// # Errors
+    /// Transport or protocol errors on that site's driver channel.
+    pub fn site_telemetry(
+        &mut self,
+        site: SiteId,
+    ) -> Result<dds_obs::TelemetrySnapshot, ClusterError> {
+        let conn = self
+            .sites
+            .get_mut(site.0)
+            .ok_or(ClusterError::UnknownSite(site))?;
+        match conn.call(&ClusterRequest::SiteTelemetry)? {
+            ClusterResponse::Telemetry { snapshot } => Ok(snapshot),
+            other => Err(ClusterError::Protocol(format!(
+                "expected Telemetry reply, got {other:?}"
             ))),
         }
     }

@@ -49,7 +49,7 @@ mod machine;
 mod site;
 
 pub use coordinator::ClusterCoordinator;
-pub use handle::ClusterHandle;
+pub use handle::{fetch_telemetry, ClusterHandle};
 pub use local::{LocalCluster, ProcessCluster};
 pub use site::SiteDaemon;
 

@@ -20,7 +20,9 @@ use std::collections::VecDeque;
 use std::net::SocketAddr;
 #[cfg(unix)]
 use std::path::Path;
+use std::sync::Arc;
 
+use dds_obs::{Counter, Histogram, Registry, TelemetrySnapshot};
 use dds_proto::cluster::{
     ClusterError, ClusterRequest, ClusterResponse, ClusterSpec, SiteDaemonStats, SiteUp,
 };
@@ -30,17 +32,41 @@ use dds_sim::{Element, SiteId, Slot};
 use crate::conn::Framed;
 use crate::machine::SiteMachine;
 
+/// The site daemon's accounting, registered under its own registry so
+/// a driver's `SiteTelemetry` sees exactly what [`SiteDaemon::stats`]
+/// reports — same cells, no second bookkeeping path.
+struct SiteObs {
+    observations: Counter,
+    up_msgs: Counter,
+    down_msgs: Counter,
+    up_bytes: Counter,
+    down_bytes: Counter,
+    settle_nanos: Histogram,
+}
+
+impl SiteObs {
+    fn register(registry: &Registry, id: SiteId) -> Self {
+        let site = id.0.to_string();
+        let labels = [("site", site.as_str())];
+        Self {
+            observations: registry.counter_with("site_observations_total", &labels),
+            up_msgs: registry.counter_with("site_up_msgs_total", &labels),
+            down_msgs: registry.counter_with("site_down_msgs_total", &labels),
+            up_bytes: registry.counter_with("site_up_bytes_total", &labels),
+            down_bytes: registry.counter_with("site_down_bytes_total", &labels),
+            settle_nanos: registry.histogram_with("site_settle_nanos", &labels),
+        }
+    }
+}
+
 /// One site of a distributed deployment: local sampler state plus the
 /// coordinator uplink.
 pub struct SiteDaemon {
     id: SiteId,
     machine: SiteMachine,
     now: Slot,
-    observations: u64,
-    up_msgs: u64,
-    down_msgs: u64,
-    up_bytes: u64,
-    down_bytes: u64,
+    registry: Arc<Registry>,
+    obs: SiteObs,
     coord: Framed,
 }
 
@@ -94,17 +120,18 @@ impl SiteDaemon {
             site: id,
             digest: spec.digest(),
         })? {
-            ClusterResponse::Welcome { k } if k == spec.k => Ok(SiteDaemon {
-                id,
-                machine: SiteMachine::new(spec),
-                now: Slot(0),
-                observations: 0,
-                up_msgs: 0,
-                down_msgs: 0,
-                up_bytes: 0,
-                down_bytes: 0,
-                coord,
-            }),
+            ClusterResponse::Welcome { k } if k == spec.k => {
+                let registry = Arc::new(Registry::new());
+                let obs = SiteObs::register(&registry, id);
+                Ok(SiteDaemon {
+                    id,
+                    machine: SiteMachine::new(spec),
+                    now: Slot(0),
+                    registry,
+                    obs,
+                    coord,
+                })
+            }
             ClusterResponse::Welcome { k } => Err(ClusterError::Protocol(format!(
                 "coordinator runs k={k} but this site expected k={}",
                 spec.k
@@ -128,7 +155,7 @@ impl SiteDaemon {
     /// Transport errors talking to the coordinator, or a typed protocol
     /// error if the exchange goes off-script.
     pub fn observe(&mut self, e: Element) -> Result<(), ClusterError> {
-        self.observations += 1;
+        self.obs.observations.inc();
         let ups = self.machine.observe(e, self.now);
         self.settle(ups)
     }
@@ -157,14 +184,18 @@ impl SiteDaemon {
     /// order to `dds_sim::Cluster` settling an in-process batch.
     fn settle(&mut self, ups: Vec<SiteUp>) -> Result<(), ClusterError> {
         let mut queue: VecDeque<SiteUp> = ups.into();
+        if queue.is_empty() {
+            return Ok(());
+        }
+        let start = dds_obs::maybe_now();
         while let Some(up) = queue.pop_front() {
-            self.up_msgs += 1;
-            self.up_bytes += up.protocol_bytes() as u64;
+            self.obs.up_msgs.inc();
+            self.obs.up_bytes.add(up.protocol_bytes() as u64);
             match self.coord.call(&ClusterRequest::Up(up))? {
                 ClusterResponse::Downs { downs } => {
                     for down in downs {
-                        self.down_msgs += 1;
-                        self.down_bytes += down.protocol_bytes() as u64;
+                        self.obs.down_msgs.inc();
+                        self.obs.down_bytes.add(down.protocol_bytes() as u64);
                         queue.extend(self.machine.handle(down, self.now)?);
                     }
                 }
@@ -175,6 +206,13 @@ impl SiteDaemon {
                 }
             }
         }
+        let nanos = dds_obs::nanos_since(start);
+        self.obs.settle_nanos.observe(nanos);
+        self.registry
+            .events()
+            .record_slow("slow_settle", nanos, || {
+                format!("site {} settle round took {nanos} ns", self.id.0)
+            });
         Ok(())
     }
 
@@ -184,13 +222,35 @@ impl SiteDaemon {
         SiteDaemonStats {
             site: self.id,
             now: self.now,
-            observations: self.observations,
+            observations: self.obs.observations.get(),
             memory_tuples: self.machine.memory_tuples(),
-            up_msgs: self.up_msgs,
-            down_msgs: self.down_msgs,
-            up_bytes: self.up_bytes,
-            down_bytes: self.down_bytes,
+            up_msgs: self.obs.up_msgs.get(),
+            down_msgs: self.obs.down_msgs.get(),
+            up_bytes: self.obs.up_bytes.get(),
+            down_bytes: self.obs.down_bytes.get(),
         }
+    }
+
+    /// Local telemetry snapshot — the registry (counters, settle-latency
+    /// histogram, events) plus protocol-state gauges.
+    #[must_use]
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        let mut snap = self.registry.snapshot();
+        let site = self.id.0.to_string();
+        let labels = [("site", site.as_str())];
+        snap.push_gauge("site_now_slot", &labels, self.now.0);
+        snap.push_gauge(
+            "site_memory_tuples",
+            &labels,
+            self.machine.memory_tuples() as u64,
+        );
+        snap
+    }
+
+    /// The daemon's metric registry.
+    #[must_use]
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Leave the cluster gracefully; the coordinator marks this site
@@ -235,6 +295,9 @@ impl SiteDaemon {
                 }
                 ClusterRequest::SiteStats => Ok(ClusterResponse::SiteStats {
                     stats: self.stats(),
+                }),
+                ClusterRequest::SiteTelemetry => Ok(ClusterResponse::Telemetry {
+                    snapshot: self.telemetry(),
                 }),
                 ClusterRequest::SiteShutdown => {
                     let left = self.leave();

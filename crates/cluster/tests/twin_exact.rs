@@ -245,6 +245,75 @@ fn local_cluster_is_byte_exact_with_sim_twin_sliding_multi() {
 }
 
 #[test]
+fn telemetry_per_site_totals_are_byte_exact_with_sim_twin() {
+    // The wire-fetched telemetry snapshot is a third independent view
+    // of the protocol accounting (after ClusterStats and the site
+    // daemons' local tallies). Its per-site message/byte counters must
+    // be byte-identical to the in-process simulator's, for every k.
+    for k in [1usize, 2, 4, 8] {
+        let spec = ClusterSpec::new(SamplerSpec::new(SamplerKind::Infinite, 8, 555), k);
+        let mut cluster = LocalCluster::spawn(spec).expect("spawn cluster");
+        let mut twin = Twin::new(&spec);
+        drive(cluster.handle(), &mut twin, &spec, 800, 160, 0, 400);
+        let snap = cluster.handle().telemetry().expect("telemetry");
+        if !dds_obs::IS_NOOP {
+            let counters = twin.counters();
+            for i in 0..k {
+                let site = SiteId(i);
+                let label = i.to_string();
+                let labels = [("site", label.as_str())];
+                assert_eq!(
+                    snap.counter_value("cluster_up_msgs_total", &labels),
+                    Some(counters.up_messages_for(site)),
+                    "k={k} site {i} up messages"
+                );
+                assert_eq!(
+                    snap.counter_value("cluster_down_msgs_total", &labels),
+                    Some(counters.down_messages_for(site)),
+                    "k={k} site {i} down messages"
+                );
+                assert_eq!(
+                    snap.counter_value("cluster_up_bytes_total", &labels),
+                    Some(counters.up_bytes_for(site)),
+                    "k={k} site {i} up bytes"
+                );
+                assert_eq!(
+                    snap.counter_value("cluster_down_bytes_total", &labels),
+                    Some(counters.down_bytes_for(site)),
+                    "k={k} site {i} down bytes"
+                );
+                // The site daemon's own registry is a fourth tally of
+                // the same wire — fetched over its driver channel.
+                let site_snap = cluster
+                    .handle()
+                    .site_telemetry(site)
+                    .expect("site telemetry");
+                assert_eq!(
+                    site_snap.counter_value("site_up_msgs_total", &labels),
+                    Some(counters.up_messages_for(site)),
+                    "k={k} site {i} daemon up messages"
+                );
+                assert_eq!(
+                    site_snap.counter_value("site_down_bytes_total", &labels),
+                    Some(counters.down_bytes_for(site)),
+                    "k={k} site {i} daemon down bytes"
+                );
+            }
+            assert_eq!(
+                snap.counter_total("cluster_joins_total"),
+                k as u64,
+                "k={k} join counter"
+            );
+            assert_eq!(
+                snap.gauge_value("cluster_joined_sites", &[]),
+                Some(k as u64)
+            );
+        }
+        cluster.shutdown().expect("graceful shutdown");
+    }
+}
+
+#[test]
 fn k1_cluster_matches_the_fused_sampler() {
     // With one site, the deployment must equal the fused in-process
     // sampler: same sample, same threshold, and the wire's message

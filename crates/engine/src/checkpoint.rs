@@ -343,16 +343,15 @@ impl Engine {
                     parked,
                 })
                 .expect("shard worker alive");
-            use std::sync::atomic::Ordering::Relaxed;
             let [elements, batches, advances, evictions, snapshots, snapshot_nanos, backpressure] =
                 record.counters;
-            shard.metrics.elements.store(elements, Relaxed);
-            shard.metrics.batches.store(batches, Relaxed);
-            shard.metrics.advances.store(advances, Relaxed);
-            shard.metrics.evictions.store(evictions, Relaxed);
-            shard.metrics.snapshots.store(snapshots, Relaxed);
-            shard.metrics.snapshot_nanos.store(snapshot_nanos, Relaxed);
-            shard.metrics.backpressure.store(backpressure, Relaxed);
+            shard.metrics.elements.set(elements);
+            shard.metrics.batches.set(batches);
+            shard.metrics.advances.set(advances);
+            shard.metrics.evictions.set(evictions);
+            shard.metrics.snapshots.set(snapshots);
+            shard.metrics.snapshot_nanos.set(snapshot_nanos);
+            shard.metrics.backpressure.set(backpressure);
         }
         // Barrier: the Installs have landed (and the tenant/watermark
         // gauges are set) before the engine is handed to the caller.

@@ -75,6 +75,7 @@ use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 
 use dds_core::sampler::{DistinctSampler, SamplerSpec};
 use dds_hash::splitmix::splitmix64_keyed;
+use dds_obs::{Registry, TelemetrySnapshot};
 use dds_sim::{Element, Slot};
 
 use metrics::ShardMetrics;
@@ -228,6 +229,8 @@ pub struct Engine {
     shards: Vec<Shard>,
     spec: SamplerSpec,
     queue_capacity: usize,
+    /// The engine-owned metric registry every shard records into.
+    registry: Arc<Registry>,
     /// Set (once) by [`Engine::begin_shutdown`]; afterwards every
     /// fallible method answers [`EngineError::ShutDown`].
     down: AtomicBool,
@@ -242,10 +245,11 @@ impl Engine {
     pub fn spawn(config: EngineConfig) -> Self {
         assert!(config.shards >= 1, "need at least one shard");
         assert!(config.queue_capacity >= 1, "queue capacity must be ≥ 1");
+        let registry = Arc::new(Registry::new());
         let shards = (0..config.shards)
-            .map(|_| {
+            .map(|i| {
                 let (tx, rx) = bounded::<ShardCmd>(config.queue_capacity);
-                let metrics = Arc::new(ShardMetrics::default());
+                let metrics = Arc::new(ShardMetrics::register(&registry, i));
                 let worker_metrics = Arc::clone(&metrics);
                 let spec = config.spec;
                 let handle = std::thread::spawn(move || shard_loop(&rx, spec, &worker_metrics));
@@ -260,6 +264,7 @@ impl Engine {
             shards,
             spec: config.spec,
             queue_capacity: config.queue_capacity,
+            registry,
             down: AtomicBool::new(false),
         }
     }
@@ -311,10 +316,7 @@ impl Engine {
         match shard.tx.try_send(cmd) {
             Ok(()) => Ok(()),
             Err(TrySendError::Full(cmd)) => {
-                shard
-                    .metrics
-                    .backpressure
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                shard.metrics.backpressure.inc();
                 shard.tx.send(cmd).map_err(|_| self.down_error(idx))
             }
             Err(TrySendError::Disconnected(_)) => Err(self.down_error(idx)),
@@ -705,6 +707,27 @@ impl Engine {
         }
     }
 
+    /// The engine's metric registry — every shard's counters, gauges,
+    /// histograms, and the slow-op event ring live here, readable (or
+    /// further instrumented) by embedding layers.
+    #[must_use]
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// A point-in-time telemetry snapshot of the whole registry —
+    /// queue-depth gauges are refreshed first, so the export is as
+    /// current as [`Engine::metrics`]. This is the payload behind the
+    /// wire protocol's `Telemetry` request. Readable even after
+    /// shutdown.
+    #[must_use]
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        for shard in &self.shards {
+            shard.metrics.queue_depth.set(shard.tx.len() as u64);
+        }
+        self.registry.snapshot()
+    }
+
     /// Stop all workers and return the final accounting (the consuming
     /// wrapper over [`Engine::begin_shutdown`]).
     ///
@@ -721,11 +744,13 @@ impl Engine {
 /// worker as it answers (so a slow sibling shard cannot skew another
 /// shard's numbers).
 fn record_snapshot_latency(metrics: &ShardMetrics, enqueued: Instant) {
-    use std::sync::atomic::Ordering::Relaxed;
-    metrics.snapshots.fetch_add(1, Relaxed);
-    metrics
-        .snapshot_nanos
-        .fetch_add(enqueued.elapsed().as_nanos() as u64, Relaxed);
+    let nanos = enqueued.elapsed().as_nanos() as u64;
+    metrics.snapshots.inc();
+    metrics.snapshot_nanos.add(nanos);
+    metrics.snapshot_latency.observe(nanos);
+    metrics.events.record_slow("slow_snapshot", nanos, || {
+        format!("snapshot query took {nanos} ns (queue wait + service)")
+    });
 }
 
 /// Rehydrate a parked tenant: rebuild the sampler from its eviction
@@ -743,7 +768,6 @@ fn rehydrate(blob: &[u8], watermark: Slot) -> Box<dyn DistinctSampler> {
 /// blobs, and the shard watermark outright; returns the final tenant
 /// count (live + parked) on shutdown.
 fn shard_loop(rx: &Receiver<ShardCmd>, spec: SamplerSpec, metrics: &ShardMetrics) -> usize {
-    use std::sync::atomic::Ordering::Relaxed;
     let mut tenants: HashMap<u64, Box<dyn DistinctSampler>> = HashMap::new();
     // Tenants evicted by Advance once their window drained: tenant id →
     // final-state checkpoint blob. A later observe or query rehydrates
@@ -773,45 +797,62 @@ fn shard_loop(rx: &Receiver<ShardCmd>, spec: SamplerSpec, metrics: &ShardMetrics
     while let Ok(cmd) = rx.recv() {
         match cmd {
             ShardCmd::One(tenant, e) => {
-                metrics.batches.fetch_add(1, Relaxed);
-                metrics.elements.fetch_add(1, Relaxed);
+                // The allocation-free fast path stays clock-free: two
+                // counter bumps, no histogram, no Instant reads.
+                metrics.batches.inc();
+                metrics.elements.inc();
                 live(&mut tenants, &mut parked, spec, watermark, tenant).observe(e);
-                metrics.tenants.store(tenants.len() + parked.len(), Relaxed);
+                metrics.tenants.set((tenants.len() + parked.len()) as u64);
             }
             ShardCmd::OneAt(tenant, e, now) => {
-                metrics.batches.fetch_add(1, Relaxed);
-                metrics.elements.fetch_add(1, Relaxed);
+                metrics.batches.inc();
+                metrics.elements.inc();
                 if now > watermark {
                     watermark = now;
-                    metrics.watermark.store(watermark.0, Relaxed);
+                    metrics.watermark.set(watermark.0);
                 }
                 live(&mut tenants, &mut parked, spec, watermark, tenant).observe_at(e, now);
-                metrics.tenants.store(tenants.len() + parked.len(), Relaxed);
+                metrics.tenants.set((tenants.len() + parked.len()) as u64);
             }
             ShardCmd::Batch(batch) => {
-                metrics.batches.fetch_add(1, Relaxed);
-                metrics.elements.fetch_add(batch.len() as u64, Relaxed);
+                let start = dds_obs::maybe_now();
+                metrics.batches.inc();
+                metrics.elements.add(batch.len() as u64);
+                metrics.batch_elements.observe(batch.len() as u64);
                 for (tenant, e) in batch {
                     live(&mut tenants, &mut parked, spec, watermark, tenant).observe(e);
                 }
-                metrics.tenants.store(tenants.len() + parked.len(), Relaxed);
+                metrics.tenants.set((tenants.len() + parked.len()) as u64);
+                let nanos = dds_obs::nanos_since(start);
+                metrics.batch_nanos.observe(nanos);
+                metrics.events.record_slow("slow_batch", nanos, || {
+                    format!("ingest batch took {nanos} ns")
+                });
             }
             ShardCmd::BatchAt(now, batch) => {
-                metrics.batches.fetch_add(1, Relaxed);
-                metrics.elements.fetch_add(batch.len() as u64, Relaxed);
+                let start = dds_obs::maybe_now();
+                metrics.batches.inc();
+                metrics.elements.add(batch.len() as u64);
+                metrics.batch_elements.observe(batch.len() as u64);
                 if now > watermark {
                     watermark = now;
-                    metrics.watermark.store(watermark.0, Relaxed);
+                    metrics.watermark.set(watermark.0);
                 }
                 for (tenant, e) in batch {
                     live(&mut tenants, &mut parked, spec, watermark, tenant).observe_at(e, now);
                 }
-                metrics.tenants.store(tenants.len() + parked.len(), Relaxed);
+                metrics.tenants.set((tenants.len() + parked.len()) as u64);
+                let nanos = dds_obs::nanos_since(start);
+                metrics.batch_nanos.observe(nanos);
+                metrics.events.record_slow("slow_batch", nanos, || {
+                    format!("timestamped ingest batch took {nanos} ns")
+                });
             }
             ShardCmd::Advance(now) => {
+                let start = dds_obs::maybe_now();
                 if now > watermark {
                     watermark = now;
-                    metrics.watermark.store(watermark.0, Relaxed);
+                    metrics.watermark.set(watermark.0);
                 }
                 // Eager: idle tenants expire their candidates *now*, not
                 // at their next query — this is the memory-reclaim path.
@@ -834,10 +875,15 @@ fn shard_loop(rx: &Receiver<ShardCmd>, spec: SamplerSpec, metrics: &ShardMetrics
                         let mut blob = Vec::new();
                         sampler.checkpoint(&mut blob);
                         parked.insert(t, blob);
-                        metrics.evictions.fetch_add(1, Relaxed);
+                        metrics.evictions.inc();
                     }
                 }
-                metrics.advances.fetch_add(1, Relaxed);
+                metrics.advances.inc();
+                let nanos = dds_obs::nanos_since(start);
+                metrics.advance_nanos.observe(nanos);
+                metrics.events.record_slow("slow_advance", nanos, || {
+                    format!("clock advance to slot {} took {nanos} ns", watermark.0)
+                });
             }
             ShardCmd::Query {
                 tenant,
@@ -848,7 +894,7 @@ fn shard_loop(rx: &Receiver<ShardCmd>, spec: SamplerSpec, metrics: &ShardMetrics
                 if let Some(now) = at {
                     if now > watermark {
                         watermark = now;
-                        metrics.watermark.store(watermark.0, Relaxed);
+                        metrics.watermark.set(watermark.0);
                     }
                 }
                 let known = tenants.contains_key(&tenant.0) || parked.contains_key(&tenant.0);
@@ -872,7 +918,7 @@ fn shard_loop(rx: &Receiver<ShardCmd>, spec: SamplerSpec, metrics: &ShardMetrics
                 if let Some(now) = at {
                     if now > watermark {
                         watermark = now;
-                        metrics.watermark.store(watermark.0, Relaxed);
+                        metrics.watermark.set(watermark.0);
                     }
                 }
                 // Unordered: the engine sorts the merged result once.
@@ -912,7 +958,7 @@ fn shard_loop(rx: &Receiver<ShardCmd>, spec: SamplerSpec, metrics: &ShardMetrics
             } => {
                 if restored_watermark > watermark {
                     watermark = restored_watermark;
-                    metrics.watermark.store(watermark.0, Relaxed);
+                    metrics.watermark.set(watermark.0);
                 }
                 for (t, sampler) in restored_live {
                     tenants.insert(t, sampler);
@@ -920,7 +966,7 @@ fn shard_loop(rx: &Receiver<ShardCmd>, spec: SamplerSpec, metrics: &ShardMetrics
                 for (t, blob) in restored_parked {
                     parked.insert(t, blob);
                 }
-                metrics.tenants.store(tenants.len() + parked.len(), Relaxed);
+                metrics.tenants.set((tenants.len() + parked.len()) as u64);
             }
             ShardCmd::Flush { reply } => {
                 let _ = reply.send(());

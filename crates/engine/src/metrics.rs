@@ -1,52 +1,95 @@
 //! Per-shard operational metrics.
 //!
-//! Shard workers and ingest callers record into [`ShardMetrics`] with
-//! relaxed atomics (the same no-locks-on-the-hot-path rule as
-//! `dds_sim::AtomicMessageCounters`); [`Engine::metrics`] materializes
-//! [`ShardMetricsSnapshot`]s and wraps them in an [`EngineMetrics`] for
-//! aggregate queries and table rendering.
+//! Shard workers and ingest callers record into [`ShardMetrics`] — a
+//! bundle of [`dds_obs`] handles (lock-free counters, gauges, and
+//! histograms) registered under the engine's [`Registry`] with a
+//! `shard` label, so the same counters feed both the historical
+//! [`EngineMetrics`] tables and the wire-exposed telemetry snapshot.
+//! [`Engine::metrics`] materializes [`ShardMetricsSnapshot`]s and wraps
+//! them in an [`EngineMetrics`] for aggregate queries and table
+//! rendering; [`Engine::telemetry`] exports the whole registry.
 //!
 //! [`Engine::metrics`]: crate::Engine::metrics
+//! [`Engine::telemetry`]: crate::Engine::telemetry
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use dds_obs::{Counter, EventRing, Gauge, Histogram, Registry};
 
-/// Live (shared, atomic) counters of one shard.
-#[derive(Debug, Default)]
+/// Live (shared, lock-free) counters of one shard, as registered
+/// handles: cloning a handle shares the cell, and the registry renders
+/// the same cells into telemetry snapshots.
+#[derive(Debug)]
 pub(crate) struct ShardMetrics {
     /// Ingest batches processed by the worker.
-    pub(crate) batches: AtomicU64,
+    pub(crate) batches: Counter,
     /// Elements processed by the worker.
-    pub(crate) elements: AtomicU64,
+    pub(crate) elements: Counter,
     /// Snapshot queries answered (single-tenant and whole-shard alike).
-    pub(crate) snapshots: AtomicU64,
+    pub(crate) snapshots: Counter,
     /// Total caller-observed snapshot latency, nanoseconds.
-    pub(crate) snapshot_nanos: AtomicU64,
+    pub(crate) snapshot_nanos: Counter,
     /// Ingest sends that found the shard queue full and had to block.
-    pub(crate) backpressure: AtomicU64,
+    pub(crate) backpressure: Counter,
     /// Tenants currently hosted (gauge, maintained by the worker).
-    pub(crate) tenants: AtomicUsize,
+    pub(crate) tenants: Gauge,
     /// Explicit clock-advance commands processed by the worker.
-    pub(crate) advances: AtomicU64,
+    pub(crate) advances: Counter,
     /// Drained idle tenants parked as checkpoint blobs by
     /// [`Engine::advance`](crate::Engine::advance)-driven eviction.
-    pub(crate) evictions: AtomicU64,
+    pub(crate) evictions: Counter,
     /// Highest slot the shard has seen (gauge, maintained by the worker).
-    pub(crate) watermark: AtomicU64,
+    pub(crate) watermark: Gauge,
+    /// Commands queued (gauge, refreshed at snapshot/telemetry time).
+    pub(crate) queue_depth: Gauge,
+    /// Elements per ingest batch.
+    pub(crate) batch_elements: Histogram,
+    /// Worker-side batch service time, nanoseconds.
+    pub(crate) batch_nanos: Histogram,
+    /// Queue-wait + service time per snapshot query, nanoseconds.
+    pub(crate) snapshot_latency: Histogram,
+    /// Worker-side clock-advance (expiry sweep) time, nanoseconds.
+    pub(crate) advance_nanos: Histogram,
+    /// The engine registry's slow-op / lifecycle event ring.
+    pub(crate) events: EventRing,
 }
 
 impl ShardMetrics {
+    /// Register one shard's handles under `registry`, labelled
+    /// `shard=<idx>`.
+    pub(crate) fn register(registry: &Registry, shard: usize) -> Self {
+        let label: [(&str, String); 1] = [("shard", shard.to_string())];
+        let labels: Vec<(&str, &str)> = label.iter().map(|(k, v)| (*k, v.as_str())).collect();
+        Self {
+            batches: registry.counter_with("engine_batches_total", &labels),
+            elements: registry.counter_with("engine_elements_total", &labels),
+            snapshots: registry.counter_with("engine_snapshots_total", &labels),
+            snapshot_nanos: registry.counter_with("engine_snapshot_nanos_total", &labels),
+            backpressure: registry.counter_with("engine_backpressure_total", &labels),
+            tenants: registry.gauge_with("engine_tenants", &labels),
+            advances: registry.counter_with("engine_advances_total", &labels),
+            evictions: registry.counter_with("engine_evictions_total", &labels),
+            watermark: registry.gauge_with("engine_watermark_slot", &labels),
+            queue_depth: registry.gauge_with("engine_queue_depth", &labels),
+            batch_elements: registry.histogram_with("engine_batch_elements", &labels),
+            batch_nanos: registry.histogram_with("engine_batch_nanos", &labels),
+            snapshot_latency: registry.histogram_with("engine_snapshot_nanos", &labels),
+            advance_nanos: registry.histogram_with("engine_advance_nanos", &labels),
+            events: registry.events().clone(),
+        }
+    }
+
     pub(crate) fn snapshot(&self, shard: usize, queue_depth: usize) -> ShardMetricsSnapshot {
+        self.queue_depth.set(queue_depth as u64);
         ShardMetricsSnapshot {
             shard,
-            batches: self.batches.load(Ordering::Relaxed),
-            elements: self.elements.load(Ordering::Relaxed),
-            snapshots: self.snapshots.load(Ordering::Relaxed),
-            snapshot_nanos: self.snapshot_nanos.load(Ordering::Relaxed),
-            backpressure: self.backpressure.load(Ordering::Relaxed),
-            tenants: self.tenants.load(Ordering::Relaxed),
-            advances: self.advances.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            watermark: self.watermark.load(Ordering::Relaxed),
+            batches: self.batches.get(),
+            elements: self.elements.get(),
+            snapshots: self.snapshots.get(),
+            snapshot_nanos: self.snapshot_nanos.get(),
+            backpressure: self.backpressure.get(),
+            tenants: self.tenants.get() as usize,
+            advances: self.advances.get(),
+            evictions: self.evictions.get(),
+            watermark: self.watermark.get(),
             queue_depth,
         }
     }
@@ -200,22 +243,34 @@ mod tests {
 
     #[test]
     fn snapshot_and_aggregates() {
-        let live = ShardMetrics::default();
-        live.batches.store(3, Ordering::Relaxed);
-        live.elements.store(300, Ordering::Relaxed);
-        live.snapshots.store(2, Ordering::Relaxed);
-        live.snapshot_nanos.store(4_000, Ordering::Relaxed);
-        live.backpressure.store(1, Ordering::Relaxed);
-        live.tenants.store(7, Ordering::Relaxed);
-        live.advances.store(4, Ordering::Relaxed);
-        live.evictions.store(2, Ordering::Relaxed);
-        live.watermark.store(99, Ordering::Relaxed);
+        let registry = Registry::new();
+        let live = ShardMetrics::register(&registry, 0);
+        live.batches.add(3);
+        live.elements.add(300);
+        live.snapshots.add(2);
+        live.snapshot_nanos.add(4_000);
+        live.backpressure.inc();
+        live.tenants.set(7);
+        live.advances.add(4);
+        live.evictions.add(2);
+        live.watermark.set(99);
         let snap = live.snapshot(0, 5);
+        if dds_obs::IS_NOOP {
+            return; // counters intentionally read 0 in measurement builds
+        }
         assert_eq!(snap.queue_depth, 5);
         assert!((snap.mean_snapshot_latency_ns() - 2_000.0).abs() < 1e-9);
 
+        let twin = ShardMetrics::register(&registry, 1);
+        twin.batches.add(3);
+        twin.elements.add(300);
+        twin.snapshots.add(2);
+        twin.backpressure.inc();
+        twin.tenants.set(7);
+        twin.advances.add(4);
+        twin.evictions.add(2);
         let m = EngineMetrics {
-            shards: vec![snap, live.snapshot(1, 2)],
+            shards: vec![snap, twin.snapshot(1, 2)],
         };
         assert_eq!(m.total_elements(), 600);
         assert_eq!(m.total_batches(), 6);
@@ -233,7 +288,34 @@ mod tests {
 
     #[test]
     fn latency_mean_defined_before_first_snapshot() {
-        let live = ShardMetrics::default();
+        let registry = Registry::new();
+        let live = ShardMetrics::register(&registry, 0);
         assert_eq!(live.snapshot(0, 0).mean_snapshot_latency_ns(), 0.0);
+    }
+
+    #[test]
+    fn registered_handles_feed_the_registry_snapshot() {
+        let registry = Registry::new();
+        let live = ShardMetrics::register(&registry, 3);
+        live.elements.add(41);
+        live.elements.inc();
+        live.watermark.set(17);
+        live.batch_elements.observe(10);
+        let snap = registry.snapshot();
+        if dds_obs::IS_NOOP {
+            return;
+        }
+        assert_eq!(
+            snap.counter_value("engine_elements_total", &[("shard", "3")]),
+            Some(42)
+        );
+        assert_eq!(
+            snap.gauge_value("engine_watermark_slot", &[("shard", "3")]),
+            Some(17)
+        );
+        let hist = snap
+            .histogram("engine_batch_elements", &[("shard", "3")])
+            .expect("registered");
+        assert_eq!(hist.hist.count, 1);
     }
 }

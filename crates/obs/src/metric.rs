@@ -1,0 +1,165 @@
+//! Scalar metrics: monotonic [`Counter`] and up/down [`Gauge`].
+//!
+//! Both are a single `Arc<AtomicU64>` cell recorded with relaxed
+//! ordering — the same no-locks-on-the-hot-path rule the engine's shard
+//! counters and `dds-sim`'s message counters have always followed; this
+//! module is simply the one shared implementation they now sit on.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing counter.
+///
+/// Cloning yields a handle to the *same* cell, so a recorder thread can
+/// keep its handle forever and never touch the registry again.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A fresh counter at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if !crate::IS_NOOP {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Overwrite the value — a restore/install primitive for layers
+    /// that resume a counter from checkpointed state, not a recording
+    /// operation.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if !crate::IS_NOOP {
+            self.cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 under `obs-noop`).
+    #[inline]
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can be set, raised, or lowered.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    cell: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if !crate::IS_NOOP {
+            self.cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if !crate::IS_NOOP {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Subtract `n` (wrapping, like the atomic it wraps).
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        if !crate::IS_NOOP {
+            self.cell.fetch_sub(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Raise the gauge to `v` if `v` is larger (a high-water mark).
+    #[inline]
+    pub fn record_max(&self, v: u64) {
+        if !crate::IS_NOOP {
+            self.cell.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 under `obs-noop`).
+    #[inline]
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_and_shares_cells() {
+        let c = Counter::new();
+        let c2 = c.clone();
+        c.inc();
+        c2.add(4);
+        if crate::IS_NOOP {
+            assert_eq!(c.get(), 0);
+        } else {
+            assert_eq!(c.get(), 5);
+            assert_eq!(c2.get(), 5);
+        }
+    }
+
+    #[test]
+    fn gauge_set_add_sub_max() {
+        let g = Gauge::new();
+        g.set(10);
+        g.add(5);
+        g.sub(3);
+        g.record_max(100);
+        g.record_max(7);
+        if crate::IS_NOOP {
+            assert_eq!(g.get(), 0);
+        } else {
+            assert_eq!(g.get(), 100);
+        }
+    }
+
+    #[test]
+    fn counters_sum_across_threads() {
+        let c = Counter::new();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        if !crate::IS_NOOP {
+            assert_eq!(c.get(), 4_000);
+        }
+    }
+}

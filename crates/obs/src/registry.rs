@@ -1,0 +1,213 @@
+//! The process-wide metric registry.
+//!
+//! A [`Registry`] maps `(name, labels)` to a metric cell and hands out
+//! cheap clone-handles ([`Counter`], [`Gauge`], [`Histogram`]). The
+//! maps are behind mutexes, but registration happens once per handle at
+//! setup time — recorders keep their handles and never lock. Names
+//! follow Prometheus conventions (`snake_case`, `_total` suffix for
+//! counters, `_nanos` for durations); labels are the workspace's small
+//! fixed vocabulary: `shard`, `site`, `tenant_kind`, `opcode`.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+use crate::events::EventRing;
+use crate::hist::Histogram;
+use crate::metric::{Counter, Gauge};
+use crate::snapshot::{HistogramValue, MetricValue, TelemetrySnapshot};
+
+/// A `(name, sorted labels)` metric identity.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct MetricKey {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        Self {
+            name: name.to_string(),
+            labels,
+        }
+    }
+}
+
+/// A registry of named, labelled metrics plus one event ring.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<MetricKey, Counter>>,
+    gauges: Mutex<BTreeMap<MetricKey, Gauge>>,
+    histograms: Mutex<BTreeMap<MetricKey, Histogram>>,
+    events: EventRing,
+}
+
+impl Registry {
+    /// An empty registry with a default-capacity event ring.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide registry, for components that do not carry
+    /// their own (library layers here each own one for test isolation,
+    /// but an embedding application can share this).
+    #[must_use]
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// Get or create an unlabelled counter.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counter_with(name, &[])
+    }
+
+    /// Get or create a labelled counter. Re-registering the same
+    /// `(name, labels)` returns a handle to the same cell.
+    #[must_use]
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        self.counters
+            .lock()
+            .expect("registry counters")
+            .entry(MetricKey::new(name, labels))
+            .or_default()
+            .clone()
+    }
+
+    /// Get or create an unlabelled gauge.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_with(name, &[])
+    }
+
+    /// Get or create a labelled gauge.
+    #[must_use]
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        self.gauges
+            .lock()
+            .expect("registry gauges")
+            .entry(MetricKey::new(name, labels))
+            .or_default()
+            .clone()
+    }
+
+    /// Get or create an unlabelled histogram.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_with(name, &[])
+    }
+
+    /// Get or create a labelled histogram.
+    #[must_use]
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        self.histograms
+            .lock()
+            .expect("registry histograms")
+            .entry(MetricKey::new(name, labels))
+            .or_default()
+            .clone()
+    }
+
+    /// The registry's event ring (lifecycle notes and slow-op log).
+    #[must_use]
+    pub fn events(&self) -> &EventRing {
+        &self.events
+    }
+
+    /// A point-in-time copy of everything registered, deterministically
+    /// ordered (by name, then labels) — the payload behind the wire's
+    /// `Telemetry` request.
+    #[must_use]
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let mut snap = TelemetrySnapshot::new();
+        for (key, counter) in self.counters.lock().expect("registry counters").iter() {
+            snap.counters.push(MetricValue {
+                name: key.name.clone(),
+                labels: key.labels.clone(),
+                value: counter.get(),
+            });
+        }
+        for (key, gauge) in self.gauges.lock().expect("registry gauges").iter() {
+            snap.gauges.push(MetricValue {
+                name: key.name.clone(),
+                labels: key.labels.clone(),
+                value: gauge.get(),
+            });
+        }
+        for (key, hist) in self.histograms.lock().expect("registry histograms").iter() {
+            snap.histograms.push(HistogramValue {
+                name: key.name.clone(),
+                labels: key.labels.clone(),
+                hist: hist.snapshot(),
+            });
+        }
+        snap.events = self.events.snapshot();
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reregistration_shares_the_cell() {
+        let r = Registry::new();
+        let a = r.counter_with("requests_total", &[("opcode", "observe")]);
+        let b = r.counter_with("requests_total", &[("opcode", "observe")]);
+        a.add(3);
+        b.add(4);
+        if !crate::IS_NOOP {
+            assert_eq!(a.get(), 7);
+        }
+        // Different labels are a different cell.
+        let c = r.counter_with("requests_total", &[("opcode", "advance")]);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let r = Registry::new();
+        let a = r.counter_with("m", &[("shard", "0"), ("site", "1")]);
+        let b = r.counter_with("m", &[("site", "1"), ("shard", "0")]);
+        a.inc();
+        if !crate::IS_NOOP {
+            assert_eq!(b.get(), 1);
+        }
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_and_complete() {
+        let r = Registry::new();
+        r.counter("b_total").add(2);
+        r.counter("a_total").add(1);
+        r.gauge("depth").set(5);
+        r.histogram("lat_nanos").observe(100);
+        r.events().note("boot", "hello");
+        let s1 = r.snapshot();
+        let s2 = r.snapshot();
+        assert_eq!(s1, s2);
+        assert_eq!(s1.counters.len(), 2);
+        assert_eq!(s1.counters[0].name, "a_total");
+        assert_eq!(s1.counters[1].name, "b_total");
+        assert_eq!(s1.gauges.len(), 1);
+        assert_eq!(s1.histograms.len(), 1);
+        if !crate::IS_NOOP {
+            assert_eq!(s1.events.len(), 1);
+            assert_eq!(s1.counter_total("b_total"), 2);
+        }
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        let a = Registry::global();
+        let b = Registry::global();
+        assert!(std::ptr::eq(a, b));
+    }
+}

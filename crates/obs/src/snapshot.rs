@@ -1,0 +1,312 @@
+//! Point-in-time telemetry: the versioned snapshot a registry exports
+//! and the wire ships.
+//!
+//! [`TelemetrySnapshot`] is a plain value — no atomics, no locks — so
+//! it can be encoded by `dds-proto`, merged across layers (the server
+//! appends its transport metrics to the engine's before replying), and
+//! rendered as Prometheus-style text exposition by [`render_text`].
+//!
+//! [`render_text`]: TelemetrySnapshot::render_text
+
+use std::fmt::Write as _;
+
+use crate::events::Event;
+use crate::hist::HistogramSnapshot;
+
+/// Version tag carried in every snapshot; decoders reject others.
+pub const TELEMETRY_VERSION: u32 = 1;
+
+/// One counter or gauge reading.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricValue {
+    /// Metric name (`snake_case`, `_total` suffix for counters).
+    pub name: String,
+    /// Sorted `(key, value)` label pairs.
+    pub labels: Vec<(String, String)>,
+    /// The reading.
+    pub value: u64,
+}
+
+/// One histogram reading.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramValue {
+    /// Metric name.
+    pub name: String,
+    /// Sorted `(key, value)` label pairs.
+    pub labels: Vec<(String, String)>,
+    /// The sparse, mergeable distribution.
+    pub hist: HistogramSnapshot,
+}
+
+/// Everything a component knows about itself at one instant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TelemetrySnapshot {
+    /// Snapshot format version ([`TELEMETRY_VERSION`]).
+    pub version: u32,
+    /// Counter readings, ordered by `(name, labels)`.
+    pub counters: Vec<MetricValue>,
+    /// Gauge readings, ordered by `(name, labels)`.
+    pub gauges: Vec<MetricValue>,
+    /// Histogram readings, ordered by `(name, labels)`.
+    pub histograms: Vec<HistogramValue>,
+    /// Retained events, oldest first.
+    pub events: Vec<Event>,
+}
+
+impl Default for TelemetrySnapshot {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn matches(entry_labels: &[(String, String)], query: &[(&str, &str)]) -> bool {
+    entry_labels.len() == query.len()
+        && query
+            .iter()
+            .all(|&(k, v)| entry_labels.iter().any(|(ek, ev)| ek == k && ev == v))
+}
+
+impl TelemetrySnapshot {
+    /// An empty snapshot at the current version.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            version: TELEMETRY_VERSION,
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            histograms: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// The counter with exactly these labels, if present.
+    #[must_use]
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|m| m.name == name && matches(&m.labels, labels))
+            .map(|m| m.value)
+    }
+
+    /// Sum of a counter across every label set (0 if absent).
+    #[must_use]
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|m| m.name == name)
+            .map(|m| m.value)
+            .sum()
+    }
+
+    /// The gauge with exactly these labels, if present.
+    #[must_use]
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.gauges
+            .iter()
+            .find(|m| m.name == name && matches(&m.labels, labels))
+            .map(|m| m.value)
+    }
+
+    /// The histogram with exactly these labels, if present.
+    #[must_use]
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramValue> {
+        self.histograms
+            .iter()
+            .find(|m| m.name == name && matches(&m.labels, labels))
+    }
+
+    /// Append a counter reading (for components that keep state outside
+    /// a registry, like the cluster's exact per-site message counters).
+    pub fn push_counter(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.counters.push(MetricValue {
+            name: name.to_string(),
+            labels: owned(labels),
+            value,
+        });
+    }
+
+    /// Append a gauge reading.
+    pub fn push_gauge(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.gauges.push(MetricValue {
+            name: name.to_string(),
+            labels: owned(labels),
+            value,
+        });
+    }
+
+    /// Append a histogram reading.
+    pub fn push_histogram(&mut self, name: &str, labels: &[(&str, &str)], hist: HistogramSnapshot) {
+        self.histograms.push(HistogramValue {
+            name: name.to_string(),
+            labels: owned(labels),
+            hist,
+        });
+    }
+
+    /// Append everything from another snapshot — how the server layers
+    /// its transport metrics onto the engine's snapshot in one reply.
+    pub fn merge(&mut self, other: TelemetrySnapshot) {
+        self.counters.extend(other.counters);
+        self.gauges.extend(other.gauges);
+        self.histograms.extend(other.histograms);
+        self.events.extend(other.events);
+    }
+
+    /// Prometheus-style text exposition.
+    ///
+    /// Counters and gauges render as `name{labels} value`; histograms
+    /// render summary-style with `quantile` labels plus `_count`,
+    /// `_sum`, and `_max` readings; events trail as comments. Output is
+    /// deterministic for a deterministic snapshot.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let mut last_type: Option<String> = None;
+        let mut type_line = |out: &mut String, name: &str, kind: &str| {
+            if last_type.as_deref() != Some(name) {
+                let _ = writeln!(out, "# TYPE {name} {kind}");
+                last_type = Some(name.to_string());
+            }
+        };
+        for m in &self.counters {
+            type_line(&mut out, &m.name, "counter");
+            let _ = writeln!(out, "{}{} {}", m.name, fmt_labels(&m.labels, &[]), m.value);
+        }
+        for m in &self.gauges {
+            type_line(&mut out, &m.name, "gauge");
+            let _ = writeln!(out, "{}{} {}", m.name, fmt_labels(&m.labels, &[]), m.value);
+        }
+        for h in &self.histograms {
+            type_line(&mut out, &h.name, "summary");
+            for (q, tag) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+                let _ = writeln!(
+                    out,
+                    "{}{} {}",
+                    h.name,
+                    fmt_labels(&h.labels, &[("quantile", tag)]),
+                    h.hist.quantile(q)
+                );
+            }
+            let suffix = fmt_labels(&h.labels, &[]);
+            let _ = writeln!(out, "{}_count{} {}", h.name, suffix, h.hist.count);
+            let _ = writeln!(out, "{}_sum{} {}", h.name, suffix, h.hist.sum);
+            let _ = writeln!(out, "{}_max{} {}", h.name, suffix, h.hist.max);
+        }
+        for e in &self.events {
+            let _ = writeln!(
+                out,
+                "# event seq={} kind={} nanos={} {}",
+                e.seq, e.kind, e.nanos, e.detail
+            );
+        }
+        out
+    }
+}
+
+fn owned(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    let mut labels: Vec<(String, String)> = labels
+        .iter()
+        .map(|&(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    labels.sort();
+    labels
+}
+
+fn fmt_labels(labels: &[(String, String)], extra: &[(&str, &str)]) -> String {
+    if labels.is_empty() && extra.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in extra
+        .iter()
+        .map(|&(k, v)| (k.to_string(), v.to_string()))
+        .chain(labels.iter().cloned())
+    {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{k}=\"{}\"",
+            v.replace('\\', "\\\\").replace('"', "\\\"")
+        );
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    fn sample() -> TelemetrySnapshot {
+        let mut snap = TelemetrySnapshot::new();
+        snap.push_counter("requests_total", &[("opcode", "observe")], 7);
+        snap.push_counter("requests_total", &[("opcode", "advance")], 3);
+        snap.push_gauge("queue_depth", &[("shard", "0")], 2);
+        let h = Histogram::new();
+        for v in [10u64, 20, 30, 40] {
+            h.observe(v);
+        }
+        snap.push_histogram("batch_nanos", &[], h.snapshot());
+        snap.events.push(Event {
+            seq: 0,
+            kind: "boot".into(),
+            detail: "up".into(),
+            nanos: 0,
+        });
+        snap
+    }
+
+    #[test]
+    fn lookups_respect_labels() {
+        let snap = sample();
+        assert_eq!(
+            snap.counter_value("requests_total", &[("opcode", "observe")]),
+            Some(7)
+        );
+        assert_eq!(snap.counter_value("requests_total", &[]), None);
+        assert_eq!(snap.counter_total("requests_total"), 10);
+        assert_eq!(snap.gauge_value("queue_depth", &[("shard", "0")]), Some(2));
+        assert!(snap.histogram("batch_nanos", &[]).is_some());
+        assert!(snap.histogram("batch_nanos", &[("shard", "9")]).is_none());
+    }
+
+    #[test]
+    fn merge_appends_everything() {
+        let mut a = sample();
+        let mut b = TelemetrySnapshot::new();
+        b.push_counter("accept_errors_total", &[], 1);
+        a.merge(b);
+        assert_eq!(a.counter_total("accept_errors_total"), 1);
+        assert_eq!(a.counters.len(), 3);
+    }
+
+    #[test]
+    fn render_text_is_stable_and_parseable_shaped() {
+        let text = sample().render_text();
+        assert!(text.contains("# TYPE requests_total counter"));
+        assert!(text.contains("requests_total{opcode=\"observe\"} 7"));
+        assert!(text.contains("# TYPE batch_nanos summary"));
+        assert!(text.contains("batch_nanos{quantile=\"0.5\"}"));
+        if !crate::IS_NOOP {
+            assert!(text.contains("batch_nanos_count 4"));
+            assert!(text.contains("batch_nanos_sum 100"));
+            assert!(text.contains("batch_nanos_max 40"));
+        }
+        assert!(text.contains("# event seq=0 kind=boot"));
+        // Each TYPE line appears once even with several label sets.
+        assert_eq!(text.matches("# TYPE requests_total").count(), 1);
+        assert_eq!(sample().render_text(), text);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut snap = TelemetrySnapshot::new();
+        snap.push_counter("m", &[("k", "a\"b\\c")], 1);
+        assert!(snap.render_text().contains("m{k=\"a\\\"b\\\\c\"} 1"));
+    }
+}

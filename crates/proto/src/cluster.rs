@@ -59,6 +59,8 @@ pub mod opcode {
     pub const STATS: u8 = 0x8A;
     /// [`super::ClusterRequest::Shutdown`].
     pub const SHUTDOWN: u8 = 0x8B;
+    /// [`super::ClusterRequest::Telemetry`].
+    pub const TELEMETRY: u8 = 0x8C;
     /// [`super::ClusterRequest::SiteObserve`].
     pub const SITE_OBSERVE: u8 = 0x90;
     /// [`super::ClusterRequest::SiteAdvance`].
@@ -69,6 +71,8 @@ pub mod opcode {
     pub const SITE_SHUTDOWN: u8 = 0x93;
     /// [`super::ClusterRequest::SiteCrash`].
     pub const SITE_CRASH: u8 = 0x94;
+    /// [`super::ClusterRequest::SiteTelemetry`].
+    pub const SITE_TELEMETRY: u8 = 0x95;
 
     /// [`super::ClusterResponse::Welcome`].
     pub const WELCOME: u8 = 0xC1;
@@ -84,6 +88,8 @@ pub mod opcode {
     pub const SITE_STATS_REPLY: u8 = 0xC6;
     /// [`super::ClusterResponse::Goodbye`].
     pub const GOODBYE: u8 = 0xC7;
+    /// [`super::ClusterResponse::Telemetry`].
+    pub const TELEMETRY_REPLY: u8 = 0xC8;
     /// An `Err(ClusterError)` outcome.
     pub const CLUSTER_ERROR: u8 = 0xFE;
 }
@@ -671,6 +677,9 @@ pub enum ClusterRequest {
     Stats,
     /// Control: stop the coordinator.
     Shutdown,
+    /// Control: report the coordinator's telemetry snapshot (registry
+    /// metrics plus the exact per-site message/byte counters).
+    Telemetry,
     /// Driver → site daemon: observe one element locally.
     SiteObserve {
         /// The element.
@@ -688,6 +697,8 @@ pub enum ClusterRequest {
     /// Driver → site daemon: drop every socket *without* leaving —
     /// fault injection for the failure-detection tests.
     SiteCrash,
+    /// Driver → site daemon: report the daemon's telemetry snapshot.
+    SiteTelemetry,
 }
 
 impl ClusterRequest {
@@ -703,11 +714,13 @@ impl ClusterRequest {
             ClusterRequest::Sample => opcode::SAMPLE,
             ClusterRequest::Stats => opcode::STATS,
             ClusterRequest::Shutdown => opcode::SHUTDOWN,
+            ClusterRequest::Telemetry => opcode::TELEMETRY,
             ClusterRequest::SiteObserve { .. } => opcode::SITE_OBSERVE,
             ClusterRequest::SiteAdvance { .. } => opcode::SITE_ADVANCE,
             ClusterRequest::SiteStats => opcode::SITE_STATS,
             ClusterRequest::SiteShutdown => opcode::SITE_SHUTDOWN,
             ClusterRequest::SiteCrash => opcode::SITE_CRASH,
+            ClusterRequest::SiteTelemetry => opcode::SITE_TELEMETRY,
         }
     }
 
@@ -730,9 +743,11 @@ impl ClusterRequest {
             | ClusterRequest::Sample
             | ClusterRequest::Stats
             | ClusterRequest::Shutdown
+            | ClusterRequest::Telemetry
             | ClusterRequest::SiteStats
             | ClusterRequest::SiteShutdown
-            | ClusterRequest::SiteCrash => {}
+            | ClusterRequest::SiteCrash
+            | ClusterRequest::SiteTelemetry => {}
         }
         w.into_bytes()
     }
@@ -768,6 +783,7 @@ impl ClusterRequest {
             opcode::SAMPLE => ClusterRequest::Sample,
             opcode::STATS => ClusterRequest::Stats,
             opcode::SHUTDOWN => ClusterRequest::Shutdown,
+            opcode::TELEMETRY => ClusterRequest::Telemetry,
             opcode::SITE_OBSERVE => ClusterRequest::SiteObserve {
                 element: r.get_element()?,
             },
@@ -775,6 +791,7 @@ impl ClusterRequest {
             opcode::SITE_STATS => ClusterRequest::SiteStats,
             opcode::SITE_SHUTDOWN => ClusterRequest::SiteShutdown,
             opcode::SITE_CRASH => ClusterRequest::SiteCrash,
+            opcode::SITE_TELEMETRY => ClusterRequest::SiteTelemetry,
             other => return Err(CheckpointError::UnknownKind(other)),
         };
         r.expect_end()?;
@@ -827,6 +844,13 @@ pub enum ClusterResponse {
         /// The stats.
         stats: SiteDaemonStats,
     },
+    /// A node's metric registry snapshot — the answer to both
+    /// [`ClusterRequest::Telemetry`] (coordinator) and
+    /// [`ClusterRequest::SiteTelemetry`] (site daemon).
+    Telemetry {
+        /// The versioned telemetry snapshot.
+        snapshot: dds_obs::TelemetrySnapshot,
+    },
     /// The node is shutting this connection (or itself) down.
     Goodbye,
 }
@@ -842,6 +866,7 @@ impl ClusterResponse {
             ClusterResponse::Sample { .. } => opcode::SAMPLE_REPLY,
             ClusterResponse::Stats { .. } => opcode::STATS_REPLY,
             ClusterResponse::SiteStats { .. } => opcode::SITE_STATS_REPLY,
+            ClusterResponse::Telemetry { .. } => opcode::TELEMETRY_REPLY,
             ClusterResponse::Goodbye => opcode::GOODBYE,
         }
     }
@@ -866,6 +891,9 @@ impl ClusterResponse {
             }
             ClusterResponse::Stats { stats } => put_cluster_stats(&mut w, stats),
             ClusterResponse::SiteStats { stats } => put_site_stats(&mut w, stats),
+            ClusterResponse::Telemetry { snapshot } => {
+                crate::telemetry::put_telemetry(&mut w, snapshot);
+            }
             ClusterResponse::Ack | ClusterResponse::Goodbye => {}
         }
         w.into_bytes()
@@ -909,6 +937,9 @@ impl ClusterResponse {
             },
             opcode::SITE_STATS_REPLY => ClusterResponse::SiteStats {
                 stats: get_site_stats(&mut r)?,
+            },
+            opcode::TELEMETRY_REPLY => ClusterResponse::Telemetry {
+                snapshot: crate::telemetry::get_telemetry(&mut r)?,
             },
             opcode::GOODBYE => ClusterResponse::Goodbye,
             other => return Err(CheckpointError::UnknownKind(other)),

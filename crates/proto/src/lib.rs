@@ -43,6 +43,7 @@ pub mod cluster;
 pub mod frame;
 pub mod message;
 pub mod service;
+pub mod telemetry;
 
 pub use cluster::{
     ClusterError, ClusterRequest, ClusterResponse, ClusterSpec, ClusterStats, CoordDown,
@@ -53,6 +54,7 @@ pub use message::{
     decode_outcome, decode_outcome_frame, encode_outcome, opcode, Request, Response,
 };
 pub use service::{EngineHost, EngineService};
+pub use telemetry::{get_telemetry, put_telemetry};
 
 #[cfg(test)]
 mod tests {

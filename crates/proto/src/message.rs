@@ -54,6 +54,8 @@ pub mod opcode {
     pub const RESTORE: u8 = 0x0D;
     /// [`super::Request::Shutdown`].
     pub const SHUTDOWN: u8 = 0x0E;
+    /// [`super::Request::Telemetry`].
+    pub const TELEMETRY: u8 = 0x0F;
 
     /// [`super::Response::Ack`].
     pub const ACK: u8 = 0x41;
@@ -69,9 +71,35 @@ pub mod opcode {
     pub const CHECKPOINT_DOCUMENT: u8 = 0x46;
     /// [`super::Response::Goodbye`].
     pub const GOODBYE: u8 = 0x47;
+    /// [`super::Response::Telemetry`].
+    pub const TELEMETRY_REPLY: u8 = 0x48;
     /// An `Err(EngineError)` outcome (not a [`super::Response`]
     /// variant: errors are the `Err` arm of the service result).
     pub const ERROR: u8 = 0x7F;
+
+    /// Human-readable name of a *request* opcode — the `opcode` label
+    /// value the server's per-opcode telemetry uses.
+    #[must_use]
+    pub fn name(op: u8) -> Option<&'static str> {
+        Some(match op {
+            OBSERVE => "observe",
+            OBSERVE_AT => "observe_at",
+            OBSERVE_BATCH => "observe_batch",
+            OBSERVE_BATCH_AT => "observe_batch_at",
+            ADVANCE => "advance",
+            SNAPSHOT => "snapshot",
+            SNAPSHOT_AT => "snapshot_at",
+            SNAPSHOT_VIEW => "snapshot_view",
+            SNAPSHOT_ALL => "snapshot_all",
+            FLUSH => "flush",
+            METRICS => "metrics",
+            CHECKPOINT => "checkpoint",
+            RESTORE => "restore",
+            SHUTDOWN => "shutdown",
+            TELEMETRY => "telemetry",
+            _ => return None,
+        })
+    }
 }
 
 /// One request to an engine service — the full public surface of
@@ -150,6 +178,10 @@ pub enum Request {
     },
     /// Stop the engine and return the final accounting.
     Shutdown,
+    /// Current telemetry: every registered counter, gauge, histogram,
+    /// and retained event, as a versioned snapshot. Transports layer
+    /// their own metrics onto the engine's before replying.
+    Telemetry,
 }
 
 /// One successful answer from an engine service.
@@ -186,6 +218,11 @@ pub enum Response {
     Goodbye {
         /// Metrics and tenants-per-shard at shutdown.
         report: EngineReport,
+    },
+    /// A versioned telemetry snapshot.
+    Telemetry {
+        /// Every registered metric and retained event.
+        snapshot: dds_obs::TelemetrySnapshot,
     },
 }
 
@@ -379,6 +416,7 @@ impl Request {
             Request::Checkpoint => opcode::CHECKPOINT,
             Request::Restore { .. } => opcode::RESTORE,
             Request::Shutdown => opcode::SHUTDOWN,
+            Request::Telemetry => opcode::TELEMETRY,
         }
     }
 
@@ -416,7 +454,11 @@ impl Request {
                 put_opt_slot(&mut w, *at);
             }
             Request::SnapshotAll { at } => put_opt_slot(&mut w, *at),
-            Request::Flush | Request::Metrics | Request::Checkpoint | Request::Shutdown => {}
+            Request::Flush
+            | Request::Metrics
+            | Request::Checkpoint
+            | Request::Shutdown
+            | Request::Telemetry => {}
             Request::Restore { document } => put_document(&mut w, document),
         }
         w.into_bytes()
@@ -475,6 +517,7 @@ impl Request {
                 document: get_document(&mut r)?,
             },
             opcode::SHUTDOWN => Request::Shutdown,
+            opcode::TELEMETRY => Request::Telemetry,
             other => return Err(CheckpointError::UnknownKind(other)),
         };
         r.expect_end()?;
@@ -514,6 +557,7 @@ impl Response {
             Response::Metrics { .. } => opcode::METRICS_REPLY,
             Response::CheckpointDocument { .. } => opcode::CHECKPOINT_DOCUMENT,
             Response::Goodbye { .. } => opcode::GOODBYE,
+            Response::Telemetry { .. } => opcode::TELEMETRY_REPLY,
         }
     }
 
@@ -545,6 +589,7 @@ impl Response {
                     put_usize(&mut w, n);
                 }
             }
+            Response::Telemetry { snapshot } => crate::telemetry::put_telemetry(&mut w, snapshot),
         }
         w.into_bytes()
     }
@@ -602,6 +647,9 @@ impl Response {
                     },
                 }
             }
+            opcode::TELEMETRY_REPLY => Response::Telemetry {
+                snapshot: crate::telemetry::get_telemetry(&mut r)?,
+            },
             other => return Err(CheckpointError::UnknownKind(other)),
         };
         r.expect_end()?;

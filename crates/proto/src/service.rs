@@ -77,6 +77,9 @@ impl EngineService for Engine {
             Request::Metrics => Ok(Response::Metrics {
                 metrics: self.metrics(),
             }),
+            Request::Telemetry => Ok(Response::Telemetry {
+                snapshot: self.telemetry(),
+            }),
             Request::Checkpoint => self
                 .try_checkpoint()
                 .map(|document| Response::CheckpointDocument { document }),

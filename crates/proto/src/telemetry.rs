@@ -1,0 +1,276 @@
+//! Wire codec for [`TelemetrySnapshot`] — the payload behind the
+//! engine's `Request::Telemetry` and the cluster's
+//! `ClusterRequest::Telemetry`.
+//!
+//! The snapshot type itself lives in `dds-obs` (it is a plain value a
+//! registry exports); this module gives it the same hand-laid
+//! little-endian treatment as every other payload: `u32` collection
+//! lengths bounds-checked against the remaining input, utf-8-validated
+//! strings, and a leading version word so a future layout change is a
+//! clean [`CheckpointError::UnsupportedVersion`] instead of a
+//! mis-parse. Histogram buckets additionally re-validate the invariants
+//! the sender's sparse encoding guarantees (indices in range, strictly
+//! increasing), so a decoded snapshot is safe to quantile-query without
+//! further checks.
+
+use dds_core::checkpoint::{CheckpointError, StateReader, StateWriter};
+use dds_obs::{
+    Event, HistogramSnapshot, HistogramValue, MetricValue, TelemetrySnapshot, BUCKET_COUNT,
+    TELEMETRY_VERSION,
+};
+
+fn put_string(w: &mut StateWriter, s: &str) {
+    w.put_len(s.len());
+    w.put_bytes(s.as_bytes());
+}
+
+fn get_string(r: &mut StateReader<'_>) -> Result<String, CheckpointError> {
+    let n = r.get_len(1)?;
+    String::from_utf8(r.get_bytes(n)?.to_vec())
+        .map_err(|_| CheckpointError::Corrupt("string is not valid utf-8"))
+}
+
+fn put_labels(w: &mut StateWriter, labels: &[(String, String)]) {
+    w.put_len(labels.len());
+    for (k, v) in labels {
+        put_string(w, k);
+        put_string(w, v);
+    }
+}
+
+fn get_labels(r: &mut StateReader<'_>) -> Result<Vec<(String, String)>, CheckpointError> {
+    // A label pair is at least two length words.
+    let n = r.get_len(8)?;
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let k = get_string(r)?;
+        let v = get_string(r)?;
+        labels.push((k, v));
+    }
+    Ok(labels)
+}
+
+fn put_metric(w: &mut StateWriter, m: &MetricValue) {
+    put_string(w, &m.name);
+    put_labels(w, &m.labels);
+    w.put_u64(m.value);
+}
+
+fn get_metric(r: &mut StateReader<'_>) -> Result<MetricValue, CheckpointError> {
+    Ok(MetricValue {
+        name: get_string(r)?,
+        labels: get_labels(r)?,
+        value: r.get_u64()?,
+    })
+}
+
+fn put_hist(w: &mut StateWriter, h: &HistogramSnapshot) {
+    w.put_u64(h.count);
+    w.put_u64(h.sum);
+    w.put_u64(h.max);
+    w.put_len(h.buckets.len());
+    for &(i, n) in &h.buckets {
+        w.put_u32(i);
+        w.put_u64(n);
+    }
+}
+
+fn get_hist(r: &mut StateReader<'_>) -> Result<HistogramSnapshot, CheckpointError> {
+    let count = r.get_u64()?;
+    let sum = r.get_u64()?;
+    let max = r.get_u64()?;
+    let n = r.get_len(12)?;
+    let mut buckets = Vec::with_capacity(n);
+    let mut prev: Option<u32> = None;
+    for _ in 0..n {
+        let i = r.get_u32()?;
+        if i as usize >= BUCKET_COUNT {
+            return Err(CheckpointError::Corrupt("histogram bucket out of range"));
+        }
+        if prev.is_some_and(|p| p >= i) {
+            return Err(CheckpointError::Corrupt("histogram buckets not ascending"));
+        }
+        prev = Some(i);
+        let c = r.get_u64()?;
+        if c == 0 {
+            return Err(CheckpointError::Corrupt("histogram bucket count is zero"));
+        }
+        buckets.push((i, c));
+    }
+    Ok(HistogramSnapshot {
+        count,
+        sum,
+        max,
+        buckets,
+    })
+}
+
+/// Encode a telemetry snapshot into `w`.
+pub fn put_telemetry(w: &mut StateWriter, snap: &TelemetrySnapshot) {
+    w.put_u32(snap.version);
+    w.put_len(snap.counters.len());
+    for m in &snap.counters {
+        put_metric(w, m);
+    }
+    w.put_len(snap.gauges.len());
+    for m in &snap.gauges {
+        put_metric(w, m);
+    }
+    w.put_len(snap.histograms.len());
+    for h in &snap.histograms {
+        put_string(w, &h.name);
+        put_labels(w, &h.labels);
+        put_hist(w, &h.hist);
+    }
+    w.put_len(snap.events.len());
+    for e in &snap.events {
+        w.put_u64(e.seq);
+        put_string(w, &e.kind);
+        put_string(w, &e.detail);
+        w.put_u64(e.nanos);
+    }
+}
+
+/// Decode a telemetry snapshot from `r`.
+///
+/// # Errors
+/// A clean [`CheckpointError`] on an unsupported version, malformed
+/// bytes, or histogram buckets that violate the sparse-encoding
+/// invariants.
+pub fn get_telemetry(r: &mut StateReader<'_>) -> Result<TelemetrySnapshot, CheckpointError> {
+    let version = r.get_u32()?;
+    if version != TELEMETRY_VERSION {
+        return Err(CheckpointError::UnsupportedVersion(version as u16));
+    }
+    // Minimum element sizes keep a lying length word from allocating:
+    // a metric is name-len + labels-len + value.
+    let n = r.get_len(16)?;
+    let mut counters = Vec::with_capacity(n);
+    for _ in 0..n {
+        counters.push(get_metric(r)?);
+    }
+    let n = r.get_len(16)?;
+    let mut gauges = Vec::with_capacity(n);
+    for _ in 0..n {
+        gauges.push(get_metric(r)?);
+    }
+    let n = r.get_len(36)?;
+    let mut histograms = Vec::with_capacity(n);
+    for _ in 0..n {
+        histograms.push(HistogramValue {
+            name: get_string(r)?,
+            labels: get_labels(r)?,
+            hist: get_hist(r)?,
+        });
+    }
+    let n = r.get_len(24)?;
+    let mut events = Vec::with_capacity(n);
+    for _ in 0..n {
+        events.push(Event {
+            seq: r.get_u64()?,
+            kind: get_string(r)?,
+            detail: get_string(r)?,
+            nanos: r.get_u64()?,
+        });
+    }
+    Ok(TelemetrySnapshot {
+        version,
+        counters,
+        gauges,
+        histograms,
+        events,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dds_obs::Histogram;
+
+    fn sample() -> TelemetrySnapshot {
+        let mut snap = TelemetrySnapshot::new();
+        snap.push_counter("engine_elements_total", &[("shard", "0")], 1_234);
+        snap.push_counter("engine_elements_total", &[("shard", "1")], 5_678);
+        snap.push_gauge("engine_queue_depth", &[("shard", "0")], 3);
+        let h = Histogram::new();
+        for v in [100u64, 2_000, 2_000, 9_999_999] {
+            h.observe(v);
+        }
+        snap.push_histogram("engine_batch_nanos", &[], h.snapshot());
+        snap.events.push(Event {
+            seq: 7,
+            kind: "slow_batch".into(),
+            detail: "shard 2 took 4ms".into(),
+            nanos: 4_000_000,
+        });
+        snap
+    }
+
+    fn roundtrip(snap: &TelemetrySnapshot) -> Result<TelemetrySnapshot, CheckpointError> {
+        let mut w = StateWriter::new();
+        put_telemetry(&mut w, snap);
+        let bytes = w.into_bytes();
+        let mut r = StateReader::new(&bytes);
+        let out = get_telemetry(&mut r)?;
+        r.expect_end()?;
+        Ok(out)
+    }
+
+    #[test]
+    fn snapshot_roundtrips() {
+        let snap = sample();
+        assert_eq!(roundtrip(&snap), Ok(snap));
+    }
+
+    #[test]
+    fn empty_snapshot_roundtrips() {
+        let snap = TelemetrySnapshot::new();
+        assert_eq!(roundtrip(&snap), Ok(snap));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected_before_the_body() {
+        let mut snap = sample();
+        snap.version = 2;
+        let mut w = StateWriter::new();
+        put_telemetry(&mut w, &snap);
+        let bytes = w.into_bytes();
+        let mut r = StateReader::new(&bytes);
+        assert_eq!(
+            get_telemetry(&mut r),
+            Err(CheckpointError::UnsupportedVersion(2))
+        );
+    }
+
+    #[test]
+    fn malformed_buckets_are_rejected() {
+        let mut bad = sample();
+        bad.histograms[0].hist.buckets = vec![(5, 1), (5, 1)];
+        let mut w = StateWriter::new();
+        put_telemetry(&mut w, &bad);
+        let bytes = w.into_bytes();
+        assert!(get_telemetry(&mut StateReader::new(&bytes)).is_err());
+
+        let mut bad = sample();
+        bad.histograms[0].hist.buckets = vec![(BUCKET_COUNT as u32, 1)];
+        let mut w = StateWriter::new();
+        put_telemetry(&mut w, &bad);
+        let bytes = w.into_bytes();
+        assert!(get_telemetry(&mut StateReader::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn truncations_fail_cleanly() {
+        let mut w = StateWriter::new();
+        put_telemetry(&mut w, &sample());
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = StateReader::new(&bytes[..cut]);
+            let verdict = get_telemetry(&mut r).and_then(|s| {
+                r.expect_end()?;
+                Ok(s)
+            });
+            assert!(verdict.is_err(), "prefix {cut} accepted");
+        }
+    }
+}

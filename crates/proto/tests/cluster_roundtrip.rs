@@ -6,6 +6,7 @@
 //! dialect.
 
 use dds_core::sampler::{SamplerKind, SamplerSpec};
+use dds_obs::{HistogramSnapshot, TelemetrySnapshot, BUCKET_COUNT};
 use dds_proto::cluster::{
     decode_cluster_outcome_frame, encode_cluster_outcome, ClusterError, ClusterRequest,
     ClusterResponse, ClusterSpec, ClusterStats, CoordDown, SiteDaemonStats, SiteUp,
@@ -64,7 +65,7 @@ fn request_from(
     slot: u64,
     copy: u32,
 ) -> ClusterRequest {
-    match idx % 16 {
+    match idx % 18 {
         0 => ClusterRequest::Join {
             site: SiteId(site as usize),
             digest,
@@ -82,8 +83,52 @@ fn request_from(
         12 => ClusterRequest::SiteAdvance { now: Slot(slot) },
         13 => ClusterRequest::SiteStats,
         14 => ClusterRequest::SiteShutdown,
-        _ => ClusterRequest::SiteCrash,
+        15 => ClusterRequest::SiteCrash,
+        16 => ClusterRequest::Telemetry,
+        _ => ClusterRequest::SiteTelemetry,
     }
+}
+
+/// A telemetry snapshot derived from the generated word pool that
+/// always satisfies the decoder's sparse-histogram invariants
+/// (strictly ascending in-range bucket indices, nonzero counts).
+fn snapshot_from(words: &[u64], text: &[u8]) -> TelemetrySnapshot {
+    let mut snap = TelemetrySnapshot::new();
+    let tag = String::from_utf8_lossy(text).into_owned();
+    for (i, &w) in words.iter().enumerate().take(3) {
+        let site = i.to_string();
+        snap.push_counter("c_up_msgs_total", &[("site", site.as_str())], w);
+        snap.push_gauge("c_now_slot", &[("site", site.as_str())], w ^ 0xa5a5);
+    }
+    let mut idxs: Vec<u32> = words
+        .iter()
+        .map(|&w| (w % BUCKET_COUNT as u64) as u32)
+        .collect();
+    idxs.sort_unstable();
+    idxs.dedup();
+    let buckets: Vec<(u32, u64)> = idxs
+        .into_iter()
+        .enumerate()
+        .map(|(i, ix)| (ix, i as u64 + 1))
+        .collect();
+    let count: u64 = buckets.iter().map(|&(_, c)| c).sum();
+    snap.push_histogram(
+        "c_settle_nanos",
+        &[("tag", tag.as_str())],
+        HistogramSnapshot {
+            count,
+            sum: count.wrapping_mul(13),
+            max: words.iter().copied().max().unwrap_or(0),
+            buckets,
+        },
+    );
+    snap.events.push(dds_obs::Event {
+        seq: words.len() as u64,
+        kind: "proptest".into(),
+        detail: tag,
+        nanos: 7,
+    });
+    snap
 }
 
 fn stats_from(k: usize, words: &[u64], failed: &[u32], threshold: Option<u64>) -> ClusterStats {
@@ -132,7 +177,7 @@ fn response_from(
     site: u32,
     threshold: Option<u64>,
 ) -> ClusterResponse {
-    match idx % 7 {
+    match idx % 8 {
         0 => ClusterResponse::Welcome { k },
         1 => ClusterResponse::Downs {
             downs: downs
@@ -149,6 +194,9 @@ fn response_from(
         },
         5 => ClusterResponse::SiteStats {
             stats: site_stats_from(site, words),
+        },
+        6 => ClusterResponse::Telemetry {
+            snapshot: snapshot_from(words, b"twin"),
         },
         _ => ClusterResponse::Goodbye,
     }
@@ -177,7 +225,7 @@ fn corpus() -> (
     Vec<ClusterRequest>,
     Vec<Result<ClusterResponse, ClusterError>>,
 ) {
-    let requests: Vec<ClusterRequest> = (0..16)
+    let requests: Vec<ClusterRequest> = (0..18)
         .map(|i| request_from(i, 3, 0xfeed_beef, 42, 7, 2))
         .collect();
     let words: Vec<u64> = (0..16).collect();
@@ -187,7 +235,7 @@ fn corpus() -> (
         (2, 0, 30, 5),
         (3, 3, 40, 6),
     ];
-    let mut outcomes: Vec<Result<ClusterResponse, ClusterError>> = (0..7)
+    let mut outcomes: Vec<Result<ClusterResponse, ClusterError>> = (0..8)
         .map(|i| {
             Ok(response_from(
                 i,
@@ -212,7 +260,7 @@ proptest! {
     /// deterministically.
     #[test]
     fn request_roundtrip_is_identity(
-        idx in 0u8..16,
+        idx in 0u8..18,
         site in proptest::prelude::any::<u32>(),
         digest in proptest::prelude::any::<u64>(),
         element in proptest::prelude::any::<u64>(),
@@ -230,7 +278,7 @@ proptest! {
     #[test]
     fn outcome_roundtrip_is_identity(
         ok in 0u8..2,
-        ridx in 0u8..7,
+        ridx in 0u8..8,
         eidx in 0u8..8,
         k in 1usize..6,
         elements in prop::collection::vec(proptest::prelude::any::<u64>(), 0..12),
@@ -258,7 +306,7 @@ proptest! {
     /// Any single-bit corruption of any request frame is detected.
     #[test]
     fn random_bitflips_never_pass(
-        idx in 0u8..16,
+        idx in 0u8..18,
         pos_seed in proptest::prelude::any::<u64>(),
         bit in 0u8..8,
     ) {

@@ -7,6 +7,7 @@
 use dds_engine::{
     EngineError, EngineMetrics, EngineReport, ShardMetricsSnapshot, TenantId, TenantView,
 };
+use dds_obs::{HistogramSnapshot, TelemetrySnapshot, BUCKET_COUNT};
 use dds_proto::frame::{self, OVERHEAD_BYTES};
 use dds_proto::message::{decode_outcome_frame, encode_outcome};
 use dds_proto::{Request, Response};
@@ -34,7 +35,7 @@ fn request_from(
     doc: &[u8],
 ) -> Request {
     let at = (slot % 2 == 0).then_some(Slot(slot));
-    match idx % 14 {
+    match idx % 15 {
         0 => Request::Observe {
             tenant: TenantId(tenant),
             element: Element(element),
@@ -70,8 +71,52 @@ fn request_from(
         12 => Request::Restore {
             document: doc.to_vec(),
         },
+        13 => Request::Telemetry,
         _ => Request::Shutdown,
     }
+}
+
+/// A telemetry snapshot whose content is driven by the generated word
+/// pool but always satisfies the sparse-histogram invariants the
+/// decoder re-validates (strictly ascending in-range bucket indices,
+/// nonzero counts).
+fn snapshot_from(words: &[u64], text: &[u8]) -> TelemetrySnapshot {
+    let mut snap = TelemetrySnapshot::new();
+    let tag = String::from_utf8_lossy(text).into_owned();
+    for (i, &w) in words.iter().enumerate().take(3) {
+        let shard = i.to_string();
+        snap.push_counter("p_counter_total", &[("shard", shard.as_str())], w);
+        snap.push_gauge("p_gauge", &[("shard", shard.as_str())], w ^ 0x5a5a);
+    }
+    let mut idxs: Vec<u32> = words
+        .iter()
+        .map(|&w| (w % BUCKET_COUNT as u64) as u32)
+        .collect();
+    idxs.sort_unstable();
+    idxs.dedup();
+    let buckets: Vec<(u32, u64)> = idxs
+        .into_iter()
+        .enumerate()
+        .map(|(i, ix)| (ix, i as u64 + 1))
+        .collect();
+    let count: u64 = buckets.iter().map(|&(_, c)| c).sum();
+    snap.push_histogram(
+        "p_nanos",
+        &[("tag", tag.as_str())],
+        HistogramSnapshot {
+            count,
+            sum: count.wrapping_mul(7),
+            max: words.iter().copied().max().unwrap_or(0),
+            buckets,
+        },
+    );
+    snap.events.push(dds_obs::Event {
+        seq: words.len() as u64,
+        kind: "proptest".into(),
+        detail: tag,
+        nanos: 42,
+    });
+    snap
 }
 
 fn metrics_from(words: &[u64]) -> EngineMetrics {
@@ -105,7 +150,7 @@ fn response_from(
     messages: u64,
 ) -> Response {
     let sample: Vec<Element> = elements.iter().copied().map(Element).collect();
-    match idx % 7 {
+    match idx % 8 {
         0 => Response::Ack,
         1 => Response::Sample { sample },
         2 => Response::View {
@@ -126,6 +171,9 @@ fn response_from(
         },
         5 => Response::CheckpointDocument {
             document: doc.to_vec(),
+        },
+        6 => Response::Telemetry {
+            snapshot: snapshot_from(words, doc),
         },
         _ => Response::Goodbye {
             report: EngineReport {
@@ -153,12 +201,12 @@ fn error_from(idx: u8, value: u64, text: &[u8]) -> EngineError {
 fn corpus() -> (Vec<Request>, Vec<Result<Response, EngineError>>) {
     let pairs = [(1u64, 2u64), (3, 4), (u64::MAX, 0)];
     let doc = [9u8, 8, 7, 6, 5];
-    let requests: Vec<Request> = (0..14)
+    let requests: Vec<Request> = (0..15)
         .map(|i| request_from(i, 42, 7, 13, &pairs, &doc))
         .collect();
     let words: Vec<u64> = (0..22).collect();
     let census = vec![(5u64, vec![1u64, 2]), (6, vec![])];
-    let mut outcomes: Vec<Result<Response, EngineError>> = (0..7)
+    let mut outcomes: Vec<Result<Response, EngineError>> = (0..8)
         .map(|i| Ok(response_from(i, &[10, 20, 30], &census, &words, &doc, 4, 9)))
         .collect();
     outcomes.extend((0..6).map(|i| Err(error_from(i, 3, b"boom"))));
@@ -172,7 +220,7 @@ proptest! {
     /// the frame's size is exactly `OVERHEAD_BYTES + payload`.
     #[test]
     fn request_roundtrip_is_identity(
-        idx in 0u8..14,
+        idx in 0u8..15,
         tenant in proptest::prelude::any::<u64>(),
         element in proptest::prelude::any::<u64>(),
         slot in proptest::prelude::any::<u64>(),
@@ -192,7 +240,7 @@ proptest! {
     #[test]
     fn outcome_roundtrip_is_identity(
         ok in 0u8..2,
-        ridx in 0u8..7,
+        ridx in 0u8..8,
         eidx in 0u8..6,
         elements in prop::collection::vec(proptest::prelude::any::<u64>(), 0..16),
         census in prop::collection::vec(
@@ -217,7 +265,7 @@ proptest! {
     /// Any single byte corruption of any request frame is detected.
     #[test]
     fn random_bitflips_never_pass(
-        idx in 0u8..14,
+        idx in 0u8..15,
         pos_seed in proptest::prelude::any::<u64>(),
         bit in 0u8..8,
     ) {

@@ -37,6 +37,7 @@ use std::path::Path;
 use std::sync::Mutex;
 
 use dds_engine::{EngineError, EngineMetrics, EngineReport, TenantId, TenantView};
+use dds_obs::TelemetrySnapshot;
 use dds_proto::frame::{read_frame, OVERHEAD_BYTES};
 use dds_proto::message::{decode_outcome, Request, Response};
 use dds_proto::EngineService;
@@ -342,6 +343,28 @@ impl Client {
             Response::Metrics { metrics } => Ok(metrics),
             other => Err(unexpected(&other)),
         }
+    }
+
+    /// The full served telemetry snapshot: the engine registry's
+    /// counters, gauges, histograms, and events, with the server's
+    /// transport metrics merged in by the wire layer.
+    ///
+    /// # Errors
+    /// As [`Client::call_remote`].
+    pub fn telemetry(&self) -> Result<TelemetrySnapshot, EngineError> {
+        match self.call_remote(&Request::Telemetry)? {
+            Response::Telemetry { snapshot } => Ok(snapshot),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// [`Client::telemetry`] rendered as Prometheus-style text
+    /// exposition — scrape-shaped, one line per reading.
+    ///
+    /// # Errors
+    /// As [`Client::call_remote`].
+    pub fn telemetry_text(&self) -> Result<String, EngineError> {
+        Ok(self.telemetry()?.render_text())
     }
 
     /// Fetch a whole-engine checkpoint document.

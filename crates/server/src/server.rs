@@ -31,9 +31,10 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use dds_engine::EngineError;
+use dds_obs::{Counter, Histogram, Registry, TelemetrySnapshot};
 use dds_proto::frame::{read_frame, FrameError, OVERHEAD_BYTES};
-use dds_proto::message::{encode_outcome_checked, Request};
-use dds_proto::EngineService;
+use dds_proto::message::{encode_outcome_checked, Request, Response};
+use dds_proto::{opcode, EngineService};
 
 use crate::net::{Endpoint, Listener, Stream};
 
@@ -62,10 +63,38 @@ pub struct ServerStats {
     pub bytes_sent: u64,
 }
 
+/// Registered transport-telemetry handles (the registry keys stay
+/// queryable; these are the hot-path clones).
+struct Telemetry {
+    accept_errors: Counter,
+    connections_opened: Counter,
+    connections_closed: Counter,
+    connections_failed: Counter,
+    decode_nanos: Histogram,
+    handle_nanos: Histogram,
+    respond_nanos: Histogram,
+}
+
+impl Telemetry {
+    fn register(registry: &Registry) -> Self {
+        Self {
+            accept_errors: registry.counter("server_accept_errors_total"),
+            connections_opened: registry.counter("server_connections_opened_total"),
+            connections_closed: registry.counter("server_connections_closed_total"),
+            connections_failed: registry.counter("server_connections_failed_total"),
+            decode_nanos: registry.histogram("server_decode_nanos"),
+            handle_nanos: registry.histogram("server_handle_nanos"),
+            respond_nanos: registry.histogram("server_respond_nanos"),
+        }
+    }
+}
+
 struct Shared {
     service: Arc<dyn EngineService>,
     stop: AtomicBool,
     counters: Counters,
+    registry: Arc<Registry>,
+    obs: Telemetry,
     conns: Mutex<Vec<(Stream, JoinHandle<()>)>>,
 }
 
@@ -102,10 +131,14 @@ impl Server {
 
     fn serve(listener: Listener, service: Arc<dyn EngineService>) -> std::io::Result<Server> {
         let endpoint = listener.endpoint();
+        let registry = Arc::new(Registry::new());
+        let obs = Telemetry::register(&registry);
         let shared = Arc::new(Shared {
             service,
             stop: AtomicBool::new(false),
             counters: Counters::default(),
+            registry,
+            obs,
             conns: Mutex::new(Vec::new()),
         });
         let accept_shared = Arc::clone(&shared);
@@ -113,11 +146,14 @@ impl Server {
             let stream = match listener.accept() {
                 Ok(stream) => stream,
                 // Persistent accept errors (e.g. EMFILE) must not
-                // busy-spin a core; back off briefly and retry.
+                // busy-spin a core; back off briefly and retry — but
+                // count every one, so a quietly failing listener shows
+                // up in telemetry instead of presenting as "no load".
                 Err(_) => {
                     if accept_shared.stop.load(Ordering::SeqCst) {
                         break;
                     }
+                    accept_shared.obs.accept_errors.inc();
                     std::thread::sleep(std::time::Duration::from_millis(10));
                     continue;
                 }
@@ -143,6 +179,22 @@ impl Server {
             #[cfg(unix)]
             Endpoint::Unix(_) => None,
         }
+    }
+
+    /// The server's own metric registry: accept/connection lifecycle
+    /// counters, per-opcode frame tallies, and decode/handle/respond
+    /// latency histograms.
+    #[must_use]
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.shared.registry
+    }
+
+    /// A point-in-time snapshot of the server's transport telemetry
+    /// (the same readings a remote `Request::Telemetry` gets merged
+    /// into its reply).
+    #[must_use]
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        self.shared.registry.snapshot()
     }
 
     /// Current traffic counters.
@@ -194,9 +246,11 @@ impl Drop for Server {
 
 fn spawn_conn(shared: &Arc<Shared>, socket: Stream) {
     let Ok(keeper) = socket.try_clone() else {
+        shared.obs.connections_failed.inc();
         return;
     };
     shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+    shared.obs.connections_opened.inc();
     let conn_shared = Arc::clone(shared);
     let handle = std::thread::spawn(move || serve_conn(&conn_shared, socket));
     let mut conns = shared.conns.lock().expect("conn registry");
@@ -212,9 +266,42 @@ fn spawn_conn(shared: &Arc<Shared>, socket: Stream) {
 /// strictly in order (the pipelining contract).
 fn serve_conn(shared: &Arc<Shared>, socket: Stream) {
     let Ok(read_half) = socket.try_clone() else {
+        shared.obs.connections_failed.inc();
+        shared.obs.connections_closed.inc();
         return;
     };
     serve_streams(shared, read_half, socket);
+    shared.obs.connections_closed.inc();
+}
+
+/// Lazily registered per-opcode `(frames, bytes)` counters, cached per
+/// connection so the hot path is one `Vec` index after the first frame
+/// of each opcode (the registry lock is only taken on a cache miss).
+struct OpcodeCounters {
+    cells: Vec<Option<(Counter, Counter)>>,
+}
+
+impl OpcodeCounters {
+    fn new() -> Self {
+        Self {
+            cells: (0..=u8::MAX as usize).map(|_| None).collect(),
+        }
+    }
+
+    fn record(&mut self, registry: &Registry, op: u8, bytes: u64) {
+        let Some(name) = opcode::name(op) else {
+            return; // unknown opcode: the decode error is the signal
+        };
+        let (frames, bts) = self.cells[op as usize].get_or_insert_with(|| {
+            let labels = [("opcode", name)];
+            (
+                registry.counter_with("server_frames_total", &labels),
+                registry.counter_with("server_frame_bytes_total", &labels),
+            )
+        });
+        frames.inc();
+        bts.add(bytes);
+    }
 }
 
 fn serve_streams<R, W>(shared: &Arc<Shared>, read_half: R, write_half: W)
@@ -224,6 +311,7 @@ where
 {
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(write_half);
+    let mut per_opcode = OpcodeCounters::new();
     loop {
         if shared.stop.load(Ordering::SeqCst) {
             return;
@@ -233,26 +321,65 @@ where
             // Clean EOF, or the socket was shut down under us.
             Ok(None) | Err(FrameError::Io(_)) => return,
             Err(FrameError::Format(e)) => {
-                // The stream is desynchronized: answer once, then close.
+                // The stream is desynchronized: answer once, then close
+                // — and count the connection as failed, so a peer that
+                // never spoke the protocol (a port scan, a mismatched
+                // client) is visible in telemetry.
+                shared.obs.connections_failed.inc();
                 let outcome = Err(EngineError::Format(e.to_string()));
                 let _ = write_outcome(shared, &mut writer, &outcome);
                 return;
             }
         };
+        let frame_bytes = (OVERHEAD_BYTES + payload.len()) as u64;
         shared
             .counters
             .bytes_received
-            .fetch_add((OVERHEAD_BYTES + payload.len()) as u64, Ordering::Relaxed);
+            .fetch_add(frame_bytes, Ordering::Relaxed);
+        per_opcode.record(&shared.registry, op, frame_bytes);
 
         // A bad payload inside a good frame fails only this request.
-        let outcome = match Request::decode(op, &payload) {
+        let decode_start = dds_obs::maybe_now();
+        let decoded = Request::decode(op, &payload);
+        shared
+            .obs
+            .decode_nanos
+            .observe(dds_obs::nanos_since(decode_start));
+        let outcome = match decoded {
             Ok(request) => {
                 shared.counters.requests.fetch_add(1, Ordering::Relaxed);
-                shared.service.call(request)
+                let handle_start = dds_obs::maybe_now();
+                let outcome = shared.service.call(request);
+                let nanos = dds_obs::nanos_since(handle_start);
+                shared.obs.handle_nanos.observe(nanos);
+                shared
+                    .registry
+                    .events()
+                    .record_slow("slow_request", nanos, || {
+                        let name = opcode::name(op).unwrap_or("unknown");
+                        format!("{name} request took {nanos} ns in the service")
+                    });
+                outcome
             }
             Err(e) => Err(EngineError::Format(e.to_string())),
         };
-        if write_outcome(shared, &mut writer, &outcome).is_err() {
+        // A telemetry reply carries the whole stack's view: the served
+        // engine's registry (already in the snapshot) plus this
+        // server's transport metrics, merged into one payload.
+        let outcome = match outcome {
+            Ok(Response::Telemetry { mut snapshot }) => {
+                snapshot.merge(shared.registry.snapshot());
+                Ok(Response::Telemetry { snapshot })
+            }
+            other => other,
+        };
+        let respond_start = dds_obs::maybe_now();
+        let write_result = write_outcome(shared, &mut writer, &outcome);
+        shared
+            .obs
+            .respond_nanos
+            .observe(dds_obs::nanos_since(respond_start));
+        if write_result.is_err() {
             return;
         }
     }

@@ -318,6 +318,136 @@ fn unix_socket_serves_the_same_protocol() {
 }
 
 #[test]
+fn telemetry_over_the_wire_matches_the_in_process_registry() {
+    const TENANTS: u64 = 50;
+    let engine = Engine::spawn(EngineConfig::new(infinite_spec()).with_shards(4));
+    let host = Arc::new(EngineHost::new(engine));
+    let service: Arc<dyn EngineService> = host.clone();
+    let server = Server::bind_tcp("127.0.0.1:0", service).expect("bind");
+    let addr = server.local_addr().expect("tcp endpoint");
+    let client = Client::connect_tcp(addr)
+        .expect("connect")
+        .with_batch_capacity(64);
+
+    for (t, e) in feed(TENANTS, 21) {
+        client.observe(t, e).expect("ingest");
+    }
+    client.flush().expect("barrier");
+
+    // One request: the engine's registry plus the server's own metrics,
+    // merged into a single snapshot.
+    let wire = client.telemetry().expect("telemetry travels");
+    let local = match host.call(Request::Telemetry).expect("in-process telemetry") {
+        Response::Telemetry { snapshot } => snapshot,
+        other => panic!("unexpected outcome {other:?}"),
+    };
+
+    // The engine section of the wire snapshot must be *identical* to
+    // what the in-process registry reports — same counters, same
+    // histogram buckets, same per-shard labels. Rendered text is a
+    // deterministic serialization of all of that.
+    let engine_lines = |text: &str| -> Vec<String> {
+        text.lines()
+            .filter(|l| l.contains("engine_"))
+            .map(str::to_owned)
+            .collect()
+    };
+    assert_eq!(
+        engine_lines(&wire.render_text()),
+        engine_lines(&local.render_text()),
+        "wire-fetched engine telemetry diverged from the in-process registry"
+    );
+
+    if !dds_obs::IS_NOOP {
+        // Counters agree with the metrics endpoint (two independent
+        // read paths over the same shard cells).
+        let metrics = client.metrics().expect("metrics");
+        assert_eq!(
+            wire.counter_total("engine_elements_total"),
+            metrics.total_elements()
+        );
+        assert_eq!(
+            wire.counter_total("engine_batches_total"),
+            metrics.total_batches()
+        );
+        // The server section rode along in the same reply.
+        assert_eq!(
+            wire.counter_value("server_connections_opened_total", &[]),
+            Some(1)
+        );
+        assert!(
+            wire.counter_total("server_frames_total") > 0,
+            "per-opcode frame accounting missing"
+        );
+        assert!(
+            wire.histogram("server_handle_nanos", &[])
+                .is_some_and(|h| h.hist.count > 0),
+            "handle latency histogram missing"
+        );
+        // The in-process snapshot has no server section — it never
+        // crossed the wire.
+        assert_eq!(
+            local.counter_value("server_connections_opened_total", &[]),
+            None
+        );
+    }
+
+    let _ = client.shutdown_engine().expect("stops");
+    let _ = server.shutdown();
+}
+
+#[test]
+fn failed_handshake_increments_the_failure_counter() {
+    use std::io::{Read, Write};
+
+    // Regression: the server used to back off on accept errors and drop
+    // garbage connections without counting either. A connection that
+    // fails its first frame must show up in telemetry.
+    let (server, client) = serve(infinite_spec(), 2);
+    let addr = server.local_addr().expect("tcp endpoint");
+
+    let mut garbage = std::net::TcpStream::connect(addr).expect("connect raw");
+    garbage
+        .write_all(b"NOT-A-DDSP-FRAME-AT-ALL-0123456789")
+        .expect("write garbage");
+    garbage
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    // Wait for the error reply — the counter is incremented before the
+    // server answers, so once bytes arrive the failure is recorded.
+    // (No EOF wait: the server's connection registry keeps a keeper fd
+    // open until shutdown.)
+    let mut first = [0u8; 64];
+    let n = garbage.read(&mut first).expect("error reply");
+    assert!(n > 0, "server closed without answering");
+
+    if !dds_obs::IS_NOOP {
+        // The handler thread races this assertion; poll briefly.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            let snap = server.telemetry();
+            if snap.counter_value("server_connections_failed_total", &[]) == Some(1) {
+                // The probe client plus the garbage connection.
+                assert_eq!(
+                    snap.counter_value("server_connections_opened_total", &[]),
+                    Some(2)
+                );
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "failed handshake never counted: {}",
+                snap.render_text()
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+    }
+
+    let _ = client.shutdown_engine().expect("stops");
+    let _ = server.shutdown();
+}
+
+#[test]
 fn unbounded_unbatched_ingest_does_not_deadlock() {
     // Regression: a caller that only ingests never reads; without the
     // client's ack window the server's ack backlog eventually fills

@@ -5,12 +5,12 @@
 //! exactly — split by direction and by site, with encoded bytes alongside —
 //! and is the single source of truth every experiment reads.
 //! [`AtomicMessageCounters`] is the lock-free shared-memory variant for
-//! threaded deployments: each of the `k` site slots is its own set of
-//! atomic cells, so concurrent recorders never contend on a lock (or on
-//! each other, when they record for different sites).
+//! threaded deployments: each of the `k` site slots is its own
+//! [`dds_obs::Counter`] cell, so concurrent recorders never contend on a
+//! lock (or on each other, when they record for different sites) — and
+//! the cells can double as registry-visible telemetry.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
+use dds_obs::Counter;
 use serde::{Deserialize, Serialize};
 
 use crate::model::SiteId;
@@ -191,26 +191,31 @@ impl MessageCounters {
 
 /// Lock-free message accounting shared across recorder threads.
 ///
-/// The write path is two relaxed fetch-adds on per-site cells — safe to
-/// sit on a protocol hot path. Reads ([`AtomicMessageCounters::snapshot`])
-/// are only exact once recorders are quiescent (e.g. behind a flush
-/// barrier); per-cell they are always consistent, but a snapshot taken
-/// mid-flight may pair a message with not-yet-visible bytes. That is the
-/// same caveat the lock-based version had for in-flight traffic, minus
-/// the lock.
+/// The write path is two relaxed fetch-adds on per-site
+/// [`dds_obs::Counter`] cells — safe to sit on a protocol hot path.
+/// Reads ([`AtomicMessageCounters::snapshot`]) are only exact once
+/// recorders are quiescent (e.g. behind a flush barrier); per-cell they
+/// are always consistent, but a snapshot taken mid-flight may pair a
+/// message with not-yet-visible bytes. That is the same caveat the
+/// lock-based version had for in-flight traffic, minus the lock.
+///
+/// Sitting on `dds-obs` primitives means a deployment can expose the
+/// exact per-site protocol tallies in its telemetry without a second
+/// counting scheme: [`AtomicMessageCounters::cell`] hands out the live
+/// handles.
 #[derive(Debug, Default)]
 pub struct AtomicMessageCounters {
-    up_msgs: Vec<AtomicU64>,
-    down_msgs: Vec<AtomicU64>,
-    up_bytes: Vec<AtomicU64>,
-    down_bytes: Vec<AtomicU64>,
+    up_msgs: Vec<Counter>,
+    down_msgs: Vec<Counter>,
+    up_bytes: Vec<Counter>,
+    down_bytes: Vec<Counter>,
 }
 
 impl AtomicMessageCounters {
     /// Counters for a `k`-site system, all zero.
     #[must_use]
     pub fn new(k: usize) -> Self {
-        let zeros = || (0..k).map(|_| AtomicU64::new(0)).collect::<Vec<_>>();
+        let zeros = || (0..k).map(|_| Counter::new()).collect::<Vec<_>>();
         Self {
             up_msgs: zeros(),
             down_msgs: zeros(),
@@ -232,14 +237,31 @@ impl AtomicMessageCounters {
             Direction::Up => (&self.up_msgs[site.0], &self.up_bytes[site.0]),
             Direction::Down => (&self.down_msgs[site.0], &self.down_bytes[site.0]),
         };
-        msgs.fetch_add(1, Ordering::Relaxed);
-        bts.fetch_add(bytes as u64, Ordering::Relaxed);
+        msgs.inc();
+        bts.add(bytes as u64);
+    }
+
+    /// The live counter cell for `(dir, site)` — `(messages, bytes)`
+    /// handles sharing the cells this set records into, so a telemetry
+    /// registry can re-export them without double counting.
+    ///
+    /// # Panics
+    /// Panics if `site` is out of range for this `k`-site set.
+    #[must_use]
+    pub fn cell(&self, dir: Direction, site: SiteId) -> (Counter, Counter) {
+        match dir {
+            Direction::Up => (self.up_msgs[site.0].clone(), self.up_bytes[site.0].clone()),
+            Direction::Down => (
+                self.down_msgs[site.0].clone(),
+                self.down_bytes[site.0].clone(),
+            ),
+        }
     }
 
     /// Materialize a plain [`MessageCounters`] for reporting.
     #[must_use]
     pub fn snapshot(&self) -> MessageCounters {
-        let load = |v: &[AtomicU64]| v.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        let load = |v: &[Counter]| v.iter().map(Counter::get).collect();
         MessageCounters {
             up_msgs: load(&self.up_msgs),
             down_msgs: load(&self.down_msgs),

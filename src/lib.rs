@@ -47,6 +47,7 @@
 //! | [`dds_engine`] | sharded multi-tenant serving layer: thousands of sampler instances (infinite- or sliding-window) behind one batched, timestamped ingest path |
 //! | [`dds_proto`] | the engine's formal service API: versioned request/response frames, byte-accounted codec, the transport-agnostic `EngineService` trait |
 //! | [`dds_server`] | wire transport: TCP/Unix-socket server with pipelined framed decode, plus the typed batching `Client` |
+//! | [`dds_obs`] | zero-dependency observability core: lock-free counters/gauges, mergeable log-scale histograms, labeled registry, span timers, bounded event ring, wire-portable telemetry snapshots |
 //! | [`dds_cluster`] | true distributed deployment: site-daemon and coordinator processes speaking the paper's protocols over sockets, byte-exact with the in-process twin |
 //!
 //! Run the evaluation-reproduction harness with
@@ -60,6 +61,7 @@ pub use dds_core as core;
 pub use dds_data as data;
 pub use dds_engine as engine;
 pub use dds_hash as hash;
+pub use dds_obs as obs;
 pub use dds_proto as proto;
 pub use dds_runtime as runtime;
 pub use dds_server as server;
@@ -93,6 +95,7 @@ pub mod prelude {
         Engine, EngineConfig, EngineError, EngineMetrics, EngineReport, TenantId, TenantView,
     };
     pub use dds_hash::{HashFamily, SeededHash, UnitHash, UnitValue};
+    pub use dds_obs::{Registry, TelemetrySnapshot};
     pub use dds_proto::{EngineHost, EngineService, Request, Response};
     pub use dds_runtime::ThreadedCluster;
     pub use dds_server::{Client, ClientStats, Server, ServerStats, TenantHandle};
