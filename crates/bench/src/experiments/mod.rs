@@ -12,6 +12,7 @@ pub mod ext_engine;
 pub mod ext_engine_checkpoint;
 pub mod ext_engine_sliding;
 pub mod ext_engine_wire;
+pub mod ext_hot_path;
 pub mod ext_obs_overhead;
 pub mod fig51;
 pub mod fig52;
@@ -131,6 +132,11 @@ pub fn all() -> Vec<Experiment> {
             title: "Extension: observability overhead, instrumented vs obs-noop ingest",
             run: ext_obs_overhead::run,
         },
+        Experiment {
+            id: "ext_hot_path",
+            title: "Extension: hot-path gates — batch fusion, delta checkpoints, wire ratio",
+            run: ext_hot_path::run,
+        },
     ]
 }
 
@@ -179,6 +185,7 @@ mod tests {
             "ext_engine_wire",
             "ext_cluster_messages",
             "ext_obs_overhead",
+            "ext_hot_path",
         ] {
             assert!(ids.contains(&required), "missing experiment {required}");
         }

@@ -394,8 +394,12 @@ pub fn restore_sampler(bytes: &[u8]) -> Result<Box<dyn DistinctSampler>, Checkpo
         )?),
         kind::INFINITE => Box::new(crate::sampler::FusedInfinite::decode_state(&mut r)?),
         kind::WITH_REPLACEMENT => Box::new(crate::sampler::FusedWr::decode_state(&mut r)?),
-        kind::SLIDING => Box::new(crate::sampler::FusedSliding::decode_state(&mut r)?),
-        kind::SLIDING_MULTI => Box::new(crate::sampler::FusedSlidingMulti::decode_state(&mut r)?),
+        kind::SLIDING => Box::new(
+            crate::sampler::FusedSliding::<dds_treap::FlatStaircase>::decode_state(&mut r)?,
+        ),
+        kind::SLIDING_MULTI => Box::new(crate::sampler::FusedSlidingMulti::<
+            dds_treap::FlatStaircase,
+        >::decode_state(&mut r)?),
         other => return Err(CheckpointError::UnknownKind(other)),
     };
     r.expect_end()?;

@@ -123,6 +123,23 @@ impl LazySite {
         self.sends
     }
 
+    /// The protocol hash function (for batch pre-hashing by fused
+    /// adapters).
+    pub(crate) fn hasher(&self) -> &SeededHash {
+        &self.hasher
+    }
+
+    /// Algorithm 1's observation step with the hash supplied by the
+    /// caller — the batch hot path. `h` must equal `hasher.unit(e.0)`.
+    /// Returns the up-message if `h` beats `uᵢ`; never more than one.
+    pub(crate) fn observe_hashed(&mut self, e: Element, h: UnitValue) -> Option<UpElem> {
+        debug_assert_eq!(h, self.hasher.unit(e.0), "caller-supplied hash mismatch");
+        (h < self.u_i).then(|| {
+            self.sends += 1;
+            UpElem { element: e }
+        })
+    }
+
     /// Checkpoint encoding: the whole Algorithm 1 state — hash function,
     /// `uᵢ`, and the send diagnostic.
     pub(crate) fn encode_state(&self, w: &mut crate::checkpoint::StateWriter) {
@@ -148,9 +165,9 @@ impl SiteNode for LazySite {
     type Down = DownThreshold;
 
     fn observe(&mut self, e: Element, _now: Slot, out: &mut Vec<UpElem>) {
-        if self.hasher.unit(e.0) < self.u_i {
-            self.sends += 1;
-            out.push(UpElem { element: e });
+        let h = self.hasher.unit(e.0);
+        if let Some(up) = self.observe_hashed(e, h) {
+            out.push(up);
         }
     }
 

@@ -32,7 +32,7 @@
 use dds_hash::family::HashFamily;
 use dds_hash::{SeededHash, UnitValue};
 use dds_sim::{CoordinatorNode, Destination, Element, SiteId, SiteNode, Slot};
-use dds_treap::Treap;
+use dds_treap::{CandidateSet, FlatStaircase};
 
 use crate::centralized::{CentralizedSampler, SlidingOracle};
 use crate::checkpoint::{self, CheckpointError, StateReader, StateWriter};
@@ -66,6 +66,27 @@ pub trait DistinctSampler: Send {
     fn observe_at(&mut self, e: Element, now: Slot) {
         self.advance(now);
         self.observe(e);
+    }
+
+    /// Observe a whole batch at the current clock. Observationally
+    /// identical to `for e in batch { observe(e) }` — the default *is*
+    /// that loop — but the fused adapters override it with a batch-level
+    /// hot path: hash the entire batch in one branch-free pass (one
+    /// algorithm dispatch per batch instead of one virtual call plus one
+    /// dispatch per element), then run the threshold compares against the
+    /// precomputed hashes. Samples, thresholds, memory, and message
+    /// counts are bit-identical either way, which the twin tests pin.
+    fn observe_batch(&mut self, batch: &[Element]) {
+        for &e in batch {
+            self.observe(e);
+        }
+    }
+
+    /// Timestamped batch observation: advance the clock to `now`, then
+    /// observe the batch — the batched [`DistinctSampler::observe_at`].
+    fn observe_batch_at(&mut self, now: Slot, batch: &[Element]) {
+        self.advance(now);
+        self.observe_batch(batch);
     }
 
     /// The current distinct sample. For bottom-`s` samplers this is
@@ -179,6 +200,9 @@ pub struct FusedInfinite {
     coordinator: LazyCoordinator,
     up_buf: Vec<UpElem>,
     down_buf: Vec<(Destination, DownThreshold)>,
+    /// Batch-hash scratch, reused across `observe_batch` calls (transient;
+    /// not part of checkpoints).
+    hash_buf: Vec<u64>,
     messages: u64,
 }
 
@@ -191,6 +215,7 @@ impl FusedInfinite {
             coordinator: config.coordinator(),
             up_buf: Vec::new(),
             down_buf: Vec::new(),
+            hash_buf: Vec::new(),
             messages: 0,
         }
     }
@@ -213,6 +238,7 @@ impl FusedInfinite {
             coordinator,
             up_buf: Vec::new(),
             down_buf: Vec::new(),
+            hash_buf: Vec::new(),
             messages,
         })
     }
@@ -229,6 +255,30 @@ impl DistinctSampler for FusedInfinite {
             &mut self.down_buf,
             &mut self.messages,
         );
+    }
+
+    fn observe_batch(&mut self, batch: &[Element]) {
+        // Hash the whole batch in one pass, then run Algorithm 1's
+        // compare loop against the precomputed hashes; only threshold
+        // beats (rare after warm-up) touch the message pump.
+        let mut hashes = std::mem::take(&mut self.hash_buf);
+        self.site
+            .hasher()
+            .hash_u64_batch_into(batch.iter().map(|e| e.0), &mut hashes);
+        for (&e, &h) in batch.iter().zip(&hashes) {
+            if let Some(up) = self.site.observe_hashed(e, UnitValue(h)) {
+                self.up_buf.push(up);
+                pump_ups(
+                    &mut self.site,
+                    &mut self.coordinator,
+                    Slot(0),
+                    &mut self.up_buf,
+                    &mut self.down_buf,
+                    &mut self.messages,
+                );
+            }
+        }
+        self.hash_buf = hashes;
     }
 
     fn sample(&self) -> Vec<Element> {
@@ -348,17 +398,27 @@ impl DistinctSampler for FusedWr {
 /// system, so jumping and replaying the coordinator's slot hook once is
 /// observationally identical to stepping — which keeps `advance` cheap
 /// for serving layers whose idle tenants wake up far in the future.
+///
+/// The adapter is generic over the candidate-set backend. The default is
+/// the [`FlatStaircase`] — Lemma 10 keeps `Tᵢ` a few dozen entries, where
+/// one sorted vec beats the treap's pointer-chasing — while the simulator
+/// clusters keep the paper's treap; the two backends are conformance- and
+/// differential-tested to be observationally identical, so the choice is
+/// purely a performance one.
 #[derive(Debug, Clone)]
-pub struct FusedSliding {
-    site: SwSite<Treap>,
+pub struct FusedSliding<T: CandidateSet = FlatStaircase> {
+    site: SwSite<T>,
     coordinator: SwCoordinator,
     now: Slot,
     up_buf: Vec<SwUp>,
     down_buf: Vec<(Destination, SwDown)>,
+    /// Batch-hash scratch, reused across `observe_batch` calls (transient;
+    /// not part of checkpoints).
+    hash_buf: Vec<u64>,
     messages: u64,
 }
 
-impl FusedSliding {
+impl<T: CandidateSet + Default> FusedSliding<T> {
     /// Build from the same config a distributed deployment would use
     /// (`k = 1` registry sizing, same hash, same coordinator mode).
     #[must_use]
@@ -369,6 +429,7 @@ impl FusedSliding {
             now: Slot(0),
             up_buf: Vec::new(),
             down_buf: Vec::new(),
+            hash_buf: Vec::new(),
             messages: 0,
         }
     }
@@ -398,6 +459,7 @@ impl FusedSliding {
             now,
             up_buf: Vec::new(),
             down_buf: Vec::new(),
+            hash_buf: Vec::new(),
             messages,
         })
     }
@@ -431,7 +493,7 @@ impl FusedSliding {
     }
 }
 
-impl DistinctSampler for FusedSliding {
+impl<T: CandidateSet + Default + Send> DistinctSampler for FusedSliding<T> {
     fn observe(&mut self, e: Element) {
         pump_observe(
             &mut self.site,
@@ -442,6 +504,31 @@ impl DistinctSampler for FusedSliding {
             &mut self.down_buf,
             &mut self.messages,
         );
+    }
+
+    fn observe_batch(&mut self, batch: &[Element]) {
+        // One hash pass over the whole batch, then Algorithm 3's
+        // insert-and-compare loop against the precomputed hashes. Each
+        // observation yields at most one up-message, so the pump runs
+        // only on threshold beats.
+        let mut hashes = std::mem::take(&mut self.hash_buf);
+        self.site
+            .hasher()
+            .hash_u64_batch_into(batch.iter().map(|e| e.0), &mut hashes);
+        for (&e, &h) in batch.iter().zip(&hashes) {
+            if let Some(up) = self.site.observe_hashed(e, UnitValue(h), self.now) {
+                self.up_buf.push(up);
+                pump_ups(
+                    &mut self.site,
+                    &mut self.coordinator,
+                    self.now,
+                    &mut self.up_buf,
+                    &mut self.down_buf,
+                    &mut self.messages,
+                );
+            }
+        }
+        self.hash_buf = hashes;
     }
 
     fn advance(&mut self, now: Slot) {
@@ -496,16 +583,19 @@ impl DistinctSampler for FusedSliding {
 /// [`MultiSwCoordinator`] — `s` independent copies of Algorithms 3 & 4
 /// advanced by one shared clock.
 #[derive(Debug, Clone)]
-pub struct FusedSlidingMulti {
-    site: MultiSwSite,
+pub struct FusedSlidingMulti<T: CandidateSet = FlatStaircase> {
+    site: MultiSwSite<T>,
     coordinator: MultiSwCoordinator,
     now: Slot,
     up_buf: Vec<CopyUp<SwUp>>,
     down_buf: Vec<(Destination, CopyDown<SwDown>)>,
+    /// Batch-hash scratch, reused across `observe_batch` calls (transient;
+    /// not part of checkpoints).
+    hash_buf: Vec<u64>,
     messages: u64,
 }
 
-impl FusedSlidingMulti {
+impl<T: CandidateSet + Default> FusedSlidingMulti<T> {
     /// Build `s` fused sliding copies from a deployment config.
     #[must_use]
     pub fn new(config: &MultiSlidingConfig) -> Self {
@@ -515,6 +605,7 @@ impl FusedSlidingMulti {
             now: Slot(0),
             up_buf: Vec::new(),
             down_buf: Vec::new(),
+            hash_buf: Vec::new(),
             messages: 0,
         }
     }
@@ -537,6 +628,7 @@ impl FusedSlidingMulti {
             now,
             up_buf: Vec::new(),
             down_buf: Vec::new(),
+            hash_buf: Vec::new(),
             messages,
         })
     }
@@ -568,7 +660,7 @@ impl FusedSlidingMulti {
     }
 }
 
-impl DistinctSampler for FusedSlidingMulti {
+impl<T: CandidateSet + Default + Send> DistinctSampler for FusedSlidingMulti<T> {
     fn observe(&mut self, e: Element) {
         pump_observe(
             &mut self.site,
@@ -579,6 +671,37 @@ impl DistinctSampler for FusedSlidingMulti {
             &mut self.down_buf,
             &mut self.messages,
         );
+    }
+
+    fn observe_batch(&mut self, batch: &[Element]) {
+        // Copy-major: hash the whole batch once per copy hash function,
+        // then run each copy's insert-and-compare loop. The copies are
+        // fully independent protocols (coordinator copy j handles only
+        // copy-j traffic), so reordering elements *across* copies — while
+        // preserving order within each copy — leaves every copy's final
+        // state, sample, and message count identical to element-major
+        // observation; the twin tests pin this.
+        let mut hashes = std::mem::take(&mut self.hash_buf);
+        for j in 0..self.site.copy_count() {
+            self.site.hash_batch_for_copy(j, batch, &mut hashes);
+            for (i, &e) in batch.iter().enumerate() {
+                if let Some(up) =
+                    self.site
+                        .observe_hashed_copy(j, e, UnitValue(hashes[i]), self.now)
+                {
+                    self.up_buf.push(up);
+                    pump_ups(
+                        &mut self.site,
+                        &mut self.coordinator,
+                        self.now,
+                        &mut self.up_buf,
+                        &mut self.down_buf,
+                        &mut self.messages,
+                    );
+                }
+            }
+        }
+        self.hash_buf = hashes;
     }
 
     fn advance(&mut self, now: Slot) {
@@ -723,12 +846,14 @@ impl SamplerSpec {
                 family: self.family(),
             })),
             SamplerKind::WithReplacement => Box::new(FusedWr::new(self.s, self.family())),
-            SamplerKind::Sliding { window } => Box::new(FusedSliding::new(
+            SamplerKind::Sliding { window } => Box::new(FusedSliding::<FlatStaircase>::new(
                 &SlidingConfig::with_seed(window, self.seed),
             )),
-            SamplerKind::SlidingMulti { window } => Box::new(FusedSlidingMulti::new(
-                &MultiSlidingConfig::with_seed(self.s, window, self.seed),
-            )),
+            SamplerKind::SlidingMulti { window } => {
+                Box::new(FusedSlidingMulti::<FlatStaircase>::new(
+                    &MultiSlidingConfig::with_seed(self.s, window, self.seed),
+                ))
+            }
         }
     }
 
@@ -898,7 +1023,7 @@ mod tests {
         use dds_data::{SlottedInput, TraceLikeStream, TraceProfile};
         let window = 12;
         let config = SlidingConfig::with_seed(window, 404);
-        let mut fused = FusedSliding::new(&config);
+        let mut fused = FusedSliding::<FlatStaircase>::new(&config);
         let mut sim = config.cluster(1);
         let mut oracle = SlidingOracle::new(window, config.hasher());
         let profile = TraceProfile {
@@ -951,7 +1076,7 @@ mod tests {
     #[test]
     fn fused_sliding_fast_forward_is_exact() {
         let config = SlidingConfig::with_seed(10, 77);
-        let mut fused = FusedSliding::new(&config);
+        let mut fused = FusedSliding::<FlatStaircase>::new(&config);
         let mut sim = config.cluster(1);
         // Gap 1: from pristine state.
         fused.advance(Slot(5_000));
@@ -979,7 +1104,7 @@ mod tests {
         use dds_data::{SlottedInput, TraceLikeStream, TraceProfile};
         let spec = SamplerSpec::new(SamplerKind::SlidingMulti { window: 20 }, 4, 909);
         let config = MultiSlidingConfig::with_seed(4, 20, 909);
-        let mut fused = FusedSlidingMulti::new(&config);
+        let mut fused = FusedSlidingMulti::<FlatStaircase>::new(&config);
         let mut sim = config.cluster(1);
         let mut oracles = spec.sliding_oracles();
         assert_eq!(oracles.len(), 4);
@@ -1059,7 +1184,7 @@ mod tests {
     fn faithful_mode_fast_forwards_after_drain() {
         use crate::sliding::CoordinatorMode;
         let config = SlidingConfig::with_seed(5, 3).mode(CoordinatorMode::Faithful);
-        let mut fused = FusedSliding::new(&config);
+        let mut fused = FusedSliding::<FlatStaircase>::new(&config);
         let mut sim = config.cluster(1);
         DistinctSampler::observe(&mut fused, Element(9));
         sim.observe(SiteId(0), Element(9));

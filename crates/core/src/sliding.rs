@@ -212,6 +212,27 @@ impl<T: CandidateSet + Default> SwSite<T> {
         self.view.map_or(UnitValue::ONE, |v| v.hash)
     }
 
+    /// The protocol hash function (for batch pre-hashing by fused
+    /// adapters).
+    pub(crate) fn hasher(&self) -> &SeededHash {
+        &self.hasher
+    }
+
+    /// Algorithm 3's observation step with the hash supplied by the
+    /// caller — the batch hot path, where a fused adapter hashes a whole
+    /// batch in one pass and feeds the results back in. `h` must equal
+    /// `hasher.unit(e.0)`. Returns the up-message, if the element beats
+    /// the threshold; a sliding observation never produces more than one.
+    pub(crate) fn observe_hashed(&mut self, e: Element, h: UnitValue, now: Slot) -> Option<SwUp> {
+        debug_assert_eq!(h, self.hasher.unit(e.0), "caller-supplied hash mismatch");
+        let expiry = Slot(now.0 + self.window);
+        // Algorithm 3 lines 4–11: insert or refresh; expiry and dominance
+        // maintenance live inside the candidate set.
+        self.candidates.insert_or_refresh(e, h.0, expiry);
+        // Line 12: compare against the threshold view.
+        (h < self.threshold()).then_some(SwUp { element: e, expiry })
+    }
+
     /// The candidate set `Tᵢ` (for memory probes and tests).
     #[must_use]
     pub fn candidates(&self) -> &T {
@@ -285,13 +306,8 @@ impl<T: CandidateSet + Default> SiteNode for SwSite<T> {
 
     fn observe(&mut self, e: Element, now: Slot, out: &mut Vec<SwUp>) {
         let h = self.hasher.unit(e.0);
-        let expiry = Slot(now.0 + self.window);
-        // Algorithm 3 lines 4–11: insert or refresh; expiry and dominance
-        // maintenance live inside the candidate set.
-        self.candidates.insert_or_refresh(e, h.0, expiry);
-        // Line 12: compare against the threshold view.
-        if h < self.threshold() {
-            out.push(SwUp { element: e, expiry });
+        if let Some(up) = self.observe_hashed(e, h, now) {
+            out.push(up);
         }
     }
 
@@ -589,6 +605,16 @@ mod tests {
     #[test]
     fn matches_oracle_staircase_backend() {
         run_against_oracle::<StaircaseSet>(CoordinatorMode::Registry, 25, 5, 400, 6);
+    }
+
+    #[test]
+    fn matches_oracle_flat_backend() {
+        run_against_oracle::<dds_treap::FlatStaircase>(CoordinatorMode::Registry, 25, 5, 400, 6);
+    }
+
+    #[test]
+    fn matches_oracle_flat_backend_small_window() {
+        run_against_oracle::<dds_treap::FlatStaircase>(CoordinatorMode::Registry, 4, 3, 300, 1);
     }
 
     #[test]

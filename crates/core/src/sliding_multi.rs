@@ -14,9 +14,9 @@
 //! executable, tested form.
 
 use dds_hash::family::HashFamily;
-use dds_hash::SeededHash;
+use dds_hash::{SeededHash, UnitValue};
 use dds_sim::{Cluster, CoordinatorNode, Destination, Element, SiteId, SiteNode, Slot};
-use dds_treap::Treap;
+use dds_treap::{CandidateSet, Treap};
 
 use crate::messages::{CopyDown, CopyUp, SwDown, SwUp};
 use crate::sliding::{CoordinatorMode, SwCoordinator, SwSite};
@@ -67,13 +67,15 @@ impl MultiSlidingConfig {
     }
 }
 
-/// Site: `s` independent [`SwSite`]s.
+/// Site: `s` independent [`SwSite`]s, generic over the candidate-set
+/// backend (the simulator keeps the paper's treap; the fused adapter
+/// defaults to the flat staircase).
 #[derive(Debug, Clone)]
-pub struct MultiSwSite {
-    copies: Vec<SwSite<Treap>>,
+pub struct MultiSwSite<T: CandidateSet = Treap> {
+    copies: Vec<SwSite<T>>,
 }
 
-impl MultiSwSite {
+impl<T: CandidateSet + Default> MultiSwSite<T> {
     /// A site given the copy hash functions.
     #[must_use]
     pub fn new(window: u64, hashers: Vec<SeededHash>) -> Self {
@@ -95,6 +97,34 @@ impl MultiSwSite {
     /// True when every copy is stateless (see [`SwSite::is_quiescent`]).
     pub(crate) fn is_quiescent(&self) -> bool {
         self.copies.iter().all(SwSite::is_quiescent)
+    }
+
+    /// Number of parallel copies (`s`).
+    pub(crate) fn copy_count(&self) -> usize {
+        self.copies.len()
+    }
+
+    /// Hash a whole batch under copy `j`'s hash function into `out`
+    /// (cleared first) — one algorithm dispatch per (copy, batch).
+    pub(crate) fn hash_batch_for_copy(&self, j: usize, batch: &[Element], out: &mut Vec<u64>) {
+        self.copies[j]
+            .hasher()
+            .hash_u64_batch_into(batch.iter().map(|e| e.0), out);
+    }
+
+    /// Copy `j`'s observation step with a caller-supplied hash — the
+    /// batch hot path. Returns the copy-tagged up-message, if any.
+    pub(crate) fn observe_hashed_copy(
+        &mut self,
+        j: usize,
+        e: Element,
+        h: UnitValue,
+        now: Slot,
+    ) -> Option<CopyUp<SwUp>> {
+        self.copies[j].observe_hashed(e, h, now).map(|m| CopyUp {
+            copy: j as u32,
+            inner: m,
+        })
     }
 
     /// Checkpoint encoding: the `s` per-copy site states.
@@ -123,7 +153,7 @@ impl MultiSwSite {
     }
 }
 
-impl SiteNode for MultiSwSite {
+impl<T: CandidateSet + Default> SiteNode for MultiSwSite<T> {
     type Up = CopyUp<SwUp>;
     type Down = CopyDown<SwDown>;
 

@@ -12,25 +12,41 @@
 //! tenants (live instances *and* eviction-parked blobs), and the same
 //! operational counters.
 //!
-//! ## Container format (version 1)
+//! ## Container format (version 2)
 //!
 //! All integers little-endian, stacked on the primitive codec of
 //! [`dds_core::checkpoint`]:
 //!
 //! ```text
 //! magic          u32   0x4553_4444  ("DDSE")
-//! version        u16   1
+//! version        u16   2
 //! shards         u32
 //! queue_capacity u32
 //! spec           kind u8 ‖ window u64 ‖ s u32 ‖ seed u64
 //! per shard:
 //!   watermark    u64
+//!   seq          u64   mutation sequence number (delta reference point)
 //!   counters     elements ‖ batches ‖ advances ‖ evictions ‖
 //!                snapshots ‖ snapshot_nanos ‖ backpressure   (u64 each)
 //!   tenants      count u32, then per tenant:
-//!                id u64 ‖ parked u8 ‖ blob_len u32 ‖ blob bytes
+//!                id u64 ‖ parked u8 ‖ stamp u64 ‖ blob_len u32 ‖ blob
 //! check          u64   FNV-1a 64 over every preceding byte
 //! ```
+//!
+//! ## Incremental checkpoints
+//!
+//! Each shard bumps a **mutation sequence number** once per state-
+//! changing command and stamps every touched tenant with it. A full
+//! document records both, so [`Engine::checkpoint_delta`] can ask each
+//! shard for exactly the tenants stamped after the base document's
+//! `seq` — at low churn the delta is a few percent of the full
+//! document's bytes. Deltas are their own container (`"DDSD"`,
+//! version 1): the same header, then per shard
+//! `base_seq ‖ new_seq ‖ watermark ‖ counters ‖ changed tenants`.
+//! [`compact`] folds a base plus an in-order delta chain back into a
+//! full version-2 document — byte-identical to the full checkpoint the
+//! engine would have produced at the last delta — and
+//! [`Engine::restore_with_deltas`] restores straight from the chain.
 //!
 //! Each tenant `blob` is the sampler's own versioned, checksummed
 //! envelope (see `dds_core::checkpoint`), so tenant state is doubly
@@ -46,6 +62,7 @@
 //! against an engine that never crashed — is pinned by
 //! `crates/engine/tests/recovery.rs` for all four sampler kinds.
 
+use std::collections::BTreeMap;
 use std::io;
 
 use crossbeam::channel::{unbounded, Receiver};
@@ -61,7 +78,27 @@ use crate::{Engine, EngineConfig, EngineError, ShardCmd, ShardState, TenantId};
 pub const MAGIC: u32 = u32::from_le_bytes(*b"DDSE");
 
 /// Current container format version.
-pub const VERSION: u16 = 1;
+pub const VERSION: u16 = 2;
+
+/// Delta-container magic: `b"DDSD"` read as a little-endian `u32`.
+pub const DELTA_MAGIC: u32 = u32::from_le_bytes(*b"DDSD");
+
+/// Current delta-container format version.
+pub const DELTA_VERSION: u16 = 1;
+
+/// Minimum encoded size of a full-document shard section (watermark,
+/// seq, 7 counters, tenant count) — the per-item floor for the shard-
+/// count length check.
+const SHARD_SECTION_MIN: usize = 8 + 8 + 7 * 8 + 4;
+
+/// Minimum encoded size of a delta-document shard section (base_seq,
+/// new_seq, watermark, 7 counters, changed-tenant count).
+const DELTA_SHARD_SECTION_MIN: usize = 8 + 8 + 8 + 7 * 8 + 4;
+
+/// Minimum encoded size of one tenant record (id, parked flag, stamp,
+/// blob length; the blob itself may not be empty but is bounded by its
+/// own length check).
+const TENANT_RECORD_MIN: usize = 8 + 1 + 8 + 4;
 
 /// Why an engine checkpoint could not be restored: a format error
 /// ([`CheckpointError`]) or, for the reader-based API, an I/O error.
@@ -194,6 +231,7 @@ impl Engine {
             let state = rx.recv().map_err(|_| self.down_error(i))?;
             let m = shard.metrics.snapshot(0, 0);
             w.put_slot(state.watermark);
+            w.put_u64(state.seq);
             for counter in [
                 m.elements,
                 m.batches,
@@ -206,9 +244,10 @@ impl Engine {
                 w.put_u64(counter);
             }
             w.put_len(state.tenants.len());
-            for (tenant, parked, blob) in state.tenants {
+            for (tenant, parked, stamp, blob) in state.tenants {
                 w.put_u64(tenant);
                 w.put_bool(parked);
+                w.put_u64(stamp);
                 w.put_len(blob.len());
                 w.put_bytes(&blob);
             }
@@ -234,6 +273,102 @@ impl Engine {
     /// Propagates the writer's I/O errors.
     pub fn checkpoint_to<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
         w.write_all(&self.checkpoint())
+    }
+
+    /// Serialize only what changed since `base` (a full document from
+    /// [`Engine::checkpoint`] or [`compact`] of this same deployment):
+    /// each shard answers with the tenants whose dirty stamp postdates
+    /// the base's sequence number, plus its current watermark, sequence
+    /// number, and counters. At low churn the delta is a few percent of
+    /// a full document. Fold deltas back into a full document with
+    /// [`compact`], or restore directly with
+    /// [`Engine::restore_with_deltas`].
+    ///
+    /// Consistency is the same FIFO barrier as [`Engine::checkpoint`].
+    ///
+    /// # Errors
+    /// Returns a [`CheckpointError`] if `base` is not a valid full
+    /// document or describes a different deployment shape (shards,
+    /// queue capacity, or spec).
+    ///
+    /// # Panics
+    /// Panics if the engine is shut down or a worker is gone (like
+    /// [`Engine::checkpoint`]).
+    pub fn checkpoint_delta(&self, base: &[u8]) -> Result<Vec<u8>, CheckpointError> {
+        let doc = parse_full(base)?;
+        if doc.shards != self.shards.len()
+            || doc.queue_capacity != self.queue_capacity
+            || doc.spec != self.spec
+        {
+            return Err(CheckpointError::Corrupt(
+                "base checkpoint is from a different deployment shape",
+            ));
+        }
+        self.guard().expect("engine checkpoints");
+        let replies: Vec<Receiver<ShardState>> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                let (reply_tx, reply_rx) = unbounded();
+                shard
+                    .tx
+                    .send(ShardCmd::CheckpointDelta {
+                        since: doc.per_shard[i].seq,
+                        reply: reply_tx,
+                    })
+                    .expect("shard worker alive");
+                reply_rx
+            })
+            .collect();
+
+        let mut w = StateWriter::new();
+        w.put_u32(DELTA_MAGIC);
+        w.put_u16(DELTA_VERSION);
+        w.put_len(self.shards.len());
+        w.put_len(self.queue_capacity);
+        encode_spec(&self.spec, &mut w);
+        for (i, (shard, rx)) in self.shards.iter().zip(replies).enumerate() {
+            let state = rx.recv().expect("shard worker answers");
+            let m = shard.metrics.snapshot(0, 0);
+            w.put_u64(doc.per_shard[i].seq);
+            w.put_u64(state.seq);
+            w.put_slot(state.watermark);
+            for counter in [
+                m.elements,
+                m.batches,
+                m.advances,
+                m.evictions,
+                m.snapshots,
+                m.snapshot_nanos,
+                m.backpressure,
+            ] {
+                w.put_u64(counter);
+            }
+            w.put_len(state.tenants.len());
+            for (tenant, parked, stamp, blob) in state.tenants {
+                w.put_u64(tenant);
+                w.put_bool(parked);
+                w.put_u64(stamp);
+                w.put_len(blob.len());
+                w.put_bytes(&blob);
+            }
+        }
+        let mut out = w.into_bytes();
+        let check = fnv1a_64(&out);
+        out.extend_from_slice(&check.to_le_bytes());
+        Ok(out)
+    }
+
+    /// Rebuild an engine from a base document plus an in-order chain of
+    /// [`Engine::checkpoint_delta`] documents — equivalent to restoring
+    /// [`compact`]`(base, deltas)`.
+    ///
+    /// # Errors
+    /// As [`Engine::restore`], plus the chain-validation errors of
+    /// [`compact`].
+    pub fn restore_with_deltas(base: &[u8], deltas: &[Vec<u8>]) -> Result<Engine, CheckpointError> {
+        Engine::restore(&compact(base, deltas)?)
     }
 
     /// Rebuild an engine from [`Engine::checkpoint`] output: respawn the
@@ -269,11 +404,10 @@ impl Engine {
             return Err(CheckpointError::UnsupportedVersion(version));
         }
         // `shards` counts the shard records that follow (each at least
-        // 8 watermark + 56 counter + 4 tenant-count bytes), so the
-        // collection-length bound applies and caps it against the
-        // document size — no thread is spawned for a count the document
-        // cannot actually contain.
-        let shards = r.get_len(68)?;
+        // `SHARD_SECTION_MIN` bytes), so the collection-length bound
+        // applies and caps it against the document size — no thread is
+        // spawned for a count the document cannot actually contain.
+        let shards = r.get_len(SHARD_SECTION_MIN)?;
         // The queue capacity is a scalar; bound it explicitly, since
         // bounded channels allocate their capacity up front.
         let queue_capacity = r.get_u32()? as usize;
@@ -287,12 +421,13 @@ impl Engine {
 
         struct ShardRecord {
             watermark: Slot,
+            seq: u64,
             counters: [u64; 7],
         }
         let mut records = Vec::with_capacity(shards);
         // Tenants re-routed by the engine's own placement hash.
-        let mut live: Vec<Vec<(u64, Box<dyn DistinctSampler>)>> = Vec::new();
-        let mut parked: Vec<Vec<(u64, Vec<u8>)>> = Vec::new();
+        let mut live: Vec<Vec<(u64, u64, Box<dyn DistinctSampler>)>> = Vec::new();
+        let mut parked: Vec<Vec<(u64, u64, Vec<u8>)>> = Vec::new();
         live.resize_with(shards, Vec::new);
         parked.resize_with(shards, Vec::new);
 
@@ -304,14 +439,16 @@ impl Engine {
 
         for _ in 0..shards {
             let watermark = r.get_slot()?;
+            let seq = r.get_u64()?;
             let mut counters = [0u64; 7];
             for c in &mut counters {
                 *c = r.get_u64()?;
             }
-            let tenant_count = r.get_len(14)?;
+            let tenant_count = r.get_len(TENANT_RECORD_MIN)?;
             for _ in 0..tenant_count {
                 let tenant = r.get_u64()?;
                 let is_parked = r.get_bool()?;
+                let stamp = r.get_u64()?;
                 let blob_len = r.get_len(1)?;
                 let blob = r.get_bytes(blob_len)?;
                 let home = engine.shard_of(TenantId(tenant));
@@ -319,13 +456,14 @@ impl Engine {
                     // Validate now so a corrupt blob fails the restore,
                     // not a later rehydration inside a shard worker.
                     restore_sampler(blob)?;
-                    parked[home].push((tenant, blob.to_vec()));
+                    parked[home].push((tenant, stamp, blob.to_vec()));
                 } else {
-                    live[home].push((tenant, restore_sampler(blob)?));
+                    live[home].push((tenant, stamp, restore_sampler(blob)?));
                 }
             }
             records.push(ShardRecord {
                 watermark,
+                seq,
                 counters,
             });
         }
@@ -339,6 +477,7 @@ impl Engine {
                 .tx
                 .send(ShardCmd::Install {
                     watermark: record.watermark,
+                    seq: record.seq,
                     live,
                     parked,
                 })
@@ -369,6 +508,208 @@ impl Engine {
         r.read_to_end(&mut bytes)?;
         Ok(Engine::restore(&bytes)?)
     }
+}
+
+/// One shard's section of a parsed full document.
+struct DocShard {
+    watermark: Slot,
+    seq: u64,
+    counters: [u64; 7],
+    /// tenant id → (parked, stamp, sampler envelope). A `BTreeMap` so
+    /// re-encoding iterates ascending by tenant id — byte-identical to
+    /// the order a live engine's [`ShardCmd::Checkpoint`] emits.
+    tenants: BTreeMap<u64, (bool, u64, Vec<u8>)>,
+}
+
+/// A fully parsed engine checkpoint (the in-memory form [`compact`]
+/// overlays deltas onto).
+struct Doc {
+    shards: usize,
+    queue_capacity: usize,
+    spec: SamplerSpec,
+    per_shard: Vec<DocShard>,
+}
+
+/// Split off and verify the FNV trailer, returning the body.
+fn checked_body(bytes: &[u8]) -> Result<&[u8], CheckpointError> {
+    if bytes.len() < 8 {
+        return Err(CheckpointError::Truncated);
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 8);
+    let check = u64::from_le_bytes(trailer.try_into().expect("len 8"));
+    if check != fnv1a_64(body) {
+        return Err(CheckpointError::ChecksumMismatch);
+    }
+    Ok(body)
+}
+
+/// Decode the shared deployment-shape header (shard count, queue
+/// capacity, spec); `min_shard_bytes` is the per-shard-section floor
+/// that bounds the shard count against the document size.
+fn parse_shape(
+    r: &mut StateReader<'_>,
+    min_shard_bytes: usize,
+) -> Result<(usize, usize, SamplerSpec), CheckpointError> {
+    let shards = r.get_len(min_shard_bytes)?;
+    let queue_capacity = r.get_u32()? as usize;
+    if shards == 0 || queue_capacity == 0 {
+        return Err(CheckpointError::Corrupt("zero shards or queue capacity"));
+    }
+    if queue_capacity > 1 << 20 {
+        return Err(CheckpointError::Corrupt("queue capacity implausibly large"));
+    }
+    let spec = decode_spec(r)?;
+    Ok((shards, queue_capacity, spec))
+}
+
+/// Decode one tenant record (shared by full and delta sections).
+fn parse_tenant(r: &mut StateReader<'_>) -> Result<(u64, (bool, u64, Vec<u8>)), CheckpointError> {
+    let tenant = r.get_u64()?;
+    let parked = r.get_bool()?;
+    let stamp = r.get_u64()?;
+    let blob_len = r.get_len(1)?;
+    let blob = r.get_bytes(blob_len)?.to_vec();
+    Ok((tenant, (parked, stamp, blob)))
+}
+
+/// Parse a full version-2 document into its overlay form. Validates the
+/// checksum and structure but not the tenant blobs (restore does that).
+fn parse_full(bytes: &[u8]) -> Result<Doc, CheckpointError> {
+    let mut r = StateReader::new(checked_body(bytes)?);
+    let magic = r.get_u32()?;
+    if magic != MAGIC {
+        return Err(CheckpointError::BadMagic(magic));
+    }
+    let version = r.get_u16()?;
+    if version != VERSION {
+        return Err(CheckpointError::UnsupportedVersion(version));
+    }
+    let (shards, queue_capacity, spec) = parse_shape(&mut r, SHARD_SECTION_MIN)?;
+    let mut per_shard = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let watermark = r.get_slot()?;
+        let seq = r.get_u64()?;
+        let mut counters = [0u64; 7];
+        for c in &mut counters {
+            *c = r.get_u64()?;
+        }
+        let tenant_count = r.get_len(TENANT_RECORD_MIN)?;
+        let mut tenants = BTreeMap::new();
+        for _ in 0..tenant_count {
+            let (tenant, record) = parse_tenant(&mut r)?;
+            tenants.insert(tenant, record);
+        }
+        per_shard.push(DocShard {
+            watermark,
+            seq,
+            counters,
+            tenants,
+        });
+    }
+    r.expect_end()?;
+    Ok(Doc {
+        shards,
+        queue_capacity,
+        spec,
+        per_shard,
+    })
+}
+
+/// Re-encode an overlay as a full version-2 document — the exact byte
+/// layout [`Engine::try_checkpoint`] produces for the same state.
+fn encode_full(doc: &Doc) -> Vec<u8> {
+    let mut w = StateWriter::new();
+    w.put_u32(MAGIC);
+    w.put_u16(VERSION);
+    w.put_len(doc.shards);
+    w.put_len(doc.queue_capacity);
+    encode_spec(&doc.spec, &mut w);
+    for shard in &doc.per_shard {
+        w.put_slot(shard.watermark);
+        w.put_u64(shard.seq);
+        for c in shard.counters {
+            w.put_u64(c);
+        }
+        w.put_len(shard.tenants.len());
+        for (&tenant, (parked, stamp, blob)) in &shard.tenants {
+            w.put_u64(tenant);
+            w.put_bool(*parked);
+            w.put_u64(*stamp);
+            w.put_len(blob.len());
+            w.put_bytes(blob);
+        }
+    }
+    let mut out = w.into_bytes();
+    let check = fnv1a_64(&out);
+    out.extend_from_slice(&check.to_le_bytes());
+    out
+}
+
+/// Overlay one delta document onto a parsed base. Rejects deltas for a
+/// different deployment shape and chains applied out of order: a
+/// delta's `base_seq` must not postdate the overlay's current sequence
+/// number (a predecessor is missing), and its `new_seq` must not
+/// predate it (the delta is stale).
+fn apply_delta(doc: &mut Doc, delta: &[u8]) -> Result<(), CheckpointError> {
+    let mut r = StateReader::new(checked_body(delta)?);
+    let magic = r.get_u32()?;
+    if magic != DELTA_MAGIC {
+        return Err(CheckpointError::BadMagic(magic));
+    }
+    let version = r.get_u16()?;
+    if version != DELTA_VERSION {
+        return Err(CheckpointError::UnsupportedVersion(version));
+    }
+    let (shards, queue_capacity, spec) = parse_shape(&mut r, DELTA_SHARD_SECTION_MIN)?;
+    if shards != doc.shards || queue_capacity != doc.queue_capacity || spec != doc.spec {
+        return Err(CheckpointError::Corrupt(
+            "delta is for a different deployment shape",
+        ));
+    }
+    for shard in &mut doc.per_shard {
+        let base_seq = r.get_u64()?;
+        let new_seq = r.get_u64()?;
+        if base_seq > shard.seq {
+            return Err(CheckpointError::Corrupt(
+                "delta applied out of order: its base postdates the chain",
+            ));
+        }
+        if new_seq < shard.seq {
+            return Err(CheckpointError::Corrupt(
+                "delta predates the state it is applied to",
+            ));
+        }
+        shard.watermark = r.get_slot()?;
+        shard.seq = new_seq;
+        for c in &mut shard.counters {
+            *c = r.get_u64()?;
+        }
+        let changed = r.get_len(TENANT_RECORD_MIN)?;
+        for _ in 0..changed {
+            let (tenant, record) = parse_tenant(&mut r)?;
+            shard.tenants.insert(tenant, record);
+        }
+    }
+    r.expect_end()?;
+    Ok(())
+}
+
+/// Fold a base document and an in-order chain of
+/// [`Engine::checkpoint_delta`] documents into one full document —
+/// byte-identical to the full checkpoint the engine would have produced
+/// at the moment the last delta was taken. The building block for
+/// checkpoint retention: keep one periodic full document, stream cheap
+/// deltas between, and compact when the chain grows long.
+///
+/// # Errors
+/// Returns a [`CheckpointError`] if the base or any delta is invalid,
+/// shapes mismatch, or the chain is out of order.
+pub fn compact(base: &[u8], deltas: &[Vec<u8>]) -> Result<Vec<u8>, CheckpointError> {
+    let mut doc = parse_full(base)?;
+    for delta in deltas {
+        apply_delta(&mut doc, delta)?;
+    }
+    Ok(encode_full(&doc))
 }
 
 #[cfg(test)]
@@ -486,6 +827,141 @@ mod tests {
             bad[i] ^= 0x20;
             assert!(Engine::restore(&bad).is_err(), "flip at {i} restored");
         }
+    }
+
+    #[test]
+    fn empty_delta_compacts_to_the_identical_document() {
+        // No mutations between base and delta: the delta carries zero
+        // tenant records, and compaction reproduces the base (and the
+        // live engine's current full checkpoint) byte for byte.
+        let engine = Engine::spawn(EngineConfig::new(sliding_spec()).with_shards(2));
+        for t in 0..30u64 {
+            engine.observe_at(TenantId(t), Element(t), Slot(3));
+        }
+        engine.flush();
+        let base = engine.checkpoint();
+        let delta = engine.checkpoint_delta(&base).expect("delta");
+        assert!(
+            delta.len() * 4 < base.len(),
+            "empty delta ({}) not much smaller than base ({})",
+            delta.len(),
+            base.len()
+        );
+        let compacted = compact(&base, &[delta]).expect("compacts");
+        assert_eq!(compacted, base, "no-change delta altered the document");
+        assert_eq!(
+            compacted,
+            engine.checkpoint(),
+            "compaction diverged from live"
+        );
+        let _ = engine.shutdown();
+    }
+
+    #[test]
+    fn delta_chain_compacts_byte_exactly() {
+        let engine = Engine::spawn(EngineConfig::new(sliding_spec()).with_shards(3));
+        for t in 0..40u64 {
+            engine.observe_at(TenantId(t), Element(t), Slot(1));
+        }
+        engine.flush();
+        let base = engine.checkpoint();
+
+        // Two churn rounds, each sealed by a chained delta.
+        let mut durable = base.clone();
+        let mut deltas = Vec::new();
+        for round in 1..=2u64 {
+            for t in 0..5u64 {
+                engine.observe_at(TenantId(t), Element(100 * round + t), Slot(round + 1));
+            }
+            engine.flush();
+            let d = engine.checkpoint_delta(&durable).expect("delta");
+            durable = compact(&durable, std::slice::from_ref(&d)).expect("chain compacts");
+            deltas.push(d);
+        }
+
+        // The whole chain folded over the original base equals the
+        // incremental compaction *and* a fresh full checkpoint.
+        let folded = compact(&base, &deltas).expect("folds");
+        assert_eq!(folded, durable);
+        assert_eq!(folded, engine.checkpoint());
+
+        // And it restores to an engine that answers identically.
+        let restored = Engine::restore_with_deltas(&base, &deltas).expect("restores");
+        for t in 0..40u64 {
+            assert_eq!(
+                restored.snapshot(TenantId(t)),
+                engine.snapshot(TenantId(t)),
+                "tenant {t} diverged after delta restore"
+            );
+        }
+        let _ = engine.shutdown();
+        let _ = restored.shutdown();
+    }
+
+    #[test]
+    fn delta_against_foreign_base_is_rejected() {
+        let engine = Engine::spawn(EngineConfig::new(sliding_spec()).with_shards(2));
+        let other = Engine::spawn(EngineConfig::new(sliding_spec()).with_shards(3));
+        let foreign = other.checkpoint();
+        assert!(
+            engine.checkpoint_delta(&foreign).is_err(),
+            "delta accepted a base with a different shard count"
+        );
+        assert!(engine.checkpoint_delta(b"junk").is_err());
+        let _ = engine.shutdown();
+        let _ = other.shutdown();
+    }
+
+    #[test]
+    fn out_of_order_and_corrupt_deltas_fail_cleanly() {
+        let engine = Engine::spawn(EngineConfig::new(sliding_spec()).with_shards(2));
+        for t in 0..10u64 {
+            engine.observe_at(TenantId(t), Element(t), Slot(1));
+        }
+        engine.flush();
+        let base = engine.checkpoint();
+        engine.observe_at(TenantId(0), Element(50), Slot(2));
+        engine.flush();
+        let d1 = engine.checkpoint_delta(&base).expect("first delta");
+        let mid = compact(&base, &[d1.clone()]).expect("compacts");
+        engine.observe_at(TenantId(1), Element(51), Slot(3));
+        engine.flush();
+        let d2 = engine.checkpoint_delta(&mid).expect("second delta");
+
+        // In order: fine. d2 before d1: its base postdates the chain.
+        assert!(compact(&base, &[d1.clone(), d2.clone()]).is_ok());
+        assert!(
+            compact(&base, &[d2.clone()]).is_err(),
+            "chain with a missing predecessor compacted"
+        );
+        // Re-applying the same delta is an idempotent no-op…
+        assert_eq!(
+            compact(&mid, &[d1.clone()]).expect("idempotent re-apply"),
+            mid
+        );
+        // …but a delta older than the state it lands on is stale.
+        let newer = compact(&mid, &[d2.clone()]).expect("compacts");
+        assert!(
+            compact(&newer, &[d1.clone()]).is_err(),
+            "stale delta re-applied over newer state"
+        );
+
+        // Any corruption of a delta fails the checksum or the decode.
+        for i in 0..d1.len() {
+            let mut bad = d1.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                compact(&base, &[bad]).is_err(),
+                "bit flip at {i} still compacted"
+            );
+        }
+        for cut in 0..d2.len() {
+            assert!(
+                compact(&mid, &[d2[..cut].to_vec()]).is_err(),
+                "truncation at {cut} still compacted"
+            );
+        }
+        let _ = engine.shutdown();
     }
 
     #[test]

@@ -66,7 +66,7 @@ pub use error::EngineError;
 pub use metrics::{EngineMetrics, ShardMetricsSnapshot};
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -180,12 +180,20 @@ enum ShardCmd {
     /// parked blobs alike) behind the FIFO barrier — the per-shard half
     /// of [`Engine::checkpoint`].
     Checkpoint { reply: Sender<ShardState> },
+    /// Serialize only the tenants mutated since sequence number `since`
+    /// — the per-shard half of [`Engine::checkpoint_delta`].
+    CheckpointDelta {
+        since: u64,
+        reply: Sender<ShardState>,
+    },
     /// Install restored state (sent by [`Engine::restore`] before any
-    /// traffic reaches the shard).
+    /// traffic reaches the shard). Tenant tuples are `(id, dirty-stamp,
+    /// payload)` so delta chains span a restore.
     Install {
         watermark: Slot,
-        live: Vec<(u64, Box<dyn DistinctSampler>)>,
-        parked: Vec<(u64, Vec<u8>)>,
+        seq: u64,
+        live: Vec<(u64, u64, Box<dyn DistinctSampler>)>,
+        parked: Vec<(u64, u64, Vec<u8>)>,
     },
     /// Acknowledge once every previously enqueued command is processed.
     Flush { reply: Sender<()> },
@@ -199,10 +207,14 @@ enum ShardCmd {
 /// sorted by tenant id so shard snapshots are byte-deterministic.
 pub(crate) struct ShardState {
     pub(crate) watermark: Slot,
-    /// `(tenant, parked, envelope)` — `parked` tenants are stored as
-    /// their eviction blob and rehydrate lazily after a restore, exactly
-    /// as they would have in the original engine.
-    pub(crate) tenants: Vec<(u64, bool, Vec<u8>)>,
+    /// The shard's mutation sequence number: bumped once per state-
+    /// changing command, and the reference point for delta checkpoints.
+    pub(crate) seq: u64,
+    /// `(tenant, parked, stamp, envelope)` — `parked` tenants are stored
+    /// as their eviction blob and rehydrate lazily after a restore,
+    /// exactly as they would have in the original engine; `stamp` is the
+    /// shard sequence number of the tenant's last mutation.
+    pub(crate) tenants: Vec<(u64, bool, u64, Vec<u8>)>,
 }
 
 struct Shard {
@@ -221,6 +233,78 @@ pub struct EngineReport {
     pub tenants_per_shard: Vec<usize>,
 }
 
+/// Reuse statistics of the engine's shared ingest-buffer pool (see
+/// [`Engine::batch_pool_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPoolStats {
+    /// Batch buffers served from the freelist (no allocation).
+    pub hits: u64,
+    /// Batch buffers allocated fresh because the freelist was empty.
+    pub misses: u64,
+}
+
+/// A bounded freelist of ingest batch buffers shared by producers and
+/// shard workers: [`Engine::try_observe_batch`] pulls per-shard buffers
+/// here instead of allocating, and each worker returns its batch after
+/// processing — so steady-state batched ingest recycles a fixed set of
+/// `Vec`s instead of allocating one per shard per call.
+struct BatchPool {
+    free: Mutex<Vec<Vec<(TenantId, Element)>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    /// Freelist cap (~4× shards): enough for every shard to have one
+    /// batch in flight plus one being filled, without hoarding memory
+    /// from a burst.
+    cap: usize,
+}
+
+impl BatchPool {
+    fn new(cap: usize) -> Self {
+        Self {
+            free: Mutex::new(Vec::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            cap,
+        }
+    }
+
+    /// An empty buffer: recycled if one is free, freshly allocated
+    /// otherwise.
+    fn get(&self) -> Vec<(TenantId, Element)> {
+        let recycled = self.free.lock().expect("pool not poisoned").pop();
+        match recycled {
+            Some(buf) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                buf
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Vec::new()
+            }
+        }
+    }
+
+    /// Return a buffer for reuse; buffers beyond the cap (or with no
+    /// backing allocation worth keeping) are simply dropped.
+    fn put(&self, mut buf: Vec<(TenantId, Element)>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        buf.clear();
+        let mut free = self.free.lock().expect("pool not poisoned");
+        if free.len() < self.cap {
+            free.push(buf);
+        }
+    }
+
+    fn stats(&self) -> BatchPoolStats {
+        BatchPoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// A running sharded multi-tenant sampling service.
 ///
 /// All methods take `&self`: wrap the engine in an [`Arc`] to ingest from
@@ -231,6 +315,9 @@ pub struct Engine {
     queue_capacity: usize,
     /// The engine-owned metric registry every shard records into.
     registry: Arc<Registry>,
+    /// Shared freelist of batch buffers, recycled between the batched
+    /// ingest paths and the shard workers.
+    pool: Arc<BatchPool>,
     /// Set (once) by [`Engine::begin_shutdown`]; afterwards every
     /// fallible method answers [`EngineError::ShutDown`].
     down: AtomicBool,
@@ -246,13 +333,17 @@ impl Engine {
         assert!(config.shards >= 1, "need at least one shard");
         assert!(config.queue_capacity >= 1, "queue capacity must be ≥ 1");
         let registry = Arc::new(Registry::new());
+        let pool = Arc::new(BatchPool::new(config.shards * 4));
         let shards = (0..config.shards)
             .map(|i| {
                 let (tx, rx) = bounded::<ShardCmd>(config.queue_capacity);
                 let metrics = Arc::new(ShardMetrics::register(&registry, i));
                 let worker_metrics = Arc::clone(&metrics);
+                let worker_pool = Arc::clone(&pool);
                 let spec = config.spec;
-                let handle = std::thread::spawn(move || shard_loop(&rx, spec, &worker_metrics));
+                let handle = std::thread::spawn(move || {
+                    shard_loop(&rx, spec, &worker_metrics, &worker_pool)
+                });
                 Shard {
                     tx,
                     metrics,
@@ -265,6 +356,7 @@ impl Engine {
             spec: config.spec,
             queue_capacity: config.queue_capacity,
             registry,
+            pool,
             down: AtomicBool::new(false),
         }
     }
@@ -374,16 +466,32 @@ impl Engine {
         batch: impl IntoIterator<Item = (TenantId, Element)>,
     ) -> Result<(), EngineError> {
         self.guard()?;
-        let mut per_shard: Vec<Vec<(TenantId, Element)>> = vec![Vec::new(); self.shards.len()];
-        for (tenant, e) in batch {
-            per_shard[self.shard_of(tenant)].push((tenant, e));
-        }
-        for (i, part) in per_shard.into_iter().enumerate() {
+        for (i, part) in self.partition_pooled(batch).into_iter().enumerate() {
             if !part.is_empty() {
                 self.send_with_backpressure(i, ShardCmd::Batch(part))?;
             }
         }
         Ok(())
+    }
+
+    /// Partition a batch into per-shard parts, drawing the non-empty
+    /// parts from the shared buffer pool (the worker returns them once
+    /// processed).
+    fn partition_pooled(
+        &self,
+        batch: impl IntoIterator<Item = (TenantId, Element)>,
+    ) -> Vec<Vec<(TenantId, Element)>> {
+        let mut per_shard: Vec<Vec<(TenantId, Element)>> = Vec::new();
+        per_shard.resize_with(self.shards.len(), Vec::new);
+        for (tenant, e) in batch {
+            let part = &mut per_shard[self.shard_of(tenant)];
+            if part.capacity() == 0 {
+                // First element for this shard: swap in a pooled buffer.
+                *part = self.pool.get();
+            }
+            part.push((tenant, e));
+        }
+        per_shard
     }
 
     /// Ingest a batch of observations all stamped at slot `now` — one
@@ -401,11 +509,7 @@ impl Engine {
         batch: impl IntoIterator<Item = (TenantId, Element)>,
     ) -> Result<(), EngineError> {
         self.guard()?;
-        let mut per_shard: Vec<Vec<(TenantId, Element)>> = vec![Vec::new(); self.shards.len()];
-        for (tenant, e) in batch {
-            per_shard[self.shard_of(tenant)].push((tenant, e));
-        }
-        for (i, part) in per_shard.into_iter().enumerate() {
+        for (i, part) in self.partition_pooled(batch).into_iter().enumerate() {
             if !part.is_empty() {
                 self.send_with_backpressure(i, ShardCmd::BatchAt(now, part))?;
             }
@@ -707,6 +811,14 @@ impl Engine {
         }
     }
 
+    /// Reuse statistics of the shared ingest-buffer pool: in steady
+    /// state, batched ingest should be nearly all hits — each miss is
+    /// one `Vec` allocation on the hot path.
+    #[must_use]
+    pub fn batch_pool_stats(&self) -> BatchPoolStats {
+        self.pool.stats()
+    }
+
     /// The engine's metric registry — every shard's counters, gauges,
     /// histograms, and the slow-op event ring live here, readable (or
     /// further instrumented) by embedding layers.
@@ -767,7 +879,12 @@ fn rehydrate(blob: &[u8], watermark: Slot) -> Box<dyn DistinctSampler> {
 /// The shard worker: owns its tenants' samplers, its parked-tenant
 /// blobs, and the shard watermark outright; returns the final tenant
 /// count (live + parked) on shutdown.
-fn shard_loop(rx: &Receiver<ShardCmd>, spec: SamplerSpec, metrics: &ShardMetrics) -> usize {
+fn shard_loop(
+    rx: &Receiver<ShardCmd>,
+    spec: SamplerSpec,
+    metrics: &ShardMetrics,
+    pool: &BatchPool,
+) -> usize {
     let mut tenants: HashMap<u64, Box<dyn DistinctSampler>> = HashMap::new();
     // Tenants evicted by Advance once their window drained: tenant id →
     // final-state checkpoint blob. A later observe or query rehydrates
@@ -777,6 +894,13 @@ fn shard_loop(rx: &Receiver<ShardCmd>, spec: SamplerSpec, metrics: &ShardMetrics
     // Highest slot this shard has seen (timestamped ingest, Advance, or
     // snapshot_at). Monotonic; queries answer as of this watermark.
     let mut watermark = Slot(0);
+    // Mutation sequence number: bumped once per state-changing command.
+    // Each touched tenant is stamped with it, so a delta checkpoint can
+    // emit exactly the tenants mutated since a base document's `seq`.
+    let mut seq = 0u64;
+    let mut stamps: HashMap<u64, u64> = HashMap::new();
+    // Persistent per-run element scratch for the fused batch path.
+    let mut elem_scratch: Vec<Element> = Vec::new();
 
     // Look up (or create) a tenant's live sampler, rehydrating a parked
     // one first — the single entry point every ingest path goes through.
@@ -801,27 +925,51 @@ fn shard_loop(rx: &Receiver<ShardCmd>, spec: SamplerSpec, metrics: &ShardMetrics
                 // counter bumps, no histogram, no Instant reads.
                 metrics.batches.inc();
                 metrics.elements.inc();
+                seq += 1;
                 live(&mut tenants, &mut parked, spec, watermark, tenant).observe(e);
+                stamps.insert(tenant.0, seq);
                 metrics.tenants.set((tenants.len() + parked.len()) as u64);
             }
             ShardCmd::OneAt(tenant, e, now) => {
                 metrics.batches.inc();
                 metrics.elements.inc();
+                seq += 1;
                 if now > watermark {
                     watermark = now;
                     metrics.watermark.set(watermark.0);
                 }
                 live(&mut tenants, &mut parked, spec, watermark, tenant).observe_at(e, now);
+                stamps.insert(tenant.0, seq);
                 metrics.tenants.set((tenants.len() + parked.len()) as u64);
             }
-            ShardCmd::Batch(batch) => {
+            ShardCmd::Batch(mut batch) => {
                 let start = dds_obs::maybe_now();
                 metrics.batches.inc();
                 metrics.elements.add(batch.len() as u64);
                 metrics.batch_elements.observe(batch.len() as u64);
-                for (tenant, e) in batch {
-                    live(&mut tenants, &mut parked, spec, watermark, tenant).observe(e);
+                seq += 1;
+                // Stable by tenant: per-tenant order (the correctness
+                // contract) is preserved while elements group into
+                // contiguous runs — one map lookup and one fused,
+                // batch-hashed observe call per run instead of per
+                // element. Cross-tenant reordering is unobservable:
+                // tenants are independent samplers.
+                batch.sort_by_key(|&(t, _)| t);
+                let mut from = 0;
+                while from < batch.len() {
+                    let tenant = batch[from].0;
+                    let mut to = from + 1;
+                    while to < batch.len() && batch[to].0 == tenant {
+                        to += 1;
+                    }
+                    elem_scratch.clear();
+                    elem_scratch.extend(batch[from..to].iter().map(|&(_, e)| e));
+                    live(&mut tenants, &mut parked, spec, watermark, tenant)
+                        .observe_batch(&elem_scratch);
+                    stamps.insert(tenant.0, seq);
+                    from = to;
                 }
+                pool.put(batch);
                 metrics.tenants.set((tenants.len() + parked.len()) as u64);
                 let nanos = dds_obs::nanos_since(start);
                 metrics.batch_nanos.observe(nanos);
@@ -829,18 +977,32 @@ fn shard_loop(rx: &Receiver<ShardCmd>, spec: SamplerSpec, metrics: &ShardMetrics
                     format!("ingest batch took {nanos} ns")
                 });
             }
-            ShardCmd::BatchAt(now, batch) => {
+            ShardCmd::BatchAt(now, mut batch) => {
                 let start = dds_obs::maybe_now();
                 metrics.batches.inc();
                 metrics.elements.add(batch.len() as u64);
                 metrics.batch_elements.observe(batch.len() as u64);
+                seq += 1;
                 if now > watermark {
                     watermark = now;
                     metrics.watermark.set(watermark.0);
                 }
-                for (tenant, e) in batch {
-                    live(&mut tenants, &mut parked, spec, watermark, tenant).observe_at(e, now);
+                batch.sort_by_key(|&(t, _)| t);
+                let mut from = 0;
+                while from < batch.len() {
+                    let tenant = batch[from].0;
+                    let mut to = from + 1;
+                    while to < batch.len() && batch[to].0 == tenant {
+                        to += 1;
+                    }
+                    elem_scratch.clear();
+                    elem_scratch.extend(batch[from..to].iter().map(|&(_, e)| e));
+                    live(&mut tenants, &mut parked, spec, watermark, tenant)
+                        .observe_batch_at(now, &elem_scratch);
+                    stamps.insert(tenant.0, seq);
+                    from = to;
                 }
+                pool.put(batch);
                 metrics.tenants.set((tenants.len() + parked.len()) as u64);
                 let nanos = dds_obs::nanos_since(start);
                 metrics.batch_nanos.observe(nanos);
@@ -854,10 +1016,15 @@ fn shard_loop(rx: &Receiver<ShardCmd>, spec: SamplerSpec, metrics: &ShardMetrics
                     watermark = now;
                     metrics.watermark.set(watermark.0);
                 }
+                seq += 1;
                 // Eager: idle tenants expire their candidates *now*, not
                 // at their next query — this is the memory-reclaim path.
-                for sampler in tenants.values_mut() {
+                // Every live tenant is (conservatively) stamped dirty: an
+                // advance can move any lagging tenant clock even when the
+                // shard watermark itself did not change.
+                for (&t, sampler) in &mut tenants {
                     sampler.advance(watermark);
+                    stamps.insert(t, seq);
                 }
                 // Window-bounded tenants whose state has fully drained
                 // are parked: the instance (treap arenas, buffers) is
@@ -898,6 +1065,12 @@ fn shard_loop(rx: &Receiver<ShardCmd>, spec: SamplerSpec, metrics: &ShardMetrics
                     }
                 }
                 let known = tenants.contains_key(&tenant.0) || parked.contains_key(&tenant.0);
+                if known {
+                    // Answering mutates: a parked tenant rehydrates, and
+                    // the advance-to-watermark can move the clock.
+                    seq += 1;
+                    stamps.insert(tenant.0, seq);
+                }
                 let view = known.then(|| {
                     let s = live(&mut tenants, &mut parked, spec, watermark, tenant);
                     s.advance(watermark);
@@ -921,6 +1094,8 @@ fn shard_loop(rx: &Receiver<ShardCmd>, spec: SamplerSpec, metrics: &ShardMetrics
                         metrics.watermark.set(watermark.0);
                     }
                 }
+                seq += 1;
+                let stamp = seq;
                 // Unordered: the engine sorts the merged result once.
                 // Parked tenants answer without rehydrating — a drained
                 // window's sample is empty by construction.
@@ -928,6 +1103,7 @@ fn shard_loop(rx: &Receiver<ShardCmd>, spec: SamplerSpec, metrics: &ShardMetrics
                     .iter_mut()
                     .map(|(&t, s)| {
                         s.advance(watermark);
+                        stamps.insert(t, stamp);
                         (TenantId(t), s.sample())
                     })
                     .collect();
@@ -936,23 +1112,54 @@ fn shard_loop(rx: &Receiver<ShardCmd>, spec: SamplerSpec, metrics: &ShardMetrics
                 record_snapshot_latency(metrics, enqueued);
             }
             ShardCmd::Checkpoint { reply } => {
-                let mut all: Vec<(u64, bool, Vec<u8>)> = tenants
+                let mut all: Vec<(u64, bool, u64, Vec<u8>)> = tenants
                     .iter()
                     .map(|(&t, s)| {
                         let mut blob = Vec::new();
                         s.checkpoint(&mut blob);
-                        (t, false, blob)
+                        (t, false, stamps.get(&t).copied().unwrap_or(0), blob)
                     })
                     .collect();
-                all.extend(parked.iter().map(|(&t, blob)| (t, true, blob.clone())));
-                all.sort_unstable_by_key(|&(t, _, _)| t);
+                all.extend(parked.iter().map(|(&t, blob)| {
+                    (t, true, stamps.get(&t).copied().unwrap_or(0), blob.clone())
+                }));
+                all.sort_unstable_by_key(|&(t, _, _, _)| t);
                 let _ = reply.send(ShardState {
                     watermark,
+                    seq,
                     tenants: all,
+                });
+            }
+            ShardCmd::CheckpointDelta { since, reply } => {
+                // Only the tenants stamped after the base document's
+                // sequence number — at 1 % churn this is ~1 % of the
+                // tenants, so the delta is a few percent of a full
+                // checkpoint's bytes.
+                let mut changed: Vec<(u64, bool, u64, Vec<u8>)> = tenants
+                    .iter()
+                    .filter(|(t, _)| stamps.get(t).copied().unwrap_or(0) > since)
+                    .map(|(&t, s)| {
+                        let mut blob = Vec::new();
+                        s.checkpoint(&mut blob);
+                        (t, false, stamps[&t], blob)
+                    })
+                    .collect();
+                changed.extend(
+                    parked
+                        .iter()
+                        .filter(|(t, _)| stamps.get(t).copied().unwrap_or(0) > since)
+                        .map(|(&t, blob)| (t, true, stamps[&t], blob.clone())),
+                );
+                changed.sort_unstable_by_key(|&(t, _, _, _)| t);
+                let _ = reply.send(ShardState {
+                    watermark,
+                    seq,
+                    tenants: changed,
                 });
             }
             ShardCmd::Install {
                 watermark: restored_watermark,
+                seq: restored_seq,
                 live: restored_live,
                 parked: restored_parked,
             } => {
@@ -960,10 +1167,13 @@ fn shard_loop(rx: &Receiver<ShardCmd>, spec: SamplerSpec, metrics: &ShardMetrics
                     watermark = restored_watermark;
                     metrics.watermark.set(watermark.0);
                 }
-                for (t, sampler) in restored_live {
+                seq = seq.max(restored_seq);
+                for (t, stamp, sampler) in restored_live {
+                    stamps.insert(t, stamp);
                     tenants.insert(t, sampler);
                 }
-                for (t, blob) in restored_parked {
+                for (t, stamp, blob) in restored_parked {
+                    stamps.insert(t, stamp);
                     parked.insert(t, blob);
                 }
                 metrics.tenants.set((tenants.len() + parked.len()) as u64);
@@ -1068,6 +1278,32 @@ mod tests {
         assert_eq!(m.total_elements(), 1_000);
         assert_eq!(m.tenants(), 10);
         assert_eq!(m.max_queue_depth(), 0, "flush leaves queues drained");
+        let _ = engine.shutdown();
+    }
+
+    #[test]
+    fn steady_state_batches_reuse_pooled_buffers() {
+        // The alloc-count pin for batched ingest: after the first round
+        // warms the pool, every per-shard part must come off the
+        // freelist — misses stay at one per shard while hits grow with
+        // every subsequent batch.
+        let engine = Engine::spawn(EngineConfig::new(spec()).with_shards(2));
+        let rounds = 50u64;
+        for round in 0..rounds {
+            let batch: Vec<(TenantId, Element)> = (0..256)
+                .map(|i| (TenantId(i % 8), Element(round * 256 + i)))
+                .collect();
+            engine.observe_batch(batch);
+            // The barrier guarantees the workers returned their buffers
+            // before the next round draws from the pool.
+            engine.flush();
+        }
+        let stats = engine.batch_pool_stats();
+        assert!(
+            stats.misses <= 2,
+            "steady-state batches allocated: {stats:?}"
+        );
+        assert!(stats.hits >= (rounds - 1) * 2, "pool not reused: {stats:?}");
         let _ = engine.shutdown();
     }
 

@@ -257,6 +257,168 @@ fn mixed_1200_tenant_workload_recovers_exactly() {
     }
 }
 
+/// Incremental-checkpoint crash recovery: a full base document, then a
+/// chain of [`Engine::checkpoint_delta`] documents sealed mid-stream,
+/// then a crash. Restoring from base + deltas must be byte-exact — the
+/// compaction equals the full checkpoint the primary would have written
+/// at the last delta, and the restored engine replays the suffix in
+/// lockstep with an uninterrupted twin.
+fn delta_recovery_is_exact(spec: SamplerSpec, tenants: u64, per_tenant_total: u64) {
+    let per_tenant = TraceProfile {
+        name: "delta-recovery",
+        total: per_tenant_total,
+        distinct: (per_tenant_total / 2).max(1),
+    };
+    let log = ReplayLog::record(
+        MultiTenantStream::new(tenants, per_tenant, spec.seed ^ 0xd317)
+            .with_shared_ids(200)
+            .slotted(256),
+    );
+    let config = EngineConfig::new(spec)
+        .with_shards(4)
+        .with_queue_capacity(16);
+    let twin = Engine::spawn(config);
+    let primary = Engine::spawn(config);
+
+    // Base at 40 %, deltas sealed at 60 % and 80 %, crash at 80 %.
+    let base_cut = log.slot_at_fraction(0.4);
+    let delta_cuts = [log.slot_at_fraction(0.6), log.slot_at_fraction(0.8)];
+    let crash = delta_cuts[1];
+
+    for (slot, batch) in log.prefix(base_cut) {
+        feed(&twin, slot, batch);
+        feed(&primary, slot, batch);
+    }
+    primary.flush();
+    let base = primary.checkpoint();
+
+    let mut durable = base.clone();
+    let mut deltas: Vec<Vec<u8>> = Vec::new();
+    let mut cuts = delta_cuts.iter().peekable();
+    for (slot, batch) in log.suffix(base_cut) {
+        if slot >= crash {
+            break;
+        }
+        if let Some(&&cut) = cuts.peek() {
+            if slot >= cut {
+                cuts.next();
+                primary.flush();
+                let d = primary.checkpoint_delta(&durable).expect("delta seals");
+                durable = dds_engine::checkpoint::compact(&durable, std::slice::from_ref(&d))
+                    .expect("chain compacts");
+                deltas.push(d);
+            }
+        }
+        feed(&twin, slot, batch);
+        feed(&primary, slot, batch);
+    }
+    // Seal the final delta at the crash point, then verify the chain
+    // compaction equals a full checkpoint of the same moment, byte for
+    // byte, before throwing the primary away.
+    primary.flush();
+    let d = primary
+        .checkpoint_delta(&durable)
+        .expect("final delta seals");
+    deltas.push(d);
+    let folded = dds_engine::checkpoint::compact(&base, &deltas).expect("full chain compacts");
+    assert_eq!(
+        folded,
+        primary.checkpoint(),
+        "base + delta chain is not byte-identical to a full checkpoint"
+    );
+    let _ = primary.shutdown();
+
+    // Crash recovery from the chain: replay the suffix in lockstep.
+    let restored = Engine::restore_with_deltas(&base, &deltas).expect("chain restores");
+    let mut now = Slot(crash.0.saturating_sub(1));
+    assert_engines_agree(&twin, &restored, now, "delta restore point");
+    for (slot, batch) in log.suffix(crash) {
+        feed(&twin, slot, batch);
+        feed(&restored, slot, batch);
+        now = slot;
+    }
+    assert_engines_agree(&twin, &restored, now, "delta suffix end");
+    let drained = Slot(now.0 + spec.window().unwrap_or(0) + 2);
+    assert_engines_agree(&twin, &restored, drained, "delta drained");
+    let mt = twin.metrics();
+    let mr = restored.metrics();
+    assert_eq!(mt.total_elements(), mr.total_elements(), "element counts");
+    assert_eq!(
+        mt.total_evictions(),
+        mr.total_evictions(),
+        "eviction counts"
+    );
+    let _ = twin.shutdown();
+    let _ = restored.shutdown();
+}
+
+#[test]
+fn infinite_delta_chain_recovery_is_exact() {
+    let spec = SamplerSpec::new(SamplerKind::Infinite, 8, 42_001);
+    delta_recovery_is_exact(spec, 150, 120);
+}
+
+#[test]
+fn sliding_delta_chain_recovery_is_exact() {
+    let spec = SamplerSpec::new(SamplerKind::Sliding { window: 12 }, 1, 42_002);
+    delta_recovery_is_exact(spec, 150, 120);
+}
+
+#[test]
+fn sliding_multi_delta_chain_recovery_is_exact() {
+    let spec = SamplerSpec::new(SamplerKind::SlidingMulti { window: 12 }, 3, 42_003);
+    delta_recovery_is_exact(spec, 100, 100);
+}
+
+/// The incremental-checkpoint acceptance bound: a 1 200-tenant engine
+/// at ~1 % churn emits a delta no larger than 5 % of the full document,
+/// and base + delta restores byte-exactly.
+#[test]
+fn delta_checkpoint_at_one_percent_churn_stays_under_five_percent() {
+    const TENANTS: u64 = 1_200;
+    let spec = SamplerSpec::new(SamplerKind::Infinite, 8, 43_001);
+    let engine = Engine::spawn(
+        EngineConfig::new(spec)
+            .with_shards(4)
+            .with_queue_capacity(64),
+    );
+    // Seed every tenant with enough traffic that blobs carry real state.
+    let mut batch = Vec::new();
+    for t in 0..TENANTS {
+        for k in 0..20u64 {
+            batch.push((TenantId(t), Element(t * 100 + k * 7)));
+        }
+    }
+    engine.observe_batch(batch);
+    engine.flush();
+    let base = engine.checkpoint();
+
+    // 1 % churn: 12 tenants take new observations.
+    let churn: Vec<(TenantId, Element)> = (0..TENANTS / 100)
+        .map(|t| (TenantId(t * 97 % TENANTS), Element(900_000 + t)))
+        .collect();
+    engine.observe_batch(churn);
+    engine.flush();
+    let delta = engine.checkpoint_delta(&base).expect("delta seals");
+    assert!(
+        delta.len() * 20 <= base.len(),
+        "delta is {} bytes, more than 5% of the {}-byte base",
+        delta.len(),
+        base.len()
+    );
+
+    // Byte-exact: compaction equals the live engine's full checkpoint,
+    // and the chain restore answers like the original.
+    let folded =
+        dds_engine::checkpoint::compact(&base, std::slice::from_ref(&delta)).expect("compacts");
+    assert_eq!(folded, engine.checkpoint());
+    let restored =
+        Engine::restore_with_deltas(&base, std::slice::from_ref(&delta)).expect("restores");
+    assert_eq!(restored.snapshot_all(), engine.snapshot_all());
+    let _ = engine.shutdown();
+    let _ = restored.shutdown();
+}
+
 /// Regression for the eviction bugfix: an `Engine::advance`-driven
 /// eviction must *record* the tenant's final state, so a later observe
 /// resumes the tenant (clock and message counter intact) instead of

@@ -46,6 +46,14 @@ impl SeededHash {
     pub fn hash_u64(&self, element: u64) -> u64 {
         self.kind.hash_u64(element, self.seed)
     }
+
+    /// Hash a whole batch of elements in one pass into `out` (cleared
+    /// first): one algorithm dispatch per batch, a branch-free inner
+    /// loop, and a caller-owned scratch buffer reused across batches.
+    /// Byte-identical to per-element [`SeededHash::hash_u64`] calls.
+    pub fn hash_u64_batch_into(&self, elements: impl IntoIterator<Item = u64>, out: &mut Vec<u64>) {
+        self.kind.hash_u64_batch_into(elements, self.seed, out);
+    }
 }
 
 impl UnitHash for SeededHash {

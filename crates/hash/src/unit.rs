@@ -95,6 +95,35 @@ impl HashKind {
             HashKind::Fmix => fmix64(element ^ seed),
         }
     }
+
+    /// Hash a whole batch of element identifiers in one pass, appending
+    /// the results to `out` (cleared first).
+    ///
+    /// The algorithm dispatch happens once per *batch* instead of once
+    /// per element, so each arm's inner loop is a branch-free run of
+    /// multiply/xor/rotate over the input — the batch-ingest hot path.
+    /// Output is byte-identical to calling [`HashKind::hash_u64`] per
+    /// element, in input order.
+    pub fn hash_u64_batch_into(
+        self,
+        elements: impl IntoIterator<Item = u64>,
+        seed: u64,
+        out: &mut Vec<u64>,
+    ) {
+        out.clear();
+        match self {
+            HashKind::Murmur2 => out.extend(elements.into_iter().map(|x| murmur64a_u64(x, seed))),
+            HashKind::Murmur3 => out.extend(elements.into_iter().map(|x| murmur3_u64(x, seed))),
+            HashKind::SplitMix => {
+                out.extend(elements.into_iter().map(|x| splitmix64_keyed(x, seed)));
+            }
+            HashKind::Sip13 => {
+                let k1 = seed.rotate_left(32) ^ 0xa5a5_a5a5_a5a5_a5a5;
+                out.extend(elements.into_iter().map(|x| siphash13_u64(x, seed, k1)));
+            }
+            HashKind::Fmix => out.extend(elements.into_iter().map(|x| fmix64(x ^ seed))),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -152,6 +181,27 @@ mod tests {
         let outs: std::collections::HashSet<u64> =
             kinds.iter().map(|k| k.hash_u64(42, 7)).collect();
         assert_eq!(outs.len(), kinds.len());
+    }
+
+    #[test]
+    fn batch_hashing_matches_per_element_for_every_kind() {
+        let elements: Vec<u64> = (0..257u64)
+            .map(|i| i.wrapping_mul(0x9e37_79b9) ^ 11)
+            .collect();
+        let mut out = vec![0xdead]; // must be cleared, not appended to
+        for kind in [
+            HashKind::Murmur2,
+            HashKind::Murmur3,
+            HashKind::SplitMix,
+            HashKind::Sip13,
+            HashKind::Fmix,
+        ] {
+            kind.hash_u64_batch_into(elements.iter().copied(), 7, &mut out);
+            assert_eq!(out.len(), elements.len());
+            for (&x, &h) in elements.iter().zip(&out) {
+                assert_eq!(h, kind.hash_u64(x, 7), "batch diverged for {kind:?}");
+            }
+        }
     }
 
     #[test]

@@ -164,6 +164,41 @@ pub fn write_frame<W: Write + ?Sized>(w: &mut W, opcode: u8, payload: &[u8]) -> 
     Ok(frame.len())
 }
 
+/// Stream one frame to a writer without materializing it: a
+/// stack-allocated header, the caller's payload slice, and a trailer
+/// whose checksum is folded incrementally with [`fnv1a_64_update`] —
+/// no intermediate `Vec`, byte-identical to [`frame_bytes`] output.
+///
+/// This is the encode half of the zero-copy hot path: a buffered writer
+/// sees three `write_all` calls instead of one heap-allocated copy of
+/// the whole frame per message.
+///
+/// # Errors
+/// Propagates the writer's I/O errors.
+///
+/// # Panics
+/// Panics if `payload` exceeds [`MAX_PAYLOAD`], like [`frame_bytes`].
+pub fn write_frame_to<W: Write + ?Sized>(
+    w: &mut W,
+    opcode: u8,
+    payload: &[u8],
+) -> io::Result<usize> {
+    assert!(
+        payload.len() <= MAX_PAYLOAD,
+        "frame payload exceeds MAX_PAYLOAD"
+    );
+    let mut header = [0u8; HEADER_BYTES];
+    header[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+    header[4..6].copy_from_slice(&VERSION.to_le_bytes());
+    header[6] = opcode;
+    #[allow(clippy::cast_possible_truncation)] // bounded by MAX_PAYLOAD
+    header[7..11].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.write_all(&checksum(opcode, payload).to_le_bytes())?;
+    Ok(OVERHEAD_BYTES + payload.len())
+}
+
 /// Read one frame from a stream.
 ///
 /// Returns `Ok(None)` on a clean end-of-stream (the peer closed between
@@ -176,6 +211,30 @@ pub fn write_frame<W: Write + ?Sized>(w: &mut W, opcode: u8, payload: &[u8]) -> 
 /// [`FrameError::Io`] on transport failure, [`FrameError::Format`] on
 /// malformed bytes.
 pub fn read_frame<R: Read + ?Sized>(r: &mut R) -> Result<Option<(u8, Vec<u8>)>, FrameError> {
+    let mut payload = Vec::new();
+    Ok(read_frame_into(r, &mut payload)?.map(|opcode| (opcode, payload)))
+}
+
+/// Read one frame from a stream into a caller-owned payload buffer,
+/// returning the opcode (`Ok(None)` on clean end-of-stream).
+///
+/// The zero-copy decode primitive: `payload` is cleared and refilled in
+/// place, so a connection loop that reuses one buffer allocates nothing
+/// per frame once the buffer has grown to the connection's working
+/// frame size. Semantics are otherwise identical to [`read_frame`] —
+/// same clean-EOF detection, the same [`MAX_PAYLOAD`] bound *before*
+/// the buffer is grown, and the same truncation mapping.
+///
+/// On any error the buffer's contents are unspecified (but the buffer
+/// stays reusable).
+///
+/// # Errors
+/// [`FrameError::Io`] on transport failure, [`FrameError::Format`] on
+/// malformed bytes.
+pub fn read_frame_into<R: Read + ?Sized>(
+    r: &mut R,
+    payload: &mut Vec<u8>,
+) -> Result<Option<u8>, FrameError> {
     let mut header = [0u8; HEADER_BYTES];
     // First byte alone, to tell "peer closed between frames" (clean
     // `None`) from "peer died mid-frame" (truncation).
@@ -206,14 +265,15 @@ pub fn read_frame<R: Read + ?Sized>(r: &mut R) -> Result<Option<(u8, Vec<u8>)>, 
         return Err(CheckpointError::Corrupt("frame payload exceeds maximum").into());
     }
 
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload).map_err(map_eof)?;
+    payload.clear();
+    payload.resize(len, 0);
+    r.read_exact(payload).map_err(map_eof)?;
     let mut trailer = [0u8; TRAILER_BYTES];
     r.read_exact(&mut trailer).map_err(map_eof)?;
-    if u64::from_le_bytes(trailer) != checksum(opcode, &payload) {
+    if u64::from_le_bytes(trailer) != checksum(opcode, payload) {
         return Err(CheckpointError::ChecksumMismatch.into());
     }
-    Ok(Some((opcode, payload)))
+    Ok(Some(opcode))
 }
 
 /// An EOF mid-frame is a protocol truncation, not a transport error.
@@ -240,6 +300,89 @@ mod tests {
         let (op, payload) = read_frame(&mut cursor).expect("reads").expect("one frame");
         assert_eq!((op, payload.as_slice()), (7, &b"hello"[..]));
         assert_eq!(read_frame(&mut cursor).expect("clean eof"), None);
+    }
+
+    #[test]
+    fn streamed_encode_is_byte_identical_to_frame_bytes() {
+        for payload in [&b""[..], b"x", &[0u8; 1024][..], b"streamed"] {
+            for opcode in [0u8, 7, 0x41, 0x7F] {
+                let contiguous = frame_bytes(opcode, payload);
+                let mut streamed = Vec::new();
+                let n = write_frame_to(&mut streamed, opcode, payload).expect("vec write");
+                assert_eq!(streamed, contiguous, "opcode {opcode:#04x}");
+                assert_eq!(n, contiguous.len());
+                assert_eq!(n, OVERHEAD_BYTES + payload.len());
+            }
+        }
+    }
+
+    #[test]
+    fn read_frame_into_reuses_one_buffer_across_frames() {
+        let mut wire = Vec::new();
+        write_frame_to(&mut wire, 1, &[7u8; 300]).expect("vec write");
+        write_frame_to(&mut wire, 2, b"tiny").expect("vec write");
+        write_frame_to(&mut wire, 3, &[9u8; 120]).expect("vec write");
+        let mut cursor = io::Cursor::new(&wire);
+        let mut payload = Vec::new();
+        assert_eq!(
+            read_frame_into(&mut cursor, &mut payload).expect("frame 1"),
+            Some(1)
+        );
+        assert_eq!(payload, vec![7u8; 300]);
+        let grown = payload.capacity();
+        assert_eq!(
+            read_frame_into(&mut cursor, &mut payload).expect("frame 2"),
+            Some(2)
+        );
+        assert_eq!(payload, b"tiny");
+        assert_eq!(
+            read_frame_into(&mut cursor, &mut payload).expect("frame 3"),
+            Some(3)
+        );
+        assert_eq!(payload, vec![9u8; 120]);
+        assert_eq!(
+            payload.capacity(),
+            grown,
+            "later smaller frames must reuse the grown buffer, not reallocate"
+        );
+        assert_eq!(
+            read_frame_into(&mut cursor, &mut payload).expect("clean eof"),
+            None
+        );
+    }
+
+    #[test]
+    fn read_frame_into_rejects_corruption_and_stays_reusable() {
+        let good = frame_bytes(5, b"payload");
+        // Truncations mid-frame are format errors, never clean EOFs.
+        for cut in 1..good.len() {
+            let mut cursor = io::Cursor::new(&good[..cut]);
+            let mut buf = Vec::new();
+            assert!(
+                matches!(
+                    read_frame_into(&mut cursor, &mut buf),
+                    Err(FrameError::Format(CheckpointError::Truncated))
+                ),
+                "stream prefix {cut} not a truncation"
+            );
+        }
+        // A corrupt frame errors; the same buffer then reads a good one.
+        let mut bad = good.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x40;
+        let mut wire = bad;
+        wire.extend_from_slice(&good);
+        let mut cursor = io::Cursor::new(&wire);
+        let mut buf = Vec::new();
+        assert!(matches!(
+            read_frame_into(&mut cursor, &mut buf),
+            Err(FrameError::Format(CheckpointError::ChecksumMismatch))
+        ));
+        assert_eq!(
+            read_frame_into(&mut cursor, &mut buf).expect("recovers"),
+            Some(5)
+        );
+        assert_eq!(buf, b"payload");
     }
 
     #[test]

@@ -239,14 +239,57 @@ fn put_batch(w: &mut StateWriter, batch: &[(TenantId, Element)]) {
 }
 
 fn get_batch(r: &mut StateReader<'_>) -> Result<Vec<(TenantId, Element)>, CheckpointError> {
+    let mut batch = Vec::new();
+    get_batch_into(r, &mut batch)?;
+    Ok(batch)
+}
+
+/// Decode a `(tenant, element)` batch into a caller-owned buffer —
+/// cleared and refilled in place, so a steady-state connection decodes
+/// batches with zero per-frame allocation once the buffer has grown.
+///
+/// # Errors
+/// A clean [`CheckpointError`] on truncated or corrupt input.
+pub fn get_batch_into(
+    r: &mut StateReader<'_>,
+    batch: &mut Vec<(TenantId, Element)>,
+) -> Result<(), CheckpointError> {
     let n = r.get_len(16)?;
-    let mut batch = Vec::with_capacity(n);
+    batch.clear();
+    batch.reserve(n);
     for _ in 0..n {
         let t = TenantId(r.get_u64()?);
         let e = r.get_element()?;
         batch.push((t, e));
     }
-    Ok(batch)
+    Ok(())
+}
+
+/// Decode an [`opcode::OBSERVE_BATCH`] or [`opcode::OBSERVE_BATCH_AT`]
+/// payload straight into a reusable buffer, returning the timed shape's
+/// slot (`None` for the untimed shape).
+///
+/// This is the server's ingest fast path: the whole request is consumed
+/// without building a [`Request`] value or allocating a fresh batch
+/// `Vec` — the two allocations the general decode route pays per frame.
+///
+/// # Errors
+/// [`CheckpointError::UnknownKind`] for any other opcode; otherwise as
+/// [`Request::decode`] (truncated, corrupt, or trailing bytes).
+pub fn decode_batch_request(
+    op: u8,
+    payload: &[u8],
+    batch: &mut Vec<(TenantId, Element)>,
+) -> Result<Option<Slot>, CheckpointError> {
+    let mut r = StateReader::new(payload);
+    let now = match op {
+        opcode::OBSERVE_BATCH => None,
+        opcode::OBSERVE_BATCH_AT => Some(r.get_slot()?),
+        other => return Err(CheckpointError::UnknownKind(other)),
+    };
+    get_batch_into(&mut r, batch)?;
+    r.expect_end()?;
+    Ok(now)
 }
 
 fn put_opt_slot(w: &mut StateWriter, at: Option<Slot>) {
@@ -797,6 +840,39 @@ mod tests {
         // versa) is an unknown kind, never a mis-parse.
         assert!(Request::decode(opcode::SAMPLE, &[0, 0, 0, 0]).is_err());
         assert!(Response::decode(opcode::OBSERVE, &[0; 16]).is_err());
+    }
+
+    #[test]
+    fn batch_fast_path_decode_matches_the_general_decoder() {
+        let batch = vec![(TenantId(3), Element(4)), (TenantId(5), Element(6))];
+        let mut scratch = vec![(TenantId(0), Element(0)); 8]; // stale contents must be discarded
+        let untimed = Request::ObserveBatch {
+            batch: batch.clone(),
+        };
+        let now = decode_batch_request(untimed.opcode(), &untimed.payload(), &mut scratch)
+            .expect("untimed decodes");
+        assert_eq!(now, None);
+        assert_eq!(scratch, batch);
+        let timed = Request::ObserveBatchAt {
+            now: Slot(9),
+            batch: batch.clone(),
+        };
+        let now = decode_batch_request(timed.opcode(), &timed.payload(), &mut scratch)
+            .expect("timed decodes");
+        assert_eq!(now, Some(Slot(9)));
+        assert_eq!(scratch, batch);
+        // Non-batch opcodes are refused, and corrupt payloads fail like
+        // the general decoder.
+        assert_eq!(
+            decode_batch_request(opcode::ADVANCE, &[0; 8], &mut scratch),
+            Err(CheckpointError::UnknownKind(opcode::ADVANCE))
+        );
+        let mut trailing = untimed.payload();
+        trailing.push(0);
+        assert_eq!(
+            decode_batch_request(opcode::OBSERVE_BATCH, &trailing, &mut scratch),
+            Err(CheckpointError::TrailingBytes(1))
+        );
     }
 
     #[test]

@@ -16,7 +16,8 @@
 
 use parking_lot::RwLock;
 
-use dds_engine::{Engine, EngineError};
+use dds_engine::{Engine, EngineError, TenantId};
+use dds_sim::{Element, Slot};
 
 use crate::message::{Request, Response};
 
@@ -33,6 +34,32 @@ pub trait EngineService: Send + Sync {
     /// dead shard workers, malformed documents, unsupported requests,
     /// and (for remote implementations) transport failures.
     fn call(&self, request: Request) -> Result<Response, EngineError>;
+
+    /// Ingest a decoded batch from a caller-owned buffer — the zero-copy
+    /// seam the wire server's ingest fast path dispatches through.
+    ///
+    /// On success `batch` is drained — emptied with its capacity kept —
+    /// so a connection loop can refill and resubmit the same buffer
+    /// forever; on error its contents are unspecified but it stays
+    /// reusable. `now` selects the timed shape. The default falls back
+    /// to [`EngineService::call`] by taking the buffer's contents;
+    /// implementations that can consume the drain without an owned
+    /// `Vec` (the in-process engine) override it.
+    ///
+    /// # Errors
+    /// As [`EngineService::call`] for the corresponding
+    /// `ObserveBatch{,At}` request.
+    fn observe_batch_slice(
+        &self,
+        now: Option<Slot>,
+        batch: &mut Vec<(TenantId, Element)>,
+    ) -> Result<Response, EngineError> {
+        let batch: Vec<(TenantId, Element)> = batch.drain(..).collect();
+        match now {
+            Some(now) => self.call(Request::ObserveBatchAt { now, batch }),
+            None => self.call(Request::ObserveBatch { batch }),
+        }
+    }
 }
 
 impl EngineService for Engine {
@@ -90,6 +117,21 @@ impl EngineService for Engine {
                 .begin_shutdown()
                 .map(|report| Response::Goodbye { report }),
         }
+    }
+
+    /// Drain the caller's buffer straight into the engine's sharded
+    /// ingest — no owned `Vec` per batch; the buffer keeps its capacity
+    /// for the next frame.
+    fn observe_batch_slice(
+        &self,
+        now: Option<Slot>,
+        batch: &mut Vec<(TenantId, Element)>,
+    ) -> Result<Response, EngineError> {
+        match now {
+            Some(now) => self.try_observe_batch_at(now, batch.drain(..)),
+            None => self.try_observe_batch(batch.drain(..)),
+        }
+        .map(|()| Response::Ack)
     }
 }
 
@@ -159,6 +201,18 @@ impl EngineService for EngineHost {
             }
         }
     }
+
+    /// Forward the zero-copy ingest seam to the hosted engine (shared
+    /// lock, like every other read-path request).
+    fn observe_batch_slice(
+        &self,
+        now: Option<Slot>,
+        batch: &mut Vec<(TenantId, Element)>,
+    ) -> Result<Response, EngineError> {
+        let slot = self.slot.read();
+        let engine = slot.as_ref().ok_or(EngineError::ShutDown)?;
+        engine.observe_batch_slice(now, batch)
+    }
 }
 
 #[cfg(test)]
@@ -218,6 +272,44 @@ mod tests {
             Err(EngineError::ShutDown),
             "post-shutdown calls answer typed errors"
         );
+    }
+
+    #[test]
+    fn observe_batch_slice_drains_and_matches_the_request_path() {
+        let engine = Engine::spawn(EngineConfig::new(spec()).with_shards(2));
+        let twin = Engine::spawn(EngineConfig::new(spec()).with_shards(2));
+        let host = EngineHost::new(engine);
+        let mut buf: Vec<(TenantId, Element)> = Vec::new();
+        for round in 0..20u64 {
+            buf.extend((0..64u64).map(|i| (TenantId(i % 5), Element(round * 64 + i))));
+            let twin_batch = buf.clone();
+            let grown = buf.capacity();
+            assert_eq!(
+                host.observe_batch_slice(None, &mut buf).expect("ingest"),
+                Response::Ack
+            );
+            assert!(buf.is_empty(), "the seam must drain the buffer");
+            assert_eq!(buf.capacity(), grown, "the seam must keep the capacity");
+            twin.try_observe_batch(twin_batch).expect("twin ingest");
+        }
+        for t in 0..5u64 {
+            assert_eq!(
+                host.call(Request::Snapshot {
+                    tenant: TenantId(t)
+                }),
+                Ok(Response::Sample {
+                    sample: twin.snapshot(TenantId(t)).expect("twin tenant")
+                }),
+                "tenant {t} diverged from the owned-Vec request path"
+            );
+        }
+        host.call(Request::Shutdown).expect("shutdown");
+        buf.push((TenantId(1), Element(1)));
+        assert_eq!(
+            host.observe_batch_slice(Some(dds_sim::Slot(3)), &mut buf),
+            Err(EngineError::ShutDown)
+        );
+        let _ = twin.shutdown();
     }
 
     #[test]

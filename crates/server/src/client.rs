@@ -38,7 +38,7 @@ use std::sync::Mutex;
 
 use dds_engine::{EngineError, EngineMetrics, EngineReport, TenantId, TenantView};
 use dds_obs::TelemetrySnapshot;
-use dds_proto::frame::{read_frame, OVERHEAD_BYTES};
+use dds_proto::frame::{read_frame_into, write_frame_to, OVERHEAD_BYTES};
 use dds_proto::message::{decode_outcome, Request, Response};
 use dds_proto::EngineService;
 use dds_sim::{Element, Slot};
@@ -77,6 +77,10 @@ struct Conn {
     /// Error that came back for a pipelined ingest frame; surfaced by
     /// the next synchronous call.
     deferred: Option<EngineError>,
+    /// Reusable response-payload buffer: every inbound frame is read
+    /// into this one allocation (acks are empty; query replies reuse
+    /// whatever it has grown to).
+    read_buf: Vec<u8>,
     stats: ClientStats,
 }
 
@@ -97,6 +101,7 @@ impl Client {
                 writer: BufWriter::new(writer),
                 pending: PendingBatch::Empty,
                 deferred: None,
+                read_buf: Vec::new(),
                 stats: ClientStats::default(),
             }),
             batch_capacity: 1,
@@ -548,21 +553,23 @@ fn send_request(conn: &mut Conn, request: &Request) -> Result<(), EngineError> {
             dds_proto::MAX_PAYLOAD
         )));
     }
-    let frame = dds_proto::frame::frame_bytes(request.opcode(), &payload);
-    conn.writer.write_all(&frame)?;
+    // Streamed encode: header + payload + trailer straight into the
+    // buffered writer, no contiguous frame allocation per request.
+    let wire = write_frame_to(&mut conn.writer, request.opcode(), &payload)?;
     conn.stats.requests_sent += 1;
-    conn.stats.bytes_sent += frame.len() as u64;
+    conn.stats.bytes_sent += wire as u64;
     Ok(())
 }
 
-/// Read one outcome frame (response or typed error).
+/// Read one outcome frame (response or typed error) into the
+/// connection's reusable payload buffer.
 fn read_outcome(conn: &mut Conn) -> Result<Result<Response, EngineError>, EngineError> {
-    let (op, payload) = read_frame(&mut conn.reader)
+    let op = read_frame_into(&mut conn.reader, &mut conn.read_buf)
         .map_err(EngineError::from)?
         .ok_or_else(|| EngineError::Transport("connection closed by server".into()))?;
     conn.stats.responses_received += 1;
-    conn.stats.bytes_received += (OVERHEAD_BYTES + payload.len()) as u64;
-    decode_outcome(op, &payload).map_err(EngineError::from)
+    conn.stats.bytes_received += (OVERHEAD_BYTES + conn.read_buf.len()) as u64;
+    decode_outcome(op, &conn.read_buf).map_err(EngineError::from)
 }
 
 /// Send `request` synchronously: flush the writer, drain outstanding

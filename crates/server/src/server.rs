@@ -30,11 +30,12 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
-use dds_engine::EngineError;
+use dds_engine::{EngineError, TenantId};
 use dds_obs::{Counter, Histogram, Registry, TelemetrySnapshot};
-use dds_proto::frame::{read_frame, FrameError, OVERHEAD_BYTES};
-use dds_proto::message::{encode_outcome_checked, Request, Response};
+use dds_proto::frame::{read_frame_into, write_frame_to, FrameError, OVERHEAD_BYTES};
+use dds_proto::message::{decode_batch_request, encode_outcome_checked, Request, Response};
 use dds_proto::{opcode, EngineService};
+use dds_sim::Element;
 
 use crate::net::{Endpoint, Listener, Stream};
 
@@ -312,12 +313,17 @@ where
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(write_half);
     let mut per_opcode = OpcodeCounters::new();
+    // Per-connection scratch: the frame payload and the decoded ingest
+    // batch are read into these same two buffers every iteration, so a
+    // steady-state ingest connection allocates nothing per frame.
+    let mut payload: Vec<u8> = Vec::new();
+    let mut batch_scratch: Vec<(TenantId, Element)> = Vec::new();
     loop {
         if shared.stop.load(Ordering::SeqCst) {
             return;
         }
-        let (op, payload) = match read_frame(&mut reader) {
-            Ok(Some(frame)) => frame,
+        let op = match read_frame_into(&mut reader, &mut payload) {
+            Ok(Some(op)) => op,
             // Clean EOF, or the socket was shut down under us.
             Ok(None) | Err(FrameError::Io(_)) => return,
             Err(FrameError::Format(e)) => {
@@ -339,29 +345,33 @@ where
         per_opcode.record(&shared.registry, op, frame_bytes);
 
         // A bad payload inside a good frame fails only this request.
-        let decode_start = dds_obs::maybe_now();
-        let decoded = Request::decode(op, &payload);
-        shared
-            .obs
-            .decode_nanos
-            .observe(dds_obs::nanos_since(decode_start));
-        let outcome = match decoded {
-            Ok(request) => {
-                shared.counters.requests.fetch_add(1, Ordering::Relaxed);
-                let handle_start = dds_obs::maybe_now();
-                let outcome = shared.service.call(request);
-                let nanos = dds_obs::nanos_since(handle_start);
-                shared.obs.handle_nanos.observe(nanos);
-                shared
-                    .registry
-                    .events()
-                    .record_slow("slow_request", nanos, || {
-                        let name = opcode::name(op).unwrap_or("unknown");
-                        format!("{name} request took {nanos} ns in the service")
-                    });
-                outcome
+        let outcome = if op == opcode::OBSERVE_BATCH || op == opcode::OBSERVE_BATCH_AT {
+            // Ingest fast path: decode straight into the connection's
+            // batch buffer and hand it to the service's zero-copy seam —
+            // no `Request` value, no per-frame batch allocation.
+            let decode_start = dds_obs::maybe_now();
+            let decoded = decode_batch_request(op, &payload, &mut batch_scratch);
+            shared
+                .obs
+                .decode_nanos
+                .observe(dds_obs::nanos_since(decode_start));
+            match decoded {
+                Ok(now) => dispatch_timed(shared, op, || {
+                    shared.service.observe_batch_slice(now, &mut batch_scratch)
+                }),
+                Err(e) => Err(EngineError::Format(e.to_string())),
             }
-            Err(e) => Err(EngineError::Format(e.to_string())),
+        } else {
+            let decode_start = dds_obs::maybe_now();
+            let decoded = Request::decode(op, &payload);
+            shared
+                .obs
+                .decode_nanos
+                .observe(dds_obs::nanos_since(decode_start));
+            match decoded {
+                Ok(request) => dispatch_timed(shared, op, || shared.service.call(request)),
+                Err(e) => Err(EngineError::Format(e.to_string())),
+            }
         };
         // A telemetry reply carries the whole stack's view: the served
         // engine's registry (already in the snapshot) plus this
@@ -385,11 +395,46 @@ where
     }
 }
 
+/// Run one dispatched request under the service-latency telemetry: the
+/// handle histogram and the slow-request event log, shared by the
+/// general route and the ingest fast path.
+fn dispatch_timed(
+    shared: &Arc<Shared>,
+    op: u8,
+    dispatch: impl FnOnce() -> Result<Response, EngineError>,
+) -> Result<Response, EngineError> {
+    shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+    let handle_start = dds_obs::maybe_now();
+    let outcome = dispatch();
+    let nanos = dds_obs::nanos_since(handle_start);
+    shared.obs.handle_nanos.observe(nanos);
+    shared
+        .registry
+        .events()
+        .record_slow("slow_request", nanos, || {
+            let name = opcode::name(op).unwrap_or("unknown");
+            format!("{name} request took {nanos} ns in the service")
+        });
+    outcome
+}
+
 fn write_outcome<W: Write>(
     shared: &Arc<Shared>,
     writer: &mut BufWriter<W>,
     outcome: &Result<dds_proto::Response, EngineError>,
 ) -> std::io::Result<()> {
+    // The ingest hot path answers `Ack` for every batch: stream its
+    // empty-payload frame straight into the buffered writer instead of
+    // materializing a frame Vec per response.
+    if matches!(outcome, Ok(Response::Ack)) {
+        shared
+            .counters
+            .bytes_sent
+            .fetch_add(OVERHEAD_BYTES as u64, Ordering::SeqCst);
+        write_frame_to(&mut *writer, opcode::ACK, &[])?;
+        writer.flush()?;
+        return Ok(());
+    }
     // Checked: an oversized response (a huge checkpoint document) turns
     // into a typed error frame instead of a panic in this thread.
     let frame = encode_outcome_checked(outcome);

@@ -22,6 +22,11 @@
 //! * [`staircase`] — a `BTreeMap`-based monotonic "staircase" exploiting
 //!   the anti-chain invariant (hash strictly increases with expiry among
 //!   surviving tuples); simpler, and used for differential testing.
+//! * [`flat`] — the same staircase flattened into one sorted `Vec`:
+//!   inline `(e, u, t)` tuples, no per-node allocation, no side index.
+//!   Since Lemma 10 bounds `E[|Tᵢ|]` logarithmically, this is the fastest
+//!   backend in the common small-`s` regime and the default behind the
+//!   fused sliding samplers.
 //! * [`naive`] — an O(n²) straight-from-the-definition implementation:
 //!   the oracle for property-based tests.
 //! * [`skyband`] — the s-**skyband** generalisation (keep a tuple unless
@@ -46,12 +51,14 @@
 #![warn(missing_docs)]
 
 pub mod candidate;
+pub mod flat;
 pub mod naive;
 pub mod skyband;
 pub mod staircase;
 pub mod treap;
 
 pub use candidate::{CandidateEntry, CandidateSet};
+pub use flat::FlatStaircase;
 pub use naive::NaiveCandidateSet;
 pub use skyband::SkybandSet;
 pub use staircase::StaircaseSet;
