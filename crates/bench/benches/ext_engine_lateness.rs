@@ -1,0 +1,83 @@
+//! Bench target for the time-robustness path: prints the lateness
+//! throughput sweep with its overhead gate, then times slotted ingest
+//! at a fixed configuration across lateness horizons — the legacy
+//! immediate-apply engine, the degenerate 0-slot horizon (bookkeeping
+//! cost only), and a 16-slot horizon fed block-reversed arrivals
+//! (buffered replay cost).
+
+use criterion::{black_box, criterion_group, Criterion};
+use dds_core::sampler::{SamplerKind, SamplerSpec};
+use dds_data::{MultiTenantStream, TraceProfile};
+use dds_engine::{Engine, EngineConfig, TenantId};
+use dds_sim::{Element, Slot};
+
+const SHARDS: usize = 4;
+const TENANTS: u64 = 200;
+const WINDOW: u64 = 64;
+
+fn feed() -> Vec<(Slot, Vec<(TenantId, Element)>)> {
+    let per_tenant = TraceProfile {
+        name: "engine-lateness-bench",
+        total: 50,
+        distinct: 25,
+    };
+    MultiTenantStream::new(TENANTS, per_tenant, 88)
+        .with_shared_ids(100)
+        .slotted(256)
+        .map(|(slot, batch)| {
+            (
+                slot,
+                batch
+                    .into_iter()
+                    .map(|(t, e)| (TenantId(t), e))
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect()
+}
+
+fn ingest(lateness: Option<u64>, batches: &[(Slot, Vec<(TenantId, Element)>)]) -> u64 {
+    let spec = SamplerSpec::new(SamplerKind::Sliding { window: WINDOW }, 1, 7);
+    let mut config = EngineConfig::new(spec).with_shards(SHARDS);
+    if let Some(l) = lateness {
+        config = config.with_lateness(l);
+    }
+    let engine = Engine::spawn(config);
+    let last = batches.iter().map(|&(s, _)| s).max().unwrap_or(Slot(0));
+    for (slot, batch) in batches {
+        engine.observe_batch_at(*slot, batch.iter().copied());
+    }
+    engine.advance(last);
+    engine.flush();
+    let applied = engine.metrics().total_elements();
+    let _ = engine.shutdown();
+    applied
+}
+
+fn lateness_ingest(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ext_engine_lateness/200tenants_4shards");
+    g.sample_size(10);
+    let in_order = feed();
+    let mut reversed_16 = in_order.clone();
+    for chunk in reversed_16.chunks_mut(16) {
+        chunk.reverse();
+    }
+    g.bench_function("baseline_in_order", |b| {
+        b.iter(|| black_box(ingest(None, &in_order)));
+    });
+    g.bench_function("lateness_0_in_order", |b| {
+        b.iter(|| black_box(ingest(Some(0), &in_order)));
+    });
+    g.bench_function("lateness_16_block_reversed", |b| {
+        b.iter(|| black_box(ingest(Some(16), &reversed_16)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, lateness_ingest);
+
+fn main() {
+    dds_bench::bench_support::print_experiment("ext_engine_lateness");
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

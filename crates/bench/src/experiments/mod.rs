@@ -10,6 +10,7 @@ pub mod ext_cluster_messages;
 pub mod ext_dds_vs_drs;
 pub mod ext_engine;
 pub mod ext_engine_checkpoint;
+pub mod ext_engine_lateness;
 pub mod ext_engine_sliding;
 pub mod ext_engine_wire;
 pub mod ext_hot_path;
@@ -137,6 +138,11 @@ pub fn all() -> Vec<Experiment> {
             title: "Extension: hot-path gates — batch fusion, delta checkpoints, wire ratio",
             run: ext_hot_path::run,
         },
+        Experiment {
+            id: "ext_engine_lateness",
+            title: "Extension: reorder-buffer gates — lateness-horizon throughput, drop accounting",
+            run: ext_engine_lateness::run,
+        },
     ]
 }
 
@@ -186,6 +192,7 @@ mod tests {
             "ext_cluster_messages",
             "ext_obs_overhead",
             "ext_hot_path",
+            "ext_engine_lateness",
         ] {
             assert!(ids.contains(&required), "missing experiment {required}");
         }

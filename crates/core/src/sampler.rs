@@ -60,9 +60,26 @@ pub trait DistinctSampler: Send {
         let _ = now;
     }
 
+    /// The instance's current slot clock: the highest slot it has been
+    /// advanced to. Clockless (infinite-window) samplers answer
+    /// `Slot(0)` forever, so no timestamp ever reads as stale for them.
+    ///
+    /// Serving layers use this for slot-ordered replay: an observation
+    /// stamped *below* this clock cannot land at its own slot any more —
+    /// [`DistinctSampler::observe_at`] would silently attribute it to
+    /// the current clock — so a caller that must not misattribute late
+    /// data checks `now >= clock()` first and accounts the stale
+    /// observation instead of delivering it.
+    fn clock(&self) -> Slot {
+        Slot(0)
+    }
+
     /// Timestamped observation: advance the clock to `now`, then observe
     /// `e`. Equivalent to `advance(now); observe(e)` — provided so
     /// serving layers can drive every protocol through one entry point.
+    /// A `now` below [`DistinctSampler::clock`] observes at the current
+    /// clock (the monotonic clamp); callers that must not misattribute
+    /// late data check the clock first.
     fn observe_at(&mut self, e: Element, now: Slot) {
         self.advance(now);
         self.observe(e);
@@ -494,6 +511,10 @@ impl<T: CandidateSet + Default> FusedSliding<T> {
 }
 
 impl<T: CandidateSet + Default + Send> DistinctSampler for FusedSliding<T> {
+    fn clock(&self) -> Slot {
+        self.now
+    }
+
     fn observe(&mut self, e: Element) {
         pump_observe(
             &mut self.site,
@@ -661,6 +682,10 @@ impl<T: CandidateSet + Default> FusedSlidingMulti<T> {
 }
 
 impl<T: CandidateSet + Default + Send> DistinctSampler for FusedSlidingMulti<T> {
+    fn clock(&self) -> Slot {
+        self.now
+    }
+
     fn observe(&mut self, e: Element) {
         pump_observe(
             &mut self.site,
@@ -1211,5 +1236,32 @@ mod tests {
         assert_eq!(sampler.sample().len(), 1);
         sampler.advance(Slot(14));
         assert!(sampler.sample().is_empty(), "window must expire at 14");
+    }
+
+    /// `clock()` tracks the slot clock on windowed kinds and stays 0 on
+    /// clockless ones — the hook serving layers use to detect stale
+    /// timestamps *before* `observe_at` clamps them.
+    #[test]
+    fn clock_reports_the_slot_clock() {
+        for kind in [
+            SamplerKind::Centralized,
+            SamplerKind::Infinite,
+            SamplerKind::WithReplacement,
+            SamplerKind::Sliding { window: 6 },
+            SamplerKind::SlidingMulti { window: 6 },
+        ] {
+            let s = if matches!(kind, SamplerKind::Sliding { .. }) {
+                1
+            } else {
+                2
+            };
+            let spec = SamplerSpec::new(kind, s, 11);
+            let mut sampler = spec.build();
+            assert_eq!(sampler.clock(), Slot(0), "{kind:?} starts at 0");
+            sampler.observe_at(Element(7), Slot(9));
+            sampler.advance(Slot(4)); // stale: clock must not rewind
+            let expected = if kind.window().is_some() { 9 } else { 0 };
+            assert_eq!(sampler.clock(), Slot(expected), "{kind:?} clock");
+        }
     }
 }

@@ -12,24 +12,31 @@
 //! tenants (live instances *and* eviction-parked blobs), and the same
 //! operational counters.
 //!
-//! ## Container format (version 2)
+//! ## Container format (version 3)
 //!
 //! All integers little-endian, stacked on the primitive codec of
 //! [`dds_core::checkpoint`]:
 //!
 //! ```text
 //! magic          u32   0x4553_4444  ("DDSE")
-//! version        u16   2
+//! version        u16   3
 //! shards         u32
 //! queue_capacity u32
 //! spec           kind u8 ‖ window u64 ‖ s u32 ‖ seed u64
+//! lateness       present u8 ‖ slots u64   (EngineConfig::lateness)
 //! per shard:
 //!   watermark    u64
 //!   seq          u64   mutation sequence number (delta reference point)
 //!   counters     elements ‖ batches ‖ advances ‖ evictions ‖
-//!                snapshots ‖ snapshot_nanos ‖ backpressure   (u64 each)
+//!                snapshots ‖ snapshot_nanos ‖ backpressure ‖
+//!                late_dropped ‖ stale_advances ‖ sweeps      (u64 each)
 //!   tenants      count u32, then per tenant:
 //!                id u64 ‖ parked u8 ‖ stamp u64 ‖ blob_len u32 ‖ blob
+//!   buffer       slot count u32, then per slot ascending:
+//!                slot u64 ‖ entry count u32 ‖ entries (tenant u64 ‖
+//!                element u64) — the reorder buffer, so a checkpoint
+//!                taken between a late element's arrival and its replay
+//!                loses nothing
 //! check          u64   FNV-1a 64 over every preceding byte
 //! ```
 //!
@@ -41,8 +48,11 @@
 //! shard for exactly the tenants stamped after the base document's
 //! `seq` — at low churn the delta is a few percent of the full
 //! document's bytes. Deltas are their own container (`"DDSD"`,
-//! version 1): the same header, then per shard
-//! `base_seq ‖ new_seq ‖ watermark ‖ counters ‖ changed tenants`.
+//! version 2): the same header, then per shard
+//! `base_seq ‖ new_seq ‖ watermark ‖ counters ‖ changed tenants ‖
+//! buffer` (the buffer is tiny — at most one horizon's worth of late
+//! data — so deltas carry it whole and application replaces the base's
+//! copy).
 //! [`compact`] folds a base plus an in-order delta chain back into a
 //! full version-2 document — byte-identical to the full checkpoint the
 //! engine would have produced at the last delta — and
@@ -78,27 +88,38 @@ use crate::{Engine, EngineConfig, EngineError, ShardCmd, ShardState, TenantId};
 pub const MAGIC: u32 = u32::from_le_bytes(*b"DDSE");
 
 /// Current container format version.
-pub const VERSION: u16 = 2;
+pub const VERSION: u16 = 3;
 
 /// Delta-container magic: `b"DDSD"` read as a little-endian `u32`.
 pub const DELTA_MAGIC: u32 = u32::from_le_bytes(*b"DDSD");
 
 /// Current delta-container format version.
-pub const DELTA_VERSION: u16 = 1;
+pub const DELTA_VERSION: u16 = 2;
+
+/// Per-shard counters carried by the container, in encode order.
+const COUNTERS: usize = 10;
 
 /// Minimum encoded size of a full-document shard section (watermark,
-/// seq, 7 counters, tenant count) — the per-item floor for the shard-
-/// count length check.
-const SHARD_SECTION_MIN: usize = 8 + 8 + 7 * 8 + 4;
+/// seq, counters, tenant count, buffer slot count) — the per-item floor
+/// for the shard-count length check.
+const SHARD_SECTION_MIN: usize = 8 + 8 + COUNTERS * 8 + 4 + 4;
 
 /// Minimum encoded size of a delta-document shard section (base_seq,
-/// new_seq, watermark, 7 counters, changed-tenant count).
-const DELTA_SHARD_SECTION_MIN: usize = 8 + 8 + 8 + 7 * 8 + 4;
+/// new_seq, watermark, counters, changed-tenant count, buffer slot
+/// count).
+const DELTA_SHARD_SECTION_MIN: usize = 8 + 8 + 8 + COUNTERS * 8 + 4 + 4;
 
 /// Minimum encoded size of one tenant record (id, parked flag, stamp,
 /// blob length; the blob itself may not be empty but is bounded by its
 /// own length check).
 const TENANT_RECORD_MIN: usize = 8 + 1 + 8 + 4;
+
+/// Minimum encoded size of one reorder-buffer slot record (slot, entry
+/// count).
+const BUFFER_SLOT_MIN: usize = 8 + 4;
+
+/// Encoded size of one reorder-buffer entry (tenant, element).
+const BUFFER_ENTRY_BYTES: usize = 8 + 8;
 
 /// Why an engine checkpoint could not be restored: a format error
 /// ([`CheckpointError`]) or, for the reader-based API, an I/O error.
@@ -148,6 +169,67 @@ fn encode_spec(spec: &SamplerSpec, w: &mut StateWriter) {
     w.put_u64(spec.window().unwrap_or(0));
     w.put_len(spec.s);
     w.put_u64(spec.seed);
+}
+
+fn encode_lateness(lateness: Option<u64>, w: &mut StateWriter) {
+    w.put_bool(lateness.is_some());
+    w.put_u64(lateness.unwrap_or(0));
+}
+
+fn decode_lateness(r: &mut StateReader<'_>) -> Result<Option<u64>, CheckpointError> {
+    let present = r.get_bool()?;
+    let slots = r.get_u64()?;
+    Ok(present.then_some(slots))
+}
+
+/// Encode one shard's reorder buffer (ascending by slot; entries keep
+/// arrival order).
+fn encode_buffer(buffer: &[(u64, Vec<(u64, u64)>)], w: &mut StateWriter) {
+    w.put_len(buffer.len());
+    for (slot, entries) in buffer {
+        w.put_u64(*slot);
+        w.put_len(entries.len());
+        for (tenant, element) in entries {
+            w.put_u64(*tenant);
+            w.put_u64(*element);
+        }
+    }
+}
+
+/// Decode one shard's reorder buffer into its overlay form.
+fn decode_buffer(
+    r: &mut StateReader<'_>,
+) -> Result<BTreeMap<u64, Vec<(u64, u64)>>, CheckpointError> {
+    let slots = r.get_len(BUFFER_SLOT_MIN)?;
+    let mut buffer = BTreeMap::new();
+    for _ in 0..slots {
+        let slot = r.get_u64()?;
+        let count = r.get_len(BUFFER_ENTRY_BYTES)?;
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let tenant = r.get_u64()?;
+            let element = r.get_u64()?;
+            entries.push((tenant, element));
+        }
+        if buffer.insert(slot, entries).is_some() {
+            return Err(CheckpointError::Corrupt("duplicate reorder-buffer slot"));
+        }
+    }
+    Ok(buffer)
+}
+
+/// [`encode_buffer`] for the overlay form — iterates the map ascending
+/// by slot, the same order a live shard's buffer section emits.
+fn encode_buffer_map(buffer: &BTreeMap<u64, Vec<(u64, u64)>>, w: &mut StateWriter) {
+    w.put_len(buffer.len());
+    for (slot, entries) in buffer {
+        w.put_u64(*slot);
+        w.put_len(entries.len());
+        for (tenant, element) in entries {
+            w.put_u64(*tenant);
+            w.put_u64(*element);
+        }
+    }
 }
 
 /// Upper bound on the spec sample size accepted from a checkpoint: `s`
@@ -227,6 +309,7 @@ impl Engine {
         w.put_len(self.shards.len());
         w.put_len(self.queue_capacity);
         encode_spec(&self.spec, &mut w);
+        encode_lateness(self.lateness, &mut w);
         for (i, (shard, rx)) in self.shards.iter().zip(replies).enumerate() {
             let state = rx.recv().map_err(|_| self.down_error(i))?;
             let m = shard.metrics.snapshot(0, 0);
@@ -240,6 +323,9 @@ impl Engine {
                 m.snapshots,
                 m.snapshot_nanos,
                 m.backpressure,
+                m.late_dropped,
+                m.stale_advances,
+                m.sweeps,
             ] {
                 w.put_u64(counter);
             }
@@ -251,6 +337,7 @@ impl Engine {
                 w.put_len(blob.len());
                 w.put_bytes(&blob);
             }
+            encode_buffer(&state.buffer, &mut w);
         }
         let mut out = w.into_bytes();
         let check = fnv1a_64(&out);
@@ -299,6 +386,7 @@ impl Engine {
         if doc.shards != self.shards.len()
             || doc.queue_capacity != self.queue_capacity
             || doc.spec != self.spec
+            || doc.lateness != self.lateness
         {
             return Err(CheckpointError::Corrupt(
                 "base checkpoint is from a different deployment shape",
@@ -328,6 +416,7 @@ impl Engine {
         w.put_len(self.shards.len());
         w.put_len(self.queue_capacity);
         encode_spec(&self.spec, &mut w);
+        encode_lateness(self.lateness, &mut w);
         for (i, (shard, rx)) in self.shards.iter().zip(replies).enumerate() {
             let state = rx.recv().expect("shard worker answers");
             let m = shard.metrics.snapshot(0, 0);
@@ -342,6 +431,9 @@ impl Engine {
                 m.snapshots,
                 m.snapshot_nanos,
                 m.backpressure,
+                m.late_dropped,
+                m.stale_advances,
+                m.sweeps,
             ] {
                 w.put_u64(counter);
             }
@@ -353,6 +445,7 @@ impl Engine {
                 w.put_len(blob.len());
                 w.put_bytes(&blob);
             }
+            encode_buffer(&state.buffer, &mut w);
         }
         let mut out = w.into_bytes();
         let check = fnv1a_64(&out);
@@ -418,29 +511,34 @@ impl Engine {
             return Err(CheckpointError::Corrupt("queue capacity implausibly large"));
         }
         let spec = decode_spec(&mut r)?;
+        let lateness = decode_lateness(&mut r)?;
 
         struct ShardRecord {
             watermark: Slot,
             seq: u64,
-            counters: [u64; 7],
+            counters: [u64; COUNTERS],
         }
         let mut records = Vec::with_capacity(shards);
-        // Tenants re-routed by the engine's own placement hash.
+        // Tenants (and buffered late elements) re-routed by the engine's
+        // own placement hash.
         let mut live: Vec<Vec<(u64, u64, Box<dyn DistinctSampler>)>> = Vec::new();
         let mut parked: Vec<Vec<(u64, u64, Vec<u8>)>> = Vec::new();
+        let mut buffers: Vec<BTreeMap<u64, Vec<(u64, u64)>>> = Vec::new();
         live.resize_with(shards, Vec::new);
         parked.resize_with(shards, Vec::new);
+        buffers.resize_with(shards, BTreeMap::new);
 
         let engine = Engine::spawn(EngineConfig {
             shards,
             queue_capacity,
             spec,
+            lateness,
         });
 
         for _ in 0..shards {
             let watermark = r.get_slot()?;
             let seq = r.get_u64()?;
-            let mut counters = [0u64; 7];
+            let mut counters = [0u64; COUNTERS];
             for c in &mut counters {
                 *c = r.get_u64()?;
             }
@@ -461,6 +559,15 @@ impl Engine {
                     live[home].push((tenant, stamp, restore_sampler(blob)?));
                 }
             }
+            for (slot, entries) in decode_buffer(&mut r)? {
+                for (tenant, element) in entries {
+                    let home = engine.shard_of(TenantId(tenant));
+                    buffers[home]
+                        .entry(slot)
+                        .or_default()
+                        .push((tenant, element));
+                }
+            }
             records.push(ShardRecord {
                 watermark,
                 seq,
@@ -469,8 +576,10 @@ impl Engine {
         }
         r.expect_end()?;
 
-        for (i, (record, (live, parked))) in
-            records.iter().zip(live.into_iter().zip(parked)).enumerate()
+        for (i, (record, ((live, parked), buffer))) in records
+            .iter()
+            .zip(live.into_iter().zip(parked).zip(buffers))
+            .enumerate()
         {
             let shard = &engine.shards[i];
             shard
@@ -480,9 +589,10 @@ impl Engine {
                     seq: record.seq,
                     live,
                     parked,
+                    buffer: buffer.into_iter().collect(),
                 })
                 .expect("shard worker alive");
-            let [elements, batches, advances, evictions, snapshots, snapshot_nanos, backpressure] =
+            let [elements, batches, advances, evictions, snapshots, snapshot_nanos, backpressure, late_dropped, stale_advances, sweeps] =
                 record.counters;
             shard.metrics.elements.set(elements);
             shard.metrics.batches.set(batches);
@@ -491,6 +601,9 @@ impl Engine {
             shard.metrics.snapshots.set(snapshots);
             shard.metrics.snapshot_nanos.set(snapshot_nanos);
             shard.metrics.backpressure.set(backpressure);
+            shard.metrics.late_dropped.set(late_dropped);
+            shard.metrics.stale_advances.set(stale_advances);
+            shard.metrics.sweeps.set(sweeps);
         }
         // Barrier: the Installs have landed (and the tenant/watermark
         // gauges are set) before the engine is handed to the caller.
@@ -514,11 +627,15 @@ impl Engine {
 struct DocShard {
     watermark: Slot,
     seq: u64,
-    counters: [u64; 7],
+    counters: [u64; COUNTERS],
     /// tenant id → (parked, stamp, sampler envelope). A `BTreeMap` so
     /// re-encoding iterates ascending by tenant id — byte-identical to
     /// the order a live engine's [`ShardCmd::Checkpoint`] emits.
     tenants: BTreeMap<u64, (bool, u64, Vec<u8>)>,
+    /// The shard's reorder buffer: slot → buffered `(tenant, element)`
+    /// pairs, in arrival order within a slot. Ascending by slot so
+    /// re-encoding matches a live checkpoint byte for byte.
+    buffer: BTreeMap<u64, Vec<(u64, u64)>>,
 }
 
 /// A fully parsed engine checkpoint (the in-memory form [`compact`]
@@ -527,6 +644,7 @@ struct Doc {
     shards: usize,
     queue_capacity: usize,
     spec: SamplerSpec,
+    lateness: Option<u64>,
     per_shard: Vec<DocShard>,
 }
 
@@ -544,12 +662,13 @@ fn checked_body(bytes: &[u8]) -> Result<&[u8], CheckpointError> {
 }
 
 /// Decode the shared deployment-shape header (shard count, queue
-/// capacity, spec); `min_shard_bytes` is the per-shard-section floor
-/// that bounds the shard count against the document size.
+/// capacity, spec, lateness); `min_shard_bytes` is the per-shard-section
+/// floor that bounds the shard count against the document size.
+#[allow(clippy::type_complexity)]
 fn parse_shape(
     r: &mut StateReader<'_>,
     min_shard_bytes: usize,
-) -> Result<(usize, usize, SamplerSpec), CheckpointError> {
+) -> Result<(usize, usize, SamplerSpec, Option<u64>), CheckpointError> {
     let shards = r.get_len(min_shard_bytes)?;
     let queue_capacity = r.get_u32()? as usize;
     if shards == 0 || queue_capacity == 0 {
@@ -559,7 +678,8 @@ fn parse_shape(
         return Err(CheckpointError::Corrupt("queue capacity implausibly large"));
     }
     let spec = decode_spec(r)?;
-    Ok((shards, queue_capacity, spec))
+    let lateness = decode_lateness(r)?;
+    Ok((shards, queue_capacity, spec, lateness))
 }
 
 /// Decode one tenant record (shared by full and delta sections).
@@ -584,12 +704,12 @@ fn parse_full(bytes: &[u8]) -> Result<Doc, CheckpointError> {
     if version != VERSION {
         return Err(CheckpointError::UnsupportedVersion(version));
     }
-    let (shards, queue_capacity, spec) = parse_shape(&mut r, SHARD_SECTION_MIN)?;
+    let (shards, queue_capacity, spec, lateness) = parse_shape(&mut r, SHARD_SECTION_MIN)?;
     let mut per_shard = Vec::with_capacity(shards);
     for _ in 0..shards {
         let watermark = r.get_slot()?;
         let seq = r.get_u64()?;
-        let mut counters = [0u64; 7];
+        let mut counters = [0u64; COUNTERS];
         for c in &mut counters {
             *c = r.get_u64()?;
         }
@@ -599,11 +719,13 @@ fn parse_full(bytes: &[u8]) -> Result<Doc, CheckpointError> {
             let (tenant, record) = parse_tenant(&mut r)?;
             tenants.insert(tenant, record);
         }
+        let buffer = decode_buffer(&mut r)?;
         per_shard.push(DocShard {
             watermark,
             seq,
             counters,
             tenants,
+            buffer,
         });
     }
     r.expect_end()?;
@@ -611,6 +733,7 @@ fn parse_full(bytes: &[u8]) -> Result<Doc, CheckpointError> {
         shards,
         queue_capacity,
         spec,
+        lateness,
         per_shard,
     })
 }
@@ -624,6 +747,7 @@ fn encode_full(doc: &Doc) -> Vec<u8> {
     w.put_len(doc.shards);
     w.put_len(doc.queue_capacity);
     encode_spec(&doc.spec, &mut w);
+    encode_lateness(doc.lateness, &mut w);
     for shard in &doc.per_shard {
         w.put_slot(shard.watermark);
         w.put_u64(shard.seq);
@@ -638,6 +762,7 @@ fn encode_full(doc: &Doc) -> Vec<u8> {
             w.put_len(blob.len());
             w.put_bytes(blob);
         }
+        encode_buffer_map(&shard.buffer, &mut w);
     }
     let mut out = w.into_bytes();
     let check = fnv1a_64(&out);
@@ -660,8 +785,12 @@ fn apply_delta(doc: &mut Doc, delta: &[u8]) -> Result<(), CheckpointError> {
     if version != DELTA_VERSION {
         return Err(CheckpointError::UnsupportedVersion(version));
     }
-    let (shards, queue_capacity, spec) = parse_shape(&mut r, DELTA_SHARD_SECTION_MIN)?;
-    if shards != doc.shards || queue_capacity != doc.queue_capacity || spec != doc.spec {
+    let (shards, queue_capacity, spec, lateness) = parse_shape(&mut r, DELTA_SHARD_SECTION_MIN)?;
+    if shards != doc.shards
+        || queue_capacity != doc.queue_capacity
+        || spec != doc.spec
+        || lateness != doc.lateness
+    {
         return Err(CheckpointError::Corrupt(
             "delta is for a different deployment shape",
         ));
@@ -689,6 +818,9 @@ fn apply_delta(doc: &mut Doc, delta: &[u8]) -> Result<(), CheckpointError> {
             let (tenant, record) = parse_tenant(&mut r)?;
             shard.tenants.insert(tenant, record);
         }
+        // The buffer is tiny and carried whole in every delta, so it
+        // replaces rather than merges.
+        shard.buffer = decode_buffer(&mut r)?;
     }
     r.expect_end()?;
     Ok(())

@@ -11,6 +11,7 @@
 
 use crate::TenantId;
 use dds_core::checkpoint::CheckpointError;
+use dds_sim::Slot;
 
 /// Why an engine request failed — in-process and over the wire alike.
 ///
@@ -39,6 +40,16 @@ pub enum EngineError {
     /// The transport failed (connect, read, or write I/O errors, or a
     /// connection closed mid-response).
     Transport(String),
+    /// A timestamped observation arrived beyond the engine's lateness
+    /// horizon: `slot + lateness < watermark`. The data was counted in
+    /// `engine_late_dropped_total` and dropped — never silently
+    /// re-stamped to the current slot.
+    LateData {
+        /// The stale slot the observation was stamped with.
+        slot: Slot,
+        /// The shard watermark it fell behind.
+        watermark: Slot,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -50,6 +61,11 @@ impl std::fmt::Display for EngineError {
             EngineError::Format(what) => write!(f, "malformed bytes: {what}"),
             EngineError::Unsupported(what) => write!(f, "unsupported request: {what}"),
             EngineError::Transport(what) => write!(f, "transport failure: {what}"),
+            EngineError::LateData { slot, watermark } => write!(
+                f,
+                "late data: slot {} is beyond the lateness horizon (watermark {})",
+                slot.0, watermark.0
+            ),
         }
     }
 }
@@ -81,6 +97,10 @@ mod tests {
             EngineError::Format("truncated".into()),
             EngineError::Unsupported("restore".into()),
             EngineError::Transport("connection reset".into()),
+            EngineError::LateData {
+                slot: Slot(3),
+                watermark: Slot(90),
+            },
         ]
         .iter()
         .map(ToString::to_string)

@@ -65,7 +65,7 @@ mod metrics;
 pub use error::EngineError;
 pub use metrics::{EngineMetrics, ShardMetricsSnapshot};
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -98,16 +98,33 @@ pub struct EngineConfig {
     pub queue_capacity: usize,
     /// How to build each tenant's sampler instance.
     pub spec: SamplerSpec,
+    /// Lateness horizon, in slots.
+    ///
+    /// `None` (the default) is the legacy contract: timestamped ingest
+    /// applies immediately at its own slot, and an observation stamped
+    /// below its tenant's clock is **counted and dropped**
+    /// (`engine_late_dropped_total`) rather than silently re-stamped.
+    ///
+    /// `Some(L)` turns on horizon mode: each shard keeps a bounded
+    /// reorder buffer, replaying timestamped ingest in slot order once
+    /// the watermark has passed `slot + L`; data older than
+    /// `watermark - L` is refused with [`EngineError::LateData`] on the
+    /// `try_*` path (and counted), and shard-local expiry sweeps advance
+    /// idle tenants from ingest timestamps alone — no caller
+    /// [`Engine::advance`] needed to bound their memory.
+    pub lateness: Option<u64>,
 }
 
 impl EngineConfig {
-    /// Defaults: 4 shards, 128-command queues.
+    /// Defaults: 4 shards, 128-command queues, legacy time handling
+    /// (no lateness horizon).
     #[must_use]
     pub fn new(spec: SamplerSpec) -> Self {
         Self {
             shards: 4,
             queue_capacity: 128,
             spec,
+            lateness: None,
         }
     }
 
@@ -122,6 +139,14 @@ impl EngineConfig {
     #[must_use]
     pub fn with_queue_capacity(mut self, cap: usize) -> Self {
         self.queue_capacity = cap;
+        self
+    }
+
+    /// Enable horizon mode with a lateness of `slots` (see
+    /// [`EngineConfig::lateness`]).
+    #[must_use]
+    pub fn with_lateness(mut self, slots: u64) -> Self {
+        self.lateness = Some(slots);
         self
     }
 }
@@ -188,12 +213,15 @@ enum ShardCmd {
     },
     /// Install restored state (sent by [`Engine::restore`] before any
     /// traffic reaches the shard). Tenant tuples are `(id, dirty-stamp,
-    /// payload)` so delta chains span a restore.
+    /// payload)` so delta chains span a restore; `buffer` is the
+    /// restored reorder buffer — late elements that were checkpointed
+    /// between arrival and replay.
     Install {
         watermark: Slot,
         seq: u64,
         live: Vec<(u64, u64, Box<dyn DistinctSampler>)>,
         parked: Vec<(u64, u64, Vec<u8>)>,
+        buffer: Vec<(u64, Vec<(u64, u64)>)>,
     },
     /// Acknowledge once every previously enqueued command is processed.
     Flush { reply: Sender<()> },
@@ -215,11 +243,19 @@ pub(crate) struct ShardState {
     /// exactly as they would have in the original engine; `stamp` is the
     /// shard sequence number of the tenant's last mutation.
     pub(crate) tenants: Vec<(u64, bool, u64, Vec<u8>)>,
+    /// The reorder buffer, ascending by slot: `(slot, [(tenant,
+    /// element)])` — buffered-but-unapplied late data a checkpoint must
+    /// carry so crash recovery loses nothing.
+    pub(crate) buffer: Vec<(u64, Vec<(u64, u64)>)>,
 }
 
 struct Shard {
     tx: Sender<ShardCmd>,
     metrics: Arc<ShardMetrics>,
+    /// The worker's watermark, published after every raise (Relaxed) —
+    /// a monotone lower bound producers consult to refuse
+    /// beyond-horizon ingest *before* queueing it.
+    watermark_pub: Arc<AtomicU64>,
     /// Taken (and joined) exactly once, by [`Engine::begin_shutdown`].
     handle: Mutex<Option<JoinHandle<usize>>>,
 }
@@ -313,6 +349,8 @@ pub struct Engine {
     shards: Vec<Shard>,
     spec: SamplerSpec,
     queue_capacity: usize,
+    /// Lateness horizon (see [`EngineConfig::lateness`]).
+    lateness: Option<u64>,
     /// The engine-owned metric registry every shard records into.
     registry: Arc<Registry>,
     /// Shared freelist of batch buffers, recycled between the batched
@@ -338,15 +376,26 @@ impl Engine {
             .map(|i| {
                 let (tx, rx) = bounded::<ShardCmd>(config.queue_capacity);
                 let metrics = Arc::new(ShardMetrics::register(&registry, i));
+                let watermark_pub = Arc::new(AtomicU64::new(0));
                 let worker_metrics = Arc::clone(&metrics);
                 let worker_pool = Arc::clone(&pool);
+                let worker_watermark = Arc::clone(&watermark_pub);
                 let spec = config.spec;
+                let lateness = config.lateness;
                 let handle = std::thread::spawn(move || {
-                    shard_loop(&rx, spec, &worker_metrics, &worker_pool)
+                    shard_loop(
+                        &rx,
+                        spec,
+                        lateness,
+                        &worker_metrics,
+                        &worker_pool,
+                        &worker_watermark,
+                    )
                 });
                 Shard {
                     tx,
                     metrics,
+                    watermark_pub,
                     handle: Mutex::new(Some(handle)),
                 }
             })
@@ -355,6 +404,7 @@ impl Engine {
             shards,
             spec: config.spec,
             queue_capacity: config.queue_capacity,
+            lateness: config.lateness,
             registry,
             pool,
             down: AtomicBool::new(false),
@@ -371,6 +421,42 @@ impl Engine {
     #[must_use]
     pub fn spec(&self) -> SamplerSpec {
         self.spec
+    }
+
+    /// The lateness horizon this engine was spawned with (see
+    /// [`EngineConfig::lateness`]).
+    #[must_use]
+    pub fn lateness(&self) -> Option<u64> {
+        self.lateness
+    }
+
+    /// Producer-side lateness gate (horizon mode only): refuse `now`
+    /// when it is already beyond the shard's published watermark minus
+    /// the horizon. The published watermark is a monotone lower bound of
+    /// the worker's, so a refusal here is something the worker would
+    /// also have dropped; anything that races past lands in the
+    /// worker-side counted drop instead of an error.
+    fn late_gate(&self, idx: usize, now: Slot, elements: u64) -> Result<(), EngineError> {
+        let Some(l) = self.lateness else {
+            return Ok(());
+        };
+        let w = self.shards[idx].watermark_pub.load(Ordering::Relaxed);
+        if now.0.saturating_add(l) < w {
+            let metrics = &self.shards[idx].metrics;
+            metrics.late_dropped.add(elements);
+            metrics.events.note(
+                "late_drop",
+                format!(
+                    "refused {elements} element(s) at slot {} beyond horizon (watermark {w})",
+                    now.0
+                ),
+            );
+            return Err(EngineError::LateData {
+                slot: now,
+                watermark: Slot(w),
+            });
+        }
+        Ok(())
     }
 
     /// Which shard hosts `tenant` (stable for a fixed shard count).
@@ -441,7 +527,10 @@ impl Engine {
     /// shard's watermark to `now`.
     ///
     /// # Errors
-    /// As [`Engine::try_observe`].
+    /// As [`Engine::try_observe`]; additionally
+    /// [`EngineError::LateData`] in horizon mode when `now` is already
+    /// beyond the lateness horizon (the element is counted in
+    /// `engine_late_dropped_total` and dropped, never re-stamped).
     pub fn try_observe_at(
         &self,
         tenant: TenantId,
@@ -449,7 +538,9 @@ impl Engine {
         now: Slot,
     ) -> Result<(), EngineError> {
         self.guard()?;
-        self.send_with_backpressure(self.shard_of(tenant), ShardCmd::OneAt(tenant, e, now))
+        let idx = self.shard_of(tenant);
+        self.late_gate(idx, now, 1)?;
+        self.send_with_backpressure(idx, ShardCmd::OneAt(tenant, e, now))
     }
 
     /// Ingest a batch of observations, preserving per-tenant order.
@@ -502,19 +593,30 @@ impl Engine {
     /// the next [`Engine::advance`] (the global clock signal).
     ///
     /// # Errors
-    /// As [`Engine::try_observe_batch`].
+    /// As [`Engine::try_observe_batch`]; additionally
+    /// [`EngineError::LateData`] in horizon mode when `now` is beyond a
+    /// receiving shard's lateness horizon — that shard's part is counted
+    /// and dropped while the other shards' parts still apply, and the
+    /// first refusal is reported after all parts are processed.
     pub fn try_observe_batch_at(
         &self,
         now: Slot,
         batch: impl IntoIterator<Item = (TenantId, Element)>,
     ) -> Result<(), EngineError> {
         self.guard()?;
+        let mut late: Option<EngineError> = None;
         for (i, part) in self.partition_pooled(batch).into_iter().enumerate() {
-            if !part.is_empty() {
-                self.send_with_backpressure(i, ShardCmd::BatchAt(now, part))?;
+            if part.is_empty() {
+                continue;
             }
+            if let Err(e) = self.late_gate(i, now, part.len() as u64) {
+                late.get_or_insert(e);
+                self.pool.put(part);
+                continue;
+            }
+            self.send_with_backpressure(i, ShardCmd::BatchAt(now, part))?;
         }
-        Ok(())
+        late.map_or(Ok(()), Err)
     }
 
     /// Advance the global clock: every shard's watermark rises to `now`
@@ -708,13 +810,17 @@ impl Engine {
         self.try_observe(tenant, e).expect("engine accepts ingest");
     }
 
-    /// Infallible wrapper over [`Engine::try_observe_at`].
+    /// Infallible wrapper over [`Engine::try_observe_at`]. Beyond-horizon
+    /// data is a counted drop here, not a panic — callers that need the
+    /// refusal as a value use the `try_` path.
     ///
     /// # Panics
     /// Panics if the engine is shut down or the owning worker is gone.
     pub fn observe_at(&self, tenant: TenantId, e: Element, now: Slot) {
-        self.try_observe_at(tenant, e, now)
-            .expect("engine accepts ingest");
+        match self.try_observe_at(tenant, e, now) {
+            Ok(()) | Err(EngineError::LateData { .. }) => {}
+            Err(e) => panic!("engine accepts ingest: {e}"),
+        }
     }
 
     /// Infallible wrapper over [`Engine::try_observe_batch`].
@@ -726,7 +832,9 @@ impl Engine {
             .expect("engine accepts ingest");
     }
 
-    /// Infallible wrapper over [`Engine::try_observe_batch_at`].
+    /// Infallible wrapper over [`Engine::try_observe_batch_at`]. As with
+    /// [`Engine::observe_at`], beyond-horizon data is a counted drop,
+    /// not a panic.
     ///
     /// # Panics
     /// Panics if the engine is shut down or a worker is gone.
@@ -735,8 +843,10 @@ impl Engine {
         now: Slot,
         batch: impl IntoIterator<Item = (TenantId, Element)>,
     ) {
-        self.try_observe_batch_at(now, batch)
-            .expect("engine accepts ingest");
+        match self.try_observe_batch_at(now, batch) {
+            Ok(()) | Err(EngineError::LateData { .. }) => {}
+            Err(e) => panic!("engine accepts ingest: {e}"),
+        }
     }
 
     /// Infallible wrapper over [`Engine::try_advance`].
@@ -866,57 +976,335 @@ fn record_snapshot_latency(metrics: &ShardMetrics, enqueued: Instant) {
 }
 
 /// Rehydrate a parked tenant: rebuild the sampler from its eviction
-/// blob and fast-forward it to the shard watermark — a parked window is
-/// drained, so the advance is the O(1) quiescent jump and the result is
-/// observationally identical to a tenant that was never evicted.
-fn rehydrate(blob: &[u8], watermark: Slot) -> Box<dyn DistinctSampler> {
+/// blob and fast-forward it to `target` — a parked window is drained,
+/// so the advance is the O(1) quiescent jump and the result is
+/// observationally identical to a tenant that was never evicted. A
+/// `target` below the blob's own clock leaves the clock where it was
+/// (sampler advances are monotonic).
+fn rehydrate(blob: &[u8], target: Slot) -> Box<dyn DistinctSampler> {
     let mut sampler = dds_core::checkpoint::restore_sampler(blob)
         .expect("eviction blob was produced by this engine and must restore");
-    sampler.advance(watermark);
+    sampler.advance(target);
     sampler
 }
 
+/// Look up (or create) a tenant's live sampler, rehydrating a parked
+/// one to `target` first — the single entry point every ingest and
+/// query path goes through. Ingest passes the *event's* slot as the
+/// target (so a resurrected tenant's clock never jumps past data it is
+/// about to receive); queries pass the shard watermark.
+fn live<'a>(
+    tenants: &'a mut HashMap<u64, Box<dyn DistinctSampler>>,
+    parked: &mut HashMap<u64, Vec<u8>>,
+    spec: SamplerSpec,
+    target: Slot,
+    tenant: TenantId,
+) -> &'a mut Box<dyn DistinctSampler> {
+    tenants.entry(tenant.0).or_insert_with(|| {
+        parked
+            .remove(&tenant.0)
+            .map_or_else(|| spec.build(), |blob| rehydrate(&blob, target))
+    })
+}
+
+/// One shard worker's owned state plus the handles it records into —
+/// factored into a struct because the reorder-buffer drain and the
+/// self-driven expiry sweep are shared by several command handlers.
+struct ShardWorker<'a> {
+    spec: SamplerSpec,
+    /// `None`: legacy immediate-apply; `Some(L)`: horizon mode with a
+    /// reorder buffer and producer-visible refusals.
+    lateness: Option<u64>,
+    metrics: &'a ShardMetrics,
+    watermark_pub: &'a AtomicU64,
+    tenants: HashMap<u64, Box<dyn DistinctSampler>>,
+    /// Tenants evicted once their window drained: tenant id → final-
+    /// state checkpoint blob. A later observe or query rehydrates from
+    /// the blob, so eviction frees memory without forgetting the
+    /// tenant's clock or message counter.
+    parked: HashMap<u64, Vec<u8>>,
+    /// Highest slot this shard has seen (timestamped ingest, Advance,
+    /// or snapshot_at). Monotonic; queries answer as of this watermark.
+    watermark: Slot,
+    /// Mutation sequence number: bumped once per state-changing
+    /// command. Each touched tenant is stamped with it, so a delta
+    /// checkpoint can emit exactly the tenants mutated since a base
+    /// document's `seq`.
+    seq: u64,
+    stamps: HashMap<u64, u64>,
+    /// Persistent per-run element scratch for the fused batch path.
+    elem_scratch: Vec<Element>,
+    /// The reorder buffer (horizon mode): slot → elements stamped at
+    /// that slot, awaiting replay. Ordered so the drain replays in slot
+    /// order; entries within a slot keep arrival order. Bounded by the
+    /// horizon: every key lies in `[watermark - lateness, watermark]`.
+    buffer: BTreeMap<u64, Vec<(TenantId, Element)>>,
+    /// Elements currently held in `buffer`.
+    buffered: usize,
+    /// `cut / window` stride index at the last self-driven expiry
+    /// sweep (or caller advance), where `cut = watermark - lateness`.
+    sweep_stride: u64,
+}
+
+impl ShardWorker<'_> {
+    /// The replay frontier: slots at or below it can no longer receive
+    /// data (arrivals below it are refused), so buffered slots `≤ cut`
+    /// are safe to replay and tenant clocks may advance to it.
+    fn cut(&self) -> Slot {
+        Slot(self.watermark.0.saturating_sub(self.lateness.unwrap_or(0)))
+    }
+
+    fn raise_watermark(&mut self, now: Slot) {
+        if now > self.watermark {
+            self.watermark = now;
+            self.metrics.watermark.set(now.0);
+            self.watermark_pub.store(now.0, Ordering::Relaxed);
+        }
+    }
+
+    fn set_tenant_gauge(&self) {
+        self.metrics
+            .tenants
+            .set((self.tenants.len() + self.parked.len()) as u64);
+    }
+
+    /// One event-ring note per command that dropped late data — the
+    /// counter carries the exact count; the ring carries the story.
+    fn note_dropped(&self, dropped: u64) {
+        if dropped > 0 {
+            self.metrics.events.note(
+                "late_drop",
+                format!(
+                    "dropped {dropped} late element(s) beyond the lateness horizon \
+                     (watermark {})",
+                    self.watermark.0
+                ),
+            );
+        }
+    }
+
+    /// Apply one timestamped element at its own slot. An element whose
+    /// tenant clock has already passed the slot is counted and dropped
+    /// — never silently re-stamped. Returns the number dropped (0 | 1).
+    fn apply_one(&mut self, tenant: TenantId, e: Element, now: Slot) -> u64 {
+        let s = live(&mut self.tenants, &mut self.parked, self.spec, now, tenant);
+        let dropped = if now < s.clock() {
+            self.metrics.late_dropped.inc();
+            1
+        } else {
+            s.observe_at(e, now);
+            0
+        };
+        self.stamps.insert(tenant.0, self.seq);
+        dropped
+    }
+
+    /// Apply the contiguous same-tenant run `src[from..to]`, all
+    /// stamped at `now`, via the fused batch path. Returns drops.
+    fn apply_run(&mut self, now: Slot, src: &[(TenantId, Element)], from: usize, to: usize) -> u64 {
+        let tenant = src[from].0;
+        let s = live(&mut self.tenants, &mut self.parked, self.spec, now, tenant);
+        let dropped = if now < s.clock() {
+            let n = (to - from) as u64;
+            self.metrics.late_dropped.add(n);
+            n
+        } else {
+            self.elem_scratch.clear();
+            self.elem_scratch
+                .extend(src[from..to].iter().map(|&(_, e)| e));
+            s.observe_batch_at(now, &self.elem_scratch);
+            0
+        };
+        self.stamps.insert(tenant.0, self.seq);
+        dropped
+    }
+
+    /// Apply every element of `batch` at slot `now`. Stable by tenant:
+    /// per-tenant order (the correctness contract) is preserved while
+    /// elements group into contiguous runs — one map lookup and one
+    /// fused, batch-hashed observe call per run instead of per element.
+    /// Cross-tenant reordering is unobservable: tenants are independent
+    /// samplers.
+    fn apply_batch(&mut self, now: Slot, batch: &mut [(TenantId, Element)]) -> u64 {
+        batch.sort_by_key(|&(t, _)| t);
+        let mut dropped = 0;
+        let mut from = 0;
+        while from < batch.len() {
+            let tenant = batch[from].0;
+            let mut to = from + 1;
+            while to < batch.len() && batch[to].0 == tenant {
+                to += 1;
+            }
+            dropped += self.apply_run(now, batch, from, to);
+            from = to;
+        }
+        dropped
+    }
+
+    /// Replay buffered slots `≤ through` in ascending slot order — the
+    /// reorder buffer's single exit. Returns drops (possible only for
+    /// tenants whose clock a query already sealed past a buffered slot).
+    fn drain_through(&mut self, through: Slot) -> u64 {
+        let mut dropped = 0;
+        while let Some((&slot, _)) = self.buffer.iter().next() {
+            if slot > through.0 {
+                break;
+            }
+            let mut entries = self.buffer.remove(&slot).expect("first key exists");
+            self.buffered -= entries.len();
+            dropped += self.apply_batch(Slot(slot), &mut entries);
+        }
+        self.metrics.reorder_buffered.set(self.buffered as u64);
+        dropped
+    }
+
+    /// Self-driven expiry (horizon mode, windowed specs): when the cut
+    /// crosses a window-stride boundary, advance every live tenant to
+    /// the cut and park the drained ones — idle tenants' memory stays
+    /// bounded from ingest timestamps alone, with no caller
+    /// [`Engine::advance`]. Safe at the cut: arrivals below it are
+    /// refused and buffered slots `≤ cut` were drained first, so no
+    /// acceptable event can land behind a swept clock.
+    fn maybe_sweep(&mut self) {
+        let (Some(window), Some(_)) = (self.spec.window(), self.lateness) else {
+            return;
+        };
+        let cut = self.cut();
+        let stride = cut.0 / window;
+        if stride <= self.sweep_stride {
+            return;
+        }
+        self.sweep_stride = stride;
+        self.seq += 1;
+        for (&t, s) in &mut self.tenants {
+            s.advance(cut);
+            self.stamps.insert(t, self.seq);
+        }
+        self.park_drained();
+        self.metrics.sweeps.inc();
+        self.set_tenant_gauge();
+    }
+
+    /// Park window-bounded tenants whose state has fully drained: the
+    /// instance (treap arenas, buffers) is freed, but its final state —
+    /// clock, message counter — is recorded so a later observe
+    /// *resumes* the tenant instead of resetting it.
+    fn park_drained(&mut self) {
+        let drained: Vec<u64> = self
+            .tenants
+            .iter()
+            .filter(|(_, s)| s.memory_tuples() == 0 && s.sample().is_empty())
+            .map(|(&t, _)| t)
+            .collect();
+        for t in drained {
+            let sampler = self.tenants.remove(&t).expect("listed above");
+            let mut blob = Vec::new();
+            sampler.checkpoint(&mut blob);
+            self.parked.insert(t, blob);
+            self.metrics.evictions.inc();
+        }
+    }
+
+    /// The OneAt ingest body. Returns drops.
+    fn ingest_one_at(&mut self, tenant: TenantId, e: Element, now: Slot) -> u64 {
+        let Some(lateness) = self.lateness else {
+            // Legacy: apply immediately at the event's own slot; the
+            // per-tenant clock check in `apply_one` is the bugfix for
+            // the silent re-stamp.
+            self.raise_watermark(now);
+            return self.apply_one(tenant, e, now);
+        };
+        self.metrics
+            .lateness_slots
+            .observe(self.watermark.0.saturating_sub(now.0));
+        if now < self.cut() {
+            self.metrics.late_dropped.inc();
+            return 1;
+        }
+        if lateness == 0 {
+            // In-order fast path: `now ≥ cut = watermark`, so the
+            // buffer is provably empty and the event applies directly.
+            self.raise_watermark(now);
+            let dropped = self.apply_one(tenant, e, now);
+            self.maybe_sweep();
+            return dropped;
+        }
+        self.buffer.entry(now.0).or_default().push((tenant, e));
+        self.buffered += 1;
+        self.raise_watermark(now);
+        let dropped = self.drain_through(self.cut());
+        self.maybe_sweep();
+        dropped
+    }
+
+    /// The BatchAt ingest body (all elements stamped `now`). Returns
+    /// drops.
+    fn ingest_batch_at(&mut self, now: Slot, batch: &mut Vec<(TenantId, Element)>) -> u64 {
+        let Some(lateness) = self.lateness else {
+            self.raise_watermark(now);
+            return self.apply_batch(now, batch);
+        };
+        self.metrics
+            .lateness_slots
+            .observe(self.watermark.0.saturating_sub(now.0));
+        if now < self.cut() {
+            let n = batch.len() as u64;
+            self.metrics.late_dropped.add(n);
+            return n;
+        }
+        if lateness == 0 {
+            self.raise_watermark(now);
+            let dropped = self.apply_batch(now, batch);
+            self.maybe_sweep();
+            return dropped;
+        }
+        self.buffered += batch.len();
+        self.buffer
+            .entry(now.0)
+            .or_default()
+            .extend(batch.iter().copied());
+        self.raise_watermark(now);
+        let dropped = self.drain_through(self.cut());
+        self.maybe_sweep();
+        dropped
+    }
+
+    /// The serialized reorder buffer, ascending by slot, for
+    /// checkpoints — buffered-but-unapplied data survives a crash.
+    fn buffer_state(&self) -> Vec<(u64, Vec<(u64, u64)>)> {
+        self.buffer
+            .iter()
+            .map(|(&slot, entries)| (slot, entries.iter().map(|&(t, e)| (t.0, e.0)).collect()))
+            .collect()
+    }
+}
+
 /// The shard worker: owns its tenants' samplers, its parked-tenant
-/// blobs, and the shard watermark outright; returns the final tenant
-/// count (live + parked) on shutdown.
+/// blobs, its reorder buffer, and the shard watermark outright; returns
+/// the final tenant count (live + parked) on shutdown.
 fn shard_loop(
     rx: &Receiver<ShardCmd>,
     spec: SamplerSpec,
+    lateness: Option<u64>,
     metrics: &ShardMetrics,
     pool: &BatchPool,
+    watermark_pub: &AtomicU64,
 ) -> usize {
-    let mut tenants: HashMap<u64, Box<dyn DistinctSampler>> = HashMap::new();
-    // Tenants evicted by Advance once their window drained: tenant id →
-    // final-state checkpoint blob. A later observe or query rehydrates
-    // from the blob, so eviction frees memory without forgetting the
-    // tenant's clock or message counter.
-    let mut parked: HashMap<u64, Vec<u8>> = HashMap::new();
-    // Highest slot this shard has seen (timestamped ingest, Advance, or
-    // snapshot_at). Monotonic; queries answer as of this watermark.
-    let mut watermark = Slot(0);
-    // Mutation sequence number: bumped once per state-changing command.
-    // Each touched tenant is stamped with it, so a delta checkpoint can
-    // emit exactly the tenants mutated since a base document's `seq`.
-    let mut seq = 0u64;
-    let mut stamps: HashMap<u64, u64> = HashMap::new();
-    // Persistent per-run element scratch for the fused batch path.
-    let mut elem_scratch: Vec<Element> = Vec::new();
-
-    // Look up (or create) a tenant's live sampler, rehydrating a parked
-    // one first — the single entry point every ingest path goes through.
-    fn live<'a>(
-        tenants: &'a mut HashMap<u64, Box<dyn DistinctSampler>>,
-        parked: &mut HashMap<u64, Vec<u8>>,
-        spec: SamplerSpec,
-        watermark: Slot,
-        tenant: TenantId,
-    ) -> &'a mut Box<dyn DistinctSampler> {
-        tenants.entry(tenant.0).or_insert_with(|| {
-            parked
-                .remove(&tenant.0)
-                .map_or_else(|| spec.build(), |blob| rehydrate(&blob, watermark))
-        })
-    }
+    let mut w = ShardWorker {
+        spec,
+        lateness,
+        metrics,
+        watermark_pub,
+        tenants: HashMap::new(),
+        parked: HashMap::new(),
+        watermark: Slot(0),
+        seq: 0,
+        stamps: HashMap::new(),
+        elem_scratch: Vec::new(),
+        buffer: BTreeMap::new(),
+        buffered: 0,
+        sweep_stride: 0,
+    };
 
     while let Ok(cmd) = rx.recv() {
         match cmd {
@@ -925,35 +1313,26 @@ fn shard_loop(
                 // counter bumps, no histogram, no Instant reads.
                 metrics.batches.inc();
                 metrics.elements.inc();
-                seq += 1;
-                live(&mut tenants, &mut parked, spec, watermark, tenant).observe(e);
-                stamps.insert(tenant.0, seq);
-                metrics.tenants.set((tenants.len() + parked.len()) as u64);
+                w.seq += 1;
+                let target = w.watermark;
+                live(&mut w.tenants, &mut w.parked, spec, target, tenant).observe(e);
+                w.stamps.insert(tenant.0, w.seq);
+                w.set_tenant_gauge();
             }
             ShardCmd::OneAt(tenant, e, now) => {
                 metrics.batches.inc();
                 metrics.elements.inc();
-                seq += 1;
-                if now > watermark {
-                    watermark = now;
-                    metrics.watermark.set(watermark.0);
-                }
-                live(&mut tenants, &mut parked, spec, watermark, tenant).observe_at(e, now);
-                stamps.insert(tenant.0, seq);
-                metrics.tenants.set((tenants.len() + parked.len()) as u64);
+                w.seq += 1;
+                let dropped = w.ingest_one_at(tenant, e, now);
+                w.note_dropped(dropped);
+                w.set_tenant_gauge();
             }
             ShardCmd::Batch(mut batch) => {
                 let start = dds_obs::maybe_now();
                 metrics.batches.inc();
                 metrics.elements.add(batch.len() as u64);
                 metrics.batch_elements.observe(batch.len() as u64);
-                seq += 1;
-                // Stable by tenant: per-tenant order (the correctness
-                // contract) is preserved while elements group into
-                // contiguous runs — one map lookup and one fused,
-                // batch-hashed observe call per run instead of per
-                // element. Cross-tenant reordering is unobservable:
-                // tenants are independent samplers.
+                w.seq += 1;
                 batch.sort_by_key(|&(t, _)| t);
                 let mut from = 0;
                 while from < batch.len() {
@@ -962,15 +1341,17 @@ fn shard_loop(
                     while to < batch.len() && batch[to].0 == tenant {
                         to += 1;
                     }
-                    elem_scratch.clear();
-                    elem_scratch.extend(batch[from..to].iter().map(|&(_, e)| e));
-                    live(&mut tenants, &mut parked, spec, watermark, tenant)
-                        .observe_batch(&elem_scratch);
-                    stamps.insert(tenant.0, seq);
+                    w.elem_scratch.clear();
+                    w.elem_scratch
+                        .extend(batch[from..to].iter().map(|&(_, e)| e));
+                    let target = w.watermark;
+                    live(&mut w.tenants, &mut w.parked, spec, target, tenant)
+                        .observe_batch(&w.elem_scratch);
+                    w.stamps.insert(tenant.0, w.seq);
                     from = to;
                 }
                 pool.put(batch);
-                metrics.tenants.set((tenants.len() + parked.len()) as u64);
+                w.set_tenant_gauge();
                 let nanos = dds_obs::nanos_since(start);
                 metrics.batch_nanos.observe(nanos);
                 metrics.events.record_slow("slow_batch", nanos, || {
@@ -982,28 +1363,11 @@ fn shard_loop(
                 metrics.batches.inc();
                 metrics.elements.add(batch.len() as u64);
                 metrics.batch_elements.observe(batch.len() as u64);
-                seq += 1;
-                if now > watermark {
-                    watermark = now;
-                    metrics.watermark.set(watermark.0);
-                }
-                batch.sort_by_key(|&(t, _)| t);
-                let mut from = 0;
-                while from < batch.len() {
-                    let tenant = batch[from].0;
-                    let mut to = from + 1;
-                    while to < batch.len() && batch[to].0 == tenant {
-                        to += 1;
-                    }
-                    elem_scratch.clear();
-                    elem_scratch.extend(batch[from..to].iter().map(|&(_, e)| e));
-                    live(&mut tenants, &mut parked, spec, watermark, tenant)
-                        .observe_batch_at(now, &elem_scratch);
-                    stamps.insert(tenant.0, seq);
-                    from = to;
-                }
+                w.seq += 1;
+                let dropped = w.ingest_batch_at(now, &mut batch);
+                w.note_dropped(dropped);
                 pool.put(batch);
-                metrics.tenants.set((tenants.len() + parked.len()) as u64);
+                w.set_tenant_gauge();
                 let nanos = dds_obs::nanos_since(start);
                 metrics.batch_nanos.observe(nanos);
                 metrics.events.record_slow("slow_batch", nanos, || {
@@ -1012,44 +1376,50 @@ fn shard_loop(
             }
             ShardCmd::Advance(now) => {
                 let start = dds_obs::maybe_now();
-                if now > watermark {
-                    watermark = now;
-                    metrics.watermark.set(watermark.0);
-                }
-                seq += 1;
-                // Eager: idle tenants expire their candidates *now*, not
-                // at their next query — this is the memory-reclaim path.
-                // Every live tenant is (conservatively) stamped dirty: an
-                // advance can move any lagging tenant clock even when the
-                // shard watermark itself did not change.
-                for (&t, sampler) in &mut tenants {
-                    sampler.advance(watermark);
-                    stamps.insert(t, seq);
-                }
-                // Window-bounded tenants whose state has fully drained
-                // are parked: the instance (treap arenas, buffers) is
-                // freed, but its final state — clock, message counter —
-                // is recorded so a later observe *resumes* the tenant
-                // instead of resetting it.
-                if spec.window().is_some() {
-                    let drained: Vec<u64> = tenants
-                        .iter()
-                        .filter(|(_, s)| s.memory_tuples() == 0 && s.sample().is_empty())
-                        .map(|(&t, _)| t)
-                        .collect();
-                    for t in drained {
-                        let sampler = tenants.remove(&t).expect("listed above");
-                        let mut blob = Vec::new();
-                        sampler.checkpoint(&mut blob);
-                        parked.insert(t, blob);
-                        metrics.evictions.inc();
+                if now < w.watermark {
+                    // Stale: an explicit no-op — a lagging clock driver
+                    // must never interleave with (or rewind under)
+                    // in-flight timestamped ingest.
+                    metrics.stale_advances.inc();
+                    metrics.events.note(
+                        "stale_advance",
+                        format!(
+                            "advance to slot {} refused below watermark {}",
+                            now.0, w.watermark.0
+                        ),
+                    );
+                } else {
+                    // The caller's clock signal outranks the horizon:
+                    // replay the whole buffer (every buffered slot is
+                    // ≤ watermark ≤ now) before expiring anything.
+                    let dropped = w.drain_through(w.watermark);
+                    w.note_dropped(dropped);
+                    w.raise_watermark(now);
+                    w.seq += 1;
+                    // Eager: idle tenants expire their candidates *now*,
+                    // not at their next query — this is the memory-
+                    // reclaim path. Every live tenant is (conservatively)
+                    // stamped dirty: an advance can move any lagging
+                    // tenant clock even when the shard watermark itself
+                    // did not change.
+                    let stamp = w.seq;
+                    for (&t, sampler) in &mut w.tenants {
+                        sampler.advance(w.watermark);
+                        w.stamps.insert(t, stamp);
                     }
+                    if spec.window().is_some() {
+                        w.park_drained();
+                    }
+                    if let (Some(window), Some(_)) = (spec.window(), w.lateness) {
+                        w.sweep_stride = w.sweep_stride.max(w.cut().0 / window);
+                    }
+                    metrics.advances.inc();
+                    w.set_tenant_gauge();
                 }
-                metrics.advances.inc();
                 let nanos = dds_obs::nanos_since(start);
                 metrics.advance_nanos.observe(nanos);
                 metrics.events.record_slow("slow_advance", nanos, || {
-                    format!("clock advance to slot {} took {nanos} ns", watermark.0)
+                    format!("clock advance to slot {} took {nanos} ns", w.watermark.0)
                 });
             }
             ShardCmd::Query {
@@ -1059,21 +1429,28 @@ fn shard_loop(
                 enqueued,
             } => {
                 if let Some(now) = at {
-                    if now > watermark {
-                        watermark = now;
-                        metrics.watermark.set(watermark.0);
-                    }
+                    w.raise_watermark(now);
                 }
-                let known = tenants.contains_key(&tenant.0) || parked.contains_key(&tenant.0);
+                // Queries answer "as of the watermark": replay the
+                // whole buffer first so the answer reflects every
+                // arrived element, then seal the queried tenant's clock
+                // at the watermark.
+                if w.lateness.is_some() {
+                    let dropped = w.drain_through(w.watermark);
+                    w.note_dropped(dropped);
+                    w.maybe_sweep();
+                }
+                let known = w.tenants.contains_key(&tenant.0) || w.parked.contains_key(&tenant.0);
                 if known {
                     // Answering mutates: a parked tenant rehydrates, and
                     // the advance-to-watermark can move the clock.
-                    seq += 1;
-                    stamps.insert(tenant.0, seq);
+                    w.seq += 1;
+                    w.stamps.insert(tenant.0, w.seq);
                 }
                 let view = known.then(|| {
-                    let s = live(&mut tenants, &mut parked, spec, watermark, tenant);
-                    s.advance(watermark);
+                    let target = w.watermark;
+                    let s = live(&mut w.tenants, &mut w.parked, spec, target, tenant);
+                    s.advance(target);
                     TenantView {
                         sample: s.sample(),
                         memory_tuples: s.memory_tuples(),
@@ -1089,72 +1466,87 @@ fn shard_loop(
                 enqueued,
             } => {
                 if let Some(now) = at {
-                    if now > watermark {
-                        watermark = now;
-                        metrics.watermark.set(watermark.0);
-                    }
+                    w.raise_watermark(now);
                 }
-                seq += 1;
-                let stamp = seq;
+                if w.lateness.is_some() {
+                    let dropped = w.drain_through(w.watermark);
+                    w.note_dropped(dropped);
+                    w.maybe_sweep();
+                }
+                w.seq += 1;
+                let stamp = w.seq;
                 // Unordered: the engine sorts the merged result once.
                 // Parked tenants answer without rehydrating — a drained
                 // window's sample is empty by construction.
-                let mut all: Vec<(TenantId, Vec<Element>)> = tenants
+                let watermark = w.watermark;
+                let mut all: Vec<(TenantId, Vec<Element>)> = w
+                    .tenants
                     .iter_mut()
                     .map(|(&t, s)| {
                         s.advance(watermark);
-                        stamps.insert(t, stamp);
+                        w.stamps.insert(t, stamp);
                         (TenantId(t), s.sample())
                     })
                     .collect();
-                all.extend(parked.keys().map(|&t| (TenantId(t), Vec::new())));
+                all.extend(w.parked.keys().map(|&t| (TenantId(t), Vec::new())));
                 let _ = reply.send(all);
                 record_snapshot_latency(metrics, enqueued);
             }
             ShardCmd::Checkpoint { reply } => {
-                let mut all: Vec<(u64, bool, u64, Vec<u8>)> = tenants
+                let mut all: Vec<(u64, bool, u64, Vec<u8>)> = w
+                    .tenants
                     .iter()
                     .map(|(&t, s)| {
                         let mut blob = Vec::new();
                         s.checkpoint(&mut blob);
-                        (t, false, stamps.get(&t).copied().unwrap_or(0), blob)
+                        (t, false, w.stamps.get(&t).copied().unwrap_or(0), blob)
                     })
                     .collect();
-                all.extend(parked.iter().map(|(&t, blob)| {
-                    (t, true, stamps.get(&t).copied().unwrap_or(0), blob.clone())
+                all.extend(w.parked.iter().map(|(&t, blob)| {
+                    (
+                        t,
+                        true,
+                        w.stamps.get(&t).copied().unwrap_or(0),
+                        blob.clone(),
+                    )
                 }));
                 all.sort_unstable_by_key(|&(t, _, _, _)| t);
                 let _ = reply.send(ShardState {
-                    watermark,
-                    seq,
+                    watermark: w.watermark,
+                    seq: w.seq,
                     tenants: all,
+                    buffer: w.buffer_state(),
                 });
             }
             ShardCmd::CheckpointDelta { since, reply } => {
                 // Only the tenants stamped after the base document's
                 // sequence number — at 1 % churn this is ~1 % of the
                 // tenants, so the delta is a few percent of a full
-                // checkpoint's bytes.
-                let mut changed: Vec<(u64, bool, u64, Vec<u8>)> = tenants
+                // checkpoint's bytes. The reorder buffer is tiny (≤ one
+                // horizon's worth of late data), so the delta carries it
+                // whole and `apply_delta` replaces the base's copy.
+                let mut changed: Vec<(u64, bool, u64, Vec<u8>)> = w
+                    .tenants
                     .iter()
-                    .filter(|(t, _)| stamps.get(t).copied().unwrap_or(0) > since)
+                    .filter(|(t, _)| w.stamps.get(t).copied().unwrap_or(0) > since)
                     .map(|(&t, s)| {
                         let mut blob = Vec::new();
                         s.checkpoint(&mut blob);
-                        (t, false, stamps[&t], blob)
+                        (t, false, w.stamps[&t], blob)
                     })
                     .collect();
                 changed.extend(
-                    parked
+                    w.parked
                         .iter()
-                        .filter(|(t, _)| stamps.get(t).copied().unwrap_or(0) > since)
-                        .map(|(&t, blob)| (t, true, stamps[&t], blob.clone())),
+                        .filter(|(t, _)| w.stamps.get(t).copied().unwrap_or(0) > since)
+                        .map(|(&t, blob)| (t, true, w.stamps[&t], blob.clone())),
                 );
                 changed.sort_unstable_by_key(|&(t, _, _, _)| t);
                 let _ = reply.send(ShardState {
-                    watermark,
-                    seq,
+                    watermark: w.watermark,
+                    seq: w.seq,
                     tenants: changed,
+                    buffer: w.buffer_state(),
                 });
             }
             ShardCmd::Install {
@@ -1162,29 +1554,50 @@ fn shard_loop(
                 seq: restored_seq,
                 live: restored_live,
                 parked: restored_parked,
+                buffer: restored_buffer,
             } => {
-                if restored_watermark > watermark {
-                    watermark = restored_watermark;
-                    metrics.watermark.set(watermark.0);
-                }
-                seq = seq.max(restored_seq);
+                w.raise_watermark(restored_watermark);
+                w.seq = w.seq.max(restored_seq);
                 for (t, stamp, sampler) in restored_live {
-                    stamps.insert(t, stamp);
-                    tenants.insert(t, sampler);
+                    w.stamps.insert(t, stamp);
+                    w.tenants.insert(t, sampler);
                 }
                 for (t, stamp, blob) in restored_parked {
-                    stamps.insert(t, stamp);
-                    parked.insert(t, blob);
+                    w.stamps.insert(t, stamp);
+                    w.parked.insert(t, blob);
                 }
-                metrics.tenants.set((tenants.len() + parked.len()) as u64);
+                for (slot, entries) in restored_buffer {
+                    w.buffered += entries.len();
+                    w.buffer
+                        .entry(slot)
+                        .or_default()
+                        .extend(entries.iter().map(|&(t, e)| (TenantId(t), Element(e))));
+                }
+                w.metrics.reorder_buffered.set(w.buffered as u64);
+                if let (Some(window), Some(_)) = (spec.window(), w.lateness) {
+                    // Derived, not persisted: the restored watermark
+                    // seeds the sweep stride so the next ingest doesn't
+                    // re-sweep a boundary the old engine already crossed.
+                    w.sweep_stride = w.sweep_stride.max(w.cut().0 / window);
+                }
+                w.set_tenant_gauge();
             }
             ShardCmd::Flush { reply } => {
+                // Flush is a pure barrier, not a sealing operation: it
+                // drains only what the lateness cut has already sealed,
+                // so within-horizon data can still arrive and replay in
+                // slot order afterwards. Advance and the query paths
+                // are the operations that seal time at the watermark.
+                if w.lateness.is_some() {
+                    let dropped = w.drain_through(w.cut());
+                    w.note_dropped(dropped);
+                }
                 let _ = reply.send(());
             }
             ShardCmd::Shutdown => break,
         }
     }
-    tenants.len() + parked.len()
+    w.tenants.len() + w.parked.len()
 }
 
 #[cfg(test)]

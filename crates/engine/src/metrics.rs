@@ -40,6 +40,21 @@ pub(crate) struct ShardMetrics {
     pub(crate) watermark: Gauge,
     /// Commands queued (gauge, refreshed at snapshot/telemetry time).
     pub(crate) queue_depth: Gauge,
+    /// Timestamped observations beyond the lateness horizon, counted
+    /// and dropped (never silently re-stamped).
+    pub(crate) late_dropped: Counter,
+    /// `Engine::advance` calls with `now` below the shard watermark,
+    /// refused as explicit no-ops.
+    pub(crate) stale_advances: Counter,
+    /// Self-driven expiry sweeps (watermark-stride crossings from
+    /// timestamped ingest, no caller `advance` involved).
+    pub(crate) sweeps: Counter,
+    /// Late elements currently held in the reorder buffer (gauge,
+    /// maintained by the worker).
+    pub(crate) reorder_buffered: Gauge,
+    /// Distribution of `watermark - slot` over timestamped ingest (how
+    /// late data arrives, in slots; 0 for in-order).
+    pub(crate) lateness_slots: Histogram,
     /// Elements per ingest batch.
     pub(crate) batch_elements: Histogram,
     /// Worker-side batch service time, nanoseconds.
@@ -69,6 +84,11 @@ impl ShardMetrics {
             evictions: registry.counter_with("engine_evictions_total", &labels),
             watermark: registry.gauge_with("engine_watermark_slot", &labels),
             queue_depth: registry.gauge_with("engine_queue_depth", &labels),
+            late_dropped: registry.counter_with("engine_late_dropped_total", &labels),
+            stale_advances: registry.counter_with("engine_stale_advances_total", &labels),
+            sweeps: registry.counter_with("engine_expiry_sweeps_total", &labels),
+            reorder_buffered: registry.gauge_with("engine_reorder_buffered", &labels),
+            lateness_slots: registry.histogram_with("engine_lateness_slots", &labels),
             batch_elements: registry.histogram_with("engine_batch_elements", &labels),
             batch_nanos: registry.histogram_with("engine_batch_nanos", &labels),
             snapshot_latency: registry.histogram_with("engine_snapshot_nanos", &labels),
@@ -91,6 +111,10 @@ impl ShardMetrics {
             evictions: self.evictions.get(),
             watermark: self.watermark.get(),
             queue_depth,
+            late_dropped: self.late_dropped.get(),
+            stale_advances: self.stale_advances.get(),
+            sweeps: self.sweeps.get(),
+            buffered: self.reorder_buffered.get() as usize,
         }
     }
 }
@@ -120,6 +144,14 @@ pub struct ShardMetricsSnapshot {
     pub watermark: u64,
     /// Commands queued when the snapshot was taken.
     pub queue_depth: usize,
+    /// Timestamped observations dropped as beyond the lateness horizon.
+    pub late_dropped: u64,
+    /// Stale `advance` calls refused as explicit no-ops.
+    pub stale_advances: u64,
+    /// Self-driven expiry sweeps run from ingest-timestamp watermarks.
+    pub sweeps: u64,
+    /// Late elements held in the reorder buffer at snapshot time.
+    pub buffered: usize,
 }
 
 impl ShardMetricsSnapshot {
@@ -185,6 +217,30 @@ impl EngineMetrics {
         self.shards.iter().map(|s| s.evictions).sum()
     }
 
+    /// Late observations counted and dropped across all shards.
+    #[must_use]
+    pub fn total_late_dropped(&self) -> u64 {
+        self.shards.iter().map(|s| s.late_dropped).sum()
+    }
+
+    /// Stale `advance` no-ops across all shards.
+    #[must_use]
+    pub fn total_stale_advances(&self) -> u64 {
+        self.shards.iter().map(|s| s.stale_advances).sum()
+    }
+
+    /// Self-driven expiry sweeps across all shards.
+    #[must_use]
+    pub fn total_sweeps(&self) -> u64 {
+        self.shards.iter().map(|s| s.sweeps).sum()
+    }
+
+    /// Late elements held in reorder buffers across all shards.
+    #[must_use]
+    pub fn total_buffered(&self) -> usize {
+        self.shards.iter().map(|s| s.buffered).sum()
+    }
+
     /// The engine-wide watermark: the highest slot any shard has seen.
     /// (Shards advance independently under timestamped ingest; after an
     /// [`Engine::advance`](crate::Engine::advance) + flush all shards
@@ -207,7 +263,7 @@ impl EngineMetrics {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:>5} {:>9} {:>11} {:>8} {:>11} {:>13} {:>12} {:>10} {:>10}",
+            "{:>5} {:>9} {:>11} {:>8} {:>11} {:>13} {:>12} {:>10} {:>6} {:>6} {:>10}",
             "shard",
             "tenants",
             "elements",
@@ -216,12 +272,14 @@ impl EngineMetrics {
             "mean-snap-us",
             "backpressure",
             "watermark",
+            "late",
+            "buffd",
             "queue"
         );
         for s in &self.shards {
             let _ = writeln!(
                 out,
-                "{:>5} {:>9} {:>11} {:>8} {:>11} {:>13.1} {:>12} {:>10} {:>10}",
+                "{:>5} {:>9} {:>11} {:>8} {:>11} {:>13.1} {:>12} {:>10} {:>6} {:>6} {:>10}",
                 s.shard,
                 s.tenants,
                 s.elements,
@@ -230,6 +288,8 @@ impl EngineMetrics {
                 s.mean_snapshot_latency_ns() / 1_000.0,
                 s.backpressure,
                 s.watermark,
+                s.late_dropped,
+                s.buffered,
                 s.queue_depth
             );
         }
@@ -254,6 +314,10 @@ mod tests {
         live.advances.add(4);
         live.evictions.add(2);
         live.watermark.set(99);
+        live.late_dropped.add(5);
+        live.stale_advances.inc();
+        live.sweeps.add(2);
+        live.reorder_buffered.set(3);
         let snap = live.snapshot(0, 5);
         if dds_obs::IS_NOOP {
             return; // counters intentionally read 0 in measurement builds
@@ -281,6 +345,10 @@ mod tests {
         assert_eq!(m.total_evictions(), 4);
         assert_eq!(m.watermark(), 99);
         assert_eq!(m.max_queue_depth(), 5);
+        assert_eq!(m.total_late_dropped(), 5);
+        assert_eq!(m.total_stale_advances(), 1);
+        assert_eq!(m.total_sweeps(), 2);
+        assert_eq!(m.total_buffered(), 3);
         let table = m.to_table();
         assert!(table.contains("backpressure"));
         assert_eq!(table.lines().count(), 3);

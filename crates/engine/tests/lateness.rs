@@ -1,0 +1,405 @@
+//! Time robustness: the bounded reorder buffer, the lateness horizon,
+//! and self-driven expiry.
+//!
+//! The tentpole property is a *sort-then-replay oracle*: an engine fed
+//! an arbitrary interleaving of timestamped events (with a lateness
+//! horizon) must answer every query byte-identically — samples, memory
+//! tuples, protocol message counts — to a twin fed the same surviving
+//! events in stable slot-sorted order. Events beyond the horizon are
+//! *counted and dropped*, never silently re-stamped, and the oracle
+//! mirrors that drop rule exactly, so the `engine_late_dropped_total`
+//! counter is pinned too.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dds_core::sampler::{SamplerKind, SamplerSpec};
+use dds_engine::{Engine, EngineConfig, EngineError, TenantId};
+use dds_sim::{Element, Slot};
+use proptest::prelude::*;
+
+fn spec_of(kind_idx: u8, seed: u64) -> SamplerSpec {
+    match kind_idx % 4 {
+        0 => SamplerSpec::new(SamplerKind::Infinite, 4, seed),
+        1 => SamplerSpec::new(SamplerKind::WithReplacement, 3, seed),
+        2 => SamplerSpec::new(SamplerKind::Sliding { window: 12 }, 1, seed),
+        _ => SamplerSpec::new(SamplerKind::SlidingMulti { window: 12 }, 3, seed),
+    }
+}
+
+/// Replicate the engine's documented drop rule over an arrival
+/// sequence: an event is dropped iff its slot is already more than
+/// `lateness` behind the shard watermark (the max slot among *earlier*
+/// arrivals). Returns the surviving events (arrival order) and the
+/// number dropped.
+fn apply_horizon(events: &[(u64, u64, u64)], lateness: u64) -> (Vec<(u64, u64, u64)>, u64) {
+    let mut watermark = 0u64;
+    let mut kept = Vec::new();
+    let mut dropped = 0u64;
+    for &(tenant, element, slot) in events {
+        if slot < watermark.saturating_sub(lateness) {
+            dropped += 1;
+        } else {
+            kept.push((tenant, element, slot));
+            watermark = watermark.max(slot);
+        }
+    }
+    (kept, dropped)
+}
+
+/// Compare two engines' full observable state at their shared
+/// watermark: the census plus every tenant's full view.
+fn assert_state_identical(ooo: &Engine, sorted: &Engine, ctx: &str) {
+    let census_a = ooo.snapshot_all();
+    let census_b = sorted.snapshot_all();
+    assert_eq!(census_a, census_b, "{ctx}: censuses diverged");
+    for &(tenant, _) in &census_a {
+        assert_eq!(
+            ooo.snapshot_view(tenant, None),
+            sorted.snapshot_view(tenant, None),
+            "{ctx}: view of tenant {} diverged",
+            tenant.0
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The tentpole oracle: any interleaving of timestamped events,
+    /// filtered by the horizon drop rule, is indistinguishable from its
+    /// sorted replay — for all four sampler kinds, at every probed
+    /// barrier, with the drop counter agreeing with the oracle's count.
+    #[test]
+    fn out_of_order_ingest_matches_sort_then_replay_oracle(
+        kind_idx in 0u8..4,
+        lateness in prop_oneof![Just(0u64), Just(3), Just(16), Just(1_000)],
+        seed in 0u64..500,
+        events in prop::collection::vec(
+            (0u64..6, 0u64..50, 0u64..120),
+            0..150,
+        ),
+        flush_every in 1usize..40,
+    ) {
+        let spec = spec_of(kind_idx, 61_000 + seed);
+        let ooo = Engine::spawn(
+            EngineConfig::new(spec).with_shards(1).with_lateness(lateness),
+        );
+        let sorted = Engine::spawn(EngineConfig::new(spec).with_shards(1));
+
+        // Feed the raw interleaving; periodic flushes exercise the
+        // barrier drain mid-stream without sealing tenant clocks.
+        for (i, &(tenant, element, slot)) in events.iter().enumerate() {
+            ooo.observe_at(TenantId(tenant), Element(element), Slot(slot));
+            if i % flush_every == flush_every - 1 {
+                ooo.flush();
+            }
+        }
+        ooo.flush();
+
+        // The twin replays the *survivors* in stable slot-sorted order.
+        let (kept, dropped) = apply_horizon(&events, lateness);
+        let mut replay = kept;
+        replay.sort_by_key(|&(_, _, slot)| slot);
+        for (tenant, element, slot) in replay {
+            sorted.observe_at(TenantId(tenant), Element(element), Slot(slot));
+        }
+        sorted.flush();
+
+        prop_assert_eq!(
+            ooo.metrics().watermark(),
+            sorted.metrics().watermark(),
+            "watermarks diverged"
+        );
+        assert_state_identical(&ooo, &sorted, "final barrier");
+        prop_assert_eq!(
+            ooo.metrics().total_late_dropped(),
+            dropped,
+            "late-drop counter disagrees with the oracle's drop rule"
+        );
+        prop_assert_eq!(sorted.metrics().total_late_dropped(), 0);
+        // The barrier drained everything that was going to apply.
+        prop_assert_eq!(ooo.metrics().total_buffered(), 0);
+        let _ = ooo.shutdown();
+        let _ = sorted.shutdown();
+    }
+}
+
+/// Satellite 1: a stale `observe_at` beyond the horizon is a typed
+/// refusal on the `try_` path, a counted drop on the infallible path,
+/// and leaves a diagnostic note in the event ring — never a silent
+/// re-stamp.
+#[test]
+fn beyond_horizon_data_is_refused_counted_and_noted() {
+    let spec = SamplerSpec::new(SamplerKind::Sliding { window: 16 }, 1, 71_001);
+    let engine = Engine::spawn(EngineConfig::new(spec).with_shards(1).with_lateness(8));
+    engine.observe_at(TenantId(1), Element(5), Slot(100));
+    engine.flush(); // publish the watermark to the producer-side gate
+
+    // Typed refusal from the fallible path, carrying both slots.
+    let err = engine
+        .try_observe_at(TenantId(1), Element(6), Slot(50))
+        .expect_err("slot 50 is beyond the horizon of watermark 100");
+    assert_eq!(
+        err,
+        EngineError::LateData {
+            slot: Slot(50),
+            watermark: Slot(100),
+        }
+    );
+
+    // The infallible wrapper swallows the refusal but still counts it.
+    engine.observe_at(TenantId(1), Element(7), Slot(40));
+    engine.flush();
+    assert_eq!(engine.metrics().total_late_dropped(), 2);
+
+    // Batch path: the late part is refused whole, fresh parts apply.
+    let err = engine
+        .try_observe_batch_at(
+            Slot(30),
+            [(TenantId(1), Element(8)), (TenantId(2), Element(9))],
+        )
+        .expect_err("the whole batch is beyond the horizon");
+    assert!(matches!(err, EngineError::LateData { .. }));
+    engine.flush();
+    assert_eq!(engine.metrics().total_late_dropped(), 4);
+
+    // The drop left a diagnostic trail in the event ring.
+    let snapshot = engine.telemetry();
+    assert!(
+        snapshot.events.iter().any(|e| e.kind == "late_drop"),
+        "no late_drop note in the event ring"
+    );
+
+    // The sampler state was never polluted: only the in-horizon element.
+    let view = engine.snapshot_view(TenantId(1), None).expect("hosted");
+    assert_eq!(view.sample, vec![Element(5)]);
+    let _ = engine.shutdown();
+}
+
+/// Satellite 2: `Engine::advance` below the shard watermark is an
+/// explicit no-op — the watermark never rewinds, the stale call is
+/// counted, and the advance counter does not tick.
+#[test]
+fn stale_advance_is_an_explicit_counted_no_op() {
+    let spec = SamplerSpec::new(SamplerKind::Sliding { window: 8 }, 1, 71_002);
+    let engine = Engine::spawn(EngineConfig::new(spec).with_shards(2).with_lateness(4));
+    engine.observe_at(TenantId(0), Element(1), Slot(2));
+    engine.observe_at(TenantId(1), Element(2), Slot(2));
+    engine.advance(Slot(100));
+    engine.flush();
+    let advances = engine.metrics().total_advances();
+    assert_eq!(engine.metrics().watermark(), 100);
+
+    engine.advance(Slot(50)); // stale on every shard
+    engine.flush();
+    assert_eq!(engine.metrics().watermark(), 100, "watermark rewound");
+    assert_eq!(
+        engine.metrics().total_advances(),
+        advances,
+        "a stale advance must not tick the advance counter"
+    );
+    assert_eq!(engine.metrics().total_stale_advances(), 2);
+    assert!(
+        engine
+            .telemetry()
+            .events
+            .iter()
+            .any(|e| e.kind == "stale_advance"),
+        "no stale_advance note in the event ring"
+    );
+    let _ = engine.shutdown();
+}
+
+/// Satellite 2, concurrent flavor: racing producers advancing to
+/// arbitrary slots can never rewind the watermark — it lands on the
+/// maximum and every intermediate published value is monotonic.
+#[test]
+fn watermark_is_monotonic_under_concurrent_producers() {
+    let spec = SamplerSpec::new(SamplerKind::Infinite, 4, 71_003);
+    let engine = Arc::new(Engine::spawn(
+        EngineConfig::new(spec).with_shards(2).with_lateness(16),
+    ));
+    let seen_max = Arc::new(AtomicU64::new(0));
+    let threads: Vec<_> = (0..4u64)
+        .map(|p| {
+            let engine = Arc::clone(&engine);
+            let seen_max = Arc::clone(&seen_max);
+            std::thread::spawn(move || {
+                let mut last = 0u64;
+                for i in 0..200u64 {
+                    // Deliberately non-monotonic per producer.
+                    let now = (i * 7 + p * 13) % 500;
+                    engine.advance(Slot(now));
+                    seen_max.fetch_max(now, Ordering::Relaxed);
+                    if i % 50 == 0 {
+                        engine.flush();
+                        let w = engine.metrics().watermark();
+                        assert!(
+                            w >= last,
+                            "watermark rewound from {last} to {w} under racing producers"
+                        );
+                        last = w;
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("producer thread");
+    }
+    engine.flush();
+    assert_eq!(
+        engine.metrics().watermark(),
+        seen_max.load(Ordering::Relaxed),
+        "watermark must land on the maximum submitted slot"
+    );
+    let engine = Arc::try_unwrap(engine).map_err(|_| "sole owner").unwrap();
+    let _ = engine.shutdown();
+}
+
+/// Satellite 3: a checkpoint taken while late data sits *buffered* —
+/// after arrival, before replay — must carry the buffer. Restore plus
+/// the remaining suffix is indistinguishable from never crashing.
+#[test]
+fn checkpoint_between_buffering_and_replay_loses_nothing() {
+    let spec = SamplerSpec::new(SamplerKind::SlidingMulti { window: 64 }, 3, 71_004);
+    let config = EngineConfig::new(spec).with_shards(2).with_lateness(1_000); // nothing drains before a barrier
+    let twin = Engine::spawn(config);
+    let primary = Engine::spawn(config);
+
+    // Out-of-order prefix: these park in the reorder buffer (the cut is
+    // 0, so no ingest-driven drain can apply them).
+    let prefix = [(0u64, 11u64, 40u64), (1, 12, 25), (2, 13, 33), (0, 14, 10)];
+    for &(t, e, s) in &prefix {
+        twin.observe_at(TenantId(t), Element(e), Slot(s));
+        primary.observe_at(TenantId(t), Element(e), Slot(s));
+    }
+
+    // Checkpoint *without* any flush/query barrier: the commands have
+    // been processed (checkpoint rides the same FIFO), but the buffer
+    // has not been replayed.
+    let bytes = primary.checkpoint();
+    let _ = primary.shutdown();
+    let restored = Engine::restore(&bytes).expect("checkpoint with a live buffer restores");
+    assert_eq!(
+        restored.metrics().total_buffered(),
+        prefix.len(),
+        "the reorder buffer did not survive the checkpoint"
+    );
+
+    // Replay a suffix into both and compare everything.
+    for (t, e, s) in [(1u64, 15u64, 50u64), (0, 16, 45), (2, 17, 60)] {
+        twin.observe_at(TenantId(t), Element(e), Slot(s));
+        restored.observe_at(TenantId(t), Element(e), Slot(s));
+    }
+    twin.flush();
+    restored.flush();
+    assert_state_identical(&restored, &twin, "post-restore");
+    assert_eq!(
+        restored.metrics().total_late_dropped(),
+        twin.metrics().total_late_dropped()
+    );
+    assert_eq!(restored.metrics().total_buffered(), 0);
+    let _ = twin.shutdown();
+    let _ = restored.shutdown();
+}
+
+/// Same crash point, incremental flavor: the delta document carries the
+/// reorder buffer, the chain compacts byte-identically to a full
+/// checkpoint, and the chain restore replays the buffer.
+#[test]
+fn delta_checkpoints_carry_the_reorder_buffer() {
+    let spec = SamplerSpec::new(SamplerKind::Sliding { window: 64 }, 1, 71_005);
+    let config = EngineConfig::new(spec).with_shards(2).with_lateness(1_000);
+    let engine = Engine::spawn(config);
+    engine.observe_at(TenantId(0), Element(1), Slot(30));
+    engine.flush();
+    let base = engine.checkpoint();
+
+    // New out-of-order arrivals after the base: buffered, not replayed.
+    engine.observe_at(TenantId(1), Element(2), Slot(20));
+    engine.observe_at(TenantId(0), Element(3), Slot(40));
+    let delta = engine.checkpoint_delta(&base).expect("delta seals");
+    let folded =
+        dds_engine::checkpoint::compact(&base, std::slice::from_ref(&delta)).expect("compacts");
+    assert_eq!(
+        folded,
+        engine.checkpoint(),
+        "base + delta must equal the live full checkpoint byte for byte"
+    );
+
+    let restored =
+        Engine::restore_with_deltas(&base, std::slice::from_ref(&delta)).expect("restores");
+    restored.flush();
+    engine.flush();
+    assert_state_identical(&restored, &engine, "delta restore");
+    let _ = engine.shutdown();
+    let _ = restored.shutdown();
+}
+
+/// Satellite 4 (second half): an idle tenant's window drains and its
+/// memory parks purely from *other tenants'* ingest timestamps — the
+/// caller never invokes `Engine::advance`.
+#[test]
+fn idle_tenant_parks_from_ingest_driven_sweeps_alone() {
+    let spec = SamplerSpec::new(SamplerKind::Sliding { window: 8 }, 1, 71_006);
+    let engine = Engine::spawn(EngineConfig::new(spec).with_shards(1).with_lateness(4));
+
+    // The idle tenant observes once, early.
+    engine.observe_at(TenantId(7), Element(42), Slot(1));
+    // A busy neighbor streams on; no Engine::advance is ever called.
+    for i in 0..200u64 {
+        engine.observe_at(TenantId(8), Element(i % 16), Slot(2 + i));
+    }
+    engine.flush();
+
+    let m = engine.metrics();
+    assert!(m.total_sweeps() > 0, "no ingest-driven sweep ever ran");
+    assert!(
+        m.total_evictions() >= 1,
+        "the idle tenant was never parked: its memory is unbounded without caller advance"
+    );
+    assert_eq!(
+        m.total_advances(),
+        0,
+        "sweeps must not masquerade as caller advances"
+    );
+    let view = engine
+        .snapshot_view(TenantId(7), None)
+        .expect("parked tenants answer");
+    assert!(view.sample.is_empty(), "window expired long ago");
+    assert_eq!(view.memory_tuples, 0, "parked tenant still holds memory");
+    let _ = engine.shutdown();
+}
+
+/// Legacy mode (no configured horizon) keeps its permissive shape —
+/// arbitrarily old slots are accepted for *fresh* tenants (their clocks
+/// start at the event) — but an event behind a tenant's own clock is a
+/// counted drop, not a silent clamp to the current slot.
+#[test]
+fn legacy_mode_counts_per_tenant_stale_data_instead_of_clamping() {
+    let spec = SamplerSpec::new(SamplerKind::Sliding { window: 4 }, 1, 71_007);
+    let engine = Engine::spawn(EngineConfig::new(spec).with_shards(1));
+    assert_eq!(engine.lateness(), None);
+
+    engine.observe_at(TenantId(1), Element(1), Slot(100));
+    // A fresh tenant at an old slot: accepted (its own clock starts
+    // there), exactly as before this fix.
+    engine.observe_at(TenantId(2), Element(2), Slot(3));
+    engine.flush();
+    assert_eq!(engine.metrics().total_late_dropped(), 0);
+
+    // Behind tenant 1's own clock: the old engine silently re-stamped
+    // this to slot 100, keeping a dead element alive for a full window.
+    engine.observe_at(TenantId(1), Element(9), Slot(50));
+    engine.flush();
+    assert_eq!(engine.metrics().total_late_dropped(), 1);
+    let view = engine.snapshot_view(TenantId(1), None).expect("hosted");
+    assert_eq!(
+        view.sample,
+        vec![Element(1)],
+        "the stale element leaked into the window"
+    );
+    let _ = engine.shutdown();
+}

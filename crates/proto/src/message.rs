@@ -348,8 +348,8 @@ fn get_usize(r: &mut StateReader<'_>) -> Result<usize, CheckpointError> {
     usize::try_from(r.get_u64()?).map_err(|_| CheckpointError::Corrupt("count exceeds usize"))
 }
 
-/// Per-shard metric snapshots: 11 fixed-width words per shard.
-const SHARD_METRICS_BYTES: usize = 11 * 8;
+/// Per-shard metric snapshots: 15 fixed-width words per shard.
+const SHARD_METRICS_BYTES: usize = 15 * 8;
 
 fn put_metrics(w: &mut StateWriter, metrics: &EngineMetrics) {
     w.put_len(metrics.shards.len());
@@ -365,6 +365,10 @@ fn put_metrics(w: &mut StateWriter, metrics: &EngineMetrics) {
         w.put_u64(s.evictions);
         w.put_u64(s.watermark);
         put_usize(w, s.queue_depth);
+        w.put_u64(s.late_dropped);
+        w.put_u64(s.stale_advances);
+        w.put_u64(s.sweeps);
+        put_usize(w, s.buffered);
     }
 }
 
@@ -384,6 +388,10 @@ fn get_metrics(r: &mut StateReader<'_>) -> Result<EngineMetrics, CheckpointError
             evictions: r.get_u64()?,
             watermark: r.get_u64()?,
             queue_depth: get_usize(r)?,
+            late_dropped: r.get_u64()?,
+            stale_advances: r.get_u64()?,
+            sweeps: r.get_u64()?,
+            buffered: get_usize(r)?,
         });
     }
     Ok(EngineMetrics { shards })
@@ -417,6 +425,11 @@ pub fn put_engine_error(w: &mut StateWriter, error: &EngineError) {
             w.put_u8(5);
             put_string(w, msg);
         }
+        EngineError::LateData { slot, watermark } => {
+            w.put_u8(6);
+            w.put_u64(slot.0);
+            w.put_u64(watermark.0);
+        }
     }
 }
 
@@ -432,6 +445,10 @@ pub fn get_engine_error(r: &mut StateReader<'_>) -> Result<EngineError, Checkpoi
         3 => EngineError::Format(get_string(r)?),
         4 => EngineError::Unsupported(get_string(r)?),
         5 => EngineError::Transport(get_string(r)?),
+        6 => EngineError::LateData {
+            slot: Slot(r.get_u64()?),
+            watermark: Slot(r.get_u64()?),
+        },
         other => return Err(CheckpointError::UnknownKind(other)),
     })
 }

@@ -122,7 +122,7 @@ fn snapshot_from(words: &[u64], text: &[u8]) -> TelemetrySnapshot {
 fn metrics_from(words: &[u64]) -> EngineMetrics {
     EngineMetrics {
         shards: words
-            .chunks_exact(11)
+            .chunks_exact(15)
             .map(|w| ShardMetricsSnapshot {
                 shard: w[0] as usize,
                 batches: w[1],
@@ -135,6 +135,10 @@ fn metrics_from(words: &[u64]) -> EngineMetrics {
                 evictions: w[8],
                 watermark: w[9],
                 queue_depth: w[10] as usize,
+                late_dropped: w[11],
+                stale_advances: w[12],
+                sweeps: w[13],
+                buffered: w[14] as usize,
             })
             .collect(),
     }
@@ -186,13 +190,17 @@ fn response_from(
 
 fn error_from(idx: u8, value: u64, text: &[u8]) -> EngineError {
     let msg = String::from_utf8_lossy(text).into_owned();
-    match idx % 6 {
+    match idx % 7 {
         0 => EngineError::UnknownTenant(TenantId(value)),
         1 => EngineError::ShutDown,
         2 => EngineError::ShardDown(value as usize),
         3 => EngineError::Format(msg),
         4 => EngineError::Unsupported(msg),
-        _ => EngineError::Transport(msg),
+        5 => EngineError::Transport(msg),
+        _ => EngineError::LateData {
+            slot: Slot(value),
+            watermark: Slot(value.wrapping_mul(3)),
+        },
     }
 }
 
@@ -204,12 +212,12 @@ fn corpus() -> (Vec<Request>, Vec<Result<Response, EngineError>>) {
     let requests: Vec<Request> = (0..15)
         .map(|i| request_from(i, 42, 7, 13, &pairs, &doc))
         .collect();
-    let words: Vec<u64> = (0..22).collect();
+    let words: Vec<u64> = (0..30).collect();
     let census = vec![(5u64, vec![1u64, 2]), (6, vec![])];
     let mut outcomes: Vec<Result<Response, EngineError>> = (0..8)
         .map(|i| Ok(response_from(i, &[10, 20, 30], &census, &words, &doc, 4, 9)))
         .collect();
-    outcomes.extend((0..6).map(|i| Err(error_from(i, 3, b"boom"))));
+    outcomes.extend((0..7).map(|i| Err(error_from(i, 3, b"boom"))));
     (requests, outcomes)
 }
 
@@ -241,13 +249,13 @@ proptest! {
     fn outcome_roundtrip_is_identity(
         ok in 0u8..2,
         ridx in 0u8..8,
-        eidx in 0u8..6,
+        eidx in 0u8..7,
         elements in prop::collection::vec(proptest::prelude::any::<u64>(), 0..16),
         census in prop::collection::vec(
             (0u64..u64::MAX, prop::collection::vec(proptest::prelude::any::<u64>(), 0..6)),
             0..8,
         ),
-        words in prop::collection::vec(proptest::prelude::any::<u64>(), 0..33),
+        words in prop::collection::vec(proptest::prelude::any::<u64>(), 0..45),
         doc in prop::collection::vec(0u8..=255, 0..64),
         memory in 0u64..1 << 40,
         messages in proptest::prelude::any::<u64>(),

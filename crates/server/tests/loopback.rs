@@ -502,3 +502,58 @@ fn a_remote_service_is_indistinguishable_through_the_trait() {
     let _ = client.shutdown_engine().expect("stops");
     let _ = server.shutdown();
 }
+
+/// Time robustness over the wire: a served engine with a lateness
+/// horizon refuses beyond-horizon data with the typed error (surfaced
+/// through the pipelined ack stream), counts the drop, and exposes it
+/// through both wire-fetched observability surfaces — never silently
+/// re-stamping the element.
+#[test]
+fn late_data_is_refused_and_observable_over_the_wire() {
+    let engine = Engine::spawn(
+        EngineConfig::new(sliding_spec())
+            .with_shards(2)
+            .with_lateness(8),
+    );
+    let server = Server::bind_tcp("127.0.0.1:0", Arc::new(EngineHost::new(engine))).expect("bind");
+    let client = Client::connect_tcp(server.local_addr().expect("tcp endpoint")).expect("connect");
+
+    client
+        .observe_at(TenantId(1), Element(5), Slot(100))
+        .expect("in-horizon ingest");
+    client.flush().expect("barrier publishes the watermark");
+
+    // Beyond the horizon: the send itself pipelines fine; the typed
+    // refusal surfaces at the next synchronous barrier.
+    client
+        .observe_at(TenantId(1), Element(6), Slot(50))
+        .expect("pipelined send");
+    let err = client
+        .flush()
+        .expect_err("deferred LateData must outrank the barrier ack");
+    assert_eq!(
+        err,
+        EngineError::LateData {
+            slot: Slot(50),
+            watermark: Slot(100),
+        }
+    );
+
+    // The drop is visible in the structured metrics endpoint…
+    let metrics = client.metrics().expect("metrics");
+    assert_eq!(metrics.total_late_dropped(), 1);
+    // …and in the scrape-shaped telemetry exposition.
+    let text = client.telemetry_text().expect("telemetry");
+    assert!(
+        text.contains("engine_late_dropped_total"),
+        "late-drop counter missing from wire telemetry:\n{text}"
+    );
+
+    // The refused element never polluted the sample.
+    assert_eq!(
+        client.snapshot(TenantId(1)).expect("hosted"),
+        vec![Element(5)]
+    );
+    let _ = client.shutdown_engine().expect("served engine stops");
+    let _ = server.shutdown();
+}
