@@ -54,7 +54,7 @@
 //! data — so deltas carry it whole and application replaces the base's
 //! copy).
 //! [`compact`] folds a base plus an in-order delta chain back into a
-//! full version-2 document — byte-identical to the full checkpoint the
+//! full current-version document — byte-identical to the full checkpoint the
 //! engine would have produced at the last delta — and
 //! [`Engine::restore_with_deltas`] restores straight from the chain.
 //!
@@ -692,7 +692,7 @@ fn parse_tenant(r: &mut StateReader<'_>) -> Result<(u64, (bool, u64, Vec<u8>)), 
     Ok((tenant, (parked, stamp, blob)))
 }
 
-/// Parse a full version-2 document into its overlay form. Validates the
+/// Parse a full current-version document into its overlay form. Validates the
 /// checksum and structure but not the tenant blobs (restore does that).
 fn parse_full(bytes: &[u8]) -> Result<Doc, CheckpointError> {
     let mut r = StateReader::new(checked_body(bytes)?);
@@ -738,7 +738,7 @@ fn parse_full(bytes: &[u8]) -> Result<Doc, CheckpointError> {
     })
 }
 
-/// Re-encode an overlay as a full version-2 document — the exact byte
+/// Re-encode an overlay as a full current-version document — the exact byte
 /// layout [`Engine::try_checkpoint`] produces for the same state.
 fn encode_full(doc: &Doc) -> Vec<u8> {
     let mut w = StateWriter::new();

@@ -595,28 +595,43 @@ impl Engine {
     /// # Errors
     /// As [`Engine::try_observe_batch`]; additionally
     /// [`EngineError::LateData`] in horizon mode when `now` is beyond a
-    /// receiving shard's lateness horizon — that shard's part is counted
-    /// and dropped while the other shards' parts still apply, and the
-    /// first refusal is reported after all parts are processed.
+    /// receiving shard's lateness horizon. The refusal is
+    /// all-or-nothing: every receiving shard is gated (one atomic read
+    /// each) *before* anything is sent, so on `LateData` no part of the
+    /// batch was ingested and retrying the survivors cannot
+    /// double-apply. Only the late shards' elements count as drops;
+    /// concurrent producers can still move a watermark between the gate
+    /// and the worker, in which case the worker counts and drops the
+    /// stragglers as usual.
     pub fn try_observe_batch_at(
         &self,
         now: Slot,
         batch: impl IntoIterator<Item = (TenantId, Element)>,
     ) -> Result<(), EngineError> {
         self.guard()?;
+        let parts = self.partition_pooled(batch);
         let mut late: Option<EngineError> = None;
-        for (i, part) in self.partition_pooled(batch).into_iter().enumerate() {
-            if part.is_empty() {
-                continue;
+        for (i, part) in parts.iter().enumerate() {
+            if !part.is_empty() {
+                if let Err(e) = self.late_gate(i, now, part.len() as u64) {
+                    late.get_or_insert(e);
+                }
             }
-            if let Err(e) = self.late_gate(i, now, part.len() as u64) {
-                late.get_or_insert(e);
-                self.pool.put(part);
-                continue;
-            }
-            self.send_with_backpressure(i, ShardCmd::BatchAt(now, part))?;
         }
-        late.map_or(Ok(()), Err)
+        if let Some(e) = late {
+            for part in parts {
+                if !part.is_empty() {
+                    self.pool.put(part);
+                }
+            }
+            return Err(e);
+        }
+        for (i, part) in parts.into_iter().enumerate() {
+            if !part.is_empty() {
+                self.send_with_backpressure(i, ShardCmd::BatchAt(now, part))?;
+            }
+        }
+        Ok(())
     }
 
     /// Advance the global clock: every shard's watermark rises to `now`
@@ -832,9 +847,13 @@ impl Engine {
             .expect("engine accepts ingest");
     }
 
-    /// Infallible wrapper over [`Engine::try_observe_batch_at`]. As with
+    /// Infallible flavor of the timestamped batch path. As with
     /// [`Engine::observe_at`], beyond-horizon data is a counted drop,
-    /// not a panic.
+    /// not a panic — and unlike [`Engine::try_observe_batch_at`]'s
+    /// all-or-nothing refusal, this is best-effort per shard: a late
+    /// shard's part is counted and dropped while fresh shards' parts
+    /// still apply, so no element is lost to a refusal this wrapper
+    /// would have swallowed anyway.
     ///
     /// # Panics
     /// Panics if the engine is shut down or a worker is gone.
@@ -843,9 +862,19 @@ impl Engine {
         now: Slot,
         batch: impl IntoIterator<Item = (TenantId, Element)>,
     ) {
-        match self.try_observe_batch_at(now, batch) {
-            Ok(()) | Err(EngineError::LateData { .. }) => {}
-            Err(e) => panic!("engine accepts ingest: {e}"),
+        self.guard()
+            .unwrap_or_else(|e| panic!("engine accepts ingest: {e}"));
+        for (i, part) in self.partition_pooled(batch).into_iter().enumerate() {
+            if part.is_empty() {
+                continue;
+            }
+            if self.late_gate(i, now, part.len() as u64).is_err() {
+                // Counted and noted by the gate.
+                self.pool.put(part);
+                continue;
+            }
+            self.send_with_backpressure(i, ShardCmd::BatchAt(now, part))
+                .unwrap_or_else(|e| panic!("engine accepts ingest: {e}"));
         }
     }
 
@@ -1145,6 +1174,21 @@ impl ShardWorker<'_> {
     /// reorder buffer's single exit. Returns drops (possible only for
     /// tenants whose clock a query already sealed past a buffered slot).
     fn drain_through(&mut self, through: Slot) -> u64 {
+        // Replay needs a seq of its own: when the elements were merely
+        // *buffered*, the command-level bump stamped no tenant, so a
+        // base checkpoint may already be sealed at that seq. A fresh
+        // bump keeps the replayed tenants inside the next delta's
+        // `stamp > since` filter — otherwise the delta's now-empty
+        // buffer would replace the base's copy while the replayed
+        // elements appear in neither.
+        if self
+            .buffer
+            .iter()
+            .next()
+            .is_some_and(|(&slot, _)| slot <= through.0)
+        {
+            self.seq += 1;
+        }
         let mut dropped = 0;
         while let Some((&slot, _)) = self.buffer.iter().next() {
             if slot > through.0 {

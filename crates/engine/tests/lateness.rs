@@ -153,7 +153,8 @@ fn beyond_horizon_data_is_refused_counted_and_noted() {
     engine.flush();
     assert_eq!(engine.metrics().total_late_dropped(), 2);
 
-    // Batch path: the late part is refused whole, fresh parts apply.
+    // Batch path: all-or-nothing — the gate refuses the whole batch
+    // before anything is sent, and the late elements count as drops.
     let err = engine
         .try_observe_batch_at(
             Slot(30),
@@ -334,6 +335,51 @@ fn delta_checkpoints_carry_the_reorder_buffer() {
     restored.flush();
     engine.flush();
     assert_state_identical(&restored, &engine, "delta restore");
+    let _ = engine.shutdown();
+    let _ = restored.shutdown();
+}
+
+/// Regression: a query-driven buffer drain between a base checkpoint
+/// and the next delta must stamp the replayed tenants with a *fresh*
+/// seq. The drain used to run before the command's seq bump, so the
+/// replayed tenants kept a stamp at (or below) the base's seq — the
+/// delta's `stamp > since` filter excluded them while its now-empty
+/// buffer replaced the base's copy, and compacting or restoring from
+/// the chain silently lost the replayed elements.
+#[test]
+fn query_drain_between_base_and_delta_is_not_lost() {
+    let spec = SamplerSpec::new(SamplerKind::Sliding { window: 64 }, 1, 71_008);
+    let engine = Engine::spawn(EngineConfig::new(spec).with_shards(1).with_lateness(8));
+    engine.observe_at(TenantId(0), Element(1), Slot(30));
+    // Within the horizon of watermark 30 but above the cut (22): this
+    // parks in the reorder buffer.
+    engine.observe_at(TenantId(1), Element(2), Slot(25));
+    engine.flush();
+    let base = engine.checkpoint(); // seals with the element still buffered
+
+    // A query seals time at the watermark, replaying the buffer —
+    // tenant 1 mutates without any ingest command touching it.
+    let _ = engine.snapshot_view(TenantId(0), None);
+
+    let delta = engine.checkpoint_delta(&base).expect("delta seals");
+    let folded =
+        dds_engine::checkpoint::compact(&base, std::slice::from_ref(&delta)).expect("compacts");
+    assert_eq!(
+        folded,
+        engine.checkpoint(),
+        "base + delta lost the query-drained tenant"
+    );
+    let restored =
+        Engine::restore_with_deltas(&base, std::slice::from_ref(&delta)).expect("restores");
+    assert_state_identical(&restored, &engine, "post-drain delta restore");
+    let replayed = restored
+        .snapshot_view(TenantId(1), None)
+        .expect("replayed tenant is hosted");
+    assert_eq!(
+        replayed.sample,
+        vec![Element(2)],
+        "the replayed element vanished from the restored chain"
+    );
     let _ = engine.shutdown();
     let _ = restored.shutdown();
 }

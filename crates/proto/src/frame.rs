@@ -8,7 +8,7 @@
 //!
 //! ```text
 //! magic    u32   0x5053_4444  ("DDSP")
-//! version  u16   1
+//! version  u16   2
 //! opcode   u8    request/response discriminator (see `crate::opcode`)
 //! len      u32   payload byte length (≤ MAX_PAYLOAD)
 //! payload  [u8]  opcode-specific body (StateWriter layout)
@@ -35,7 +35,12 @@ pub const MAGIC: u32 = u32::from_le_bytes(*b"DDSP");
 /// Current protocol version. A peer speaking any other version is
 /// rejected with [`CheckpointError::UnsupportedVersion`] before its
 /// payload is interpreted.
-pub const VERSION: u16 = 1;
+///
+/// History: v1 → v2 widened the per-shard `Metrics` payload from 11 to
+/// 15 words (late drops, stale advances, sweeps, reorder-buffer depth)
+/// and added the `LateData` engine-error tag — a v1 peer would misread
+/// both, so mixed versions are rejected at the frame layer instead.
+pub const VERSION: u16 = 2;
 
 /// Fixed bytes before the payload: magic + version + opcode + len.
 pub const HEADER_BYTES: usize = 4 + 2 + 1 + 4;
@@ -439,7 +444,7 @@ mod tests {
             Err(CheckpointError::BadMagic(_))
         ));
         let mut frame = frame_bytes(1, b"x");
-        frame[4] = 0xFE; // version 0xFE01 ≠ 1
+        frame[4] = 0xFE; // low version byte mangled ≠ VERSION
         assert!(matches!(
             decode_frame(&frame),
             Err(CheckpointError::UnsupportedVersion(_))
