@@ -10,6 +10,7 @@ pub mod ext_cluster_messages;
 pub mod ext_dds_vs_drs;
 pub mod ext_engine;
 pub mod ext_engine_checkpoint;
+pub mod ext_engine_conns;
 pub mod ext_engine_lateness;
 pub mod ext_engine_sliding;
 pub mod ext_engine_wire;
@@ -143,6 +144,12 @@ pub fn all() -> Vec<Experiment> {
             title: "Extension: reorder-buffer gates — lateness-horizon throughput, drop accounting",
             run: ext_engine_lateness::run,
         },
+        Experiment {
+            id: "ext_engine_conns",
+            title:
+                "Extension: evented vs threaded server — connections × batch, parity/memory gates",
+            run: ext_engine_conns::run,
+        },
     ]
 }
 
@@ -193,6 +200,7 @@ mod tests {
             "ext_obs_overhead",
             "ext_hot_path",
             "ext_engine_lateness",
+            "ext_engine_conns",
         ] {
             assert!(ids.contains(&required), "missing experiment {required}");
         }

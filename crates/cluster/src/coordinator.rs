@@ -31,7 +31,7 @@ use std::thread::JoinHandle;
 
 use dds_obs::{Counter, Registry, TelemetrySnapshot};
 use dds_proto::cluster::{
-    ClusterError, ClusterRequest, ClusterResponse, ClusterSpec, ClusterStats,
+    ClusterError, ClusterRequest, ClusterResponse, ClusterSpec, ClusterStats, SiteUp,
 };
 use dds_server::net::{Endpoint, Listener, Stream};
 use dds_sim::{AtomicMessageCounters, Direction, SiteId, Slot};
@@ -88,16 +88,37 @@ struct CoordObs {
     leaves: Counter,
     faults: Counter,
     accept_errors: Counter,
+    /// Per-site count of sliding-family ups whose candidate was
+    /// already out of the window (`expiry <= now`) when it reached the
+    /// coordinator — the coordinator-visible late-data signal, the
+    /// cluster analogue of the engine's `engine_late_dropped_total`.
+    late_ups: Vec<Counter>,
 }
 
 impl CoordObs {
-    fn register(registry: &Registry) -> Self {
+    fn register(registry: &Registry, k: usize) -> Self {
         Self {
             joins: registry.counter("cluster_joins_total"),
             leaves: registry.counter("cluster_leaves_total"),
             faults: registry.counter("cluster_faults_total"),
             accept_errors: registry.counter("cluster_accept_errors_total"),
+            late_ups: (0..k)
+                .map(|i| {
+                    let site = i.to_string();
+                    registry.counter_with("cluster_late_up_msgs_total", &[("site", site.as_str())])
+                })
+                .collect(),
         }
+    }
+}
+
+/// A sliding-family up whose candidate expires at or before the
+/// coordinator's current slot arrived too late to ever be sampled.
+/// Kinds without expiry are never late.
+fn is_late(up: &SiteUp, now: Slot) -> bool {
+    match *up {
+        SiteUp::Sliding { expiry, .. } | SiteUp::SlidingMulti { expiry, .. } => expiry <= now,
+        SiteUp::Infinite { .. } | SiteUp::Wr { .. } => false,
     }
 }
 
@@ -118,8 +139,12 @@ struct Shared {
 }
 
 /// The coordinator's full telemetry: its registry (lifecycle counters,
-/// events) plus the exact per-site protocol message/byte tallies and
-/// protocol-state gauges.
+/// per-site `cluster_late_up_msgs_total` late-data counters, events)
+/// plus the exact per-site protocol message/byte tallies and
+/// protocol-state gauges (`cluster_memory_tuples` is the coordinator's
+/// buffered-candidate gauge). The registry merge works exactly like an
+/// engine server's `Telemetry` reply: everything registered shows up in
+/// the scrape, no second bookkeeping path.
 fn build_telemetry(shared: &Shared) -> TelemetrySnapshot {
     let mut snap = shared.registry.snapshot();
     {
@@ -212,7 +237,7 @@ impl ClusterCoordinator {
         let endpoint = listener.endpoint();
         let k = spec.k;
         let registry = Arc::new(Registry::new());
-        let obs = CoordObs::register(&registry);
+        let obs = CoordObs::register(&registry, k);
         let shared = Arc::new(Shared {
             state: Mutex::new(CoordState {
                 machine: CoordMachine::new(&spec),
@@ -456,6 +481,9 @@ fn serve_site(shared: &Arc<Shared>, framed: &mut Framed, site: SiteId) {
                 let outcome = {
                     let mut state = shared.state.lock().expect("coordinator state");
                     let now = state.now;
+                    if is_late(&up, now) {
+                        shared.obs.late_ups[site.0].inc();
+                    }
                     match state.machine.handle(site, up, now) {
                         Ok(downs) => {
                             for down in &downs {

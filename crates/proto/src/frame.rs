@@ -290,6 +290,138 @@ fn map_eof(e: io::Error) -> FrameError {
     }
 }
 
+/// Incremental, push-based frame decoder for non-blocking transports.
+///
+/// [`read_frame_into`] assumes a blocking reader it can park on until a
+/// whole frame arrives; an evented connection instead receives bytes in
+/// arbitrary fragments whenever the poller says the socket is readable.
+/// This decoder buffers those fragments ([`FrameDecoder::push`]) and
+/// yields complete frames ([`FrameDecoder::next_frame`]) as they close,
+/// with the same validation order and failure taxonomy as the blocking
+/// path:
+///
+/// * the header (magic, version, length bound) is validated as soon as
+///   its [`HEADER_BYTES`] arrive — a hostile or confused peer is
+///   rejected *before* the decoder waits for (or buffers) a claimed
+///   payload;
+/// * the checksum is verified once the trailer closes the frame;
+/// * payload bytes are copied into a caller-owned scratch buffer, so a
+///   connection reusing one buffer allocates nothing per frame at
+///   steady state (mirroring [`read_frame_into`]).
+///
+/// A format error means the stream is unrecoverable — framing is
+/// byte-positional, there is no resync point — so the decoder stays
+/// poisoned and the caller is
+/// expected to drop the connection. Clean end-of-stream detection is the
+/// caller's: on EOF, [`FrameDecoder::is_mid_frame`] distinguishes "peer
+/// closed between frames" from "peer died mid-frame" (truncation).
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    /// Unconsumed wire bytes; `pos..` is live, `..pos` is consumed and
+    /// reclaimed lazily (amortizing the memmove over many frames).
+    buf: Vec<u8>,
+    pos: usize,
+    poisoned: bool,
+}
+
+/// Consumed-prefix threshold above which the buffer is compacted.
+const DECODER_COMPACT_BYTES: usize = 8 << 10;
+
+impl FrameDecoder {
+    /// An empty decoder.
+    #[must_use]
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Buffer a fragment of wire bytes (any length, including empty).
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    #[must_use]
+    pub fn buffered_bytes(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Is a partial frame buffered? On end-of-stream this is the
+    /// truncation verdict: `true` means the peer died mid-frame.
+    #[must_use]
+    pub fn is_mid_frame(&self) -> bool {
+        self.buffered_bytes() > 0
+    }
+
+    /// Yield the next complete frame, if one is buffered: the payload is
+    /// copied into `payload` (cleared first) and the opcode returned.
+    /// `Ok(None)` means "need more bytes" — push another fragment and
+    /// retry.
+    ///
+    /// # Errors
+    /// The same [`CheckpointError`]s as [`decode_frame`]; after any
+    /// error the decoder is poisoned (every later call returns
+    /// [`CheckpointError::Corrupt`]) because framing cannot resynchronize
+    /// mid-stream.
+    pub fn next_frame(&mut self, payload: &mut Vec<u8>) -> Result<Option<u8>, CheckpointError> {
+        if self.poisoned {
+            return Err(CheckpointError::Corrupt("frame decoder poisoned"));
+        }
+        match self.next_frame_inner(payload) {
+            Ok(v) => Ok(v),
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+
+    fn next_frame_inner(&mut self, payload: &mut Vec<u8>) -> Result<Option<u8>, CheckpointError> {
+        let live = &self.buf[self.pos..];
+        if live.len() < HEADER_BYTES {
+            return Ok(None);
+        }
+        // Header first, validated eagerly: a bad peer is rejected on 11
+        // bytes, never after buffering a 64 MiB payload claim.
+        let magic = u32::from_le_bytes(live[0..4].try_into().expect("header buffered"));
+        if magic != MAGIC {
+            return Err(CheckpointError::BadMagic(magic));
+        }
+        let version = u16::from_le_bytes(live[4..6].try_into().expect("header buffered"));
+        if version != VERSION {
+            return Err(CheckpointError::UnsupportedVersion(version));
+        }
+        let opcode = live[6];
+        let len = u32::from_le_bytes(live[7..11].try_into().expect("header buffered")) as usize;
+        if len > MAX_PAYLOAD {
+            return Err(CheckpointError::Corrupt("frame payload exceeds maximum"));
+        }
+        let total = HEADER_BYTES + len + TRAILER_BYTES;
+        if live.len() < total {
+            return Ok(None);
+        }
+        let body = &live[HEADER_BYTES..HEADER_BYTES + len];
+        let trailer = &live[HEADER_BYTES + len..total];
+        if u64::from_le_bytes(trailer.try_into().expect("trailer buffered"))
+            != checksum(opcode, body)
+        {
+            return Err(CheckpointError::ChecksumMismatch);
+        }
+        payload.clear();
+        payload.extend_from_slice(body);
+        self.pos += total;
+        // Reclaim the consumed prefix once it dominates the buffer or
+        // crosses the compaction threshold.
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos >= DECODER_COMPACT_BYTES {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        Ok(Some(opcode))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -433,6 +565,133 @@ mod tests {
             read_frame(&mut cursor),
             Err(FrameError::Format(CheckpointError::Corrupt(_)))
         ));
+    }
+
+    #[test]
+    fn decoder_yields_frames_across_arbitrary_fragmentation() {
+        let mut wire = Vec::new();
+        write_frame_to(&mut wire, 1, b"first").expect("vec write");
+        write_frame_to(&mut wire, 2, &[]).expect("vec write");
+        write_frame_to(&mut wire, 3, &[0xAB; 300]).expect("vec write");
+
+        // Byte-at-a-time: the cruelest fragmentation.
+        let mut dec = FrameDecoder::new();
+        let mut payload = Vec::new();
+        let mut got = Vec::new();
+        for &b in &wire {
+            dec.push(&[b]);
+            while let Some(op) = dec.next_frame(&mut payload).expect("valid stream") {
+                got.push((op, payload.clone()));
+            }
+        }
+        assert_eq!(
+            got,
+            vec![
+                (1, b"first".to_vec()),
+                (2, Vec::new()),
+                (3, vec![0xAB; 300]),
+            ]
+        );
+        assert!(!dec.is_mid_frame(), "stream ended on a frame boundary");
+
+        // All at once: several frames per push drain in order.
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire);
+        let mut ops = Vec::new();
+        while let Some(op) = dec.next_frame(&mut payload).expect("valid stream") {
+            ops.push(op);
+        }
+        assert_eq!(ops, vec![1, 2, 3]);
+        assert_eq!(dec.buffered_bytes(), 0);
+    }
+
+    #[test]
+    fn decoder_rejects_bad_header_before_payload_arrives() {
+        // Bad magic with only the header pushed: rejected immediately,
+        // without waiting for the claimed payload.
+        let mut frame = frame_bytes(1, &[0u8; 1024]);
+        frame[0] ^= 0xFF;
+        let mut dec = FrameDecoder::new();
+        dec.push(&frame[..HEADER_BYTES]);
+        let mut payload = Vec::new();
+        assert!(matches!(
+            dec.next_frame(&mut payload),
+            Err(CheckpointError::BadMagic(_))
+        ));
+        // Poisoned thereafter — framing cannot resync.
+        assert!(dec.next_frame(&mut payload).is_err());
+
+        // Oversized length claim: rejected on the header alone.
+        let mut w = StateWriter::new();
+        w.put_u32(MAGIC);
+        w.put_u16(VERSION);
+        w.put_u8(1);
+        w.put_u32(u32::MAX);
+        let mut dec = FrameDecoder::new();
+        dec.push(&w.into_bytes());
+        assert_eq!(
+            dec.next_frame(&mut payload),
+            Err(CheckpointError::Corrupt("frame payload exceeds maximum"))
+        );
+
+        // Wrong version likewise.
+        let mut frame = frame_bytes(1, b"x");
+        frame[4] = 0xFE;
+        let mut dec = FrameDecoder::new();
+        dec.push(&frame[..HEADER_BYTES]);
+        assert!(matches!(
+            dec.next_frame(&mut payload),
+            Err(CheckpointError::UnsupportedVersion(_))
+        ));
+    }
+
+    #[test]
+    fn decoder_detects_checksum_corruption() {
+        let mut frame = frame_bytes(9, b"checksummed");
+        let last = frame.len() - 1;
+        frame[last] ^= 0x01;
+        let mut dec = FrameDecoder::new();
+        dec.push(&frame);
+        let mut payload = Vec::new();
+        assert_eq!(
+            dec.next_frame(&mut payload),
+            Err(CheckpointError::ChecksumMismatch)
+        );
+    }
+
+    #[test]
+    fn decoder_mid_frame_flag_tracks_partial_input() {
+        let frame = frame_bytes(4, b"partial");
+        let mut dec = FrameDecoder::new();
+        let mut payload = Vec::new();
+        assert!(!dec.is_mid_frame());
+        dec.push(&frame[..frame.len() - 1]);
+        assert_eq!(dec.next_frame(&mut payload).expect("incomplete"), None);
+        assert!(dec.is_mid_frame(), "EOF here must read as truncation");
+        dec.push(&frame[frame.len() - 1..]);
+        assert_eq!(dec.next_frame(&mut payload).expect("complete"), Some(4));
+        assert_eq!(payload, b"partial");
+        assert!(!dec.is_mid_frame());
+    }
+
+    #[test]
+    fn decoder_compacts_consumed_prefix() {
+        // Push many frames in one burst, drain them all: the consumed
+        // prefix must be reclaimed rather than growing forever.
+        let frame = frame_bytes(1, &[7u8; 1000]);
+        let mut dec = FrameDecoder::new();
+        for _ in 0..32 {
+            dec.push(&frame);
+        }
+        let mut payload = Vec::new();
+        let mut n = 0;
+        while let Some(_op) = dec.next_frame(&mut payload).expect("valid") {
+            n += 1;
+        }
+        assert_eq!(n, 32);
+        assert_eq!(dec.buffered_bytes(), 0);
+        assert_eq!(dec.pos, 0, "fully drained decoder must reset its cursor");
+        assert!(dec.buf.is_empty());
     }
 
     #[test]

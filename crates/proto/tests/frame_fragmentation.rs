@@ -1,0 +1,102 @@
+//! Property: the push-based [`FrameDecoder`] is insensitive to how the
+//! wire bytes are fragmented. Any stream of valid frames, split at
+//! arbitrary byte boundaries (as a non-blocking socket will split
+//! them), decodes to exactly the same (opcode, payload) sequence as the
+//! blocking [`frame::read_frame_into`] path — and a trailing partial
+//! frame is reported by `is_mid_frame`, never silently dropped as a
+//! clean end-of-stream.
+
+use dds_proto::frame::{self, FrameDecoder, OVERHEAD_BYTES};
+use proptest::prelude::*;
+
+/// Cut `wire` into fragments at the given boundaries (sorted, deduped
+/// internally) and feed them through a fresh decoder.
+fn decode_fragmented(wire: &[u8], cuts: &[usize]) -> Vec<(u8, Vec<u8>)> {
+    let mut boundaries: Vec<usize> = cuts.iter().map(|&c| c % (wire.len() + 1)).collect();
+    boundaries.push(0);
+    boundaries.push(wire.len());
+    boundaries.sort_unstable();
+    boundaries.dedup();
+
+    let mut dec = FrameDecoder::new();
+    let mut scratch = Vec::new();
+    let mut got = Vec::new();
+    for window in boundaries.windows(2) {
+        dec.push(&wire[window[0]..window[1]]);
+        while let Some(op) = dec.next_frame(&mut scratch).expect("valid frame stream") {
+            got.push((op, scratch.clone()));
+        }
+    }
+    assert!(!dec.is_mid_frame(), "complete stream left residue");
+    got
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Fragmentation-insensitivity: every split of a valid multi-frame
+    /// stream yields the identical frame sequence.
+    #[test]
+    fn fragmented_arrival_decodes_identically(
+        frames in prop::collection::vec(
+            (any::<u8>(), prop::collection::vec(any::<u8>(), 0..200)),
+            1..8,
+        ),
+        cuts in prop::collection::vec(any::<usize>(), 0..32),
+    ) {
+        let mut wire = Vec::new();
+        for (op, payload) in &frames {
+            frame::write_frame_to(&mut wire, *op, payload).expect("vec write");
+        }
+        let expected: Vec<(u8, Vec<u8>)> =
+            frames.iter().map(|(op, p)| (*op, p.clone())).collect();
+
+        // The blocking reader agrees on what the stream contains.
+        let mut cursor = std::io::Cursor::new(&wire);
+        let mut blocking = Vec::new();
+        let mut scratch = Vec::new();
+        while let Some(op) =
+            frame::read_frame_into(&mut cursor, &mut scratch).expect("valid stream")
+        {
+            blocking.push((op, scratch.clone()));
+        }
+        prop_assert_eq!(&blocking, &expected);
+
+        // So does the incremental decoder, under arbitrary cuts.
+        prop_assert_eq!(decode_fragmented(&wire, &cuts), expected);
+    }
+
+    /// A truncated tail is flagged: after draining all complete frames,
+    /// the decoder reports mid-frame residue exactly when bytes of an
+    /// unfinished frame remain.
+    #[test]
+    fn truncated_tail_is_flagged_not_swallowed(
+        payload in prop::collection::vec(any::<u8>(), 0..200),
+        whole in 0usize..3,
+        cut_back in 1usize..16,
+    ) {
+        let mut wire = Vec::new();
+        for _ in 0..whole {
+            frame::write_frame_to(&mut wire, 1, &payload).expect("vec write");
+        }
+        let mut partial = Vec::new();
+        frame::write_frame_to(&mut partial, 2, &payload).expect("vec write");
+        let keep = partial.len() - (cut_back % partial.len()).max(1);
+        wire.extend_from_slice(&partial[..keep]);
+
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire);
+        let mut scratch = Vec::new();
+        let mut complete = 0;
+        while let Some(op) = dec.next_frame(&mut scratch).expect("valid prefix") {
+            prop_assert_eq!(op, 1);
+            prop_assert_eq!(&scratch, &payload);
+            complete += 1;
+        }
+        prop_assert_eq!(complete, whole);
+        prop_assert!(dec.is_mid_frame(), "partial frame read as clean EOF");
+        prop_assert_eq!(dec.buffered_bytes(), keep);
+        // Sanity: the partial tail really is shorter than a frame.
+        prop_assert!(keep < OVERHEAD_BYTES + payload.len() + 1);
+    }
+}

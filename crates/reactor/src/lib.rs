@@ -1,0 +1,52 @@
+//! # dds-reactor — a minimal readiness-driven I/O reactor
+//!
+//! The workspace's answer to "10k connections should not cost 10k
+//! threads". This crate is a deliberately small slice of the mio idiom,
+//! vendored the way PR 1 vendored its deps: zero external crates, raw
+//! syscalls behind safe wrappers, and a portable fallback so nothing
+//! here is Linux-only in API terms.
+//!
+//! ## Pieces
+//!
+//! * [`Poller`] — one readiness queue over many raw fds. Register an fd
+//!   with a [`Token`] and an [`Interest`], then [`Poller::wait`] for
+//!   batches of [`Event`]s. Linux uses **epoll** (edge- or
+//!   level-triggered); everywhere (including Linux, for tests) the
+//!   **poll(2)** backend is available via
+//!   [`Poller::with_poll_backend`] (level-triggered only).
+//! * [`Waker`] — cross-thread nudge that interrupts a blocking wait
+//!   (eventfd on the epoll backend, a non-blocking pipe on the poll
+//!   backend).
+//! * [`sys`] — the raw-syscall layer, public only for its resource
+//!   helpers ([`sys::nofile_limit`] / [`sys::set_nofile_limit`]) used
+//!   by fd-pressure tests and the connection-sweep experiment.
+//!
+//! ## Exact syscall surface
+//!
+//! Everything this crate asks of the kernel, in one table. The FFI
+//! declarations bind libc symbols the Rust standard library already
+//! links; no new link-time dependency is introduced.
+//!
+//! | syscall | backend | purpose |
+//! |---|---|---|
+//! | `epoll_create1(EPOLL_CLOEXEC)` | epoll | create the readiness queue |
+//! | `epoll_ctl(ADD/MOD/DEL)` | epoll | (de)register fds / change interest |
+//! | `epoll_wait` | epoll | block for ready events (EINTR retried) |
+//! | `eventfd(0, EFD_CLOEXEC\|EFD_NONBLOCK)` | epoll | [`Waker`] fd |
+//! | `poll` | poll | block for ready events (EINTR retried) |
+//! | `pipe` + `fcntl(F_GETFL/F_SETFL, O_NONBLOCK)` | poll | [`Waker`] pipe |
+//! | `read` / `write` | both | waker signal + drain |
+//! | `close` | both | fd teardown |
+//! | `getrlimit` / `setrlimit(RLIMIT_NOFILE)` | helpers | fd-pressure tests & experiments |
+//!
+//! ## What it is not
+//!
+//! No executor, no futures, no timers beyond the wait timeout, no
+//! socket types — `dds-server::net` keeps ownership of streams and
+//! listeners and hands this crate raw fds. Single consumer: one thread
+//! calls [`Poller::wait`]; any thread may [`Waker::wake`].
+
+mod poller;
+pub mod sys;
+
+pub use poller::{Event, Events, Interest, Poller, Token, Waker};

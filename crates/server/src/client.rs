@@ -28,20 +28,57 @@
 //! served system byte-accountable end to end, like the paper's message
 //! counters.
 
+use std::collections::VecDeque;
 use std::io::{BufReader, BufWriter, Read, Write};
-use std::net::TcpStream;
+use std::net::{SocketAddr, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::UnixStream;
 #[cfg(unix)]
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
+use std::time::Duration;
 
 use dds_engine::{EngineError, EngineMetrics, EngineReport, TenantId, TenantView};
 use dds_obs::TelemetrySnapshot;
-use dds_proto::frame::{read_frame_into, write_frame_to, OVERHEAD_BYTES};
+use dds_proto::frame::{frame_bytes, read_frame_into, write_frame_to, OVERHEAD_BYTES};
 use dds_proto::message::{decode_outcome, Request, Response};
 use dds_proto::EngineService;
 use dds_sim::{Element, Slot};
+
+/// Reconnect policy for a [`Client`], set with
+/// [`Client::with_config`]. Off by default: a transport failure is
+/// surfaced to the caller as [`EngineError::Transport`].
+///
+/// With `reconnect` on, a transport failure triggers up to
+/// `max_retries` redials of the original endpoint (sleeping `backoff`
+/// before each), and on success the client **replays every pipelined
+/// ingest frame whose ack it has not yet read** (the retained window is
+/// the ack-pipelining window, 512 frames) before retrying the
+/// interrupted call. Replay gives at-least-once ingest against a
+/// server that kept its state; paired with the checkpoint discipline —
+/// checkpoint at a flush barrier, restore the replacement server from
+/// it — it gives exactly-once, because every replayed frame postdates
+/// the checkpoint. [`EngineError::ShutDown`] is final and is never
+/// retried: a served engine that said goodbye stays gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// Redial and replay on transport failure.
+    pub reconnect: bool,
+    /// Redial attempts per failure before giving up.
+    pub max_retries: u32,
+    /// Sleep before each redial attempt.
+    pub backoff: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            reconnect: false,
+            max_retries: 5,
+            backoff: Duration::from_millis(50),
+        }
+    }
+}
 
 /// Traffic accounting for one client connection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -59,6 +96,9 @@ pub struct ClientStats {
     /// Elements handed to `observe*` since connect (the denominator of
     /// bytes-per-observation).
     pub elements_observed: u64,
+    /// Successful redials (replayed frames count again in `bytes_sent`
+    /// and `requests_sent` — they did hit the wire again).
+    pub reconnects: u64,
 }
 
 /// The buffered (not yet sent) ingest, tagged by clock mode: untimed
@@ -81,7 +121,18 @@ struct Conn {
     /// into this one allocation (acks are empty; query replies reuse
     /// whatever it has grown to).
     read_buf: Vec<u8>,
+    /// Encoded pipelined ingest frames whose acks have not been read
+    /// yet — the replay window. Populated only when reconnect is on;
+    /// bounded by the ack-pipelining window (512 frames).
+    unacked: VecDeque<Vec<u8>>,
     stats: ClientStats,
+}
+
+/// How to re-reach the server after a broken connection.
+enum Redial {
+    Tcp(SocketAddr),
+    #[cfg(unix)]
+    Unix(PathBuf),
 }
 
 /// A typed connection to a [`crate::Server`].
@@ -90,11 +141,17 @@ struct Conn {
 /// client can be shared across threads like the engine itself.
 pub struct Client {
     conn: Mutex<Conn>,
+    redial: Redial,
+    config: ClientConfig,
     batch_capacity: usize,
 }
 
 impl Client {
-    fn from_halves(reader: Box<dyn Read + Send>, writer: Box<dyn Write + Send>) -> Client {
+    fn from_halves(
+        reader: Box<dyn Read + Send>,
+        writer: Box<dyn Write + Send>,
+        redial: Redial,
+    ) -> Client {
         Client {
             conn: Mutex::new(Conn {
                 reader: BufReader::new(reader),
@@ -102,8 +159,11 @@ impl Client {
                 pending: PendingBatch::Empty,
                 deferred: None,
                 read_buf: Vec::new(),
+                unacked: VecDeque::new(),
                 stats: ClientStats::default(),
             }),
+            redial,
+            config: ClientConfig::default(),
             batch_capacity: 1,
         }
     }
@@ -117,8 +177,13 @@ impl Client {
         // Small frames back-to-back are the common case; don't let
         // Nagle hold acks hostage.
         let _ = stream.set_nodelay(true);
+        let redial = Redial::Tcp(stream.peer_addr()?);
         let read_half = stream.try_clone()?;
-        Ok(Client::from_halves(Box::new(read_half), Box::new(stream)))
+        Ok(Client::from_halves(
+            Box::new(read_half),
+            Box::new(stream),
+            redial,
+        ))
     }
 
     /// Connect over a Unix-domain socket.
@@ -127,9 +192,13 @@ impl Client {
     /// [`EngineError::Transport`] on connect failure.
     #[cfg(unix)]
     pub fn connect_unix(path: impl AsRef<Path>) -> Result<Client, EngineError> {
-        let stream = UnixStream::connect(path)?;
+        let stream = UnixStream::connect(&path)?;
         let read_half = stream.try_clone()?;
-        Ok(Client::from_halves(Box::new(read_half), Box::new(stream)))
+        Ok(Client::from_halves(
+            Box::new(read_half),
+            Box::new(stream),
+            Redial::Unix(path.as_ref().to_path_buf()),
+        ))
     }
 
     /// Buffer up to `capacity` observations per ingest frame
@@ -138,6 +207,13 @@ impl Client {
     #[must_use]
     pub fn with_batch_capacity(mut self, capacity: usize) -> Self {
         self.batch_capacity = capacity.max(1);
+        self
+    }
+
+    /// Set the reconnect policy (see [`ClientConfig`]).
+    #[must_use]
+    pub fn with_config(mut self, config: ClientConfig) -> Self {
+        self.config = config;
         self
     }
 
@@ -168,13 +244,15 @@ impl Client {
         let mut conn = self.conn.lock().expect("client connection lock");
         conn.stats.elements_observed += 1;
         if matches!(conn.pending, PendingBatch::At(..)) {
-            flush_pending(&mut conn)?;
+            let sent = flush_pending(&mut conn, self.config.reconnect);
+            self.ship(&mut conn, sent)?;
         }
         match &mut conn.pending {
             PendingBatch::Untimed(batch) => batch.push((tenant, element)),
             pending => *pending = PendingBatch::Untimed(vec![(tenant, element)]),
         }
-        self.flush_if_full(&mut conn)
+        let sent = self.flush_if_full(&mut conn);
+        self.ship(&mut conn, sent)
     }
 
     /// Observe one element stamped at slot `now`.
@@ -191,13 +269,15 @@ impl Client {
         conn.stats.elements_observed += 1;
         let same_slot = matches!(&conn.pending, PendingBatch::At(slot, _) if *slot == now);
         if !same_slot && !matches!(conn.pending, PendingBatch::Empty) {
-            flush_pending(&mut conn)?;
+            let sent = flush_pending(&mut conn, self.config.reconnect);
+            self.ship(&mut conn, sent)?;
         }
         match &mut conn.pending {
             PendingBatch::At(_, batch) => batch.push((tenant, element)),
             pending => *pending = PendingBatch::At(now, vec![(tenant, element)]),
         }
-        self.flush_if_full(&mut conn)
+        let sent = self.flush_if_full(&mut conn);
+        self.ship(&mut conn, sent)
     }
 
     /// Ship a prepared batch as one frame (after flushing any buffer).
@@ -214,8 +294,12 @@ impl Client {
         }
         let mut conn = self.conn.lock().expect("client connection lock");
         conn.stats.elements_observed += batch.len() as u64;
-        flush_pending(&mut conn)?;
-        send_pipelined(&mut conn, &Request::ObserveBatch { batch })
+        let request = Request::ObserveBatch { batch };
+        let mut sent = flush_pending(&mut conn, self.config.reconnect);
+        if sent.is_ok() {
+            sent = send_pipelined(&mut conn, &request, self.config.reconnect);
+        }
+        self.ship(&mut conn, sent)
     }
 
     /// Ship a prepared single-slot batch as one frame.
@@ -233,8 +317,12 @@ impl Client {
         }
         let mut conn = self.conn.lock().expect("client connection lock");
         conn.stats.elements_observed += batch.len() as u64;
-        flush_pending(&mut conn)?;
-        send_pipelined(&mut conn, &Request::ObserveBatchAt { now, batch })
+        let request = Request::ObserveBatchAt { now, batch };
+        let mut sent = flush_pending(&mut conn, self.config.reconnect);
+        if sent.is_ok() {
+            sent = send_pipelined(&mut conn, &request, self.config.reconnect);
+        }
+        self.ship(&mut conn, sent)
     }
 
     /// Raise the served engine's global clock to `now` (pipelined, like
@@ -244,8 +332,11 @@ impl Client {
     /// As [`Client::observe`].
     pub fn advance(&self, now: Slot) -> Result<(), EngineError> {
         let mut conn = self.conn.lock().expect("client connection lock");
-        flush_pending(&mut conn)?;
-        send_pipelined(&mut conn, &Request::Advance { now })
+        let mut sent = flush_pending(&mut conn, self.config.reconnect);
+        if sent.is_ok() {
+            sent = send_pipelined(&mut conn, &Request::Advance { now }, self.config.reconnect);
+        }
+        self.ship(&mut conn, sent)
     }
 
     fn flush_if_full(&self, conn: &mut Conn) -> Result<(), EngineError> {
@@ -254,9 +345,72 @@ impl Client {
             PendingBatch::Untimed(b) | PendingBatch::At(_, b) => b.len(),
         };
         if len >= self.batch_capacity {
-            flush_pending(conn)?;
+            flush_pending(conn, self.config.reconnect)?;
         }
         Ok(())
+    }
+
+    // -- reconnect ----------------------------------------------------
+
+    /// Settle an ingest step: a transport failure recovers the
+    /// connection, and because the failed frame is already in the
+    /// replay window, the recovery *is* the retry.
+    fn ship(&self, conn: &mut Conn, sent: Result<(), EngineError>) -> Result<(), EngineError> {
+        match sent {
+            Err(e) if self.recoverable(&e) => self.recover(conn, e),
+            other => other,
+        }
+    }
+
+    /// Only transport failures are worth redialing for. Engine errors —
+    /// [`EngineError::ShutDown`] above all — are answers, not outages.
+    fn recoverable(&self, err: &EngineError) -> bool {
+        self.config.reconnect && matches!(err, EngineError::Transport(_))
+    }
+
+    /// Redial the original endpoint (bounded attempts with backoff),
+    /// swap the new socket in, and replay the unacked window in order.
+    fn recover(&self, conn: &mut Conn, cause: EngineError) -> Result<(), EngineError> {
+        let mut last = cause;
+        for _ in 0..self.config.max_retries {
+            std::thread::sleep(self.config.backoff);
+            let (reader, writer) = match dial(&self.redial) {
+                Ok(halves) => halves,
+                Err(e) => {
+                    last = EngineError::from(e);
+                    continue;
+                }
+            };
+            conn.reader = BufReader::new(reader);
+            conn.writer = BufWriter::new(writer);
+            conn.stats.acks_pending = 0;
+            // Replay what was sent but never acknowledged. Frames whose
+            // acks were read are gone from the window — they are never
+            // sent twice.
+            let replayed = {
+                let Conn {
+                    unacked, writer, ..
+                } = &mut *conn;
+                unacked
+                    .iter()
+                    .try_fold(0u64, |n, frame| {
+                        writer.write_all(frame)?;
+                        Ok::<u64, std::io::Error>(n + frame.len() as u64)
+                    })
+                    .and_then(|n| writer.flush().map(|()| n))
+            };
+            match replayed {
+                Ok(bytes) => {
+                    conn.stats.reconnects += 1;
+                    conn.stats.bytes_sent += bytes;
+                    conn.stats.requests_sent += conn.unacked.len() as u64;
+                    conn.stats.acks_pending = conn.unacked.len() as u64;
+                    return Ok(());
+                }
+                Err(e) => last = EngineError::from(e),
+            }
+        }
+        Err(last)
     }
 
     // -- synchronous requests -----------------------------------------
@@ -270,8 +424,21 @@ impl Client {
     /// transport/format failure.
     pub fn call_remote(&self, request: &Request) -> Result<Response, EngineError> {
         let mut conn = self.conn.lock().expect("client connection lock");
-        flush_pending(&mut conn)?;
-        roundtrip(&mut conn, request)
+        let first = match flush_pending(&mut conn, self.config.reconnect) {
+            Ok(()) => roundtrip(&mut conn, request),
+            Err(e) => Err(e),
+        };
+        match first {
+            Err(e) if self.recoverable(&e) => {
+                // Recovery replayed the unacked ingest; the synchronous
+                // request itself is re-sent by the retried roundtrip.
+                // Queries are read-only, so the retry is idempotent; a
+                // re-sent `Shutdown` answers `ShutDown`, which is final.
+                self.recover(&mut conn, e)?;
+                roundtrip(&mut conn, request)
+            }
+            other => other,
+        }
     }
 
     /// Flush client buffers and run the engine's all-shards barrier:
@@ -417,7 +584,7 @@ impl Drop for Client {
     /// confirmed.
     fn drop(&mut self) {
         if let Ok(conn) = self.conn.get_mut() {
-            let _ = flush_pending(conn);
+            let _ = flush_pending(conn, false);
             let _ = conn.writer.flush();
         }
     }
@@ -491,9 +658,27 @@ impl TenantHandle<'_> {
 // the lock can call them without re-borrowing `self`).
 // ---------------------------------------------------------------------
 
+/// Dial the redial target afresh, returning boxed read/write halves.
+fn dial(redial: &Redial) -> std::io::Result<(Box<dyn Read + Send>, Box<dyn Write + Send>)> {
+    match redial {
+        Redial::Tcp(addr) => {
+            let stream = TcpStream::connect(addr)?;
+            let _ = stream.set_nodelay(true);
+            let read_half = stream.try_clone()?;
+            Ok((Box::new(read_half), Box::new(stream)))
+        }
+        #[cfg(unix)]
+        Redial::Unix(path) => {
+            let stream = UnixStream::connect(path)?;
+            let read_half = stream.try_clone()?;
+            Ok((Box::new(read_half), Box::new(stream)))
+        }
+    }
+}
+
 /// Ship the buffered ingest, if any, as one pipelined frame. A
 /// single-element untimed buffer uses the cheaper `Observe` shape.
-fn flush_pending(conn: &mut Conn) -> Result<(), EngineError> {
+fn flush_pending(conn: &mut Conn, retain: bool) -> Result<(), EngineError> {
     let request = match std::mem::replace(&mut conn.pending, PendingBatch::Empty) {
         PendingBatch::Empty => return Ok(()),
         PendingBatch::Untimed(batch) => match batch.as_slice() {
@@ -512,7 +697,7 @@ fn flush_pending(conn: &mut Conn) -> Result<(), EngineError> {
             _ => Request::ObserveBatchAt { now, batch },
         },
     };
-    send_pipelined(conn, &request)
+    send_pipelined(conn, &request, retain)
 }
 
 /// Upper bound on outstanding pipelined acks. Without a cap, a caller
@@ -524,15 +709,29 @@ fn flush_pending(conn: &mut Conn) -> Result<(), EngineError> {
 const MAX_ACKS_PENDING: u64 = 512;
 
 /// Write one ingest frame without waiting for its ack (up to the
-/// pipelining window).
-fn send_pipelined(conn: &mut Conn, request: &Request) -> Result<(), EngineError> {
-    send_request(conn, request)?;
-    conn.stats.acks_pending += 1;
+/// pipelining window). With `retain`, the encoded frame is kept in the
+/// replay window until its ack is read, so a reconnect can resend it.
+fn send_pipelined(conn: &mut Conn, request: &Request, retain: bool) -> Result<(), EngineError> {
+    if retain {
+        let payload = request.payload();
+        check_payload(payload.len())?;
+        let frame = frame_bytes(request.opcode(), &payload);
+        conn.stats.requests_sent += 1;
+        conn.stats.bytes_sent += frame.len() as u64;
+        conn.stats.acks_pending += 1;
+        conn.unacked.push_back(frame);
+        let frame = conn.unacked.back().expect("frame just retained");
+        conn.writer.write_all(frame).map_err(EngineError::from)?;
+    } else {
+        send_request(conn, request)?;
+        conn.stats.acks_pending += 1;
+    }
     if conn.stats.acks_pending >= MAX_ACKS_PENDING {
         conn.writer.flush().map_err(EngineError::from)?;
         while conn.stats.acks_pending >= MAX_ACKS_PENDING / 2 {
             let outcome = read_outcome(conn)?;
             conn.stats.acks_pending -= 1;
+            conn.unacked.pop_front();
             if let Err(e) = outcome {
                 conn.deferred.get_or_insert(e);
             }
@@ -541,18 +740,22 @@ fn send_pipelined(conn: &mut Conn, request: &Request) -> Result<(), EngineError>
     Ok(())
 }
 
-fn send_request(conn: &mut Conn, request: &Request) -> Result<(), EngineError> {
-    let payload = request.payload();
-    // Typed error instead of the frame layer's panic: a caller handing
-    // us an over-limit document (or a gigantic prepared batch) gets a
-    // clean refusal and a still-usable connection.
-    if payload.len() > dds_proto::MAX_PAYLOAD {
+/// Typed error instead of the frame layer's panic: a caller handing
+/// us an over-limit document (or a gigantic prepared batch) gets a
+/// clean refusal and a still-usable connection.
+fn check_payload(len: usize) -> Result<(), EngineError> {
+    if len > dds_proto::MAX_PAYLOAD {
         return Err(EngineError::Unsupported(format!(
-            "request payload of {} bytes exceeds the {} byte frame limit",
-            payload.len(),
+            "request payload of {len} bytes exceeds the {} byte frame limit",
             dds_proto::MAX_PAYLOAD
         )));
     }
+    Ok(())
+}
+
+fn send_request(conn: &mut Conn, request: &Request) -> Result<(), EngineError> {
+    let payload = request.payload();
+    check_payload(payload.len())?;
     // Streamed encode: header + payload + trailer straight into the
     // buffered writer, no contiguous frame allocation per request.
     let wire = write_frame_to(&mut conn.writer, request.opcode(), &payload)?;
@@ -582,6 +785,7 @@ fn roundtrip(conn: &mut Conn, request: &Request) -> Result<Response, EngineError
     while conn.stats.acks_pending > 0 {
         let outcome = read_outcome(conn)?;
         conn.stats.acks_pending -= 1;
+        conn.unacked.pop_front();
         if let Err(e) = outcome {
             conn.deferred.get_or_insert(e);
         }

@@ -1,0 +1,789 @@
+//! The evented server: one readiness-driven loop owning every
+//! connection, a shared worker pool executing requests.
+//!
+//! Thread-per-connection ([`crate::ServerConfig::Threaded`]) spends a
+//! stack and a scheduler slot per client, idle or not. This module is
+//! the other answer: a single event loop blocks in
+//! [`dds_reactor::Poller::wait`] over *all* sockets, so an idle
+//! connection costs one fd plus the few hundred bytes of [`Conn`]
+//! below, and 10k mostly-idle clients are just 10k slab slots.
+//!
+//! ## Anatomy
+//!
+//! ```text
+//!            ┌──────────────── event loop (1 thread) ───────────────┐
+//!  accept ──▶│ slab of Conn state machines:                         │
+//!  readable ─▶  nonblocking read → FrameDecoder → pending queue     │
+//!            │  pending (light) → execute_frame() inline            │
+//!            │  pending (heavy) → Job ──────▶ worker pool (N threads)
+//!            │  Completion ◀── encoded frame ──── execute_frame()   │
+//!  writable ─▶  write_buf drain (in-order, partial-write safe)      │
+//!            └──────────────────────────────────────────────────────┘
+//! ```
+//!
+//! The non-blocking ingest family (observe/advance) executes inline on
+//! the loop — a worker round trip costs more than the request — while
+//! anything that can block or burn CPU (flush barriers, snapshots,
+//! checkpoints) goes to the pool so other sockets keep being served.
+//!
+//! ## The contracts the loop preserves
+//!
+//! * **Pipelining**: responses go out strictly in request order per
+//!   connection. One request per connection is in flight in the pool
+//!   at a time (`busy`); later decoded frames wait in `pending`. This
+//!   also serializes each connection's engine effects exactly like a
+//!   dedicated thread would — the twin-exactness suites run the same
+//!   workload against both modes and compare bytes.
+//! * **Backpressure**: when a connection's write buffer crosses the
+//!   high-water mark, or its pending queue fills, the loop drops its
+//!   read interest — a slow reader throttles itself, not the server.
+//!   Interest returns below the low-water mark.
+//! * **Fairness**: reads are budgeted per readiness event, so one
+//!   firehose connection cannot monopolize the loop; level-triggered
+//!   registration re-delivers the remainder on the next wait.
+//! * **Accept resilience**: an accept error (EMFILE storms) counts on
+//!   `server_accept_errors_total` and pauses *only accepting* — the
+//!   listener is deregistered and re-registered after a poll-timeout
+//!   backoff, while connected clients keep being served. (The threaded
+//!   server slept its accept thread instead; here a sleep would stall
+//!   every connection, so the backoff rides the wait timeout.)
+//!
+//! A malformed frame poisons the stream (framing cannot resync), so the
+//! connection answers with one typed error frame after its in-flight
+//! responses drain, then closes — the same order a threaded handler
+//! produces sequentially.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{Receiver, Sender};
+use dds_engine::{EngineError, TenantId};
+use dds_obs::{Counter, Gauge, Histogram};
+use dds_proto::frame::{FrameDecoder, OVERHEAD_BYTES};
+use dds_proto::message::{encode_outcome_checked, opcode};
+use dds_reactor::{Events, Interest, Poller, Token, Waker};
+use dds_sim::Element;
+
+use crate::net::{Listener, Stream};
+use crate::server::{execute_frame, OpcodeCounters, Shared};
+
+/// Token of the listening socket.
+const LISTENER_TOKEN: Token = Token(0);
+/// Token of the cross-thread waker (completions ready, shutdown).
+const WAKER_TOKEN: Token = Token(1);
+/// First connection token; connection `slot` maps to `FIRST_CONN + slot`.
+const FIRST_CONN: usize = 2;
+
+/// Readiness events drained per wait.
+const EVENTS_CAPACITY: usize = 1024;
+/// Connections accepted per listener readiness event.
+const ACCEPT_BATCH: usize = 64;
+/// How long accepting pauses after an accept error.
+const ACCEPT_BACKOFF: Duration = Duration::from_millis(10);
+/// Per-connection bytes read per readiness event (fairness budget).
+const READ_BUDGET: usize = 256 << 10;
+/// Decoded-but-undispatched frames per connection before its reads
+/// pause (bounds memory under a pipelining firehose).
+const PENDING_MAX: usize = 128;
+/// Pending depth at which paused reads resume.
+const PENDING_RESUME: usize = PENDING_MAX / 2;
+/// Outstanding write bytes above which reads pause (slow reader).
+const WRITE_HIGH_WATER: usize = 1 << 20;
+/// Outstanding write bytes below which paused reads resume.
+const WRITE_LOW_WATER: usize = 128 << 10;
+/// Consumed write-buffer prefix reclaimed above this size.
+const WRITE_COMPACT_BYTES: usize = 64 << 10;
+/// Recycled payload buffers kept around (per loop).
+const SPARE_BUFFERS: usize = 256;
+
+/// A decoded request on its way to the worker pool.
+struct Job {
+    slot: usize,
+    epoch: u64,
+    op: u8,
+    payload: Vec<u8>,
+}
+
+/// An executed request on its way back: the fully encoded response
+/// frame, plus the payload buffer for recycling.
+struct Completion {
+    slot: usize,
+    epoch: u64,
+    frame: Vec<u8>,
+    payload: Vec<u8>,
+}
+
+/// Handle to a running evented server (owned by [`crate::Server`]).
+pub(crate) struct Handle {
+    waker: Arc<Waker>,
+    loop_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Handle {
+    /// Stop the loop and join everything. The caller has already set
+    /// `Shared::stop`; this wakes the loop so it notices.
+    pub(crate) fn stop(&mut self) {
+        self.waker.wake();
+        if let Some(t) = self.loop_thread.take() {
+            let _ = t.join();
+        }
+        // The loop thread dropped the job sender on exit, so workers
+        // drain their queue and see the disconnect.
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Spawn the event loop and its worker pool over a bound listener.
+pub(crate) fn spawn(
+    listener: Listener,
+    shared: Arc<Shared>,
+    workers: usize,
+) -> std::io::Result<Handle> {
+    listener.set_nonblocking(true)?;
+    let poller = Poller::new()?;
+    let waker = Arc::new(poller.waker(WAKER_TOKEN)?);
+    let worker_count = if workers == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(4)
+    } else {
+        workers
+    };
+    let (job_tx, job_rx) = crossbeam::channel::unbounded::<Job>();
+    let (done_tx, done_rx) = crossbeam::channel::unbounded::<Completion>();
+    let worker_threads = (0..worker_count)
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            let job_rx = job_rx.clone();
+            let done_tx = done_tx.clone();
+            let waker = Arc::clone(&waker);
+            std::thread::spawn(move || worker(&shared, &job_rx, &done_tx, &waker))
+        })
+        .collect();
+    let loop_thread = std::thread::spawn(move || {
+        EventLoop::new(poller, listener, shared, job_tx, done_rx).run();
+    });
+    Ok(Handle {
+        waker,
+        loop_thread: Some(loop_thread),
+        workers: worker_threads,
+    })
+}
+
+/// One pool worker: execute requests, send back encoded frames. All
+/// request semantics live in [`execute_frame`], shared byte-for-byte
+/// with the threaded server.
+fn worker(
+    shared: &Arc<Shared>,
+    job_rx: &Receiver<Job>,
+    done_tx: &Sender<Completion>,
+    waker: &Arc<Waker>,
+) {
+    // Worker-local batch scratch, same role as a threaded connection's.
+    let mut batch_scratch = Vec::new();
+    while let Ok(job) = job_rx.recv() {
+        let outcome = execute_frame(shared, job.op, &job.payload, &mut batch_scratch);
+        let frame = encode_outcome_checked(&outcome);
+        if done_tx
+            .send(Completion {
+                slot: job.slot,
+                epoch: job.epoch,
+                frame,
+                payload: job.payload,
+            })
+            .is_err()
+        {
+            return; // loop gone: shutdown
+        }
+        waker.wake();
+    }
+}
+
+/// Per-connection state machine.
+struct Conn {
+    socket: Stream,
+    fd: RawFd,
+    /// Stale-completion guard: a slot may be reused by a later
+    /// connection; completions carry the epoch they were dispatched
+    /// under and are dropped on mismatch.
+    epoch: u64,
+    decoder: FrameDecoder,
+    /// Decoded frames awaiting dispatch (one at a time — the
+    /// pipelining contract).
+    pending: VecDeque<(u8, Vec<u8>)>,
+    /// A job for this connection is in the pool.
+    busy: bool,
+    /// In-order encoded responses not yet on the wire; `write_pos..`
+    /// is unsent.
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// Interest currently registered with the poller.
+    interest: Interest,
+    /// Reads paused by backpressure (pending queue or write buffer).
+    read_paused: bool,
+    /// Read side saw EOF: finish outstanding work, flush, close.
+    peer_closed: bool,
+    /// The stream desynchronized: the typed error frame to send once
+    /// in-flight responses drain, then close.
+    fatal: Option<Vec<u8>>,
+    /// The fatal frame has been queued; close when writes drain.
+    fatal_queued: bool,
+}
+
+impl Conn {
+    fn outstanding_write(&self) -> usize {
+        self.write_buf.len() - self.write_pos
+    }
+}
+
+/// Loop-level instrumentation (ISSUE 10 tentpole metrics).
+struct LoopObs {
+    poll_wakeups: Counter,
+    ready_events: Histogram,
+    loop_connections: Gauge,
+    write_high_water: Gauge,
+}
+
+struct EventLoop {
+    poller: Poller,
+    listener: Listener,
+    shared: Arc<Shared>,
+    job_tx: Sender<Job>,
+    done_rx: Receiver<Completion>,
+    slots: Vec<Option<Conn>>,
+    /// Reusable slot indices.
+    free: Vec<usize>,
+    /// Slots freed during the current event batch: handed to `free`
+    /// only once the batch ends, so a stale readiness event from the
+    /// same batch can never hit a freshly accepted connection.
+    freed_this_batch: Vec<usize>,
+    /// Recycled payload buffers (decoder scratch ↔ completed jobs).
+    spare_bufs: Vec<Vec<u8>>,
+    /// Batch-decode scratch for requests executed inline on the loop.
+    batch_scratch: Vec<(TenantId, Element)>,
+    per_opcode: OpcodeCounters,
+    epoch_counter: u64,
+    open: usize,
+    /// Accepting is paused until this instant (accept-error backoff,
+    /// realized as the wait timeout — never a thread sleep).
+    accept_paused_until: Option<Instant>,
+    listener_registered: bool,
+    obs: LoopObs,
+}
+
+impl EventLoop {
+    fn new(
+        poller: Poller,
+        listener: Listener,
+        shared: Arc<Shared>,
+        job_tx: Sender<Job>,
+        done_rx: Receiver<Completion>,
+    ) -> EventLoop {
+        let obs = LoopObs {
+            poll_wakeups: shared.registry.counter("server_poll_wakeups_total"),
+            ready_events: shared.registry.histogram("server_poll_ready_events"),
+            loop_connections: shared.registry.gauge("server_loop_connections"),
+            write_high_water: shared
+                .registry
+                .gauge("server_write_buffer_high_water_bytes"),
+        };
+        EventLoop {
+            poller,
+            listener,
+            shared,
+            job_tx,
+            done_rx,
+            slots: Vec::new(),
+            free: Vec::new(),
+            freed_this_batch: Vec::new(),
+            spare_bufs: Vec::new(),
+            batch_scratch: Vec::new(),
+            per_opcode: OpcodeCounters::new(),
+            epoch_counter: 0,
+            open: 0,
+            accept_paused_until: None,
+            listener_registered: false,
+            obs,
+        }
+    }
+
+    fn run(mut self) {
+        if self
+            .poller
+            .register(
+                self.listener.as_raw_fd(),
+                LISTENER_TOKEN,
+                Interest::READABLE,
+            )
+            .is_err()
+        {
+            return;
+        }
+        self.listener_registered = true;
+        let mut events = Events::with_capacity(EVENTS_CAPACITY);
+        loop {
+            let timeout = self
+                .accept_paused_until
+                .map(|t| t.saturating_duration_since(Instant::now()));
+            if self.poller.wait(&mut events, timeout).is_err() {
+                // A failed wait with no backoff would busy-spin; this
+                // does not happen with a healthy poller fd.
+                std::thread::yield_now();
+            }
+            self.obs.poll_wakeups.inc();
+            self.obs.ready_events.observe(events.len() as u64);
+            if self.shared.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            self.drain_completions();
+            for ev in &events {
+                match ev.token {
+                    LISTENER_TOKEN => self.accept_ready(),
+                    WAKER_TOKEN => {} // completions drained around the batch
+                    Token(t) => {
+                        let slot = t - FIRST_CONN;
+                        if ev.is_error {
+                            self.close(slot);
+                            continue;
+                        }
+                        if ev.readable {
+                            self.read_ready(slot);
+                        }
+                        if ev.writable {
+                            self.try_flush(slot);
+                        }
+                        self.dispatch(slot);
+                        self.settle(slot);
+                    }
+                }
+            }
+            self.drain_completions();
+            self.maybe_resume_accept();
+            self.free.append(&mut self.freed_this_batch);
+        }
+    }
+
+    // -- accept ------------------------------------------------------
+
+    fn accept_ready(&mut self) {
+        if self.accept_paused_until.is_some() {
+            return;
+        }
+        for _ in 0..ACCEPT_BATCH {
+            match self.listener.accept() {
+                Ok(stream) => self.install(stream),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    // EMFILE and friends: count it, pause *accepting*
+                    // for a beat (via the wait timeout), keep serving
+                    // every connected client meanwhile.
+                    self.shared.obs.accept_errors.inc();
+                    if self.listener_registered
+                        && self.poller.deregister(self.listener.as_raw_fd()).is_ok()
+                    {
+                        self.listener_registered = false;
+                    }
+                    self.accept_paused_until = Some(Instant::now() + ACCEPT_BACKOFF);
+                    break;
+                }
+            }
+        }
+    }
+
+    fn maybe_resume_accept(&mut self) {
+        let Some(until) = self.accept_paused_until else {
+            return;
+        };
+        if Instant::now() < until {
+            return;
+        }
+        self.accept_paused_until = None;
+        if !self.listener_registered
+            && self
+                .poller
+                .register(
+                    self.listener.as_raw_fd(),
+                    LISTENER_TOKEN,
+                    Interest::READABLE,
+                )
+                .is_ok()
+        {
+            self.listener_registered = true;
+        }
+        // A backlog queued during the pause is still readable; don't
+        // wait for the next listener event to notice it.
+        self.accept_ready();
+    }
+
+    fn install(&mut self, stream: Stream) {
+        if stream.set_nonblocking(true).is_err() {
+            self.shared.obs.connections_failed.inc();
+            return;
+        }
+        let fd = stream.as_raw_fd();
+        let slot = self.free.pop().unwrap_or_else(|| {
+            self.slots.push(None);
+            self.slots.len() - 1
+        });
+        if self
+            .poller
+            .register(fd, Token(FIRST_CONN + slot), Interest::READABLE)
+            .is_err()
+        {
+            self.shared.obs.connections_failed.inc();
+            self.free.push(slot);
+            return;
+        }
+        self.epoch_counter += 1;
+        self.slots[slot] = Some(Conn {
+            socket: stream,
+            fd,
+            epoch: self.epoch_counter,
+            decoder: FrameDecoder::new(),
+            pending: VecDeque::new(),
+            busy: false,
+            write_buf: Vec::new(),
+            write_pos: 0,
+            interest: Interest::READABLE,
+            read_paused: false,
+            peer_closed: false,
+            fatal: None,
+            fatal_queued: false,
+        });
+        self.open += 1;
+        self.obs.loop_connections.set(self.open as u64);
+        self.shared
+            .counters
+            .connections
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared.obs.connections_opened.inc();
+    }
+
+    // -- read side ---------------------------------------------------
+
+    fn read_ready(&mut self, slot: usize) {
+        let Some(conn) = self.slots[slot].as_mut() else {
+            return;
+        };
+        if conn.peer_closed || conn.fatal.is_some() {
+            return;
+        }
+        let mut chunk = [0u8; 16 << 10];
+        let mut budget = READ_BUDGET;
+        loop {
+            // Backpressure check inside the loop: a firehose peer must
+            // not bloat `pending`/`write_buf` within one event either.
+            if conn.pending.len() >= PENDING_MAX || conn.outstanding_write() >= WRITE_HIGH_WATER {
+                break;
+            }
+            match conn.socket.read(&mut chunk) {
+                Ok(0) => {
+                    conn.peer_closed = true;
+                    if conn.decoder.is_mid_frame() && conn.fatal.is_none() {
+                        // EOF inside a frame: the threaded path answers
+                        // a typed Truncated error; match it.
+                        self.shared.obs.connections_failed.inc();
+                        let outcome = Err(EngineError::Format(
+                            dds_core::checkpoint::CheckpointError::Truncated.to_string(),
+                        ));
+                        conn.fatal = Some(encode_outcome_checked(&outcome));
+                    }
+                    break;
+                }
+                Ok(n) => {
+                    conn.decoder.push(&chunk[..n]);
+                    budget = budget.saturating_sub(n);
+                    let poisoned = Self::drain_decoder(
+                        conn,
+                        &self.shared,
+                        &mut self.per_opcode,
+                        &mut self.spare_bufs,
+                    );
+                    if poisoned || budget == 0 {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    // Transport error: same as the threaded handler —
+                    // just close (no frame can be trusted to arrive).
+                    self.close(slot);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Pull every complete frame out of a connection's decoder into its
+    /// pending queue. Returns true if the stream desynchronized (the
+    /// connection now owes one fatal frame and must stop reading).
+    fn drain_decoder(
+        conn: &mut Conn,
+        shared: &Shared,
+        per_opcode: &mut OpcodeCounters,
+        spare_bufs: &mut Vec<Vec<u8>>,
+    ) -> bool {
+        loop {
+            let mut scratch = spare_bufs.pop().unwrap_or_default();
+            match conn.decoder.next_frame(&mut scratch) {
+                Ok(Some(op)) => {
+                    let frame_bytes = (OVERHEAD_BYTES + scratch.len()) as u64;
+                    shared
+                        .counters
+                        .bytes_received
+                        .fetch_add(frame_bytes, Ordering::Relaxed);
+                    per_opcode.record(&shared.registry, op, frame_bytes);
+                    conn.pending.push_back((op, scratch));
+                }
+                Ok(None) => {
+                    spare_bufs.push(scratch);
+                    return false;
+                }
+                Err(e) => {
+                    spare_bufs.push(scratch);
+                    // Same taxonomy as the threaded path: count the
+                    // connection as failed, answer once, close after.
+                    shared.obs.connections_failed.inc();
+                    let outcome = Err(EngineError::Format(e.to_string()));
+                    conn.fatal = Some(encode_outcome_checked(&outcome));
+                    return true;
+                }
+            }
+        }
+    }
+
+    // -- execution ---------------------------------------------------
+
+    /// A request the loop thread executes itself: the non-blocking
+    /// ingest family, whose engine calls are cheap channel pushes. A
+    /// worker round trip costs two context switches plus an eventfd
+    /// wake per frame — more than the request itself — so pooling
+    /// these halves small-batch pipelined throughput. Everything else
+    /// (snapshots, flush barriers, checkpoints) can block or burn CPU
+    /// and goes to the pool so the loop keeps serving other sockets.
+    fn inline_op(op: u8) -> bool {
+        matches!(
+            op,
+            opcode::OBSERVE
+                | opcode::OBSERVE_AT
+                | opcode::OBSERVE_BATCH
+                | opcode::OBSERVE_BATCH_AT
+                | opcode::ADVANCE
+        )
+    }
+
+    /// Run the connection's pending frames: light requests execute
+    /// inline right here, the first heavy one goes to the pool and
+    /// stops the drain. One in-flight job per connection keeps
+    /// responses (and engine effects) in request order — the inline
+    /// path preserves it trivially by completing before returning.
+    fn dispatch(&mut self, slot: usize) {
+        loop {
+            let (op, payload, epoch) = {
+                let Some(conn) = self.slots[slot].as_mut() else {
+                    return;
+                };
+                if conn.busy {
+                    return;
+                }
+                let Some((op, payload)) = conn.pending.pop_front() else {
+                    return;
+                };
+                (op, payload, conn.epoch)
+            };
+            if !Self::inline_op(op) {
+                self.slots[slot].as_mut().expect("checked above").busy = true;
+                let _ = self.job_tx.send(Job {
+                    slot,
+                    epoch,
+                    op,
+                    payload,
+                });
+                return;
+            }
+            let outcome = execute_frame(&self.shared, op, &payload, &mut self.batch_scratch);
+            let frame = encode_outcome_checked(&outcome);
+            if self.spare_bufs.len() < SPARE_BUFFERS {
+                self.spare_bufs.push(payload);
+            }
+            // Same accounting order as the completion path: count
+            // before the client can observe the response bytes.
+            self.shared
+                .counters
+                .bytes_sent
+                .fetch_add(frame.len() as u64, Ordering::SeqCst);
+            let conn = self.slots[slot]
+                .as_mut()
+                .expect("slot lives across execute");
+            conn.write_buf.extend_from_slice(&frame);
+            self.obs
+                .write_high_water
+                .record_max(conn.outstanding_write() as u64);
+        }
+    }
+
+    fn drain_completions(&mut self) {
+        while let Ok(done) = self.done_rx.try_recv() {
+            if self.spare_bufs.len() < SPARE_BUFFERS {
+                self.spare_bufs.push(done.payload);
+            }
+            let slot = done.slot;
+            let stale = match self.slots.get_mut(slot) {
+                Some(Some(conn)) => conn.epoch != done.epoch,
+                _ => true,
+            };
+            if stale {
+                continue;
+            }
+            let conn = self.slots[slot].as_mut().expect("checked above");
+            conn.busy = false;
+            // Count before the client can observe the response, like
+            // the threaded write path.
+            self.shared
+                .counters
+                .bytes_sent
+                .fetch_add(done.frame.len() as u64, Ordering::SeqCst);
+            conn.write_buf.extend_from_slice(&done.frame);
+            self.obs
+                .write_high_water
+                .record_max(conn.outstanding_write() as u64);
+            self.dispatch(slot);
+            self.try_flush(slot);
+            self.settle(slot);
+        }
+    }
+
+    // -- write side --------------------------------------------------
+
+    fn try_flush(&mut self, slot: usize) {
+        let Some(conn) = self.slots[slot].as_mut() else {
+            return;
+        };
+        if conn.outstanding_write() == 0 {
+            return;
+        }
+        let respond_start = dds_obs::maybe_now();
+        loop {
+            let unsent = &conn.write_buf[conn.write_pos..];
+            if unsent.is_empty() {
+                break;
+            }
+            match conn.socket.write(unsent) {
+                Ok(0) => {
+                    self.close(slot);
+                    return;
+                }
+                Ok(n) => conn.write_pos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.close(slot);
+                    return;
+                }
+            }
+        }
+        // Reclaim the sent prefix lazily (same policy as the decoder).
+        if conn.write_pos == conn.write_buf.len() {
+            conn.write_buf.clear();
+            conn.write_pos = 0;
+        } else if conn.write_pos >= WRITE_COMPACT_BYTES {
+            conn.write_buf.drain(..conn.write_pos);
+            conn.write_pos = 0;
+        }
+        self.shared
+            .obs
+            .respond_nanos
+            .observe(dds_obs::nanos_since(respond_start));
+    }
+
+    // -- lifecycle ---------------------------------------------------
+
+    /// Post-I/O bookkeeping: queue the fatal frame once the connection
+    /// drains, close finished connections, and reconcile poller
+    /// interest with the state machine.
+    fn settle(&mut self, slot: usize) {
+        {
+            let Some(conn) = self.slots[slot].as_mut() else {
+                return;
+            };
+            if conn.fatal.is_some() && !conn.busy && conn.pending.is_empty() {
+                let frame = conn.fatal.take().expect("just checked");
+                self.shared
+                    .counters
+                    .bytes_sent
+                    .fetch_add(frame.len() as u64, Ordering::SeqCst);
+                conn.write_buf.extend_from_slice(&frame);
+                conn.fatal_queued = true;
+            }
+        }
+        self.try_flush(slot); // no-op when nothing is queued
+        let Some(conn) = self.slots[slot].as_mut() else {
+            return; // flush hit an error and closed the slot
+        };
+        let drained = conn.pending.is_empty() && !conn.busy && conn.outstanding_write() == 0;
+        if drained && (conn.fatal_queued || conn.peer_closed) {
+            self.close(slot);
+            return;
+        }
+        self.sync_interest(slot);
+    }
+
+    fn sync_interest(&mut self, slot: usize) {
+        let Some(conn) = self.slots[slot].as_mut() else {
+            return;
+        };
+        let outstanding = conn.outstanding_write();
+        // Hysteresis: pause at the high-water marks, resume only once
+        // comfortably below, so interest does not flap per frame.
+        if !conn.read_paused
+            && (conn.pending.len() >= PENDING_MAX || outstanding >= WRITE_HIGH_WATER)
+        {
+            conn.read_paused = true;
+        } else if conn.read_paused
+            && conn.pending.len() <= PENDING_RESUME
+            && outstanding <= WRITE_LOW_WATER
+        {
+            conn.read_paused = false;
+        }
+        let mut desired = Interest::NONE;
+        if !conn.read_paused && !conn.peer_closed && conn.fatal.is_none() && !conn.fatal_queued {
+            desired = desired | Interest::READABLE;
+        }
+        if outstanding > 0 {
+            desired = desired | Interest::WRITABLE;
+        }
+        if desired != conn.interest
+            && self
+                .poller
+                .modify(conn.fd, Token(FIRST_CONN + slot), desired)
+                .is_ok()
+        {
+            conn.interest = desired;
+        }
+    }
+
+    fn close(&mut self, slot: usize) {
+        let Some(conn) = self.slots.get_mut(slot).and_then(Option::take) else {
+            return;
+        };
+        let _ = self.poller.deregister(conn.fd);
+        drop(conn); // closes the socket
+        self.open -= 1;
+        self.obs.loop_connections.set(self.open as u64);
+        self.shared.obs.connections_closed.inc();
+        // Reusable only after this event batch: stale events for this
+        // slot may still sit in the current batch.
+        self.freed_this_batch.push(slot);
+    }
+}

@@ -40,9 +40,10 @@
 #![warn(missing_docs)]
 
 mod client;
+mod evented;
 pub mod net;
 mod server;
 
-pub use client::{Client, ClientStats, TenantHandle};
+pub use client::{Client, ClientConfig, ClientStats, TenantHandle};
 pub use net::{Endpoint, Listener, Stream};
-pub use server::{Server, ServerStats};
+pub use server::{Server, ServerConfig, ServerStats};

@@ -13,6 +13,8 @@
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 #[cfg(unix)]
+use std::os::unix::io::{AsRawFd, RawFd};
+#[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 #[cfg(unix)]
 use std::path::{Path, PathBuf};
@@ -61,6 +63,21 @@ impl Stream {
         }
     }
 
+    /// Switch the connection between blocking and non-blocking mode.
+    /// In non-blocking mode reads and writes return
+    /// [`io::ErrorKind::WouldBlock`] instead of parking the thread —
+    /// the mode the evented server runs every connection in.
+    ///
+    /// # Errors
+    /// Propagates the `fcntl`/`ioctlsocket` failure.
+    pub fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_nonblocking(nonblocking),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_nonblocking(nonblocking),
+        }
+    }
+
     /// Shut down both directions, waking any thread blocked on a read
     /// of this connection. Best-effort: a connection already gone is
     /// fine.
@@ -73,6 +90,19 @@ impl Stream {
             Stream::Unix(s) => {
                 let _ = s.shutdown(std::net::Shutdown::Both);
             }
+        }
+    }
+}
+
+#[cfg(unix)]
+impl AsRawFd for Stream {
+    /// The connection's raw fd, for registering with a readiness poller
+    /// (`dds-reactor`). The `Stream` keeps ownership; the fd stays
+    /// valid until the `Stream` is dropped.
+    fn as_raw_fd(&self) -> RawFd {
+        match self {
+            Stream::Tcp(s) => s.as_raw_fd(),
+            Stream::Unix(s) => s.as_raw_fd(),
         }
     }
 }
@@ -207,6 +237,20 @@ impl Listener {
         }
     }
 
+    /// Switch the listener between blocking and non-blocking mode. A
+    /// non-blocking [`Listener::accept`] returns
+    /// [`io::ErrorKind::WouldBlock`] when no connection is queued.
+    ///
+    /// # Errors
+    /// Propagates the `fcntl`/`ioctlsocket` failure.
+    pub fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(nonblocking),
+            #[cfg(unix)]
+            Listener::Unix(l, _) => l.set_nonblocking(nonblocking),
+        }
+    }
+
     /// Block for the next connection; TCP connections come back with
     /// `TCP_NODELAY` set.
     ///
@@ -225,6 +269,17 @@ impl Listener {
                 let (stream, _) = l.accept()?;
                 Ok(Stream::Unix(stream))
             }
+        }
+    }
+}
+
+#[cfg(unix)]
+impl AsRawFd for Listener {
+    /// The listening socket's raw fd, for readiness registration.
+    fn as_raw_fd(&self) -> RawFd {
+        match self {
+            Listener::Tcp(l) => l.as_raw_fd(),
+            Listener::Unix(l, _) => l.as_raw_fd(),
         }
     }
 }

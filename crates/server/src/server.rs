@@ -44,11 +44,11 @@ use crate::net::{Endpoint, Listener, Stream};
 /// server.bytes_received` on a quiet loopback — the equality the wire
 /// tests pin.
 #[derive(Debug, Default)]
-struct Counters {
-    connections: AtomicU64,
-    requests: AtomicU64,
-    bytes_received: AtomicU64,
-    bytes_sent: AtomicU64,
+pub(crate) struct Counters {
+    pub(crate) connections: AtomicU64,
+    pub(crate) requests: AtomicU64,
+    pub(crate) bytes_received: AtomicU64,
+    pub(crate) bytes_sent: AtomicU64,
 }
 
 /// Point-in-time copy of a server's traffic counters.
@@ -66,14 +66,14 @@ pub struct ServerStats {
 
 /// Registered transport-telemetry handles (the registry keys stay
 /// queryable; these are the hot-path clones).
-struct Telemetry {
-    accept_errors: Counter,
-    connections_opened: Counter,
-    connections_closed: Counter,
-    connections_failed: Counter,
-    decode_nanos: Histogram,
-    handle_nanos: Histogram,
-    respond_nanos: Histogram,
+pub(crate) struct Telemetry {
+    pub(crate) accept_errors: Counter,
+    pub(crate) connections_opened: Counter,
+    pub(crate) connections_closed: Counter,
+    pub(crate) connections_failed: Counter,
+    pub(crate) decode_nanos: Histogram,
+    pub(crate) handle_nanos: Histogram,
+    pub(crate) respond_nanos: Histogram,
 }
 
 impl Telemetry {
@@ -90,35 +90,73 @@ impl Telemetry {
     }
 }
 
-struct Shared {
-    service: Arc<dyn EngineService>,
-    stop: AtomicBool,
-    counters: Counters,
-    registry: Arc<Registry>,
-    obs: Telemetry,
+pub(crate) struct Shared {
+    pub(crate) service: Arc<dyn EngineService>,
+    pub(crate) stop: AtomicBool,
+    pub(crate) counters: Counters,
+    pub(crate) registry: Arc<Registry>,
+    pub(crate) obs: Telemetry,
     conns: Mutex<Vec<(Stream, JoinHandle<()>)>>,
+}
+
+/// How a [`Server`] schedules its connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServerConfig {
+    /// Thread per connection (the original architecture): every client
+    /// gets a dedicated handler thread blocking on its socket. Simple,
+    /// lowest latency per connection, but each idle client pins a
+    /// thread and its stack — concurrency is capped in the hundreds.
+    #[default]
+    Threaded,
+    /// One readiness-driven event loop (`dds-reactor`) owning every
+    /// connection plus a small shared worker pool executing requests:
+    /// an idle client costs one fd and a few hundred bytes of state, so
+    /// thousands of mostly-idle connections fit on one listener.
+    Evented {
+        /// Worker threads executing requests (`0` = one per available
+        /// core, capped at 4).
+        workers: usize,
+    },
+}
+
+enum Mode {
+    Threaded { accept: Option<JoinHandle<()>> },
+    Evented { handle: crate::evented::Handle },
 }
 
 /// A running wire server: an [`EngineService`] reachable over TCP or a
 /// Unix socket.
 pub struct Server {
     shared: Arc<Shared>,
-    accept: Option<JoinHandle<()>>,
+    mode: Mode,
     endpoint: Endpoint,
 }
 
 impl Server {
     /// Bind a TCP listener (use port `0` for an ephemeral port; read it
-    /// back with [`Server::local_addr`]) and start serving.
+    /// back with [`Server::local_addr`]) and start serving
+    /// thread-per-connection ([`ServerConfig::Threaded`]).
     ///
     /// # Errors
     /// Propagates bind failures.
     pub fn bind_tcp(addr: &str, service: Arc<dyn EngineService>) -> std::io::Result<Server> {
-        Self::serve(Listener::bind_tcp(addr)?, service)
+        Self::serve(Listener::bind_tcp(addr)?, service, ServerConfig::Threaded)
+    }
+
+    /// Bind a TCP listener under an explicit [`ServerConfig`].
+    ///
+    /// # Errors
+    /// Propagates bind failures.
+    pub fn bind_tcp_with(
+        addr: &str,
+        service: Arc<dyn EngineService>,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        Self::serve(Listener::bind_tcp(addr)?, service, config)
     }
 
     /// Bind a Unix-domain socket at `path` (removed and re-created) and
-    /// start serving.
+    /// start serving thread-per-connection ([`ServerConfig::Threaded`]).
     ///
     /// # Errors
     /// Propagates bind failures.
@@ -127,10 +165,27 @@ impl Server {
         path: impl AsRef<Path>,
         service: Arc<dyn EngineService>,
     ) -> std::io::Result<Server> {
-        Self::serve(Listener::bind_unix(path)?, service)
+        Self::serve(Listener::bind_unix(path)?, service, ServerConfig::Threaded)
     }
 
-    fn serve(listener: Listener, service: Arc<dyn EngineService>) -> std::io::Result<Server> {
+    /// Bind a Unix-domain socket under an explicit [`ServerConfig`].
+    ///
+    /// # Errors
+    /// Propagates bind failures.
+    #[cfg(unix)]
+    pub fn bind_unix_with(
+        path: impl AsRef<Path>,
+        service: Arc<dyn EngineService>,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        Self::serve(Listener::bind_unix(path)?, service, config)
+    }
+
+    fn serve(
+        listener: Listener,
+        service: Arc<dyn EngineService>,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
         let endpoint = listener.endpoint();
         let registry = Arc::new(Registry::new());
         let obs = Telemetry::register(&registry);
@@ -142,31 +197,41 @@ impl Server {
             obs,
             conns: Mutex::new(Vec::new()),
         });
-        let accept_shared = Arc::clone(&shared);
-        let accept = std::thread::spawn(move || loop {
-            let stream = match listener.accept() {
-                Ok(stream) => stream,
-                // Persistent accept errors (e.g. EMFILE) must not
-                // busy-spin a core; back off briefly and retry — but
-                // count every one, so a quietly failing listener shows
-                // up in telemetry instead of presenting as "no load".
-                Err(_) => {
+        let mode = match config {
+            ServerConfig::Threaded => {
+                let accept_shared = Arc::clone(&shared);
+                let accept = std::thread::spawn(move || loop {
+                    let stream = match listener.accept() {
+                        Ok(stream) => stream,
+                        // Persistent accept errors (e.g. EMFILE) must not
+                        // busy-spin a core; back off briefly and retry — but
+                        // count every one, so a quietly failing listener shows
+                        // up in telemetry instead of presenting as "no load".
+                        Err(_) => {
+                            if accept_shared.stop.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            accept_shared.obs.accept_errors.inc();
+                            std::thread::sleep(std::time::Duration::from_millis(10));
+                            continue;
+                        }
+                    };
                     if accept_shared.stop.load(Ordering::SeqCst) {
                         break;
                     }
-                    accept_shared.obs.accept_errors.inc();
-                    std::thread::sleep(std::time::Duration::from_millis(10));
-                    continue;
+                    spawn_conn(&accept_shared, stream);
+                });
+                Mode::Threaded {
+                    accept: Some(accept),
                 }
-            };
-            if accept_shared.stop.load(Ordering::SeqCst) {
-                break;
             }
-            spawn_conn(&accept_shared, stream);
-        });
+            ServerConfig::Evented { workers } => Mode::Evented {
+                handle: crate::evented::spawn(listener, Arc::clone(&shared), workers)?,
+            },
+        };
         Ok(Server {
             shared,
-            accept: Some(accept),
+            mode,
             endpoint,
         })
     }
@@ -222,16 +287,21 @@ impl Server {
         if self.shared.stop.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Wake the accept loop with a throwaway connection.
-        let _ = self.endpoint.connect();
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
-        }
-        // Unblock and join every connection handler.
-        let conns = std::mem::take(&mut *self.shared.conns.lock().expect("conn registry"));
-        for (socket, handle) in conns {
-            socket.shutdown();
-            let _ = handle.join();
+        match &mut self.mode {
+            Mode::Threaded { accept } => {
+                // Wake the accept loop with a throwaway connection.
+                let _ = self.endpoint.connect();
+                if let Some(accept) = accept.take() {
+                    let _ = accept.join();
+                }
+                // Unblock and join every connection handler.
+                let conns = std::mem::take(&mut *self.shared.conns.lock().expect("conn registry"));
+                for (socket, handle) in conns {
+                    socket.shutdown();
+                    let _ = handle.join();
+                }
+            }
+            Mode::Evented { handle } => handle.stop(),
         }
         self.endpoint.cleanup();
     }
@@ -276,20 +346,21 @@ fn serve_conn(shared: &Arc<Shared>, socket: Stream) {
 }
 
 /// Lazily registered per-opcode `(frames, bytes)` counters, cached per
-/// connection so the hot path is one `Vec` index after the first frame
-/// of each opcode (the registry lock is only taken on a cache miss).
-struct OpcodeCounters {
+/// connection (threaded) or per event loop (evented) so the hot path is
+/// one `Vec` index after the first frame of each opcode (the registry
+/// lock is only taken on a cache miss).
+pub(crate) struct OpcodeCounters {
     cells: Vec<Option<(Counter, Counter)>>,
 }
 
 impl OpcodeCounters {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self {
             cells: (0..=u8::MAX as usize).map(|_| None).collect(),
         }
     }
 
-    fn record(&mut self, registry: &Registry, op: u8, bytes: u64) {
+    pub(crate) fn record(&mut self, registry: &Registry, op: u8, bytes: u64) {
         let Some(name) = opcode::name(op) else {
             return; // unknown opcode: the decode error is the signal
         };
@@ -344,45 +415,7 @@ where
             .fetch_add(frame_bytes, Ordering::Relaxed);
         per_opcode.record(&shared.registry, op, frame_bytes);
 
-        // A bad payload inside a good frame fails only this request.
-        let outcome = if op == opcode::OBSERVE_BATCH || op == opcode::OBSERVE_BATCH_AT {
-            // Ingest fast path: decode straight into the connection's
-            // batch buffer and hand it to the service's zero-copy seam —
-            // no `Request` value, no per-frame batch allocation.
-            let decode_start = dds_obs::maybe_now();
-            let decoded = decode_batch_request(op, &payload, &mut batch_scratch);
-            shared
-                .obs
-                .decode_nanos
-                .observe(dds_obs::nanos_since(decode_start));
-            match decoded {
-                Ok(now) => dispatch_timed(shared, op, || {
-                    shared.service.observe_batch_slice(now, &mut batch_scratch)
-                }),
-                Err(e) => Err(EngineError::Format(e.to_string())),
-            }
-        } else {
-            let decode_start = dds_obs::maybe_now();
-            let decoded = Request::decode(op, &payload);
-            shared
-                .obs
-                .decode_nanos
-                .observe(dds_obs::nanos_since(decode_start));
-            match decoded {
-                Ok(request) => dispatch_timed(shared, op, || shared.service.call(request)),
-                Err(e) => Err(EngineError::Format(e.to_string())),
-            }
-        };
-        // A telemetry reply carries the whole stack's view: the served
-        // engine's registry (already in the snapshot) plus this
-        // server's transport metrics, merged into one payload.
-        let outcome = match outcome {
-            Ok(Response::Telemetry { mut snapshot }) => {
-                snapshot.merge(shared.registry.snapshot());
-                Ok(Response::Telemetry { snapshot })
-            }
-            other => other,
-        };
+        let outcome = execute_frame(shared, op, &payload, &mut batch_scratch);
         let respond_start = dds_obs::maybe_now();
         let write_result = write_outcome(shared, &mut writer, &outcome);
         shared
@@ -395,11 +428,65 @@ where
     }
 }
 
+/// Execute one well-formed frame: decode its payload, dispatch into
+/// the service, and merge the server's registry into telemetry
+/// replies. This is the seam both server modes share — a threaded
+/// connection handler and an evented worker produce identical outcomes
+/// for identical frames, which is what the twin-exactness suites pin.
+///
+/// A bad *payload* inside a good frame fails only this request; the
+/// stream stays aligned, so the connection stays up.
+pub(crate) fn execute_frame(
+    shared: &Shared,
+    op: u8,
+    payload: &[u8],
+    batch_scratch: &mut Vec<(TenantId, Element)>,
+) -> Result<Response, EngineError> {
+    let outcome = if op == opcode::OBSERVE_BATCH || op == opcode::OBSERVE_BATCH_AT {
+        // Ingest fast path: decode straight into the caller's batch
+        // buffer and hand it to the service's zero-copy seam — no
+        // `Request` value, no per-frame batch allocation.
+        let decode_start = dds_obs::maybe_now();
+        let decoded = decode_batch_request(op, payload, batch_scratch);
+        shared
+            .obs
+            .decode_nanos
+            .observe(dds_obs::nanos_since(decode_start));
+        match decoded {
+            Ok(now) => dispatch_timed(shared, op, || {
+                shared.service.observe_batch_slice(now, batch_scratch)
+            }),
+            Err(e) => Err(EngineError::Format(e.to_string())),
+        }
+    } else {
+        let decode_start = dds_obs::maybe_now();
+        let decoded = Request::decode(op, payload);
+        shared
+            .obs
+            .decode_nanos
+            .observe(dds_obs::nanos_since(decode_start));
+        match decoded {
+            Ok(request) => dispatch_timed(shared, op, || shared.service.call(request)),
+            Err(e) => Err(EngineError::Format(e.to_string())),
+        }
+    };
+    // A telemetry reply carries the whole stack's view: the served
+    // engine's registry (already in the snapshot) plus this server's
+    // transport metrics, merged into one payload.
+    match outcome {
+        Ok(Response::Telemetry { mut snapshot }) => {
+            snapshot.merge(shared.registry.snapshot());
+            Ok(Response::Telemetry { snapshot })
+        }
+        other => other,
+    }
+}
+
 /// Run one dispatched request under the service-latency telemetry: the
 /// handle histogram and the slow-request event log, shared by the
 /// general route and the ingest fast path.
 fn dispatch_timed(
-    shared: &Arc<Shared>,
+    shared: &Shared,
     op: u8,
     dispatch: impl FnOnce() -> Result<Response, EngineError>,
 ) -> Result<Response, EngineError> {

@@ -1,0 +1,165 @@
+//! Slow peers must not stall the event loop: a client that reads one
+//! byte at a time, a client that stalls mid-frame, and a client that
+//! never reads at all each share the loop with a healthy client whose
+//! progress is asserted *while* the slow peer is being slow — the
+//! interleaving the readiness architecture exists to guarantee.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use dds_core::sampler::{SamplerKind, SamplerSpec};
+use dds_engine::{Engine, EngineConfig, TenantId};
+use dds_proto::frame::{self, FrameDecoder};
+use dds_proto::message::opcode;
+use dds_proto::{EngineHost, Request};
+use dds_server::{Client, Server, ServerConfig};
+use dds_sim::Element;
+
+fn serve() -> (Server, std::net::SocketAddr) {
+    let spec = SamplerSpec::new(SamplerKind::Infinite, 8, 7_007);
+    let engine = Engine::spawn(EngineConfig::new(spec).with_shards(2));
+    let server = Server::bind_tcp_with(
+        "127.0.0.1:0",
+        Arc::new(EngineHost::new(engine)),
+        ServerConfig::Evented { workers: 1 },
+    )
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    (server, addr)
+}
+
+fn snapshot_request() -> Vec<u8> {
+    Request::Snapshot {
+        tenant: TenantId(1),
+    }
+    .encode()
+}
+
+/// One full healthy round trip on its own connection; returns sample
+/// size as the progress witness.
+fn healthy_round_trip(client: &Client, x: u64) -> usize {
+    client.observe(TenantId(1), Element(x)).expect("ingest");
+    client.flush().expect("barrier");
+    client.snapshot(TenantId(1)).expect("snapshot").len()
+}
+
+#[test]
+fn one_byte_per_tick_reader_does_not_block_others() {
+    let (server, addr) = serve();
+    let healthy = Client::connect_tcp(addr).expect("healthy connect");
+    healthy_round_trip(&healthy, 0); // tenant exists before the probe
+
+    // The slow reader sends one request, then sips the response a byte
+    // at a time — making a healthy round trip between sips.
+    let mut slow = TcpStream::connect(addr).expect("slow connect");
+    slow.set_nodelay(true).expect("nodelay");
+    slow.write_all(&snapshot_request()).expect("send request");
+
+    let mut decoder = FrameDecoder::new();
+    let mut payload = Vec::new();
+    let mut byte = [0u8; 1];
+    let mut interleaved = 0u64;
+    let op = loop {
+        let n = slow.read(&mut byte).expect("read one byte");
+        assert!(n > 0, "server closed on a slow reader");
+        decoder.push(&byte);
+        // Between every sip, another connection completes a *full*
+        // ingest + flush + snapshot round trip: interleaved progress,
+        // not just eventual progress.
+        assert!(healthy_round_trip(&healthy, interleaved + 1) > 0);
+        interleaved += 1;
+        if let Some(op) = decoder.next_frame(&mut payload).expect("valid response") {
+            break op;
+        }
+    };
+    assert_eq!(op, opcode::SAMPLE);
+    assert!(
+        interleaved >= frame::OVERHEAD_BYTES as u64,
+        "made only {interleaved} interleaved round trips"
+    );
+    let _ = server.shutdown();
+}
+
+#[test]
+fn mid_frame_staller_does_not_block_others() {
+    let (server, addr) = serve();
+    let healthy = Client::connect_tcp(addr).expect("healthy connect");
+    healthy_round_trip(&healthy, 0);
+
+    // Stall with half a request frame on the wire.
+    let mut staller = TcpStream::connect(addr).expect("staller connect");
+    staller.set_nodelay(true).expect("nodelay");
+    let request = snapshot_request();
+    let half = request.len() / 2;
+    staller.write_all(&request[..half]).expect("send half");
+
+    // While the frame dangles, the healthy connection keeps completing
+    // round trips.
+    for i in 0..25 {
+        assert!(healthy_round_trip(&healthy, 100 + i) > 0);
+    }
+
+    // The stalled frame completes and is answered normally — the
+    // server held the partial bytes the whole time.
+    staller.write_all(&request[half..]).expect("send rest");
+    let mut decoder = FrameDecoder::new();
+    let mut payload = Vec::new();
+    let mut chunk = [0u8; 1024];
+    let op = loop {
+        let n = staller.read(&mut chunk).expect("response arrives");
+        assert!(n > 0, "server closed before answering the stalled frame");
+        decoder.push(&chunk[..n]);
+        if let Some(op) = decoder.next_frame(&mut payload).expect("valid response") {
+            break op;
+        }
+    };
+    assert_eq!(op, opcode::SAMPLE);
+    assert!(!payload.is_empty());
+    let _ = server.shutdown();
+}
+
+#[test]
+fn never_reading_client_is_backpressured_not_fatal() {
+    let (server, addr) = serve();
+    let healthy = Client::connect_tcp(addr).expect("healthy connect");
+    healthy_round_trip(&healthy, 0);
+
+    // Pipeline many requests without reading any responses: the server
+    // buffers what the socket will not take and pauses further reads
+    // (backpressure), but neither blocks the loop nor drops the
+    // connection.
+    let mut greedy = TcpStream::connect(addr).expect("greedy connect");
+    greedy.set_nodelay(true).expect("nodelay");
+    const REQUESTS: usize = 200;
+    let request = snapshot_request();
+    for _ in 0..REQUESTS {
+        greedy.write_all(&request).expect("pipelined request");
+    }
+
+    // Healthy progress while the greedy client's responses pile up.
+    for i in 0..25 {
+        assert!(healthy_round_trip(&healthy, 200 + i) > 0);
+    }
+
+    // Now drain: every response arrives, in order, none lost.
+    greedy
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .expect("timeout");
+    let mut decoder = FrameDecoder::new();
+    let mut payload = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut frames = 0usize;
+    while frames < REQUESTS {
+        let n = greedy.read(&mut chunk).expect("drain responses");
+        assert!(n > 0, "server closed before all responses were read");
+        decoder.push(&chunk[..n]);
+        while let Some(op) = decoder.next_frame(&mut payload).expect("valid response") {
+            assert_eq!(op, opcode::SAMPLE, "response {frames} has wrong opcode");
+            frames += 1;
+        }
+    }
+    assert_eq!(frames, REQUESTS);
+    assert!(!decoder.is_mid_frame(), "stray trailing bytes after drain");
+    let _ = server.shutdown();
+}

@@ -46,7 +46,8 @@
 //! | [`dds_runtime`] | real multi-threaded deployment over crossbeam channels |
 //! | [`dds_engine`] | sharded multi-tenant serving layer: thousands of sampler instances (infinite- or sliding-window) behind one batched, timestamped ingest path |
 //! | [`dds_proto`] | the engine's formal service API: versioned request/response frames, byte-accounted codec, the transport-agnostic `EngineService` trait |
-//! | [`dds_server`] | wire transport: TCP/Unix-socket server with pipelined framed decode, plus the typed batching `Client` |
+//! | [`dds_reactor`] | zero-dependency readiness core: raw-syscall `epoll` (with a `poll(2)` fallback), edge/level interest, and a cross-thread `Waker` |
+//! | [`dds_server`] | wire transport: TCP/Unix-socket server — thread-per-connection or a reactor-driven event loop holding thousands of sockets — plus the typed batching, reconnecting `Client` |
 //! | [`dds_obs`] | zero-dependency observability core: lock-free counters/gauges, mergeable log-scale histograms, labeled registry, span timers, bounded event ring, wire-portable telemetry snapshots |
 //! | [`dds_cluster`] | true distributed deployment: site-daemon and coordinator processes speaking the paper's protocols over sockets, byte-exact with the in-process twin |
 //!
@@ -63,6 +64,7 @@ pub use dds_engine as engine;
 pub use dds_hash as hash;
 pub use dds_obs as obs;
 pub use dds_proto as proto;
+pub use dds_reactor as reactor;
 pub use dds_runtime as runtime;
 pub use dds_server as server;
 pub use dds_sim as sim;
@@ -98,7 +100,9 @@ pub mod prelude {
     pub use dds_obs::{Registry, TelemetrySnapshot};
     pub use dds_proto::{EngineHost, EngineService, Request, Response};
     pub use dds_runtime::ThreadedCluster;
-    pub use dds_server::{Client, ClientStats, Server, ServerStats, TenantHandle};
+    pub use dds_server::{
+        Client, ClientConfig, ClientStats, Server, ServerConfig, ServerStats, TenantHandle,
+    };
     pub use dds_sim::{Cluster, CoordinatorNode, Element, MessageCounters, SiteId, SiteNode, Slot};
     pub use dds_stats::{harmonic, KmvEstimate, Summary};
 }
